@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the ablation axes (probability constant and
+//! quality-measurement mode) — timing counterpart of `--bin ablations`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_bench::highway_workload;
+use lcs_core::{centralized_shortcuts, KpParams, LargenessRule, OracleMode};
+use lcs_shortcut::{measure_quality, DilationMode};
+
+fn bench_probability_constants(c: &mut Criterion) {
+    let (hw, partition) = highway_workload(900, 4);
+    let g = hw.graph().clone();
+    let mut group = c.benchmark_group("probability_constant");
+    for &pc in &[0.5f64, 1.0, 2.0] {
+        let params = KpParams::new(g.n(), 4, pc).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(pc), &pc, |b, _| {
+            b.iter(|| {
+                let out = centralized_shortcuts(
+                    &g,
+                    &partition,
+                    params,
+                    1,
+                    LargenessRule::Radius,
+                    OracleMode::PerArc,
+                );
+                measure_quality(&g, &partition, &out.shortcuts, DilationMode::Estimate)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quality_measurement(c: &mut Criterion) {
+    let (hw, partition) = highway_workload(900, 4);
+    let g = hw.graph().clone();
+    let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+    let out = centralized_shortcuts(
+        &g,
+        &partition,
+        params,
+        1,
+        LargenessRule::Radius,
+        OracleMode::PerArc,
+    );
+    let mut group = c.benchmark_group("quality_measurement");
+    group.bench_function("exact", |b| {
+        b.iter(|| measure_quality(&g, &partition, &out.shortcuts, DilationMode::Exact))
+    });
+    group.bench_function("estimate", |b| {
+        b.iter(|| measure_quality(&g, &partition, &out.shortcuts, DilationMode::Estimate))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_probability_constants,
+    bench_quality_measurement
+);
+criterion_main!(benches);

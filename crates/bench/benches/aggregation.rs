@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks: partwise aggregation (simulated vs
+//! centralized) and the simulator engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_bench::highway_workload;
+use lcs_congest::{distributed_bfs, AggOp, SimConfig};
+use lcs_core::{centralized_shortcuts, prune_to_trees, KpParams, LargenessRule, OracleMode};
+use lcs_shortcut::AggregationSetup;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partwise_aggregation");
+    for &n in &[400usize, 1600] {
+        let (hw, partition) = highway_workload(n, 4);
+        let g = hw.graph().clone();
+        let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+        let raw = centralized_shortcuts(
+            &g,
+            &partition,
+            params,
+            1,
+            LargenessRule::Radius,
+            OracleMode::PerArc,
+        );
+        let pruned = prune_to_trees(&g, &partition, &raw.shortcuts, params.depth_limit());
+        let setup = AggregationSetup::build(&g, &partition, &pruned.shortcuts);
+        let value = |v: lcs_graph::NodeId, _p: usize| v as u64;
+        group.bench_with_input(BenchmarkId::new("centralized", n), &n, |b, _| {
+            b.iter(|| setup.aggregate_centralized(AggOp::Min, &value))
+        });
+        group.bench_with_input(BenchmarkId::new("simulated", n), &n, |b, _| {
+            b.iter(|| {
+                setup
+                    .aggregate_simulated(&g, AggOp::Min, &value, false, &SimConfig::default())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree_build", n), &n, |b, _| {
+            b.iter(|| AggregationSetup::build(&g, &partition, &pruned.shortcuts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (hw, _) = highway_workload(1600, 4);
+    let g = hw.graph().clone();
+    c.bench_function("engine_bfs_n1600", |b| {
+        b.iter(|| distributed_bfs(&g, 0, &SimConfig::default()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_aggregation, bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks: the applications (MST per strategy, min cut,
+//! SSSP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_apps::{
+    approximate_min_cut, mst_via_shortcuts, shortcut_sssp, MinCutConfig, MstConfig,
+    ShortcutStrategy,
+};
+use lcs_bench::highway_workload;
+use lcs_core::{centralized_shortcuts, prune_to_trees, KpParams, LargenessRule, OracleMode};
+use lcs_graph::{gnp_connected, WeightedGraph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst_accounted");
+    for strategy in [
+        ShortcutStrategy::KoganParter,
+        ShortcutStrategy::GlobalTree,
+        ShortcutStrategy::Trivial,
+    ] {
+        let (hw, _) = highway_workload(900, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let wg = WeightedGraph::with_random_weights(hw.graph().clone(), 1000, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("strategy", format!("{strategy}")),
+            &strategy,
+            |b, &s| {
+                let cfg = MstConfig {
+                    strategy: s,
+                    diameter: Some(4),
+                    ..MstConfig::default()
+                };
+                b.iter(|| mst_via_shortcuts(&wg, &cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mincut(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = gnp_connected(60, 0.15, &mut rng);
+    let wg = WeightedGraph::with_random_weights(g, 20, &mut rng);
+    c.bench_function("mincut_n60", |b| {
+        b.iter(|| approximate_min_cut(&wg, &MinCutConfig::default()).unwrap())
+    });
+}
+
+fn bench_sssp(c: &mut Criterion) {
+    let (hw, partition) = highway_workload(900, 4);
+    let g = hw.graph().clone();
+    let weights: Vec<u64> = g
+        .edge_ids()
+        .map(|e| {
+            let (u, v) = g.edge_endpoints(e);
+            if u < hw.highway_first() && v < hw.highway_first() {
+                1
+            } else {
+                100
+            }
+        })
+        .collect();
+    let wg = WeightedGraph::new(g.clone(), weights).unwrap();
+    let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+    let raw = centralized_shortcuts(
+        &g,
+        &partition,
+        params,
+        1,
+        LargenessRule::Radius,
+        OracleMode::PerArc,
+    );
+    let pruned = prune_to_trees(&g, &partition, &raw.shortcuts, params.depth_limit());
+    c.bench_function("sssp_accelerated_n900", |b| {
+        b.iter(|| shortcut_sssp(&wg, &partition, &pruned.shortcuts, 0, 128))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mst, bench_mincut, bench_sssp
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks: shortcut construction kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_bench::highway_workload;
+use lcs_core::{
+    centralized_shortcuts, prune_to_trees, KpParams, LargenessRule, OracleMode, SampleOracle,
+};
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized_construction");
+    for &n in &[400usize, 1600] {
+        let (hw, partition) = highway_workload(n, 4);
+        let g = hw.graph().clone();
+        let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("per_arc", n), &n, |b, _| {
+            b.iter(|| {
+                centralized_shortcuts(
+                    &g,
+                    &partition,
+                    params,
+                    1,
+                    LargenessRule::Radius,
+                    OracleMode::PerArc,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("per_part", n), &n, |b, _| {
+            b.iter(|| {
+                centralized_shortcuts(
+                    &g,
+                    &partition,
+                    params,
+                    1,
+                    LargenessRule::Radius,
+                    OracleMode::PerPart,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let (hw, partition) = highway_workload(1600, 4);
+    let g = hw.graph().clone();
+    let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+    let raw = centralized_shortcuts(
+        &g,
+        &partition,
+        params,
+        1,
+        LargenessRule::Radius,
+        OracleMode::PerArc,
+    );
+    c.bench_function("prune_to_trees_n1600", |b| {
+        b.iter(|| prune_to_trees(&g, &partition, &raw.shortcuts, params.depth_limit()))
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let oracle = SampleOracle::new(1, 0.3, 4);
+    c.bench_function("sample_oracle_prf", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            oracle.sampled_by(i % 1000, (i / 7) % 1000, i % 64, i % 4)
+        })
+    });
+    c.bench_function("sample_oracle_picks", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            oracle.picks_for_arc(i % 1000, (i / 7) % 1000, 0, 256)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_centralized, bench_pruning, bench_oracle
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E11 — Corollaries 4.2 / 4.3: the SSSP and 2-ECSS plug-ins.
+//!
+//! SSSP: iterations/rounds of the shortcut-accelerated relaxation vs
+//! plain distributed Bellman–Ford, plus realized stretch (our substitute
+//! mechanism, see DESIGN.md). 2-ECSS: weight vs the MST lower bound and
+//! validity.
+
+use lcs_apps::{bellman_ford_rounds, shortcut_sssp, two_ecss, verify_two_ecss, MstConfig};
+use lcs_bench::{f3, highway_workload, BenchArgs, Table};
+use lcs_core::{centralized_shortcuts, prune_to_trees, KpParams, LargenessRule, OracleMode};
+use lcs_graph::{complete, WeightedGraph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let sizes = args.sizes(&[400, 900, 1600], &[400]);
+
+    let mut t = Table::new(
+        "E11a (Cor 4.2 mechanism): anytime SSSP — stretch after few shortcut\niterations vs exact Bellman-Ford's hop count (D=4 highway,\nlight path edges / heavy highway edges)",
+        &[
+            "n",
+            "BF rounds (exact)",
+            "stretch@2 iters",
+            "stretch@4",
+            "stretch@8",
+            "iters to exact",
+        ],
+    );
+    for &nt in sizes {
+        let (hw, partition) = highway_workload(nt, 4);
+        let g = hw.graph().clone();
+        let weights: Vec<u64> = g
+            .edge_ids()
+            .map(|e| {
+                let (u, v) = g.edge_endpoints(e);
+                if u < hw.highway_first() && v < hw.highway_first() {
+                    1
+                } else {
+                    100
+                }
+            })
+            .collect();
+        let wg = WeightedGraph::new(g.clone(), weights).expect("weights sized");
+        let params = KpParams::new(g.n(), 4, 1.0).expect("params");
+        let raw = centralized_shortcuts(
+            &g,
+            &partition,
+            params,
+            11,
+            LargenessRule::Radius,
+            OracleMode::PerArc,
+        );
+        let pruned = prune_to_trees(&g, &partition, &raw.shortcuts, params.depth_limit());
+        let (_, bf_rounds) = bellman_ford_rounds(&wg, 0);
+        let s2 = shortcut_sssp(&wg, &partition, &pruned.shortcuts, 0, 2);
+        let s4 = shortcut_sssp(&wg, &partition, &pruned.shortcuts, 0, 4);
+        let s8 = shortcut_sssp(&wg, &partition, &pruned.shortcuts, 0, 8);
+        let exact = shortcut_sssp(&wg, &partition, &pruned.shortcuts, 0, 4096);
+        t.row(vec![
+            g.n().to_string(),
+            bf_rounds.to_string(),
+            f3(s2.max_stretch),
+            f3(s4.max_stretch),
+            f3(s8.max_stretch),
+            exact.iterations.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t2 = Table::new(
+        "E11b (Cor 4.3): O(log n)-approx 2-ECSS on weighted cliques",
+        &["n", "mst w", "2ecss w", "w/mst", "greedy rounds", "valid"],
+    );
+    let ns2: &[usize] = if args.quick { &[12, 20] } else { &[12, 20, 32, 48] };
+    for &n in ns2 {
+        let g = complete(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let wg = WeightedGraph::with_random_weights(g, 100, &mut rng);
+        let cfg = MstConfig {
+            diameter: Some(3),
+            ..MstConfig::default()
+        };
+        let out = two_ecss(&wg, &cfg).expect("clique is 2EC");
+        let valid = verify_two_ecss(wg.graph(), &out.edges);
+        t2.row(vec![
+            n.to_string(),
+            out.mst_weight.to_string(),
+            out.weight.to_string(),
+            f3(out.weight as f64 / out.mst_weight as f64),
+            out.greedy_rounds.to_string(),
+            valid.to_string(),
+        ]);
+    }
+    t2.print();
+    println!("claim check: after a handful of shortcut iterations the distance\nestimates are already near-exact (stretch@8 ≈ 1), while exact Bellman-Ford\nneeds hop-diameter rounds growing with the path lengths — the anytime\nspeedup the corollary's hopset machinery industrializes. The 2-ECSS\noutput is always bridgeless with weight a small multiple of the MST\nlower bound (O(log n) in theory).");
+}

@@ -1,0 +1,141 @@
+//! E1 — Theorem 1.1: shortcut quality `c + d = Õ(k_D)`.
+//!
+//! Sweeps `n` for each `D ∈ {3..8}` on the balanced highway hard
+//! instances, builds the centralized KP shortcuts, measures quality, and
+//! fits the log-log slope of `c + d` against `n`, comparing it to the
+//! claimed exponent `(D−2)/(2D−2)`.
+
+use lcs_bench::{f3, highway_workload, loglog_slope, BenchArgs, Table};
+use lcs_core::{centralized_shortcuts, k_d, KpParams, LargenessRule, OracleMode};
+use lcs_shortcut::{
+    global_tree_shortcuts, measure_quality, trivial_shortcuts, DilationMode,
+};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let sizes_full: &[usize] = &[400, 900, 1600, 3600, 6400, 12800];
+    let sizes_quick: &[usize] = &[400, 900, 1600];
+    let sizes = args.sizes(sizes_full, sizes_quick);
+    let seed = args.seed.unwrap_or(1);
+
+    let mut summary = Table::new(
+        "E1 summary: measured exponent of (c+d) vs n against (D-2)/(2D-2)",
+        &["D", "claimed exp", "measured exp", "points"],
+    );
+
+    for d in 3..=8u32 {
+        let mut t = Table::new(
+            &format!("E1 (D={d}): quality vs n on highway instances"),
+            &[
+                "n",
+                "k_D",
+                "c",
+                "dil",
+                "c+d",
+                "(c+d)/(k_D·lg²n)",
+                "trivial c+d",
+                "glob-tree c+d",
+            ],
+        );
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for &nt in sizes {
+            let (hw, partition) = highway_workload(nt, d);
+            let g = hw.graph();
+            let n = g.n();
+            let params = match KpParams::new(n, d, 1.0) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let out = centralized_shortcuts(
+                g,
+                &partition,
+                params,
+                seed,
+                LargenessRule::Radius,
+                OracleMode::PerArc,
+            );
+            let mode = if n > 3000 {
+                DilationMode::Estimate
+            } else {
+                DilationMode::Exact
+            };
+            let q = measure_quality(g, &partition, &out.shortcuts, mode).quality;
+            let triv =
+                measure_quality(g, &partition, &trivial_shortcuts(&partition), mode).quality;
+            let glob = measure_quality(
+                g,
+                &partition,
+                &global_tree_shortcuts(g, &partition, 0, Some(1)),
+                mode,
+            )
+            .quality;
+            let k = k_d(n, d);
+            let lg = (n as f64).log2();
+            points.push((n as f64, q.total() as f64));
+            t.row(vec![
+                n.to_string(),
+                f3(k),
+                q.congestion.to_string(),
+                q.dilation.to_string(),
+                q.total().to_string(),
+                f3(q.total() as f64 / (k * lg * lg)),
+                triv.total().to_string(),
+                glob.total().to_string(),
+            ]);
+        }
+        t.print();
+        let claimed = (d as f64 - 2.0) / (2.0 * d as f64 - 2.0);
+        let measured = loglog_slope(&points).unwrap_or(f64::NAN);
+        summary.row(vec![
+            d.to_string(),
+            f3(claimed),
+            f3(measured),
+            points.len().to_string(),
+        ]);
+    }
+    summary.print();
+    println!(
+        "note: at simulatable n the log-factors are comparable to k_D, so the\n\
+         measured exponent should sit near (but above is acceptable) the claim;\n\
+         the normalized column (c+d)/(k_D·lg²n) staying O(1) is the bound check.\n\
+         'who wins': the trivial and global-tree baselines both pay ~sqrt(n)\n\
+         on the balanced family, so the KP column dropping below them (first\n\
+         at D=3, then at growing D as n grows) is the paper's separation."
+    );
+
+    // E1b: large-n streaming sweep (congestion exact, dilation sampled)
+    // reaching the regime where the D=3 exponent approaches 1/4.
+    if !args.quick {
+        use lcs_core::{streamed_quality, LargenessRule as LR};
+        let mut t = Table::new(
+            "E1b (D=3, streamed): quality to n ≈ 50k",
+            &["n", "k_D", "c", "dil (lo..hi)", "c+hi", "sqrt(n)"],
+        );
+        let mut points = Vec::new();
+        for &nt in &[6400usize, 12800, 25600, 51200] {
+            let (hw, partition) = highway_workload(nt, 3);
+            let g = hw.graph();
+            let n = g.n();
+            let params = match KpParams::new(n, 3, 1.0) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let s = streamed_quality(g, &partition, params, seed, LR::Radius, 3);
+            let total = s.congestion as u64 + s.dilation_upper as u64;
+            points.push((n as f64, total as f64));
+            t.row(vec![
+                n.to_string(),
+                f3(k_d(n, 3)),
+                s.congestion.to_string(),
+                format!("{}..{}", s.dilation_lower, s.dilation_upper),
+                total.to_string(),
+                f3((n as f64).sqrt()),
+            ]);
+        }
+        t.print();
+        println!(
+            "   streamed D=3 exponent (c+d vs n): {}",
+            f3(loglog_slope(&points).unwrap_or(f64::NAN))
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! E2 — §2 congestion argument: max per-edge congestion is
+//! `O(D·k_D·log n)` w.h.p. (Chernoff).
+//!
+//! Measures max and mean per-edge congestion across seeds, reports the
+//! ratio to the bound and the tail histogram.
+
+use lcs_bench::{f3, geomean, highway_workload, BenchArgs, Table};
+use lcs_core::{centralized_shortcuts, KpParams, LargenessRule, OracleMode};
+use lcs_shortcut::{measure_quality, DilationMode};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let sizes = args.sizes(&[900, 1600, 3600, 6400], &[400, 900]);
+    let seeds: u64 = if args.quick { 3 } else { 10 };
+
+    for d in [3u32, 4, 6] {
+        let mut t = Table::new(
+            &format!("E2 (D={d}): per-edge congestion vs O(D·k_D·lg n) bound"),
+            &["n", "bound", "max c (worst seed)", "mean c", "max/bound", "violations"],
+        );
+        for &nt in sizes {
+            let (hw, partition) = highway_workload(nt, d);
+            let g = hw.graph();
+            let params = match KpParams::new(g.n(), d, 1.0) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let bound = params.congestion_bound();
+            let mut worst = 0u32;
+            let mut means = Vec::new();
+            let mut violations = 0u32;
+            for s in 0..seeds {
+                let out = centralized_shortcuts(
+                    g,
+                    &partition,
+                    params,
+                    s,
+                    LargenessRule::Radius,
+                    OracleMode::PerArc,
+                );
+                let report =
+                    measure_quality(g, &partition, &out.shortcuts, DilationMode::Estimate);
+                worst = worst.max(report.quality.congestion);
+                means.push(report.mean_loaded_congestion());
+                if (report.quality.congestion as u64) > bound {
+                    violations += 1;
+                }
+            }
+            t.row(vec![
+                g.n().to_string(),
+                bound.to_string(),
+                worst.to_string(),
+                f3(geomean(&means)),
+                f3(worst as f64 / bound as f64),
+                format!("{violations}/{seeds}"),
+            ]);
+        }
+        t.print();
+    }
+    println!("claim check: zero violations and max/bound bounded away from 1 ⇒ the\nChernoff congestion bound holds with the constant 4 used in `congestion_bound`.");
+}

@@ -1,0 +1,84 @@
+//! E5 — Corollary 1.2 (MST): `Õ(k_D)` rounds via KP shortcuts vs the
+//! `O(D + √n)` global-tree baseline vs trivial shortcuts, on the hard
+//! family. The crossover and the winner's margin are the reproducible
+//! "shape" of the corollary.
+
+use lcs_apps::{assert_matches_kruskal, mst_via_shortcuts, MstConfig, ShortcutStrategy};
+use lcs_bench::{f3, highway_workload, BenchArgs, Table};
+use lcs_core::k_d;
+use lcs_graph::WeightedGraph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let sizes = args.sizes(&[400, 900, 1600, 3600, 6400], &[400, 900]);
+
+    for d in [4u32, 6] {
+        let mut t = Table::new(
+            &format!("E5 (D={d}): MST rounds by shortcut strategy (accounted)"),
+            &[
+                "n",
+                "k_D",
+                "sqrt(n)",
+                "KP rounds",
+                "global-tree rounds",
+                "trivial rounds",
+                "agg-only K/G/T",
+                "phases",
+            ],
+        );
+        for &nt in sizes {
+            let (hw, _) = highway_workload(nt, d);
+            let g = hw.graph().clone();
+            let n = g.n();
+            let mut rng = ChaCha8Rng::seed_from_u64(nt as u64);
+            let wg = WeightedGraph::with_random_weights(g, 1 << 20, &mut rng);
+            let mut rounds = Vec::new();
+            let mut phases = 0u32;
+            let mut agg_only = Vec::new();
+            for strategy in [
+                ShortcutStrategy::KoganParter,
+                ShortcutStrategy::GlobalTree,
+                ShortcutStrategy::Trivial,
+            ] {
+                let cfg = MstConfig {
+                    strategy,
+                    diameter: Some(d),
+                    seed: nt as u64,
+                    ..MstConfig::default()
+                };
+                let out = mst_via_shortcuts(&wg, &cfg).expect("mst succeeds");
+                assert_matches_kruskal(&wg, &out);
+                phases = out.phases;
+                rounds.push(out.total_rounds);
+                agg_only.push(
+                    out.phase_costs
+                        .iter()
+                        .map(|p| p.aggregation_rounds)
+                        .sum::<u64>(),
+                );
+            }
+            t.row(vec![
+                n.to_string(),
+                f3(k_d(n, d)),
+                f3((n as f64).sqrt()),
+                rounds[0].to_string(),
+                rounds[1].to_string(),
+                rounds[2].to_string(),
+                format!("{}/{}/{}", agg_only[0], agg_only[1], agg_only[2]),
+                phases.to_string(),
+            ]);
+        }
+        t.print();
+    }
+    println!(
+        "claim check: every run's tree equals Kruskal's. Asymptotically KP's\n\
+         Õ(k_D) beats the baselines, but the explicit lg²n constants in the\n\
+         per-phase construction budget dominate below n ~ 10^9, so at bench\n\
+         scales total KP rounds exceed the baselines — the honest regime\n\
+         report. The separation that IS visible at these n is the shortcut\n\
+         QUALITY (E1/E7: KP c+d < sqrt(n) baselines from n≈1600 at D=3) and\n\
+         the agg-only column (what repeated queries pay after construction)."
+    );
+}

@@ -1,0 +1,68 @@
+//! E7 — D ∈ {3, 4}: the regime where Kitamura et al. (DISC 2019) already
+//! matched the Lotker et al. lower bounds (`Ω̃(n^{1/4})`, `Ω̃(n^{1/3})`).
+//! Compares KP shortcuts against the Kitamura-style baselines and the
+//! lower-bound curve.
+
+use lcs_bench::{f3, highway_workload, loglog_slope, BenchArgs, Table};
+use lcs_core::{centralized_shortcuts, k_d, KpParams, LargenessRule, OracleMode};
+use lcs_shortcut::{kitamura_style_shortcuts, measure_quality, DilationMode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let sizes = args.sizes(&[400, 900, 1600, 3600, 6400], &[400, 900]);
+
+    for d in [3u32, 4] {
+        let mut t = Table::new(
+            &format!(
+                "E7 (D={d}): KP vs Kitamura-style quality (lower bound exp = {})",
+                f3((d as f64 - 2.0) / (2.0 * d as f64 - 2.0))
+            ),
+            &["n", "k_D", "KP c+d", "Kitamura c+d", "KP/k_D·lg²n"],
+        );
+        let mut kp_points = Vec::new();
+        for &nt in sizes {
+            let (hw, partition) = highway_workload(nt, d);
+            let g = hw.graph();
+            let n = g.n();
+            let params = match KpParams::new(n, d, 1.0) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let kp = centralized_shortcuts(
+                g,
+                &partition,
+                params,
+                7,
+                LargenessRule::Radius,
+                OracleMode::PerArc,
+            );
+            let mode = if n > 3000 {
+                DilationMode::Estimate
+            } else {
+                DilationMode::Exact
+            };
+            let kp_q = measure_quality(g, &partition, &kp.shortcuts, mode).quality;
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let kita = kitamura_style_shortcuts(g, &partition, d, 1.0, &mut rng);
+            let kita_q = measure_quality(g, &partition, &kita, mode).quality;
+            let k = k_d(n, d);
+            let lg = (n as f64).log2();
+            kp_points.push((n as f64, kp_q.total() as f64));
+            t.row(vec![
+                n.to_string(),
+                f3(k),
+                kp_q.total().to_string(),
+                kita_q.total().to_string(),
+                f3(kp_q.total() as f64 / (k * lg * lg)),
+            ]);
+        }
+        t.print();
+        println!(
+            "   measured KP exponent (D={d}): {}\n",
+            f3(loglog_slope(&kp_points).unwrap_or(f64::NAN))
+        );
+    }
+    println!("claim check: at D=3 the two constructions coincide in shape (the paper\nnotes its D=3 case is Kitamura-like); at D=4 KP matches the n^(1/3) curve\nwith the full D-repetition analysis rather than a bespoke construction.");
+}

@@ -1,0 +1,42 @@
+//! E9 — §1 open problem: the construction's message complexity is
+//! `Õ(m·k_D)`. Measures total simulator messages of the distributed
+//! construction against `m·k_D·lg n`.
+
+use lcs_bench::{f3, highway_workload, BenchArgs, Table};
+use lcs_core::{distributed_shortcuts, k_d, DistributedConfig};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let sizes = args.sizes(&[300, 600, 1000, 1600], &[300, 600]);
+
+    let mut t = Table::new(
+        "E9: distributed-construction messages vs m·k_D·lg n (D=4)",
+        &["n", "m", "k_D", "messages", "msgs/(m·k_D)", "msgs/(m·k_D·lg n)"],
+    );
+    for &nt in sizes {
+        let (hw, partition) = highway_workload(nt, 4);
+        let g = hw.graph();
+        let out = distributed_shortcuts(
+            g,
+            &partition,
+            &DistributedConfig {
+                known_diameter: Some(4),
+                ..DistributedConfig::default()
+            },
+        )
+        .expect("construction succeeds");
+        let m = g.m() as f64;
+        let k = k_d(g.n(), 4);
+        let lg = (g.n() as f64).log2();
+        t.row(vec![
+            g.n().to_string(),
+            g.m().to_string(),
+            f3(k),
+            out.total_messages.to_string(),
+            f3(out.total_messages as f64 / (m * k)),
+            f3(out.total_messages as f64 / (m * k * lg)),
+        ]);
+    }
+    t.print();
+    println!("claim check: the msgs/(m·k_D·lg n) column is O(1) and flat-ish in n —\nthe paper's Õ(m·k_D) total; improving it to Õ(m) is the stated open problem.");
+}

@@ -1,0 +1,226 @@
+//! # lcs-bench
+//!
+//! Experiment harness reproducing every claim of *Kogan & Parter,
+//! PODC 2021* as a measurable table. The paper is a theory paper — its
+//! "tables and figures" are theorems and schematic figures — so each
+//! experiment binary (`src/bin/e*.rs`) operationalizes one claim:
+//! a parameter sweep whose measured scaling is compared against the
+//! claimed bound. `EXPERIMENTS.md` records the outputs.
+//!
+//! Shared infrastructure: aligned table printing, log-log slope fits,
+//! standard workload constructors, and a `--quick` switch for CI-scale
+//! runs.
+
+#![warn(missing_docs)]
+
+use lcs_graph::{HighwayGraph, NodeId};
+use lcs_shortcut::Partition;
+
+/// A printed results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the measured
+/// exponent of a power law. Returns `None` with fewer than two valid
+/// points.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Standard benchmark workload: the balanced highway hard instance with
+/// its path parts.
+pub fn highway_workload(n_target: usize, diameter: u32) -> (HighwayGraph, Partition) {
+    let hw = HighwayGraph::balanced(n_target, diameter).expect("valid workload parameters");
+    let parts = hw.path_parts();
+    let partition = Partition::new(hw.graph(), parts).expect("path parts are valid");
+    (hw, partition)
+}
+
+/// Parses `--quick` / `--trace` style flags from `std::env::args`.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// CI-scale run.
+    pub quick: bool,
+    /// Verbose per-instance traces.
+    pub trace: bool,
+    /// Optional seed override.
+    pub seed: Option<u64>,
+}
+
+impl BenchArgs {
+    /// Reads flags from the process arguments.
+    pub fn from_env() -> Self {
+        let mut a = BenchArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => a.quick = true,
+                "--trace" | "--trichotomy" => a.trace = true,
+                "--seed" => {
+                    a.seed = args.next().and_then(|s| s.parse().ok());
+                }
+                _ => {}
+            }
+        }
+        a
+    }
+
+    /// Picks between a full and a quick sweep.
+    pub fn sizes<'a>(&self, full: &'a [usize], quick: &'a [usize]) -> &'a [usize] {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Geometric mean of ratios (for summarizing bound slack).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Per-part sizes of a partition (printing helper).
+pub fn part_sizes(partition: &Partition) -> Vec<usize> {
+    (0..partition.num_parts())
+        .map(|i| partition.part(i).len())
+        .collect()
+}
+
+/// All nodes of a partition's parts flattened (test helper).
+pub fn covered_nodes(partition: &Partition) -> Vec<NodeId> {
+    partition.parts().iter().flatten().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_exact_power_law() {
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (x, 3.0 * x.powf(0.25))
+            })
+            .collect();
+        let s = loglog_slope(&pts).unwrap();
+        assert!((s - 0.25).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn slope_edge_cases() {
+        assert!(loglog_slope(&[]).is_none());
+        assert!(loglog_slope(&[(1.0, 2.0)]).is_none());
+        assert!(loglog_slope(&[(0.0, 2.0), (-1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn workload_construction() {
+        let (hw, p) = highway_workload(500, 4);
+        assert!(hw.n() >= 300);
+        assert!(p.num_parts() >= 2);
+    }
+
+    #[test]
+    fn geomean_values() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_nan());
+    }
+}

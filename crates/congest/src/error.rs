@@ -1,0 +1,70 @@
+//! Simulator error types.
+
+use lcs_graph::NodeId;
+use std::fmt;
+
+/// A violation of the CONGEST model or of run limits, detected by the
+/// simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A node addressed a non-neighbor.
+    InvalidDestination {
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient (not adjacent to `from`).
+        to: NodeId,
+        /// Round at which the send was attempted.
+        round: u64,
+    },
+    /// A node sent two messages over the same edge direction in one
+    /// round.
+    ChannelOverflow {
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Round of the violation.
+        round: u64,
+    },
+    /// A message exceeded the bandwidth cap.
+    MessageTooLarge {
+        /// Declared message size in words.
+        words: u32,
+        /// Configured cap in words.
+        cap: u32,
+        /// Round of the violation.
+        round: u64,
+    },
+    /// The run did not quiesce within the configured round limit.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidDestination { from, to, round } => {
+                write!(f, "round {round}: node {from} sent to non-neighbor {to}")
+            }
+            SimError::ChannelOverflow { from, to, round } => {
+                write!(
+                    f,
+                    "round {round}: node {from} sent two messages to {to} in one round"
+                )
+            }
+            SimError::MessageTooLarge { words, cap, round } => {
+                write!(
+                    f,
+                    "round {round}: message of {words} words exceeds bandwidth of {cap} words"
+                )
+            }
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "run did not terminate within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,66 @@
+//! # lcs-congest
+//!
+//! A deterministic, synchronous **CONGEST-model simulator** plus the
+//! distributed primitives used by the Kogan–Parter shortcut construction
+//! (PODC 2021) and its applications.
+//!
+//! The CONGEST model (Peleg 2000): `n` processors, one per graph node,
+//! communicate in synchronous rounds; per round each node may send one
+//! `O(log n)`-bit message to each neighbor. The engine in [`sim`]
+//! enforces exactly that (message sizes are accounted in `⌈log₂ n⌉`-bit
+//! words, at most [`message::DEFAULT_BANDWIDTH_WORDS`] per message) and
+//! reports rounds, message totals, and per-edge traffic.
+//!
+//! Provided protocols:
+//!
+//! * [`bfs`] — single-source BFS tree with child discovery;
+//! * [`tree`] — convergecast / broadcast / prefix numbering on a rooted
+//!   tree (`O(depth)` rounds);
+//! * [`multi_bfs`] — `N` truncated BFS instances over overlapping
+//!   subgraphs, multiplexed through per-edge FIFO queues with random
+//!   start delays (the executable form of the paper's use of the
+//!   Ghaffari'15 scheduler);
+//! * [`multi_aggregate`] — partwise aggregation over many overlapping
+//!   trees (the primitive consumed by MST / min-cut / verification).
+//!
+//! ## Example
+//!
+//! ```
+//! use lcs_congest::{distributed_bfs, SimConfig};
+//!
+//! let g = lcs_graph::generators::grid(3, 3);
+//! let out = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+//! assert_eq!(out.dist[8], Some(4));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod bfs;
+pub mod error;
+pub mod message;
+pub mod multi_aggregate;
+pub mod multi_bfs;
+pub mod node;
+pub mod sim;
+pub mod stats;
+pub mod tree;
+
+pub use accounting::{ceil_log2, ExecutionMode, ScheduleCost};
+pub use bfs::{distributed_bfs, BfsMsg, BfsNode, DistBfsOutcome};
+pub use error::SimError;
+pub use message::{Message, DEFAULT_BANDWIDTH_WORDS};
+pub use multi_aggregate::{
+    run_multi_aggregate, MultiAggMsg, MultiAggNode, MultiAggOutcome, Participation,
+};
+pub use multi_bfs::{
+    run_multi_bfs, MembershipFn, MultiBfsInstance, MultiBfsMsg, MultiBfsNode, MultiBfsOutcome,
+    MultiBfsSpec, Reached,
+};
+pub use node::{NodeAlgorithm, RoundCtx};
+pub use sim::{run, RunOutcome, SimConfig};
+pub use stats::RunStats;
+pub use tree::{
+    positions_from_tree, prefix_number, tree_aggregate, AggOp, ConvergecastNode, PrefixNumberNode,
+    TreeMsg, TreePosition,
+};

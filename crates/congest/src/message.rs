@@ -1,0 +1,62 @@
+//! Message sizing for the CONGEST bandwidth model.
+//!
+//! In the CONGEST model a node may send one `O(log n)`-bit message per
+//! neighbor per round. We account message sizes in **words**, where one
+//! word stands for one `⌈log₂ n⌉`-bit quantity (a node id, an edge id, a
+//! hop counter, a weight of polynomial magnitude). The simulator enforces
+//! a per-message cap of [`SimConfig::bandwidth_words`] words
+//! (default [`DEFAULT_BANDWIDTH_WORDS`]), i.e. messages stay `O(log n)`
+//! bits with an explicit constant.
+//!
+//! [`SimConfig::bandwidth_words`]: crate::sim::SimConfig::bandwidth_words
+
+/// Default per-message budget, in `⌈log₂ n⌉`-bit words.
+pub const DEFAULT_BANDWIDTH_WORDS: u32 = 4;
+
+/// A CONGEST message: cloneable payload with a declared size in words.
+///
+/// Implementations must report an honest upper bound on their wire size
+/// counted in `⌈log₂ n⌉`-bit words. The simulator rejects messages whose
+/// declared size exceeds the configured bandwidth.
+pub trait Message: Clone + std::fmt::Debug {
+    /// Size of this message in `⌈log₂ n⌉`-bit words.
+    fn size_words(&self) -> u32;
+}
+
+impl Message for () {
+    fn size_words(&self) -> u32 {
+        0
+    }
+}
+
+impl Message for u32 {
+    fn size_words(&self) -> u32 {
+        1
+    }
+}
+
+impl Message for u64 {
+    /// A `u64` carries e.g. a polynomially-bounded weight: 2 words.
+    fn size_words(&self) -> u32 {
+        2
+    }
+}
+
+impl<A: Message, B: Message> Message for (A, B) {
+    fn size_words(&self) -> u32 {
+        self.0.size_words() + self.1.size_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(().size_words(), 0);
+        assert_eq!(7u32.size_words(), 1);
+        assert_eq!(7u64.size_words(), 2);
+        assert_eq!((1u32, 2u64).size_words(), 3);
+    }
+}

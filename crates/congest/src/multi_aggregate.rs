@@ -1,0 +1,365 @@
+//! Multi-instance tree aggregation: convergecast (and optional broadcast)
+//! over many overlapping trees at once, multiplexed through per-edge
+//! FIFO queues.
+//!
+//! This is the **partwise aggregation** primitive of the shortcut
+//! framework: once each part `S_i` has its `O(k_D log n)`-depth tree in
+//! `G[S_i] ∪ H_i`, applications (MST's minimum-weight-outgoing-edge,
+//! min-cut counters, verification bits) aggregate one value per part by
+//! running all the convergecasts together. Congestion over shared edges
+//! turns into queueing delay, exactly as in [`crate::multi_bfs`].
+
+use crate::message::Message;
+use crate::node::{NodeAlgorithm, RoundCtx};
+use crate::sim::{run, RunOutcome, SimConfig};
+use crate::tree::AggOp;
+use crate::SimError;
+use lcs_graph::{Graph, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// One node's membership in one instance tree.
+#[derive(Debug, Clone)]
+pub struct Participation {
+    /// Instance id.
+    pub inst: u32,
+    /// Parent in this instance's tree (None = root of the instance).
+    pub parent: Option<NodeId>,
+    /// Children in this instance's tree.
+    pub children: Vec<NodeId>,
+    /// This node's contribution to the aggregate.
+    pub value: u64,
+}
+
+/// Messages of the multi-aggregation protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiAggMsg {
+    /// Partial aggregate flowing up in `inst`.
+    Up {
+        /// Instance id.
+        inst: u32,
+        /// Partial aggregate.
+        value: u64,
+    },
+    /// Final aggregate flowing down in `inst`.
+    Down {
+        /// Instance id.
+        inst: u32,
+        /// Final aggregate.
+        value: u64,
+    },
+}
+
+impl Message for MultiAggMsg {
+    fn size_words(&self) -> u32 {
+        3 // instance id (1 word) + u64 value (2 words)
+    }
+}
+
+#[derive(Debug)]
+struct InstState {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    pending: usize,
+    acc: u64,
+    sent_up: bool,
+    sent_down: bool,
+    result: Option<u64>,
+}
+
+/// Per-node state of the multi-aggregation protocol.
+#[derive(Debug)]
+pub struct MultiAggNode {
+    op: AggOp,
+    broadcast: bool,
+    insts: HashMap<u32, InstState>,
+    queues: Vec<VecDeque<MultiAggMsg>>,
+    /// Longest queue observed.
+    pub max_queue: usize,
+    initialized: bool,
+}
+
+impl MultiAggNode {
+    /// Creates the node state from this node's participations.
+    pub fn new(participations: Vec<Participation>, op: AggOp, broadcast: bool) -> Self {
+        let insts = participations
+            .into_iter()
+            .map(|p| {
+                let pending = p.children.len();
+                (
+                    p.inst,
+                    InstState {
+                        parent: p.parent,
+                        children: p.children,
+                        pending,
+                        acc: p.value,
+                        sent_up: false,
+                        sent_down: false,
+                        result: None,
+                    },
+                )
+            })
+            .collect();
+        MultiAggNode {
+            op,
+            broadcast,
+            insts,
+            queues: Vec::new(),
+            max_queue: 0,
+            initialized: false,
+        }
+    }
+
+    fn enqueue(&mut self, idx: usize, msg: MultiAggMsg) {
+        let q = &mut self.queues[idx];
+        q.push_back(msg);
+        self.max_queue = self.max_queue.max(q.len());
+    }
+}
+
+impl NodeAlgorithm for MultiAggNode {
+    type Msg = MultiAggMsg;
+
+    fn round(&mut self, ctx: &mut RoundCtx<'_, MultiAggMsg>) {
+        let neighbors = ctx.neighbors();
+        if !self.initialized {
+            self.initialized = true;
+            self.queues = vec![VecDeque::new(); neighbors.len()];
+        }
+        let idx_of = |w: NodeId| neighbors.iter().position(|&x| x == w).expect("neighbor");
+        // Absorb arrivals.
+        let inbox: Vec<(NodeId, MultiAggMsg)> = ctx.inbox().to_vec();
+        for (_from, msg) in inbox {
+            match msg {
+                MultiAggMsg::Up { inst, value } => {
+                    let op = self.op;
+                    let st = self.insts.get_mut(&inst).expect("Up for unknown instance");
+                    st.acc = op.apply(st.acc, value);
+                    st.pending = st.pending.saturating_sub(1);
+                }
+                MultiAggMsg::Down { inst, value } => {
+                    let st = self.insts.get_mut(&inst).expect("Down for unknown instance");
+                    st.result = Some(value);
+                }
+            }
+        }
+        // Progress each instance; deterministic order.
+        let mut inst_ids: Vec<u32> = self.insts.keys().copied().collect();
+        inst_ids.sort_unstable();
+        for inst in inst_ids {
+            let (ready_up, parent, acc, is_root) = {
+                let st = &self.insts[&inst];
+                (
+                    st.pending == 0 && !st.sent_up,
+                    st.parent,
+                    st.acc,
+                    st.parent.is_none(),
+                )
+            };
+            if ready_up {
+                self.insts.get_mut(&inst).unwrap().sent_up = true;
+                if is_root {
+                    self.insts.get_mut(&inst).unwrap().result = Some(acc);
+                } else {
+                    let p = parent.expect("non-root has parent");
+                    self.enqueue(idx_of(p), MultiAggMsg::Up { inst, value: acc });
+                }
+            }
+            if self.broadcast {
+                let (has_result, sent_down, children) = {
+                    let st = &self.insts[&inst];
+                    (st.result, st.sent_down, st.children.clone())
+                };
+                if let (Some(r), false) = (has_result, sent_down) {
+                    self.insts.get_mut(&inst).unwrap().sent_down = true;
+                    for c in children {
+                        self.enqueue(idx_of(c), MultiAggMsg::Down { inst, value: r });
+                    }
+                }
+            }
+        }
+        // Drain one message per neighbor.
+        for (idx, &w) in neighbors.iter().enumerate() {
+            if let Some(msg) = self.queues[idx].pop_front() {
+                ctx.send(w, msg);
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+}
+
+/// Result of [`run_multi_aggregate`].
+#[derive(Debug)]
+pub struct MultiAggOutcome {
+    /// `results[v]` maps instance id to the aggregate known at `v`
+    /// (roots always; everyone in the instance when broadcast was on).
+    pub results: Vec<HashMap<u32, Option<u64>>>,
+    /// Longest queue observed.
+    pub max_queue: usize,
+    /// Engine statistics.
+    pub stats: crate::stats::RunStats,
+}
+
+impl MultiAggOutcome {
+    /// The aggregate of instance `inst` as known by node `v`.
+    pub fn result_at(&self, v: NodeId, inst: u32) -> Option<u64> {
+        self.results[v as usize].get(&inst).copied().flatten()
+    }
+}
+
+/// Runs the bundle of per-instance convergecasts (plus broadcast when
+/// requested) to quiescence.
+///
+/// # Errors
+///
+/// Propagates engine errors. A malformed tree (cyclic parents, missing
+/// children) manifests as [`SimError::RoundLimitExceeded`].
+///
+/// # Panics
+///
+/// Panics if `participations.len() != graph.n()`.
+pub fn run_multi_aggregate(
+    graph: &Graph,
+    participations: Vec<Vec<Participation>>,
+    op: AggOp,
+    broadcast: bool,
+    cfg: &SimConfig,
+) -> Result<MultiAggOutcome, SimError> {
+    assert_eq!(participations.len(), graph.n());
+    let nodes: Vec<MultiAggNode> = participations
+        .into_iter()
+        .map(|p| MultiAggNode::new(p, op, broadcast))
+        .collect();
+    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
+    let max_queue = nodes.iter().map(|s| s.max_queue).max().unwrap_or(0);
+    let results = nodes
+        .into_iter()
+        .map(|s| {
+            s.insts
+                .into_iter()
+                .map(|(i, st)| (i, st.result))
+                .collect::<HashMap<_, _>>()
+        })
+        .collect();
+    Ok(MultiAggOutcome {
+        results,
+        max_queue,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::distributed_bfs;
+
+    /// Builds participations for a single instance from a BFS tree.
+    fn single_tree_participation(
+        g: &Graph,
+        root: NodeId,
+        values: &[u64],
+    ) -> Vec<Vec<Participation>> {
+        let bfs = distributed_bfs(g, root, &SimConfig::default()).unwrap();
+        (0..g.n())
+            .map(|v| {
+                if bfs.dist[v].is_none() {
+                    return Vec::new();
+                }
+                vec![Participation {
+                    inst: 0,
+                    parent: bfs.parent[v],
+                    children: bfs.children[v].clone(),
+                    value: values[v],
+                }]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_instance_sum_and_broadcast() {
+        let g = lcs_graph::generators::grid(4, 4);
+        let values: Vec<u64> = (0..16u64).collect();
+        let parts = single_tree_participation(&g, 0, &values);
+        let out =
+            run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let expected: u64 = (0..16u64).sum();
+        for v in g.nodes() {
+            assert_eq!(out.result_at(v, 0), Some(expected), "node {v}");
+        }
+    }
+
+    #[test]
+    fn min_without_broadcast_only_root_knows() {
+        let g = lcs_graph::generators::path(6);
+        let values = vec![9, 4, 7, 2, 8, 6];
+        let parts = single_tree_participation(&g, 0, &values);
+        let out =
+            run_multi_aggregate(&g, parts, AggOp::Min, false, &SimConfig::default()).unwrap();
+        assert_eq!(out.result_at(0, 0), Some(2));
+        assert_eq!(out.result_at(3, 0), None);
+    }
+
+    #[test]
+    fn many_overlapping_instances() {
+        // Star graph; 6 instances, each a 2-level tree rooted at a
+        // distinct leaf through the hub to every other leaf.
+        let g = lcs_graph::generators::star(8);
+        let leaves: Vec<NodeId> = (1..8).collect();
+        let mut parts: Vec<Vec<Participation>> = vec![Vec::new(); 8];
+        for (i, &r) in leaves.iter().take(6).enumerate() {
+            let inst = i as u32;
+            // Root r -> hub 0 -> other leaves.
+            parts[r as usize].push(Participation {
+                inst,
+                parent: None,
+                children: vec![0],
+                value: 100 + r as u64,
+            });
+            let others: Vec<NodeId> = leaves.iter().copied().filter(|&w| w != r).collect();
+            parts[0].push(Participation {
+                inst,
+                parent: Some(r),
+                children: others.clone(),
+                value: 50,
+            });
+            for &w in &others {
+                parts[w as usize].push(Participation {
+                    inst,
+                    parent: Some(0),
+                    children: vec![],
+                    value: w as u64,
+                });
+            }
+        }
+        let out =
+            run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        for (i, &r) in leaves.iter().take(6).enumerate() {
+            let inst = i as u32;
+            let others_sum: u64 = leaves
+                .iter()
+                .copied()
+                .filter(|&w| w != r)
+                .map(|w| w as u64)
+                .sum();
+            let expected = 100 + r as u64 + 50 + others_sum;
+            assert_eq!(out.result_at(r, inst), Some(expected), "instance {inst}");
+            // Broadcast reached the leaves too.
+            for &w in leaves.iter().filter(|&&w| w != r) {
+                assert_eq!(out.result_at(w, inst), Some(expected));
+            }
+        }
+        assert!(out.max_queue >= 2, "hub must queue with 6 instances");
+    }
+
+    #[test]
+    fn empty_participation_is_inert() {
+        let g = lcs_graph::generators::path(3);
+        let parts = vec![Vec::new(), Vec::new(), Vec::new()];
+        let out =
+            run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        assert_eq!(out.stats.messages, 0);
+        assert!(out.results.iter().all(|m| m.is_empty()));
+    }
+}

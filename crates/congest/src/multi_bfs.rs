@@ -1,0 +1,534 @@
+//! Scheduled parallel BFS: many BFS instances over (possibly
+//! overlapping) subgraphs of the same network, multiplexed through
+//! per-edge FIFO queues with randomly delayed start rounds.
+//!
+//! This is the executable form of the paper's use of the random-delay
+//! scheduler (Theorem 2.1 / Ghaffari'15): the `N` truncated BFS trees of
+//! the shortcut construction all grow concurrently; each edge forwards
+//! one queued token per direction per round, so per-edge congestion
+//! translates into queueing delay rather than a model violation. Random
+//! start offsets (chosen by the caller from shared randomness) spread the
+//! load so that, w.h.p., queues stay short.
+//!
+//! Instance subgraph membership is supplied as a predicate evaluated at
+//! the *sending* endpoint (`may a token of instance i traverse u → v?`)
+//! — exactly the local knowledge nodes have after the sampling step
+//! (each node knows which of its incident edges it sampled into which
+//! `H_i`).
+//!
+//! **Distance semantics.** Tokens are forwarded as fast as queues allow
+//! (the Leighton–Maggs–Richa packet view of the schedule) and a node
+//! adopts the *first* token per instance. Under contention a token that
+//! travelled a longer route can win the race, so recorded distances are
+//! sound *upper bounds* on the instance-subgraph BFS distances — exact
+//! in the contention-free case — and the spanning/depth guarantees the
+//! construction needs are preserved by its `O(k_D log n)` depth budget.
+
+use crate::message::Message;
+use crate::node::{NodeAlgorithm, RoundCtx};
+use crate::sim::{run, RunOutcome, SimConfig};
+use crate::SimError;
+use lcs_graph::{Graph, NodeId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One BFS instance of the bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiBfsInstance {
+    /// Root node of this instance.
+    pub root: NodeId,
+    /// Round at which the root fires (the random delay).
+    pub start_round: u64,
+    /// Maximum BFS depth (tokens beyond this are not propagated).
+    pub depth_limit: u32,
+}
+
+/// Symmetric membership predicate: is edge `{u, v}` part of instance
+/// `i`'s subgraph? Implementations must answer identically for `(u, v)`
+/// and `(v, u)`.
+pub type MembershipFn = Arc<dyn Fn(NodeId, NodeId, u32) -> bool + Send + Sync>;
+
+/// Shared specification of a multi-BFS bundle.
+#[derive(Clone)]
+pub struct MultiBfsSpec {
+    /// The instances; index = instance id.
+    pub instances: Vec<MultiBfsInstance>,
+    /// Edge membership oracle.
+    pub membership: MembershipFn,
+    /// Per-neighbor queue capacity; tokens beyond it are dropped and the
+    /// node records an overflow (0 = unbounded). Mirrors the paper's
+    /// congestion enforcement: an overloaded guess produces incomplete
+    /// trees, which the verification step then rejects.
+    pub queue_cap: usize,
+}
+
+impl std::fmt::Debug for MultiBfsSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiBfsSpec")
+            .field("instances", &self.instances.len())
+            .field("queue_cap", &self.queue_cap)
+            .finish()
+    }
+}
+
+/// Messages of the multi-BFS protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiBfsMsg {
+    /// BFS token: "you are at distance `dist` in instance `inst`, whose
+    /// root is `root`". Carrying the root id mirrors the paper, where
+    /// "each edge `(u,v) ∈ H_i` learns the identity of `v_i` at the time
+    /// at which the BFS token of `v_i` arrives" — receivers can relate
+    /// instances to known node ids (e.g. their own part leader).
+    Token {
+        /// Instance id.
+        inst: u32,
+        /// Root node of the instance.
+        root: NodeId,
+        /// Receiver's distance.
+        dist: u32,
+    },
+    /// Child acknowledgment in `inst`.
+    Child {
+        /// Instance id.
+        inst: u32,
+    },
+}
+
+impl Message for MultiBfsMsg {
+    fn size_words(&self) -> u32 {
+        match self {
+            MultiBfsMsg::Token { .. } => 3,
+            MultiBfsMsg::Child { .. } => 1,
+        }
+    }
+}
+
+/// How a node was reached in one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reached {
+    /// BFS distance in the instance subgraph (0 for the root).
+    pub dist: u32,
+    /// Tree parent (None for the root).
+    pub parent: Option<NodeId>,
+    /// Round at which the node joined.
+    pub round: u64,
+    /// Root of the instance, as learned from the token.
+    pub root: NodeId,
+}
+
+/// Per-node state of the multi-BFS protocol.
+#[derive(Debug)]
+pub struct MultiBfsNode {
+    spec: Arc<MultiBfsSpec>,
+    /// Instance ids rooted at this node.
+    roots_here: Vec<u32>,
+    /// inst -> reach info.
+    pub reached: HashMap<u32, Reached>,
+    /// inst -> children discovered.
+    pub children: HashMap<u32, Vec<NodeId>>,
+    /// Per-neighbor outgoing FIFO queues (indexed in neighbor order).
+    queues: Vec<VecDeque<MultiBfsMsg>>,
+    /// Longest queue ever observed (scheduling-quality diagnostic).
+    pub max_queue: usize,
+    /// Whether any token was dropped due to `queue_cap`.
+    pub overflowed: bool,
+    initialized: bool,
+}
+
+impl MultiBfsNode {
+    /// Creates the state for one node; `roots_here` lists the instance
+    /// ids whose root is this node.
+    pub fn new(spec: Arc<MultiBfsSpec>, roots_here: Vec<u32>) -> Self {
+        MultiBfsNode {
+            spec,
+            roots_here,
+            reached: HashMap::new(),
+            children: HashMap::new(),
+            queues: Vec::new(),
+            max_queue: 0,
+            overflowed: false,
+            initialized: false,
+        }
+    }
+
+    fn enqueue(&mut self, neighbor_idx: usize, msg: MultiBfsMsg) {
+        let cap = self.spec.queue_cap;
+        let q = &mut self.queues[neighbor_idx];
+        if cap > 0 && q.len() >= cap {
+            self.overflowed = true;
+            return;
+        }
+        q.push_back(msg);
+        self.max_queue = self.max_queue.max(q.len());
+    }
+
+    fn fan_out(
+        &mut self,
+        me: NodeId,
+        neighbors: &[NodeId],
+        inst: u32,
+        root: NodeId,
+        dist: u32,
+        skip: Option<NodeId>,
+    ) {
+        let limit = self.spec.instances[inst as usize].depth_limit;
+        if dist >= limit {
+            return;
+        }
+        let membership = Arc::clone(&self.spec.membership);
+        for (idx, &w) in neighbors.iter().enumerate() {
+            if Some(w) == skip {
+                continue;
+            }
+            if (membership)(me, w, inst) {
+                self.enqueue(
+                    idx,
+                    MultiBfsMsg::Token {
+                        inst,
+                        root,
+                        dist: dist + 1,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl NodeAlgorithm for MultiBfsNode {
+    type Msg = MultiBfsMsg;
+
+    fn round(&mut self, ctx: &mut RoundCtx<'_, MultiBfsMsg>) {
+        let me = ctx.node();
+        let neighbors = ctx.neighbors();
+        if !self.initialized {
+            self.initialized = true;
+            self.queues = vec![VecDeque::new(); neighbors.len()];
+        }
+        // Root activations scheduled for this round.
+        let to_start: Vec<u32> = self
+            .roots_here
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.spec.instances[i as usize].start_round == ctx.round()
+                    && !self.reached.contains_key(&i)
+            })
+            .collect();
+        for inst in to_start {
+            self.reached.insert(
+                inst,
+                Reached {
+                    dist: 0,
+                    parent: None,
+                    round: ctx.round(),
+                    root: me,
+                },
+            );
+            self.fan_out(me, neighbors, inst, me, 0, None);
+        }
+        // Process arrivals.
+        let inbox: Vec<(NodeId, MultiBfsMsg)> = ctx.inbox().to_vec();
+        for (from, msg) in inbox {
+            match msg {
+                MultiBfsMsg::Token { inst, root, dist } => {
+                    let limit = self.spec.instances[inst as usize].depth_limit;
+                    if dist > limit || self.reached.contains_key(&inst) {
+                        continue;
+                    }
+                    self.reached.insert(
+                        inst,
+                        Reached {
+                            dist,
+                            parent: Some(from),
+                            round: ctx.round(),
+                            root,
+                        },
+                    );
+                    let from_idx = neighbors
+                        .iter()
+                        .position(|&w| w == from)
+                        .expect("sender is a neighbor");
+                    self.enqueue(from_idx, MultiBfsMsg::Child { inst });
+                    self.fan_out(me, neighbors, inst, root, dist, Some(from));
+                }
+                MultiBfsMsg::Child { inst } => {
+                    self.children.entry(inst).or_default().push(from);
+                }
+            }
+        }
+        // Drain: one message per neighbor per round.
+        for (idx, &w) in neighbors.iter().enumerate() {
+            if let Some(msg) = self.queues[idx].pop_front() {
+                ctx.send(w, msg);
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        // A root with a pending delayed start must keep the run alive
+        // even when no messages are in flight yet.
+        self.roots_here
+            .iter()
+            .all(|i| self.reached.contains_key(i))
+            && self.queues.iter().all(|q| q.is_empty())
+    }
+}
+
+/// Result of [`run_multi_bfs`].
+#[derive(Debug)]
+pub struct MultiBfsOutcome {
+    /// Per-node reach info: `reached[v]` maps instance id to
+    /// [`Reached`].
+    pub reached: Vec<HashMap<u32, Reached>>,
+    /// Per-node children per instance (sorted).
+    pub children: Vec<HashMap<u32, Vec<NodeId>>>,
+    /// Longest per-neighbor queue observed anywhere.
+    pub max_queue: usize,
+    /// Whether any node dropped tokens (congestion-cap enforcement
+    /// fired).
+    pub overflowed: bool,
+    /// Engine statistics.
+    pub stats: crate::stats::RunStats,
+}
+
+impl MultiBfsOutcome {
+    /// Nodes reached by instance `i`, with distances.
+    pub fn instance_nodes(&self, inst: u32) -> Vec<(NodeId, Reached)> {
+        let mut out: Vec<(NodeId, Reached)> = self
+            .reached
+            .iter()
+            .enumerate()
+            .filter_map(|(v, m)| m.get(&inst).map(|&r| (v as NodeId, r)))
+            .collect();
+        out.sort_unstable_by_key(|&(v, _)| v);
+        out
+    }
+
+    /// Depth actually reached by instance `i`.
+    pub fn instance_depth(&self, inst: u32) -> u32 {
+        self.reached
+            .iter()
+            .filter_map(|m| m.get(&inst).map(|r| r.dist))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Runs a bundle of BFS instances to quiescence.
+///
+/// # Errors
+///
+/// Propagates engine errors ([`SimError::RoundLimitExceeded`] when the
+/// bundle cannot finish within `cfg.max_rounds`).
+pub fn run_multi_bfs(
+    graph: &Graph,
+    spec: Arc<MultiBfsSpec>,
+    cfg: &SimConfig,
+) -> Result<MultiBfsOutcome, SimError> {
+    let mut roots_of: Vec<Vec<u32>> = vec![Vec::new(); graph.n()];
+    for (i, inst) in spec.instances.iter().enumerate() {
+        roots_of[inst.root as usize].push(i as u32);
+    }
+    let nodes: Vec<MultiBfsNode> = roots_of
+        .into_iter()
+        .map(|r| MultiBfsNode::new(Arc::clone(&spec), r))
+        .collect();
+    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
+    let max_queue = nodes.iter().map(|s| s.max_queue).max().unwrap_or(0);
+    let overflowed = nodes.iter().any(|s| s.overflowed);
+    let mut children: Vec<HashMap<u32, Vec<NodeId>>> =
+        nodes.iter().map(|s| s.children.clone()).collect();
+    for m in &mut children {
+        for c in m.values_mut() {
+            c.sort_unstable();
+        }
+    }
+    Ok(MultiBfsOutcome {
+        reached: nodes.into_iter().map(|s| s.reached).collect(),
+        children,
+        max_queue,
+        overflowed,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::bfs_distances;
+
+    fn full_membership() -> MembershipFn {
+        Arc::new(|_, _, _| true)
+    }
+
+    #[test]
+    fn single_instance_matches_plain_bfs() {
+        let g = lcs_graph::generators::grid(5, 5);
+        let spec = Arc::new(MultiBfsSpec {
+            instances: vec![MultiBfsInstance {
+                root: 0,
+                start_round: 0,
+                depth_limit: 100,
+            }],
+            membership: full_membership(),
+            queue_cap: 0,
+        });
+        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        let exact = bfs_distances(&g, 0);
+        for v in g.nodes() {
+            assert_eq!(
+                out.reached[v as usize].get(&0).map(|r| r.dist),
+                Some(exact[v as usize]),
+                "node {v}"
+            );
+        }
+        assert!(!out.overflowed);
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let g = lcs_graph::generators::path(12);
+        let spec = Arc::new(MultiBfsSpec {
+            instances: vec![MultiBfsInstance {
+                root: 0,
+                start_round: 0,
+                depth_limit: 4,
+            }],
+            membership: full_membership(),
+            queue_cap: 0,
+        });
+        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        assert_eq!(out.instance_depth(0), 4);
+        assert_eq!(out.instance_nodes(0).len(), 5);
+        assert!(out.reached[5].get(&0).is_none());
+    }
+
+    #[test]
+    fn disjoint_instances_do_not_interact() {
+        // Two paths sharing no edges, as instances over node-partitioned
+        // membership.
+        let g = lcs_graph::generators::path(10);
+        let membership: MembershipFn =
+            Arc::new(|u, v, i| if i == 0 { u < 5 && v < 5 } else { u >= 5 && v >= 5 });
+        let spec = Arc::new(MultiBfsSpec {
+            instances: vec![
+                MultiBfsInstance {
+                    root: 0,
+                    start_round: 0,
+                    depth_limit: 100,
+                },
+                MultiBfsInstance {
+                    root: 9,
+                    start_round: 0,
+                    depth_limit: 100,
+                },
+            ],
+            membership,
+            queue_cap: 0,
+        });
+        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        assert_eq!(out.instance_nodes(0).len(), 5);
+        assert_eq!(out.instance_nodes(1).len(), 5);
+        assert_eq!(out.reached[4][&0].dist, 4);
+        assert_eq!(out.reached[5][&1].dist, 4);
+        assert!(out.reached[4].get(&1).is_none());
+    }
+
+    #[test]
+    fn many_overlapping_instances_queue_but_complete() {
+        // A star: every instance floods through the hub; queues must
+        // serialize the tokens, one per round.
+        let g = lcs_graph::generators::star(20);
+        let instances: Vec<MultiBfsInstance> = (1..=10)
+            .map(|i| MultiBfsInstance {
+                root: i as NodeId,
+                start_round: 0, // all at once: maximal contention
+                depth_limit: 4,
+            })
+            .collect();
+        let spec = Arc::new(MultiBfsSpec {
+            instances,
+            membership: full_membership(),
+            queue_cap: 0,
+        });
+        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        for i in 0..10u32 {
+            assert_eq!(out.instance_nodes(i).len(), 20, "instance {i} spans");
+        }
+        assert!(out.max_queue >= 9, "hub must have queued");
+        // Per-edge congestion: each of 10 instances crosses each edge at
+        // most twice (token + child ack + fanout token).
+        assert!(out.stats.max_edge_messages() <= 3 * 10);
+    }
+
+    #[test]
+    fn random_delays_reduce_peak_queue() {
+        let g = lcs_graph::generators::star(30);
+        let mk = |delays: bool| {
+            let instances: Vec<MultiBfsInstance> = (1..=15)
+                .map(|i| MultiBfsInstance {
+                    root: i as NodeId,
+                    start_round: if delays { (i as u64 * 7) % 15 } else { 0 },
+                    depth_limit: 3,
+                })
+                .collect();
+            Arc::new(MultiBfsSpec {
+                instances,
+                membership: full_membership(),
+                queue_cap: 0,
+            })
+        };
+        let bunched = run_multi_bfs(&g, mk(false), &SimConfig::default()).unwrap();
+        let spread = run_multi_bfs(&g, mk(true), &SimConfig::default()).unwrap();
+        assert!(
+            spread.max_queue < bunched.max_queue,
+            "delays {} should beat bunched {}",
+            spread.max_queue,
+            bunched.max_queue
+        );
+    }
+
+    #[test]
+    fn queue_cap_drops_and_flags() {
+        let g = lcs_graph::generators::star(12);
+        let instances: Vec<MultiBfsInstance> = (1..=8)
+            .map(|i| MultiBfsInstance {
+                root: i as NodeId,
+                start_round: 0,
+                depth_limit: 4,
+            })
+            .collect();
+        let spec = Arc::new(MultiBfsSpec {
+            instances,
+            membership: full_membership(),
+            queue_cap: 2,
+        });
+        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        assert!(out.overflowed);
+        // Some instance failed to span.
+        let spanned = (0..8u32).filter(|&i| out.instance_nodes(i).len() == 12).count();
+        assert!(spanned < 8);
+    }
+
+    #[test]
+    fn children_acks_match_parents() {
+        let g = lcs_graph::generators::grid(4, 4);
+        let spec = Arc::new(MultiBfsSpec {
+            instances: vec![MultiBfsInstance {
+                root: 5,
+                start_round: 2,
+                depth_limit: 50,
+            }],
+            membership: full_membership(),
+            queue_cap: 0,
+        });
+        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        for v in g.nodes() {
+            if let Some(r) = out.reached[v as usize].get(&0) {
+                if let Some(p) = r.parent {
+                    assert!(out.children[p as usize][&0].contains(&v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Node-program interface: the [`NodeAlgorithm`] trait and the per-round
+//! context handed to it.
+
+use crate::message::Message;
+use lcs_graph::{Graph, NodeId};
+use rand_chacha::ChaCha8Rng;
+
+/// A distributed algorithm, as seen by one node.
+///
+/// The simulator owns one value of the implementing type per node and
+/// drives all of them through synchronous rounds. A node sees only what
+/// the CONGEST model allows: its own id and degree, its adjacency, the
+/// messages that arrived this round, a private RNG, and (optionally) a
+/// short shared-randomness string.
+pub trait NodeAlgorithm {
+    /// The message type exchanged by this algorithm.
+    type Msg: Message;
+
+    /// Executes one synchronous round. At round 0 the inbox is empty;
+    /// from round `r ≥ 1` the inbox holds exactly the messages sent to
+    /// this node at round `r − 1`.
+    fn round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>);
+
+    /// Whether this node has (tentatively) finished. The run ends when
+    /// every node is halted **and** no messages are in flight; a halted
+    /// node is still invoked each round and may un-halt when messages
+    /// arrive.
+    fn halted(&self) -> bool;
+}
+
+/// Per-round view and send interface for one node.
+pub struct RoundCtx<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) round: u64,
+    pub(crate) graph: &'a Graph,
+    pub(crate) inbox: &'a [(NodeId, M)],
+    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+    pub(crate) rng: &'a mut ChaCha8Rng,
+    pub(crate) shared: &'a [u64],
+}
+
+impl<'a, M> std::fmt::Debug for RoundCtx<'a, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundCtx")
+            .field("node", &self.node)
+            .field("round", &self.round)
+            .field("inbox_len", &self.inbox.len())
+            .finish()
+    }
+}
+
+impl<'a, M> RoundCtx<'a, M> {
+    /// This node's id.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current round number (0-based).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of nodes in the network. Knowing `n` is a standard
+    /// CONGEST assumption (and the paper's algorithm re-derives it with
+    /// a BFS anyway).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Degree of this node.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// Sorted neighbor list of this node.
+    #[inline]
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// Messages delivered this round, as `(sender, message)` pairs.
+    #[inline]
+    pub fn inbox(&self) -> &'a [(NodeId, M)] {
+        self.inbox
+    }
+
+    /// Queues a message to a neighbor. Model compliance (adjacency, one
+    /// message per edge direction per round, bandwidth) is checked by
+    /// the simulator when the round ends; violations abort the run with
+    /// a [`SimError`](crate::SimError).
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// This node's private RNG (deterministically seeded from the run
+    /// seed and the node id).
+    #[inline]
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+
+    /// Shared randomness visible to all nodes. The paper's scheduler
+    /// (Ghaffari'15) uses `O(log² n)` shared random bits, which can be
+    /// disseminated in `O(D + log n)` rounds; the simulator exposes them
+    /// directly and the round accounting adds that dissemination cost
+    /// explicitly where relevant.
+    #[inline]
+    pub fn shared_randomness(&self) -> &'a [u64] {
+        self.shared
+    }
+}

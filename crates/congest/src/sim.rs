@@ -1,0 +1,353 @@
+//! The synchronous CONGEST simulator engine.
+
+use crate::error::SimError;
+use crate::message::{Message, DEFAULT_BANDWIDTH_WORDS};
+use crate::node::{NodeAlgorithm, RoundCtx};
+use crate::stats::RunStats;
+use lcs_graph::{Graph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a simulator run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Per-message size cap in `⌈log₂ n⌉`-bit words.
+    pub bandwidth_words: u32,
+    /// Abort with [`SimError::RoundLimitExceeded`] after this many
+    /// rounds without quiescence.
+    pub max_rounds: u64,
+    /// Master seed; node RNGs and shared randomness derive from it.
+    pub seed: u64,
+    /// Number of shared-randomness words exposed to every node.
+    pub shared_randomness_words: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            bandwidth_words: DEFAULT_BANDWIDTH_WORDS,
+            max_rounds: 1_000_000,
+            seed: 0xC0FFEE,
+            shared_randomness_words: 64,
+        }
+    }
+}
+
+/// Outcome of a run: the final node states plus statistics.
+#[derive(Debug)]
+pub struct RunOutcome<A> {
+    /// Final per-node algorithm states, indexed by node id.
+    pub nodes: Vec<A>,
+    /// Collected statistics.
+    pub stats: RunStats,
+}
+
+/// Runs `nodes` (one [`NodeAlgorithm`] value per node of `graph`) to
+/// quiescence: every node halted and no messages in flight.
+///
+/// Rounds are fully synchronous: messages sent at round `r` are delivered
+/// at round `r + 1`. The engine enforces the CONGEST discipline — a node
+/// may send at most one message per neighbor per round, each at most
+/// `cfg.bandwidth_words` words, and only to adjacent nodes.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on any CONGEST-model violation or when
+/// `cfg.max_rounds` is exceeded. The run is deterministic given
+/// `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics if `nodes.len() != graph.n()`.
+pub fn run<A: NodeAlgorithm>(
+    graph: &Graph,
+    mut nodes: Vec<A>,
+    cfg: &SimConfig,
+) -> Result<RunOutcome<A>, SimError> {
+    assert_eq!(
+        nodes.len(),
+        graph.n(),
+        "need exactly one algorithm instance per node"
+    );
+    let n = graph.n();
+    let mut stats = RunStats::new(graph);
+
+    // Deterministic per-node RNGs and shared randomness.
+    let mut master = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let shared: Vec<u64> = (0..cfg.shared_randomness_words)
+        .map(|_| master.gen())
+        .collect();
+    let mut node_rngs: Vec<ChaCha8Rng> = (0..n)
+        .map(|v| {
+            ChaCha8Rng::seed_from_u64(
+                cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(v as u64 + 1),
+            )
+        })
+        .collect();
+
+    let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut outbox: Vec<(NodeId, A::Msg)> = Vec::new();
+    // Double-send guard: `dest_stamp[to]` holds a value unique to the
+    // current (round, sender) pair when `to` has already been addressed
+    // by this sender this round. Uniqueness makes cross-sender and
+    // cross-round cleanup unnecessary.
+    let mut dest_stamp: Vec<u64> = vec![0; n];
+
+    for round in 0..cfg.max_rounds {
+        stats.rounds = round + 1;
+        for v in 0..n as u32 {
+            let inbox = std::mem::take(&mut inboxes[v as usize]);
+            outbox.clear();
+            {
+                let mut ctx = RoundCtx {
+                    node: v,
+                    round,
+                    graph,
+                    inbox: &inbox,
+                    outbox: &mut outbox,
+                    rng: &mut node_rngs[v as usize],
+                    shared: &shared,
+                };
+                nodes[v as usize].round(&mut ctx);
+            }
+            let stamp = round
+                .wrapping_mul(n as u64)
+                .wrapping_add(v as u64)
+                .wrapping_add(1);
+            for (to, msg) in outbox.drain(..) {
+                let Some(edge) = graph.edge_between(v, to) else {
+                    return Err(SimError::InvalidDestination { from: v, to, round });
+                };
+                let words = msg.size_words();
+                if words > cfg.bandwidth_words {
+                    return Err(SimError::MessageTooLarge {
+                        words,
+                        cap: cfg.bandwidth_words,
+                        round,
+                    });
+                }
+                if dest_stamp[to as usize] == stamp {
+                    return Err(SimError::ChannelOverflow { from: v, to, round });
+                }
+                dest_stamp[to as usize] = stamp;
+                stats.record(edge, words);
+                next_inboxes[to as usize].push((v, msg));
+            }
+        }
+        let in_flight: u64 = next_inboxes.iter().map(|b| b.len() as u64).sum();
+        std::mem::swap(&mut inboxes, &mut next_inboxes);
+        for b in &mut next_inboxes {
+            b.clear();
+        }
+        if in_flight == 0 && nodes.iter().all(|a| a.halted()) {
+            return Ok(RunOutcome { nodes, stats });
+        }
+    }
+    Err(SimError::RoundLimitExceeded {
+        limit: cfg.max_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood: node 0 starts; everyone forwards one token to each
+    /// neighbor exactly once.
+    #[derive(Debug, Default)]
+    struct Flood {
+        seen: bool,
+        fired: bool,
+        heard_at: Option<u64>,
+    }
+
+    impl NodeAlgorithm for Flood {
+        type Msg = u32;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+            if ctx.round() == 0 && ctx.node() == 0 {
+                self.seen = true;
+                self.heard_at = Some(0);
+            }
+            if !self.seen && !ctx.inbox().is_empty() {
+                self.seen = true;
+                self.heard_at = Some(ctx.round());
+            }
+            if self.seen && !self.fired {
+                self.fired = true;
+                for &w in ctx.neighbors() {
+                    ctx.send(w, 1);
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            self.fired || !self.seen
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_ecc_rounds() {
+        let g = lcs_graph::generators::path(6);
+        let out = run(&g, (0..6).map(|_| Flood::default()).collect(), &SimConfig::default())
+            .unwrap();
+        for (v, node) in out.nodes.iter().enumerate() {
+            assert_eq!(node.heard_at, Some(v as u64), "node {v}");
+        }
+        // 2 messages per internal edge (both directions), path has 5 edges.
+        assert_eq!(out.stats.messages, 10);
+        assert_eq!(out.stats.max_edge_messages(), 2);
+    }
+
+    /// A deliberately misbehaving node for violation tests.
+    #[derive(Debug)]
+    struct Misbehave {
+        mode: u8,
+    }
+
+    impl NodeAlgorithm for Misbehave {
+        type Msg = u64;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u64>) {
+            if ctx.round() == 0 && ctx.node() == 0 {
+                match self.mode {
+                    0 => ctx.send(2, 1), // non-neighbor on a path 0-1-2
+                    1 => {
+                        ctx.send(1, 1);
+                        ctx.send(1, 2); // double send
+                    }
+                    _ => {}
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn invalid_destination_detected() {
+        let g = lcs_graph::generators::path(3);
+        let nodes = (0..3).map(|_| Misbehave { mode: 0 }).collect();
+        let err = run(&g, nodes, &SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidDestination {
+                from: 0,
+                to: 2,
+                round: 0
+            }
+        );
+    }
+
+    #[test]
+    fn channel_overflow_detected() {
+        let g = lcs_graph::generators::path(3);
+        let nodes = (0..3).map(|_| Misbehave { mode: 1 }).collect();
+        let err = run(&g, nodes, &SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ChannelOverflow {
+                from: 0,
+                to: 1,
+                round: 0
+            }
+        );
+    }
+
+    /// Sends an oversized message.
+    #[derive(Debug)]
+    struct Oversize;
+
+    impl NodeAlgorithm for Oversize {
+        type Msg = (u64, (u64, u64));
+        fn round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) {
+            if ctx.round() == 0 && ctx.node() == 0 {
+                ctx.send(1, (1, (2, 3))); // 6 words > default 4
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn oversized_message_detected() {
+        let g = lcs_graph::generators::path(2);
+        let err = run(&g, vec![Oversize, Oversize], &SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MessageTooLarge {
+                words: 6,
+                cap: 4,
+                round: 0
+            }
+        );
+    }
+
+    /// Never halts.
+    #[derive(Debug)]
+    struct Spinner;
+
+    impl NodeAlgorithm for Spinner {
+        type Msg = ();
+        fn round(&mut self, _ctx: &mut RoundCtx<'_, ()>) {}
+        fn halted(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = lcs_graph::generators::path(2);
+        let cfg = SimConfig {
+            max_rounds: 10,
+            ..SimConfig::default()
+        };
+        let err = run(&g, vec![Spinner, Spinner], &cfg).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 10 });
+    }
+
+    /// Ping-pong: verifies messages are delivered exactly one round
+    /// later and that per-node RNGs are deterministic.
+    #[derive(Debug, Default)]
+    struct PingPong {
+        got: Vec<(u64, u32)>,
+        sent: bool,
+        coin: Option<u64>,
+    }
+
+    impl NodeAlgorithm for PingPong {
+        type Msg = u32;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+            if self.coin.is_none() {
+                self.coin = Some(ctx.rng().gen());
+            }
+            if ctx.node() == 0 && ctx.round() == 0 {
+                ctx.send(1, 7);
+                self.sent = true;
+            }
+            for &(_, m) in ctx.inbox() {
+                self.got.push((ctx.round(), m));
+                if ctx.node() == 1 && !self.sent {
+                    ctx.send(0, m + 1);
+                    self.sent = true;
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn delivery_latency_is_one_round_and_rng_deterministic() {
+        let g = lcs_graph::generators::path(2);
+        let mk = || vec![PingPong::default(), PingPong::default()];
+        let out1 = run(&g, mk(), &SimConfig::default()).unwrap();
+        let out2 = run(&g, mk(), &SimConfig::default()).unwrap();
+        assert_eq!(out1.nodes[1].got, vec![(1, 7)]);
+        assert_eq!(out1.nodes[0].got, vec![(2, 8)]);
+        assert_eq!(out1.nodes[0].coin, out2.nodes[0].coin);
+        assert_ne!(out1.nodes[0].coin, out1.nodes[1].coin);
+        assert_eq!(out1.stats.rounds, 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Run statistics: rounds, message counts, per-edge traffic.
+
+use lcs_graph::{EdgeId, Graph};
+
+/// Statistics collected by a completed simulator run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of synchronous rounds executed (including quiescent final
+    /// sweep).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total message volume in `⌈log₂ n⌉`-bit words.
+    pub words: u64,
+    /// Cumulative message count per undirected edge, indexed by
+    /// [`EdgeId`].
+    pub per_edge_messages: Vec<u64>,
+}
+
+impl RunStats {
+    /// Fresh zeroed statistics for a run on `g` (public so orchestrators
+    /// can accumulate multi-phase protocols with [`RunStats::absorb`]).
+    pub fn new(g: &Graph) -> Self {
+        RunStats {
+            rounds: 0,
+            messages: 0,
+            words: 0,
+            per_edge_messages: vec![0; g.m()],
+        }
+    }
+
+    /// Largest cumulative message count over any single edge — a proxy
+    /// for worst-edge load across the whole run.
+    pub fn max_edge_messages(&self) -> u64 {
+        self.per_edge_messages.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean messages per edge (0 for edgeless graphs).
+    pub fn mean_edge_messages(&self) -> f64 {
+        if self.per_edge_messages.is_empty() {
+            return 0.0;
+        }
+        self.messages as f64 / self.per_edge_messages.len() as f64
+    }
+
+    /// Accumulates another run's statistics (for multi-phase protocols
+    /// executed as successive simulator runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-edge vectors have different lengths (i.e. the
+    /// runs were on different graphs).
+    pub fn absorb(&mut self, other: &RunStats) {
+        assert_eq!(
+            self.per_edge_messages.len(),
+            other.per_edge_messages.len(),
+            "stats from different graphs"
+        );
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        for (a, b) in self
+            .per_edge_messages
+            .iter_mut()
+            .zip(other.per_edge_messages.iter())
+        {
+            *a += b;
+        }
+    }
+
+    pub(crate) fn record(&mut self, edge: EdgeId, words: u32) {
+        self.messages += 1;
+        self.words += words as u64;
+        self.per_edge_messages[edge.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::Graph;
+
+    #[test]
+    fn absorb_accumulates() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut a = RunStats::new(&g);
+        a.rounds = 3;
+        a.record(EdgeId(0), 2);
+        let mut b = RunStats::new(&g);
+        b.rounds = 2;
+        b.record(EdgeId(1), 1);
+        b.record(EdgeId(1), 1);
+        a.absorb(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.words, 4);
+        assert_eq!(a.per_edge_messages, vec![1, 2]);
+        assert_eq!(a.max_edge_messages(), 2);
+    }
+}

@@ -1,0 +1,425 @@
+//! Tree primitives on an already-constructed rooted spanning tree:
+//! convergecast aggregation, broadcast, and prefix numbering of marked
+//! nodes.
+//!
+//! All three complete in `O(depth)` rounds with one-word-ish messages —
+//! these are the `O(D)`-round bookkeeping steps the paper's distributed
+//! construction performs on the global BFS tree (learning `n`, the
+//! 2-approximate diameter, numbering the large parts, and the final
+//! global verification AND).
+
+use crate::message::Message;
+use crate::node::{NodeAlgorithm, RoundCtx};
+use crate::sim::{run, RunOutcome, SimConfig};
+use crate::SimError;
+use lcs_graph::{Graph, NodeId};
+
+/// Aggregation operator for convergecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Sum of values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+impl AggOp {
+    /// Applies the operator.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AggOp::Sum => a.saturating_add(b),
+            AggOp::Min => a.min(b),
+            AggOp::Max => a.max(b),
+        }
+    }
+
+    /// Identity element.
+    pub fn identity(self) -> u64 {
+        match self {
+            AggOp::Sum => 0,
+            AggOp::Min => u64::MAX,
+            AggOp::Max => 0,
+        }
+    }
+}
+
+/// The position of a node within the rooted tree, as local knowledge.
+#[derive(Debug, Clone, Default)]
+pub struct TreePosition {
+    /// Parent in the tree (None for the root and non-tree nodes).
+    pub parent: Option<NodeId>,
+    /// Children in the tree.
+    pub children: Vec<NodeId>,
+    /// Whether this node participates (non-participants are inert).
+    pub in_tree: bool,
+    /// Whether this node is the root.
+    pub is_root: bool,
+}
+
+/// Message for convergecast / broadcast / numbering: a tagged value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeMsg {
+    /// Aggregate flowing up.
+    Up(u64),
+    /// Value flowing down.
+    Down(u64),
+}
+
+impl Message for TreeMsg {
+    fn size_words(&self) -> u32 {
+        2 // one u64 payload = 2 words; tag absorbed in the constant
+    }
+}
+
+/// Convergecast: aggregate one `u64` per tree node up to the root, then
+/// optionally broadcast the result back down.
+#[derive(Debug, Clone)]
+pub struct ConvergecastNode {
+    pos: TreePosition,
+    op: AggOp,
+    broadcast: bool,
+    acc: u64,
+    pending: usize,
+    sent_up: bool,
+    sent_down: bool,
+    /// The aggregate (root: after convergecast; all nodes: after
+    /// broadcast when enabled).
+    pub result: Option<u64>,
+}
+
+impl ConvergecastNode {
+    /// Creates the node state; `value` is this node's contribution.
+    pub fn new(pos: TreePosition, op: AggOp, value: u64, broadcast: bool) -> Self {
+        let pending = pos.children.len();
+        ConvergecastNode {
+            pos,
+            op,
+            broadcast,
+            acc: value,
+            pending,
+            sent_up: false,
+            sent_down: false,
+            result: None,
+        }
+    }
+}
+
+impl NodeAlgorithm for ConvergecastNode {
+    type Msg = TreeMsg;
+
+    fn round(&mut self, ctx: &mut RoundCtx<'_, TreeMsg>) {
+        if !self.pos.in_tree {
+            return;
+        }
+        for &(from, ref msg) in ctx.inbox() {
+            match msg {
+                TreeMsg::Up(v) => {
+                    debug_assert!(self.pos.children.contains(&from));
+                    self.acc = self.op.apply(self.acc, *v);
+                    self.pending -= 1;
+                }
+                TreeMsg::Down(v) => {
+                    self.result = Some(*v);
+                }
+            }
+        }
+        if self.pending == 0 && !self.sent_up {
+            self.sent_up = true;
+            if self.pos.is_root {
+                self.result = Some(self.acc);
+            } else if let Some(p) = self.pos.parent {
+                ctx.send(p, TreeMsg::Up(self.acc));
+            }
+        }
+        if self.broadcast && !self.sent_down {
+            if let Some(r) = self.result {
+                self.sent_down = true;
+                for &c in &self.pos.children.clone() {
+                    ctx.send(c, TreeMsg::Down(r));
+                }
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        if !self.pos.in_tree {
+            return true;
+        }
+        self.sent_up && (!self.broadcast || self.sent_down)
+    }
+}
+
+/// Runs a convergecast (optionally with result broadcast) over the tree
+/// described by `positions`, with per-node `values`.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if input lengths differ from `graph.n()`.
+pub fn tree_aggregate(
+    graph: &Graph,
+    positions: Vec<TreePosition>,
+    values: &[u64],
+    op: AggOp,
+    broadcast: bool,
+    cfg: &SimConfig,
+) -> Result<(Vec<Option<u64>>, crate::stats::RunStats), SimError> {
+    assert_eq!(positions.len(), graph.n());
+    assert_eq!(values.len(), graph.n());
+    let nodes: Vec<ConvergecastNode> = positions
+        .into_iter()
+        .zip(values.iter())
+        .map(|(pos, &v)| ConvergecastNode::new(pos, op, v, broadcast))
+        .collect();
+    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
+    Ok((nodes.into_iter().map(|s| s.result).collect(), stats))
+}
+
+/// Prefix numbering: every *marked* node learns its rank (0-based) in a
+/// global depth-first order of the tree, and the root learns the total
+/// count. Used by the paper's construction to number the `N` large
+/// parts in `O(D)` rounds.
+#[derive(Debug, Clone)]
+pub struct PrefixNumberNode {
+    pos: TreePosition,
+    marked: bool,
+    /// Subtree mark-counts per child, filled during convergecast (in
+    /// `pos.children` order).
+    child_counts: Vec<u64>,
+    pending: usize,
+    sent_up: bool,
+    sent_down: bool,
+    /// This node's rank among marked nodes (only when marked).
+    pub rank: Option<u64>,
+    /// Total number of marked nodes (root only, after convergecast).
+    pub total: Option<u64>,
+    offset: Option<u64>,
+}
+
+impl PrefixNumberNode {
+    /// Creates the state for one node.
+    pub fn new(pos: TreePosition, marked: bool) -> Self {
+        let pending = pos.children.len();
+        let child_counts = vec![0; pos.children.len()];
+        PrefixNumberNode {
+            pos,
+            marked,
+            child_counts,
+            pending,
+            sent_up: false,
+            sent_down: false,
+            rank: None,
+            total: None,
+            offset: None,
+        }
+    }
+
+    fn subtree_count(&self) -> u64 {
+        self.child_counts.iter().sum::<u64>() + u64::from(self.marked)
+    }
+}
+
+impl NodeAlgorithm for PrefixNumberNode {
+    type Msg = TreeMsg;
+
+    fn round(&mut self, ctx: &mut RoundCtx<'_, TreeMsg>) {
+        if !self.pos.in_tree {
+            return;
+        }
+        for &(from, ref msg) in ctx.inbox() {
+            match msg {
+                TreeMsg::Up(v) => {
+                    let idx = self
+                        .pos
+                        .children
+                        .iter()
+                        .position(|&c| c == from)
+                        .expect("Up message only from children");
+                    self.child_counts[idx] = *v;
+                    self.pending -= 1;
+                }
+                TreeMsg::Down(v) => {
+                    self.offset = Some(*v);
+                }
+            }
+        }
+        if self.pending == 0 && !self.sent_up {
+            self.sent_up = true;
+            if self.pos.is_root {
+                self.total = Some(self.subtree_count());
+                self.offset = Some(0);
+            } else if let Some(p) = self.pos.parent {
+                ctx.send(p, TreeMsg::Up(self.subtree_count()));
+            }
+        }
+        if self.sent_up && !self.sent_down {
+            if let Some(off) = self.offset {
+                self.sent_down = true;
+                if self.marked {
+                    self.rank = Some(off);
+                }
+                let mut cursor = off + u64::from(self.marked);
+                let children = self.pos.children.clone();
+                for (idx, &c) in children.iter().enumerate() {
+                    ctx.send(c, TreeMsg::Down(cursor));
+                    cursor += self.child_counts[idx];
+                }
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        !self.pos.in_tree || self.sent_down
+    }
+}
+
+/// Runs prefix numbering of `marked` nodes over the given tree. Returns
+/// per-node ranks (Some only for marked nodes) and the total count.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if input lengths differ from `graph.n()`.
+pub fn prefix_number(
+    graph: &Graph,
+    positions: Vec<TreePosition>,
+    marked: &[bool],
+    cfg: &SimConfig,
+) -> Result<(Vec<Option<u64>>, u64, crate::stats::RunStats), SimError> {
+    assert_eq!(positions.len(), graph.n());
+    assert_eq!(marked.len(), graph.n());
+    let root = positions.iter().position(|p| p.is_root);
+    let nodes: Vec<PrefixNumberNode> = positions
+        .into_iter()
+        .zip(marked.iter())
+        .map(|(pos, &m)| PrefixNumberNode::new(pos, m))
+        .collect();
+    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
+    let total = root
+        .and_then(|r| nodes[r].total)
+        .unwrap_or(0);
+    Ok((
+        nodes.into_iter().map(|s| s.rank).collect(),
+        total,
+        stats,
+    ))
+}
+
+/// Builds [`TreePosition`]s from parallel parent/children arrays (such as
+/// a [`crate::bfs::DistBfsOutcome`]). Nodes with no parent and no
+/// children that are not the root are marked out-of-tree.
+pub fn positions_from_tree(
+    root: NodeId,
+    parent: &[Option<NodeId>],
+    children: &[Vec<NodeId>],
+) -> Vec<TreePosition> {
+    parent
+        .iter()
+        .zip(children.iter())
+        .enumerate()
+        .map(|(v, (&p, ch))| {
+            let is_root = v as NodeId == root;
+            TreePosition {
+                parent: p,
+                children: ch.clone(),
+                in_tree: is_root || p.is_some(),
+                is_root,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::distributed_bfs;
+
+    fn tree_fixture(n: usize, seed: u64) -> (Graph, Vec<TreePosition>) {
+        let g = lcs_graph::generators::gnp_connected(
+            n,
+            0.08,
+            &mut <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed),
+        );
+        let bfs = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
+        (g, pos)
+    }
+
+    #[test]
+    fn sum_convergecast_counts_nodes() {
+        let (g, pos) = tree_fixture(30, 5);
+        let values = vec![1u64; g.n()];
+        let (results, stats) =
+            tree_aggregate(&g, pos, &values, AggOp::Sum, false, &SimConfig::default()).unwrap();
+        assert_eq!(results[0], Some(30));
+        assert!(stats.rounds < 40);
+    }
+
+    #[test]
+    fn min_convergecast_with_broadcast_informs_everyone() {
+        let (g, pos) = tree_fixture(25, 6);
+        let mut values: Vec<u64> = (0..g.n() as u64).map(|v| 100 + v).collect();
+        values[17] = 3;
+        let (results, _) =
+            tree_aggregate(&g, pos, &values, AggOp::Min, true, &SimConfig::default()).unwrap();
+        for v in g.nodes() {
+            assert_eq!(results[v as usize], Some(3), "node {v}");
+        }
+    }
+
+    #[test]
+    fn max_convergecast() {
+        let (g, pos) = tree_fixture(20, 7);
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let (results, _) =
+            tree_aggregate(&g, pos, &values, AggOp::Max, false, &SimConfig::default()).unwrap();
+        assert_eq!(results[0], Some(19));
+    }
+
+    #[test]
+    fn prefix_numbering_assigns_distinct_dense_ranks() {
+        let (g, pos) = tree_fixture(40, 8);
+        let marked: Vec<bool> = (0..g.n()).map(|v| v % 3 == 0).collect();
+        let (ranks, total, _) =
+            prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
+        let expected: u64 = marked.iter().filter(|&&m| m).count() as u64;
+        assert_eq!(total, expected);
+        let mut seen: Vec<u64> = ranks.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..expected).collect::<Vec<_>>());
+        for (v, r) in ranks.iter().enumerate() {
+            assert_eq!(r.is_some(), marked[v]);
+        }
+    }
+
+    #[test]
+    fn prefix_numbering_none_marked() {
+        let (g, pos) = tree_fixture(10, 9);
+        let marked = vec![false; g.n()];
+        let (ranks, total, _) = prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
+        assert_eq!(total, 0);
+        assert!(ranks.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let pos = vec![TreePosition {
+            parent: None,
+            children: vec![],
+            in_tree: true,
+            is_root: true,
+        }];
+        let (results, _) =
+            tree_aggregate(&g, pos, &[42], AggOp::Sum, true, &SimConfig::default()).unwrap();
+        assert_eq!(results[0], Some(42));
+    }
+}

@@ -1,0 +1,174 @@
+//! Failure injection: the engine and protocols must fail loudly and
+//! precisely on malformed inputs and protocol violations — silence is a
+//! bug in a simulator whose purpose is enforcing a model.
+
+use lcs_congest::{
+    run, run_multi_aggregate, run_multi_bfs, AggOp, Message, MultiBfsInstance, MultiBfsSpec,
+    NodeAlgorithm, Participation, RoundCtx, SimConfig, SimError,
+};
+use lcs_graph::generators::{path, star};
+use std::sync::Arc;
+
+/// A node that violates the model in a configurable round, after
+/// behaving correctly for a while (violations must be caught late, not
+/// just at round 0).
+#[derive(Debug)]
+struct LateViolator {
+    mode: u8,
+    at_round: u64,
+}
+
+#[derive(Debug, Clone)]
+struct BigMsg(u32);
+
+impl Message for BigMsg {
+    fn size_words(&self) -> u32 {
+        self.0
+    }
+}
+
+impl NodeAlgorithm for LateViolator {
+    type Msg = BigMsg;
+    fn round(&mut self, ctx: &mut RoundCtx<'_, BigMsg>) {
+        if ctx.node() != 0 {
+            return;
+        }
+        if ctx.round() < self.at_round {
+            // Legitimate chatter keeps the run alive.
+            ctx.send(1, BigMsg(1));
+            return;
+        }
+        if ctx.round() == self.at_round {
+            match self.mode {
+                0 => ctx.send(2, BigMsg(1)),         // non-neighbor on a path
+                1 => {
+                    ctx.send(1, BigMsg(1));
+                    ctx.send(1, BigMsg(1));          // double send
+                }
+                _ => ctx.send(1, BigMsg(99)),        // oversized
+            }
+        }
+    }
+    fn halted(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn late_violations_are_caught_at_the_right_round() {
+    let g = path(3);
+    for (mode, expect_kind) in [(0u8, "dest"), (1, "overflow"), (2, "size")] {
+        let nodes = (0..3)
+            .map(|_| LateViolator { mode, at_round: 5 })
+            .collect();
+        let err = run(&g, nodes, &SimConfig::default()).unwrap_err();
+        match (expect_kind, &err) {
+            ("dest", SimError::InvalidDestination { round, .. })
+            | ("overflow", SimError::ChannelOverflow { round, .. })
+            | ("size", SimError::MessageTooLarge { round, .. }) => {
+                assert_eq!(*round, 5, "mode {mode}");
+            }
+            _ => panic!("mode {mode}: wrong error {err}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_aggregation_tree_yields_no_result_not_a_hang() {
+    // Participation claims a child that never reports: the convergecast
+    // cannot complete. The protocol quiesces (all queues empty) rather
+    // than spinning, and the root visibly has NO result — callers must
+    // treat a missing aggregate as failure (the construction's
+    // verification step does exactly that).
+    let g = path(3);
+    let parts = vec![
+        vec![Participation {
+            inst: 0,
+            parent: None,
+            children: vec![1], // 1 has no participation: never sends Up
+            value: 7,
+        }],
+        vec![],
+        vec![],
+    ];
+    let cfg = SimConfig {
+        max_rounds: 50,
+        ..SimConfig::default()
+    };
+    let out = run_multi_aggregate(&g, parts, AggOp::Sum, false, &cfg).unwrap();
+    assert_eq!(out.result_at(0, 0), None, "stuck root must have no result");
+    assert!(out.stats.rounds < 50, "quiesces well before the limit");
+}
+
+#[test]
+fn cyclic_parent_pointers_yield_no_results() {
+    // 0 and 1 claim each other as parent: neither can ever send Up, so
+    // both quiesce resultless.
+    let g = path(2);
+    let parts = vec![
+        vec![Participation {
+            inst: 0,
+            parent: Some(1),
+            children: vec![1],
+            value: 1,
+        }],
+        vec![Participation {
+            inst: 0,
+            parent: Some(0),
+            children: vec![0],
+            value: 1,
+        }],
+    ];
+    let cfg = SimConfig {
+        max_rounds: 30,
+        ..SimConfig::default()
+    };
+    let out = run_multi_aggregate(&g, parts, AggOp::Sum, false, &cfg).unwrap();
+    assert_eq!(out.result_at(0, 0), None);
+    assert_eq!(out.result_at(1, 0), None);
+}
+
+#[test]
+fn tiny_queue_cap_degrades_gracefully_not_fatally() {
+    // Congestion enforcement drops tokens and flags, but the run itself
+    // completes (the construction's verification step then rejects).
+    let g = star(16);
+    let instances: Vec<MultiBfsInstance> = (1..=12)
+        .map(|i| MultiBfsInstance {
+            root: i,
+            start_round: 0,
+            depth_limit: 4,
+        })
+        .collect();
+    let spec = Arc::new(MultiBfsSpec {
+        instances,
+        membership: Arc::new(|_, _, _| true),
+        queue_cap: 1,
+    });
+    let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+    assert!(out.overflowed, "cap 1 must drop tokens");
+    let spanned = (0..12u32)
+        .filter(|&i| out.instance_nodes(i).len() == 16)
+        .count();
+    assert!(spanned < 12, "some instance must be incomplete");
+}
+
+#[test]
+fn round_limit_zero_fails_immediately() {
+    let g = path(2);
+    #[derive(Debug)]
+    struct Idle;
+    impl NodeAlgorithm for Idle {
+        type Msg = ();
+        fn round(&mut self, _: &mut RoundCtx<'_, ()>) {}
+        fn halted(&self) -> bool {
+            false
+        }
+    }
+    let cfg = SimConfig {
+        max_rounds: 0,
+        ..SimConfig::default()
+    };
+    let err = run(&g, vec![Idle, Idle], &cfg).unwrap_err();
+    assert_eq!(err, SimError::RoundLimitExceeded { limit: 0 });
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the CONGEST protocols against centralized
+//! references, on random graphs.
+
+use lcs_congest::{
+    distributed_bfs, positions_from_tree, prefix_number, run_multi_aggregate, run_multi_bfs,
+    tree_aggregate, AggOp, MultiBfsInstance, MultiBfsSpec, Participation, SimConfig,
+};
+use lcs_graph::{bfs_distances, gnp_connected, NodeId, UNREACHABLE};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn random_graph(seed: u64, n: usize) -> lcs_graph::Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    gnp_connected(n, 0.1, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Distributed BFS distances equal centralized BFS distances from
+    /// any root on any connected graph.
+    #[test]
+    fn distributed_bfs_equals_centralized(seed in any::<u64>(), n in 5usize..60, root_pick in any::<u32>()) {
+        let g = random_graph(seed, n);
+        let root = root_pick % n as u32;
+        let out = distributed_bfs(&g, root, &SimConfig::default()).unwrap();
+        let exact = bfs_distances(&g, root);
+        for v in g.nodes() {
+            let expect = (exact[v as usize] != UNREACHABLE).then_some(exact[v as usize]);
+            prop_assert_eq!(out.dist[v as usize], expect);
+        }
+    }
+
+    /// Multi-BFS with concurrent overlapping instances: every instance
+    /// spans exactly its reachable set, and queue-pipelined distances
+    /// are sound upper bounds on the true BFS distances (under
+    /// contention a longer-route token can win the race, which is why
+    /// the construction budgets a generous depth limit). A contention-
+    /// free single instance is exact.
+    #[test]
+    fn multi_bfs_instances_are_sound(seed in any::<u64>(), n in 5usize..40, k in 1usize..5) {
+        let g = random_graph(seed, n);
+        let roots: Vec<NodeId> = (0..k as u32).map(|i| (i * 7) % n as u32).collect();
+        let spec = Arc::new(MultiBfsSpec {
+            instances: roots
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| MultiBfsInstance {
+                    root: r,
+                    start_round: (i as u64 * 3) % 5,
+                    depth_limit: u32::MAX,
+                })
+                .collect(),
+            membership: Arc::new(|_, _, _| true),
+            queue_cap: 0,
+        });
+        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        for (i, &r) in roots.iter().enumerate() {
+            let exact = bfs_distances(&g, r);
+            for v in g.nodes() {
+                let got = out.reached[v as usize].get(&(i as u32)).map(|x| x.dist);
+                match got {
+                    Some(d) => {
+                        prop_assert!(exact[v as usize] != UNREACHABLE);
+                        prop_assert!(
+                            d >= exact[v as usize],
+                            "instance {} node {}: {} below exact {}",
+                            i, v, d, exact[v as usize]
+                        );
+                        if k == 1 {
+                            prop_assert_eq!(d, exact[v as usize]);
+                        }
+                    }
+                    None => prop_assert_eq!(exact[v as usize], UNREACHABLE),
+                }
+            }
+        }
+        prop_assert!(!out.overflowed);
+    }
+
+    /// Tree aggregation over a BFS tree computes exactly the centralized
+    /// fold for every operator.
+    #[test]
+    fn convergecast_matches_fold(seed in any::<u64>(), n in 3usize..50) {
+        let g = random_graph(seed, n);
+        let bfs = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
+        let values: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..1000u64)).collect();
+        for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
+            let (res, _) =
+                tree_aggregate(&g, pos.clone(), &values, op, false, &SimConfig::default()).unwrap();
+            let expect = values.iter().fold(op.identity(), |a, &b| op.apply(a, b));
+            prop_assert_eq!(res[0], Some(expect));
+        }
+    }
+
+    /// Prefix numbering assigns dense distinct ranks matching the count
+    /// of marked nodes, for any mark pattern.
+    #[test]
+    fn prefix_numbering_is_a_bijection(seed in any::<u64>(), n in 3usize..50, mask in any::<u64>()) {
+        let g = random_graph(seed, n);
+        let bfs = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
+        let marked: Vec<bool> = (0..n).map(|v| mask >> (v % 64) & 1 == 1).collect();
+        let (ranks, total, _) = prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
+        let expected = marked.iter().filter(|&&m| m).count() as u64;
+        prop_assert_eq!(total, expected);
+        let mut seen: Vec<u64> = ranks.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..expected).collect::<Vec<_>>());
+    }
+
+    /// Multi-instance aggregation over BFS-tree participations matches
+    /// the centralized per-instance fold.
+    #[test]
+    fn multi_aggregate_matches_fold(seed in any::<u64>(), n in 4usize..30) {
+        let g = random_graph(seed, n);
+        // Two instances rooted at 0 and n-1, trees from BFS.
+        let roots = [0 as NodeId, (n - 1) as NodeId];
+        let mut parts: Vec<Vec<Participation>> = vec![Vec::new(); n];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 2);
+        let values: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..100u64)).collect();
+        for (i, &r) in roots.iter().enumerate() {
+            let bfs = distributed_bfs(&g, r, &SimConfig::default()).unwrap();
+            for v in 0..n {
+                if bfs.dist[v].is_none() {
+                    continue;
+                }
+                parts[v].push(Participation {
+                    inst: i as u32,
+                    parent: bfs.parent[v],
+                    children: bfs.children[v].clone(),
+                    value: values[v],
+                });
+            }
+        }
+        let out = run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let expect: u64 = values.iter().sum();
+        for (i, &r) in roots.iter().enumerate() {
+            prop_assert_eq!(out.result_at(r, i as u32), Some(expect));
+            // Broadcast delivered everywhere.
+            for v in g.nodes() {
+                prop_assert_eq!(out.result_at(v, i as u32), Some(expect));
+            }
+        }
+    }
+}

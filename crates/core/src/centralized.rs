@@ -1,0 +1,367 @@
+//! The centralized shortcut construction (§2 of the paper).
+//!
+//! For every *large* part `S_i`:
+//!
+//! 1. **Step 1** — every node of `S_i` contributes all incident edges to
+//!    `H_i`;
+//! 2. **Step 2** — every node `u ∉ S_i` samples each incident directed
+//!    edge into `H_i` with probability `p`, independently `D` times.
+//!
+//! The raw `H_i` is what the dilation analysis (§3) reasons about; the
+//! *output* a CONGEST algorithm can actually use is the depth-limited
+//! BFS tree of `G[S_i] ∪ H_i` rooted at the leader, which
+//! [`prune_to_trees`] extracts (this mirrors the paper's distributed
+//! implementation, whose final knowledge is exactly those truncated BFS
+//! trees).
+//!
+//! Sampling is keyed by the part **leader id**, so the distributed
+//! implementation — which discovers parts in a different order — draws
+//! the *same* coins and produces the same `H_i` (differential tests rely
+//! on this).
+
+use crate::params::KpParams;
+use crate::sampling::SampleOracle;
+use lcs_graph::{bfs, BfsOptions, EdgeId, Graph, NodeId, UNREACHABLE};
+use lcs_shortcut::{Partition, ShortcutSet};
+
+/// How largeness is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LargenessRule {
+    /// Paper's distributed test: a part is large when the depth-`k_D`
+    /// BFS from its leader does **not** span it (radius > `k_D`).
+    Radius,
+    /// Paper's definition in §2: `|S_i| > k_D`.
+    Size,
+}
+
+/// Output of the centralized construction.
+#[derive(Debug, Clone)]
+pub struct CentralizedShortcuts {
+    /// The raw sampled shortcut sets (Step 1 ∪ Step 2).
+    pub shortcuts: ShortcutSet,
+    /// Which parts were classified large.
+    pub is_large: Vec<bool>,
+    /// The parameters used.
+    pub params: KpParams,
+    /// The oracle used (for analysis tooling that re-examines the same
+    /// coins, e.g. shortcut trees).
+    pub oracle: SampleOracle,
+}
+
+/// Classifies each part as large/small under `rule`.
+pub fn classify_large(
+    graph: &Graph,
+    partition: &Partition,
+    k_ceil: u32,
+    rule: LargenessRule,
+) -> Vec<bool> {
+    (0..partition.num_parts())
+        .map(|i| match rule {
+            LargenessRule::Radius => partition.leader_radius(graph, i) > k_ceil,
+            LargenessRule::Size => partition.part(i).len() > k_ceil as usize,
+        })
+        .collect()
+}
+
+/// How Step-2 coins are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleMode {
+    /// Evaluate the PRF per (arc, instance, repetition) — `Θ(m·N·D)`
+    /// work, and bit-identical to the distributed execution.
+    PerPart,
+    /// Enumerate the instances that picked each arc by geometric
+    /// gap-skipping — `O(total picks)` expected work; same distribution,
+    /// different coin set.
+    PerArc,
+}
+
+/// Runs the centralized construction.
+///
+/// Large parts are keyed for sampling by their leader id. Small parts
+/// get `H_i = ∅`.
+pub fn centralized_shortcuts(
+    graph: &Graph,
+    partition: &Partition,
+    params: KpParams,
+    seed: u64,
+    rule: LargenessRule,
+    mode: OracleMode,
+) -> CentralizedShortcuts {
+    let oracle = SampleOracle::new(seed, params.p, params.reps);
+    let is_large = classify_large(graph, partition, params.k_ceil, rule);
+    let large_parts: Vec<usize> = (0..partition.num_parts())
+        .filter(|&i| is_large[i])
+        .collect();
+    let mut per_part: Vec<Vec<EdgeId>> = vec![Vec::new(); partition.num_parts()];
+
+    // Step 1: all edges incident to each large part.
+    for &i in &large_parts {
+        for &v in partition.part(i) {
+            for (_, e) in graph.neighbors_with_edges(v) {
+                per_part[i].push(e);
+            }
+        }
+    }
+
+    // Step 2.
+    match mode {
+        OracleMode::PerPart => {
+            for &i in &large_parts {
+                let leader = partition.leader(i);
+                for u in graph.nodes() {
+                    if partition.part_of(u) == Some(i as u32) {
+                        continue;
+                    }
+                    for (v, e) in graph.neighbors_with_edges(u) {
+                        for rep in 0..params.reps {
+                            if oracle.sampled_by(u, v, leader, rep) {
+                                per_part[i].push(e);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        OracleMode::PerArc => {
+            // Dense index over large parts, ordered by part index.
+            for u in graph.nodes() {
+                let pu = partition.part_of(u);
+                for (v, e) in graph.neighbors_with_edges(u) {
+                    for rep in 0..params.reps {
+                        for pick in oracle.picks_for_arc(u, v, rep, large_parts.len()) {
+                            let i = large_parts[pick as usize];
+                            if pu != Some(i as u32) {
+                                per_part[i].push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    CentralizedShortcuts {
+        shortcuts: ShortcutSet::from_edge_lists(per_part),
+        is_large,
+        params,
+        oracle,
+    }
+}
+
+/// Result of pruning raw shortcuts to depth-limited BFS trees.
+#[derive(Debug, Clone)]
+pub struct PrunedShortcuts {
+    /// Per-part tree edge sets (empty for small parts).
+    pub shortcuts: ShortcutSet,
+    /// Whether each part's truncated tree spans the part (should hold
+    /// w.h.p. when the depth limit respects Theorem 3.1).
+    pub spans: Vec<bool>,
+    /// Depth of each part's tree.
+    pub depths: Vec<u32>,
+}
+
+/// Extracts, for each part with a nonempty `H_i`, the BFS tree of
+/// `G[S_i] ∪ H_i` rooted at the leader, truncated at `depth_limit` —
+/// the shape the distributed algorithm actually outputs.
+pub fn prune_to_trees(
+    graph: &Graph,
+    partition: &Partition,
+    raw: &ShortcutSet,
+    depth_limit: u32,
+) -> PrunedShortcuts {
+    let mut per_part: Vec<Vec<EdgeId>> = Vec::with_capacity(partition.num_parts());
+    let mut spans = Vec::with_capacity(partition.num_parts());
+    let mut depths = Vec::with_capacity(partition.num_parts());
+    for i in 0..partition.num_parts() {
+        if raw.edges(i).is_empty() {
+            per_part.push(Vec::new());
+            // Small part: its own induced subgraph is its "tree".
+            spans.push(true);
+            depths.push(partition.leader_radius(graph, i));
+            continue;
+        }
+        let sub = raw.augmented_subgraph(graph, partition, i);
+        let root = sub
+            .local_of(partition.leader(i))
+            .expect("leader in own subgraph");
+        let r = bfs(
+            sub.local(),
+            &[root],
+            &BfsOptions {
+                max_depth: depth_limit,
+                node_filter: None,
+            },
+        );
+        let mut edges = Vec::new();
+        let mut depth = 0;
+        for lv in 0..sub.n() as u32 {
+            if r.dist[lv as usize] == UNREACHABLE {
+                continue;
+            }
+            depth = depth.max(r.dist[lv as usize]);
+            if let Some(lp) = r.parent[lv as usize] {
+                let a = sub.parent_of(lv);
+                let b = sub.parent_of(lp);
+                edges.push(graph.edge_between(a, b).expect("tree edge"));
+            }
+        }
+        let span = partition.part(i).iter().all(|&v| {
+            sub.local_of(v)
+                .map_or(false, |lv| r.dist[lv as usize] != UNREACHABLE)
+        });
+        per_part.push(edges);
+        spans.push(span);
+        depths.push(depth);
+    }
+    PrunedShortcuts {
+        shortcuts: ShortcutSet::from_edge_lists(per_part),
+        spans,
+        depths,
+    }
+}
+
+/// Convenience: which node in the graph would key instance `i` — the
+/// leader of the `i`-th large part in part order.
+pub fn large_part_leaders(partition: &Partition, is_large: &[bool]) -> Vec<NodeId> {
+    (0..partition.num_parts())
+        .filter(|&i| is_large[i])
+        .map(|i| partition.leader(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::{HighwayGraph, HighwayParams};
+    use lcs_shortcut::{measure_quality, DilationMode};
+
+    fn fixture(d: u32, paths: usize, len: usize) -> (Graph, Partition, KpParams) {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: paths,
+            path_len: len,
+            diameter: d,
+        })
+        .unwrap();
+        let g = hw.graph().clone();
+        let p = Partition::new(&g, hw.path_parts()).unwrap();
+        let params = KpParams::new(g.n(), d, 1.0).unwrap();
+        (g, p, params)
+    }
+
+    #[test]
+    fn small_parts_get_no_shortcut() {
+        let (g, p, params) = fixture(4, 3, 30);
+        // With a huge k threshold, everything is small.
+        let mut fake = params;
+        fake.k_ceil = 1000;
+        let out = centralized_shortcuts(&g, &p, fake, 1, LargenessRule::Radius, OracleMode::PerPart);
+        assert!(out.is_large.iter().all(|&l| !l));
+        assert_eq!(out.shortcuts.total_edges(), 0);
+    }
+
+    #[test]
+    fn step1_edges_present_for_large_parts() {
+        let (g, p, params) = fixture(4, 2, 30);
+        let out =
+            centralized_shortcuts(&g, &p, params, 2, LargenessRule::Radius, OracleMode::PerPart);
+        assert!(out.is_large.iter().all(|&l| l), "long paths are large");
+        // Every edge incident to part 0 is in H_0.
+        for &v in p.part(0) {
+            for (_, e) in g.neighbors_with_edges(v) {
+                assert!(out.shortcuts.edges(0).contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn radius_and_size_rules_agree_on_paths() {
+        let (g, p, params) = fixture(4, 3, 40);
+        let by_radius = classify_large(&g, &p, params.k_ceil, LargenessRule::Radius);
+        let by_size = classify_large(&g, &p, params.k_ceil, LargenessRule::Size);
+        // A path part has radius = len-1 ≥ size-1, so for paths the two
+        // rules coincide (both compare ~len against k).
+        assert_eq!(by_radius, by_size);
+    }
+
+    #[test]
+    fn sampled_construction_meets_bounds_on_highway() {
+        let (g, p, params) = fixture(4, 4, 40);
+        let out =
+            centralized_shortcuts(&g, &p, params, 3, LargenessRule::Radius, OracleMode::PerPart);
+        let report = measure_quality(&g, &p, &out.shortcuts, DilationMode::Exact);
+        assert!(
+            (report.quality.congestion as u64) <= params.congestion_bound(),
+            "congestion {} vs bound {}",
+            report.quality.congestion,
+            params.congestion_bound()
+        );
+        assert!(
+            (report.quality.dilation as u64) <= params.dilation_bound(),
+            "dilation {} vs bound {}",
+            report.quality.dilation,
+            params.dilation_bound()
+        );
+        // And the shortcuts genuinely beat the trivial baseline.
+        let trivial = measure_quality(
+            &g,
+            &p,
+            &lcs_shortcut::trivial_shortcuts(&p),
+            DilationMode::Exact,
+        );
+        assert!(report.quality.dilation < trivial.quality.dilation);
+    }
+
+    #[test]
+    fn per_arc_mode_has_same_distribution() {
+        let (g, p, params) = fixture(4, 4, 40);
+        let a = centralized_shortcuts(&g, &p, params, 5, LargenessRule::Radius, OracleMode::PerPart);
+        let b = centralized_shortcuts(&g, &p, params, 5, LargenessRule::Radius, OracleMode::PerArc);
+        // Not identical coins, but comparable volume (within 2x).
+        let (ta, tb) = (a.shortcuts.total_edges() as f64, b.shortcuts.total_edges() as f64);
+        assert!(ta > 0.0 && tb > 0.0);
+        assert!(
+            (ta / tb) < 2.0 && (tb / ta) < 2.0,
+            "volumes {ta} vs {tb} should be comparable"
+        );
+    }
+
+    #[test]
+    fn pruned_trees_span_and_respect_depth() {
+        let (g, p, params) = fixture(4, 4, 40);
+        let out =
+            centralized_shortcuts(&g, &p, params, 7, LargenessRule::Radius, OracleMode::PerPart);
+        let pruned = prune_to_trees(&g, &p, &out.shortcuts, params.depth_limit());
+        assert!(pruned.spans.iter().all(|&s| s), "trees must span parts");
+        assert!(pruned
+            .depths
+            .iter()
+            .all(|&d| d <= params.depth_limit()));
+        // Pruned quality: dilation within 2*depth_limit; congestion no
+        // worse than raw.
+        let raw_q = measure_quality(&g, &p, &out.shortcuts, DilationMode::Exact).quality;
+        let pruned_q = measure_quality(&g, &p, &pruned.shortcuts, DilationMode::Exact).quality;
+        assert!(pruned_q.congestion <= raw_q.congestion);
+        assert!((pruned_q.dilation as u64) <= 2 * params.depth_limit() as u64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, p, params) = fixture(3, 3, 30);
+        let a = centralized_shortcuts(&g, &p, params, 11, LargenessRule::Radius, OracleMode::PerPart);
+        let b = centralized_shortcuts(&g, &p, params, 11, LargenessRule::Radius, OracleMode::PerPart);
+        assert_eq!(a.shortcuts, b.shortcuts);
+        let c = centralized_shortcuts(&g, &p, params, 12, LargenessRule::Radius, OracleMode::PerPart);
+        assert_ne!(a.shortcuts, c.shortcuts, "different seed, different coins");
+    }
+
+    #[test]
+    fn large_part_leaders_ordering() {
+        let (g, p, params) = fixture(4, 3, 30);
+        let out =
+            centralized_shortcuts(&g, &p, params, 1, LargenessRule::Radius, OracleMode::PerPart);
+        let leaders = large_part_leaders(&p, &out.is_large);
+        assert_eq!(leaders.len(), 3);
+        assert!(leaders.windows(2).all(|w| w[0] < w[1]));
+    }
+}

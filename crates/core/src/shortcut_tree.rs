@@ -1,0 +1,613 @@
+//! Shortcut trees (§3.1) — the paper's analytical device, made
+//! executable.
+//!
+//! For a path `P = [p_1, …, p_{|P|}]`, a node set `Q`, and a distance
+//! budget `ℓ ≥ dist_G(P, Q)`, the **auxiliary graph** `G_{P,Q,ℓ}` is a
+//! layered graph: layer 1 is `V(P)`, layers `2..=ℓ` are full copies of
+//! `V(G)`, layer `ℓ+1` is `Q`, and layer `ℓ+2` is a root `r` adjacent to
+//! all of `Q`; consecutive layers are joined by self-copy edges and
+//! copies of `G`-edges. `T_{P,Q,ℓ}` is the BFS tree of `G_{P,Q,ℓ}`
+//! rooted at `r` (its leaves are exactly `V(P)` when the budget holds).
+//!
+//! The **sampled forest** `T_{P,Q,ℓ}[p]` keeps: all `E(L_1, L_2)` and
+//! root edges, all self-copy edges, and each non-self tree edge between
+//! layers `k` and `k+1` iff the corresponding `G`-edge was sampled in
+//! Step 2's `(k−1)`-th repetition — *the same coins* the construction
+//! used, via [`SampleOracle`]. Finally `T* = T[p] ∪ E(P)`.
+//!
+//! **(i,k) units and walks** (Definition 3.1): a unit climbs from `p_i`
+//! to its highest surviving ancestor in layers `≤ k`, then descends to
+//! the rightmost `P`-leaf of that ancestor's surviving subtree; a walk
+//! concatenates units left to right. Lemma 3.3 proves a walk reaches
+//! `{t} ∪ L_k` within length `(c·k_D/N)^{-k+2}` w.h.p.;
+//! [`ShortcutTree::walk_to_level`] measures the realized length, unit
+//! count, and the Observation-3.1 distinctness of level-`k` nodes.
+
+use crate::sampling::SampleOracle;
+use lcs_graph::{Graph, NodeId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error constructing a [`ShortcutTree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShortcutTreeError {
+    /// The path is empty.
+    EmptyPath,
+    /// `Q` is empty.
+    EmptyQ,
+    /// `ℓ` must be at least 1.
+    BadEll,
+    /// Some path node is farther than `ℓ` from `Q` in `G`, so the BFS
+    /// tree cannot reach all of `V(P)`.
+    PathTooFarFromQ {
+        /// Index of an unreached path position.
+        position: usize,
+    },
+}
+
+impl fmt::Display for ShortcutTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShortcutTreeError::EmptyPath => write!(f, "path must be non-empty"),
+            ShortcutTreeError::EmptyQ => write!(f, "Q must be non-empty"),
+            ShortcutTreeError::BadEll => write!(f, "ell must be at least 1"),
+            ShortcutTreeError::PathTooFarFromQ { position } => {
+                write!(f, "path position {position} is beyond distance ell from Q")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShortcutTreeError {}
+
+/// How a measured walk ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkEnd {
+    /// The walk ran off the right end of the path (reached `t`).
+    ReachedT,
+    /// The walk reached a level-`target` node; the payload is the
+    /// `G`-vertex whose copy was reached.
+    ReachedLevel {
+        /// The `G`-vertex reached at the target level.
+        vertex: NodeId,
+    },
+}
+
+/// Measurement of one (i,k)-walk attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkMeasurement {
+    /// Total walk length (edges), counting the final upward step on
+    /// success.
+    pub length: usize,
+    /// Number of units concatenated.
+    pub units: usize,
+    /// How the walk ended.
+    pub end: WalkEnd,
+    /// Observation 3.1: the level-`k` unit tops were pairwise distinct.
+    pub level_nodes_distinct: bool,
+}
+
+/// The shortcut tree: auxiliary graph + BFS tree + sampled forest.
+#[derive(Debug)]
+pub struct ShortcutTree {
+    path: Vec<NodeId>,
+    q: Vec<NodeId>,
+    ell: usize,
+    n: usize,
+    /// BFS parent of each aux node (toward the root), `u32::MAX` = not
+    /// in `T`.
+    parent: Vec<u32>,
+    /// Whether the (child → parent) tree edge survived into `T[p]`.
+    survived: Vec<bool>,
+    /// Rightmost `P`-position in each node's surviving subtree
+    /// (`u32::MAX` = none).
+    rightmost: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl ShortcutTree {
+    /// Number of aux ids: |P| + (ℓ−1)·n + |Q| + 1.
+    fn aux_count(&self) -> usize {
+        self.path.len() + (self.ell - 1) * self.n + self.q.len() + 1
+    }
+
+    /// Root aux id.
+    fn root_id(&self) -> u32 {
+        (self.path.len() + (self.ell - 1) * self.n + self.q.len()) as u32
+    }
+
+    /// Aux id of the layer-`k` copy of `v` (for `2 ≤ k ≤ ℓ`).
+    fn copy_id(&self, k: usize, v: NodeId) -> u32 {
+        debug_assert!((2..=self.ell).contains(&k));
+        (self.path.len() + (k - 2) * self.n + v as usize) as u32
+    }
+
+    /// Aux id of `Q` index `qi` (layer ℓ+1).
+    fn q_id(&self, qi: usize) -> u32 {
+        (self.path.len() + (self.ell - 1) * self.n + qi) as u32
+    }
+
+    /// Layer of an aux node (1-based; root = ℓ+2).
+    fn layer(&self, id: u32) -> usize {
+        let id = id as usize;
+        if id < self.path.len() {
+            1
+        } else if id < self.path.len() + (self.ell - 1) * self.n {
+            2 + (id - self.path.len()) / self.n
+        } else if id < self.aux_count() - 1 {
+            self.ell + 1
+        } else {
+            self.ell + 2
+        }
+    }
+
+    /// The `G`-vertex an aux node copies (root has none).
+    fn vertex(&self, id: u32) -> Option<NodeId> {
+        let idu = id as usize;
+        if idu < self.path.len() {
+            Some(self.path[idu])
+        } else if idu < self.path.len() + (self.ell - 1) * self.n {
+            Some(((idu - self.path.len()) % self.n) as NodeId)
+        } else if idu < self.aux_count() - 1 {
+            Some(self.q[idu - self.path.len() - (self.ell - 1) * self.n])
+        } else {
+            None
+        }
+    }
+
+    /// Builds the tree for the given instance.
+    ///
+    /// * `leader` keys the sampling instance (the part leader id);
+    /// * `rep_offset` selects which block of repetitions feeds the
+    ///   layers (Lemma 3.5 uses repetitions `0..D/2` for the first `d`
+    ///   applications and `D/2..D` for the final one);
+    /// * layer transition `k → k+1` (for `k ≥ 2`) consumes repetition
+    ///   `rep_offset + (k − 2)`; transitions whose repetition index
+    ///   reaches `oracle.reps` are treated as unsampled (the walks the
+    ///   lemma measures never use them).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShortcutTreeError`].
+    pub fn new(
+        graph: &Graph,
+        path: &[NodeId],
+        q: &[NodeId],
+        ell: usize,
+        oracle: &SampleOracle,
+        leader: NodeId,
+        rep_offset: u32,
+    ) -> Result<Self, ShortcutTreeError> {
+        if path.is_empty() {
+            return Err(ShortcutTreeError::EmptyPath);
+        }
+        if q.is_empty() {
+            return Err(ShortcutTreeError::EmptyQ);
+        }
+        if ell == 0 {
+            return Err(ShortcutTreeError::BadEll);
+        }
+        let mut tree = ShortcutTree {
+            path: path.to_vec(),
+            q: q.to_vec(),
+            ell,
+            n: graph.n(),
+            parent: Vec::new(),
+            survived: Vec::new(),
+            rightmost: Vec::new(),
+        };
+        tree.parent = vec![NONE; tree.aux_count()];
+        tree.survived = vec![false; tree.aux_count()];
+        tree.rightmost = vec![NONE; tree.aux_count()];
+
+        // BFS from the root, layer by layer (the graph is layered).
+        let root = tree.root_id();
+        let mut frontier: VecDeque<u32> = VecDeque::new();
+        // Root -> Q layer.
+        for qi in 0..tree.q.len() {
+            let id = tree.q_id(qi);
+            tree.parent[id as usize] = root;
+            frontier.push_back(id);
+        }
+        // Downward sweep: from layer (k+1) nodes to layer k.
+        while let Some(up) = frontier.pop_front() {
+            let up_layer = tree.layer(up);
+            if up_layer == 1 {
+                continue;
+            }
+            let down_layer = up_layer - 1;
+            let v = tree.vertex(up).expect("non-root");
+            // Candidate aux ids below: copies of v and its G-neighbors.
+            let mut candidates: Vec<u32> = Vec::new();
+            if down_layer == 1 {
+                for (j, &pv) in path.iter().enumerate() {
+                    if pv == v || graph.has_edge(pv, v) {
+                        candidates.push(j as u32);
+                    }
+                }
+            } else {
+                // Full copy layer (2..=ell).
+                candidates.push(tree.copy_id(down_layer, v));
+                for &w in graph.neighbors(v) {
+                    candidates.push(tree.copy_id(down_layer, w));
+                }
+            }
+            for id in candidates {
+                if tree.parent[id as usize] == NONE && id != root {
+                    tree.parent[id as usize] = up;
+                    frontier.push_back(id);
+                }
+            }
+        }
+        // All path leaves must be in T.
+        for j in 0..tree.path.len() {
+            if tree.parent[j] == NONE {
+                return Err(ShortcutTreeError::PathTooFarFromQ { position: j });
+            }
+        }
+
+        // Survival of each (child -> parent) edge.
+        for id in 0..tree.aux_count() as u32 {
+            let p = tree.parent[id as usize];
+            if p == NONE {
+                continue;
+            }
+            let child_layer = tree.layer(id);
+            let surv = if p == root {
+                true
+            } else if child_layer == 1 {
+                true // E(L1, L2) kept with probability 1
+            } else {
+                let cv = tree.vertex(id).expect("non-root child");
+                let pv = tree.vertex(p).expect("non-root parent");
+                if cv == pv {
+                    true // self-copy edge
+                } else {
+                    // Non-self edge between layers k=child_layer and k+1,
+                    // fed by repetition rep_offset + (k-2).
+                    let rep = rep_offset + (child_layer as u32 - 2);
+                    rep < oracle.reps && oracle.sampled_by(cv, pv, leader, rep)
+                }
+            };
+            tree.survived[id as usize] = surv;
+        }
+
+        // Rightmost P-position per surviving subtree, bottom-up. Aux ids
+        // are already ordered by layer (L1 first), so one ascending pass
+        // pushes values upward correctly.
+        for j in 0..tree.path.len() {
+            tree.rightmost[j] = j as u32;
+        }
+        for id in 0..tree.aux_count() as u32 {
+            let p = tree.parent[id as usize];
+            if p == NONE || !tree.survived[id as usize] {
+                continue;
+            }
+            let r = tree.rightmost[id as usize];
+            if r == NONE {
+                continue;
+            }
+            let cur = tree.rightmost[p as usize];
+            if cur == NONE || r > cur {
+                tree.rightmost[p as usize] = r;
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Path length `|P|`.
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The distance budget ℓ.
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// Number of nodes in the auxiliary graph.
+    pub fn aux_size(&self) -> usize {
+        self.aux_count()
+    }
+
+    /// Highest surviving ancestor of path position `i` within layers
+    /// `≤ max_layer`; returns the aux id (the position itself if its
+    /// upward edge did not survive, which cannot happen for
+    /// `max_layer ≥ 2` since `E(L1, L2)` is kept).
+    fn top_ancestor(&self, i: usize, max_layer: usize) -> u32 {
+        let mut cur = i as u32;
+        loop {
+            let p = self.parent[cur as usize];
+            if p == NONE || !self.survived[cur as usize] {
+                break;
+            }
+            if self.layer(p) > max_layer {
+                break;
+            }
+            cur = p;
+        }
+        cur
+    }
+
+    /// Measures the greedy walk from path position `i` (0-based) toward
+    /// level `target` (the lemma's `k+1`), using `(·, target−1)` units.
+    /// For `target = 2` the kept `E(L_1, L_2)` edge gives length 1
+    /// immediately.
+    ///
+    /// Returns `None` when `target` is out of range
+    /// (`2 ≤ target ≤ ℓ+1`).
+    pub fn walk_to_level(&self, i: usize, target: usize) -> Option<WalkMeasurement> {
+        if i >= self.path.len() || target < 2 || target > self.ell + 1 {
+            return None;
+        }
+        if target == 2 {
+            let p = self.parent[i];
+            debug_assert!(p != NONE);
+            return Some(WalkMeasurement {
+                length: 1,
+                units: 1,
+                end: WalkEnd::ReachedLevel {
+                    vertex: self.vertex(p).expect("layer-2 node"),
+                },
+                level_nodes_distinct: true,
+            });
+        }
+        let k = target - 1;
+        let last = self.path.len() - 1;
+        let mut cur = i;
+        let mut total = 0usize;
+        let mut units = 0usize;
+        let mut tops_at_k: Vec<u32> = Vec::new();
+        let mut distinct = true;
+        loop {
+            let top = self.top_ancestor(cur, k);
+            let top_layer = self.layer(top);
+            units += 1;
+            if top_layer == k {
+                if tops_at_k.contains(&top) {
+                    distinct = false;
+                }
+                tops_at_k.push(top);
+                // Does the T-edge above the top survive into T[p]?
+                let p = self.parent[top as usize];
+                if p != NONE && self.survived[top as usize] && self.layer(p) == k + 1 {
+                    return Some(WalkMeasurement {
+                        length: total + (top_layer - 1) + 1,
+                        units,
+                        end: WalkEnd::ReachedLevel {
+                            vertex: self.vertex(p).expect("level target node"),
+                        },
+                        level_nodes_distinct: distinct,
+                    });
+                }
+            }
+            let j = self.rightmost[top as usize];
+            debug_assert!(j != NONE && j as usize >= cur, "unit must not move left");
+            let j = j as usize;
+            total += 2 * (top_layer - 1);
+            if j >= last {
+                return Some(WalkMeasurement {
+                    length: total,
+                    units,
+                    end: WalkEnd::ReachedT,
+                    level_nodes_distinct: distinct,
+                });
+            }
+            total += 1; // the path edge (p_j, p_{j+1})
+            cur = j + 1;
+        }
+    }
+
+    /// Distances from path position `start` in the undirected graph
+    /// `T* = T[p] ∪ E(P)`, per aux node (`None` = unreachable).
+    pub fn tstar_distances(&self, start: usize) -> Vec<Option<u32>> {
+        assert!(start < self.path.len());
+        // Build adjacency of T*: surviving tree edges + path edges.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.aux_count()];
+        for id in 0..self.aux_count() as u32 {
+            let p = self.parent[id as usize];
+            if p != NONE && self.survived[id as usize] {
+                adj[id as usize].push(p);
+                adj[p as usize].push(id);
+            }
+        }
+        for j in 0..self.path.len() - 1 {
+            adj[j].push(j as u32 + 1);
+            adj[j + 1].push(j as u32);
+        }
+        let mut dist = vec![None; self.aux_count()];
+        let mut queue = VecDeque::new();
+        dist[start] = Some(0u32);
+        queue.push_back(start as u32);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize].expect("visited");
+            for &w in &adj[u as usize] {
+                if dist[w as usize].is_none() {
+                    dist[w as usize] = Some(du + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Minimum `T*` distance from path position `start` to any node of
+    /// layer `j` (`None` if unreachable).
+    pub fn tstar_dist_to_layer(&self, start: usize, j: usize) -> Option<u32> {
+        let dist = self.tstar_distances(start);
+        (0..self.aux_count() as u32)
+            .filter(|&id| self.layer(id) == j)
+            .filter_map(|id| dist[id as usize])
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::{HighwayGraph, HighwayParams};
+
+    /// Highway instance with one path as P and {root-ish hub} as Q.
+    fn fixture() -> (Graph, Vec<NodeId>, Vec<NodeId>) {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 2,
+            path_len: 14,
+            diameter: 4,
+        })
+        .unwrap();
+        let g = hw.graph().clone();
+        let path: Vec<NodeId> = (0..14).map(|c| hw.path_node(0, c)).collect();
+        // Q = the tree root (adjacent to all leaves, distance 2 from
+        // every path node).
+        let root_neighbor = hw.column_leaf(0);
+        let q: Vec<NodeId> = g
+            .neighbors(root_neighbor)
+            .iter()
+            .copied()
+            .filter(|&w| w >= hw.highway_first() && w != root_neighbor)
+            .collect();
+        (g, path, q)
+    }
+
+    fn all_kept_oracle() -> SampleOracle {
+        SampleOracle::new(0, 1.0, 8)
+    }
+
+    fn none_kept_oracle() -> SampleOracle {
+        SampleOracle::new(0, 0.0, 8)
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let (g, path, q) = fixture();
+        let o = all_kept_oracle();
+        assert!(matches!(
+            ShortcutTree::new(&g, &[], &q, 3, &o, 99, 0),
+            Err(ShortcutTreeError::EmptyPath)
+        ));
+        assert!(matches!(
+            ShortcutTree::new(&g, &path, &[], 3, &o, 99, 0),
+            Err(ShortcutTreeError::EmptyQ)
+        ));
+        assert!(matches!(
+            ShortcutTree::new(&g, &path, &q, 0, &o, 99, 0),
+            Err(ShortcutTreeError::BadEll)
+        ));
+        // Q at distance 2 from path; ell = 1 is too tight.
+        assert!(matches!(
+            ShortcutTree::new(&g, &path, &q, 1, &o, 99, 0),
+            Err(ShortcutTreeError::PathTooFarFromQ { .. })
+        ));
+        // ell = 2 suffices.
+        assert!(ShortcutTree::new(&g, &path, &q, 2, &o, 99, 0).is_ok());
+    }
+
+    #[test]
+    fn layers_and_sizes() {
+        let (g, path, q) = fixture();
+        let o = all_kept_oracle();
+        let t = ShortcutTree::new(&g, &path, &q, 3, &o, 99, 0).unwrap();
+        assert_eq!(t.aux_size(), path.len() + 2 * g.n() + q.len() + 1);
+        assert_eq!(t.layer(0), 1);
+        assert_eq!(t.layer(t.root_id()), 5);
+        assert_eq!(t.vertex(0), Some(path[0]));
+        assert_eq!(t.vertex(t.root_id()), None);
+    }
+
+    #[test]
+    fn full_sampling_gives_short_walks() {
+        let (g, path, q) = fixture();
+        let o = all_kept_oracle();
+        let t = ShortcutTree::new(&g, &path, &q, 3, &o, 99, 0).unwrap();
+        // With every edge kept, a single unit climbs straight to any
+        // level: walk to level ell+1 is one climb.
+        for i in 0..path.len() {
+            let m = t.walk_to_level(i, 4).unwrap();
+            assert!(
+                matches!(m.end, WalkEnd::ReachedLevel { .. }),
+                "position {i}"
+            );
+            assert!(m.length <= 4, "length {}", m.length);
+            assert!(m.level_nodes_distinct);
+        }
+    }
+
+    #[test]
+    fn zero_sampling_walks_along_path() {
+        let (g, path, q) = fixture();
+        let o = none_kept_oracle();
+        let t = ShortcutTree::new(&g, &path, &q, 3, &o, 99, 0).unwrap();
+        // Nothing survives above layer 2, so every unit is a bounce
+        // (up 1, down 1) and the walk must traverse the whole path.
+        let m = t.walk_to_level(0, 4).unwrap();
+        assert_eq!(m.end, WalkEnd::ReachedT);
+        // Bounce at each position + path edges: 2 per unit + 1 per step.
+        assert!(m.length >= path.len() - 1);
+        assert_eq!(m.units, path.len());
+    }
+
+    #[test]
+    fn level_two_walks_are_length_one() {
+        let (g, path, q) = fixture();
+        let t = ShortcutTree::new(&g, &path, &q, 2, &none_kept_oracle(), 99, 0).unwrap();
+        for i in 0..path.len() {
+            let m = t.walk_to_level(i, 2).unwrap();
+            assert_eq!(m.length, 1);
+        }
+    }
+
+    #[test]
+    fn walk_target_bounds_checked() {
+        let (g, path, q) = fixture();
+        let t = ShortcutTree::new(&g, &path, &q, 2, &all_kept_oracle(), 99, 0).unwrap();
+        assert!(t.walk_to_level(0, 1).is_none());
+        assert!(t.walk_to_level(0, 5).is_none());
+        assert!(t.walk_to_level(999, 2).is_none());
+        assert!(t.walk_to_level(0, 3).is_some());
+    }
+
+    #[test]
+    fn tstar_distance_consistency() {
+        let (g, path, q) = fixture();
+        let o = all_kept_oracle();
+        let t = ShortcutTree::new(&g, &path, &q, 3, &o, 99, 0).unwrap();
+        // With everything kept, s reaches layer 2 at distance 1 and the
+        // root within ell+1.
+        assert_eq!(t.tstar_dist_to_layer(0, 2), Some(1));
+        let d_root = t.tstar_dist_to_layer(0, 5).unwrap();
+        assert!(d_root <= 4, "distance to root {d_root}");
+        // Walk lengths dominate T* distances (a walk is one particular
+        // route).
+        let m = t.walk_to_level(0, 4).unwrap();
+        let d4 = t.tstar_dist_to_layer(0, 4).unwrap() as usize;
+        assert!(m.length >= d4);
+    }
+
+    #[test]
+    fn intermediate_sampling_beats_path_walk() {
+        // With p = 0.5 and several repetitions, walks should reach the
+        // target level well before traversing the whole path (w.h.p.;
+        // seed fixed).
+        let (g, path, q) = fixture();
+        let o = SampleOracle::new(1234, 0.5, 8);
+        let t = ShortcutTree::new(&g, &path, &q, 3, &o, 99, 0).unwrap();
+        let m = t.walk_to_level(0, 4).unwrap();
+        assert!(m.level_nodes_distinct, "Obs 3.1");
+        if let WalkEnd::ReachedLevel { .. } = m.end {
+            assert!(m.length < 2 * path.len());
+        }
+    }
+
+    #[test]
+    fn rep_offset_changes_coins() {
+        let (g, path, q) = fixture();
+        let o = SampleOracle::new(77, 0.4, 8);
+        let t0 = ShortcutTree::new(&g, &path, &q, 3, &o, 99, 0).unwrap();
+        let t4 = ShortcutTree::new(&g, &path, &q, 3, &o, 99, 4).unwrap();
+        assert_ne!(
+            t0.survived, t4.survived,
+            "different repetition blocks draw different coins"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Streaming quality measurement for large-`n` sweeps.
+//!
+//! Materializing every `H_i` costs `Θ(m·k_D·log n)` memory — prohibitive
+//! past `n ≈ 10⁴`. But the two quality numbers can be computed without
+//! ever storing the shortcut sets:
+//!
+//! * **congestion**: an edge's congestion is the number of distinct
+//!   instances that own it; with the per-arc pick enumeration
+//!   ([`SampleOracle::picks_for_arc`]) the pick lists of one edge
+//!   (2 directions × `reps` repetitions, each `O(k_D·log n)` long w.h.p.)
+//!   can be merged and deduplicated *per edge*, so peak memory is per
+//!   edge, not per graph;
+//! * **dilation**: estimated on a random sample of large parts, each of
+//!   whose `H_i` is materialized alone via membership queries.
+//!
+//! The same coins as [`OracleMode::PerArc`] are drawn, so streamed
+//! congestion equals the materialized measurement exactly (tested).
+
+use crate::centralized::{classify_large, LargenessRule};
+use crate::params::KpParams;
+use crate::sampling::SampleOracle;
+use lcs_graph::{EdgeId, Graph};
+use lcs_shortcut::{Partition, ShortcutSet};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a streaming quality measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedQuality {
+    /// Exact max per-edge congestion (same coins as `PerArc`).
+    pub congestion: u32,
+    /// Mean congestion over loaded edges.
+    pub mean_congestion: f64,
+    /// Upper-bound dilation estimate over the sampled parts
+    /// (2 × leader radius in the augmented subgraph).
+    pub dilation_upper: u32,
+    /// Lower-bound (double-sweep) dilation over the sampled parts.
+    pub dilation_lower: u32,
+    /// How many parts the dilation was sampled on.
+    pub parts_sampled: usize,
+    /// Number of large parts.
+    pub num_large: usize,
+}
+
+/// Streams the quality of the `PerArc` centralized construction without
+/// materializing the shortcut sets. `dilation_sample` bounds how many
+/// large parts get their dilation measured (0 = skip dilation).
+pub fn streamed_quality(
+    graph: &Graph,
+    partition: &Partition,
+    params: KpParams,
+    seed: u64,
+    rule: LargenessRule,
+    dilation_sample: usize,
+) -> StreamedQuality {
+    let oracle = SampleOracle::new(seed, params.p, params.reps);
+    let is_large = classify_large(graph, partition, params.k_ceil, rule);
+    let large_parts: Vec<usize> = (0..partition.num_parts())
+        .filter(|&i| is_large[i])
+        .collect();
+    let num_large = large_parts.len();
+    // Dense rank of each large part (PerArc pick space), and the part
+    // of each node for the Step-1 term.
+    let mut rank_of_part: Vec<Option<u32>> = vec![None; partition.num_parts()];
+    for (r, &i) in large_parts.iter().enumerate() {
+        rank_of_part[i] = Some(r as u32);
+    }
+
+    // --- Congestion: per-edge merge of pick lists + Step-1 terms. -----
+    let mut max_c = 0u32;
+    let mut sum_c = 0u64;
+    let mut loaded = 0u64;
+    let mut picks: Vec<u32> = Vec::with_capacity(256);
+    for e in graph.edge_ids() {
+        let (u, v) = graph.edge_endpoints(e);
+        picks.clear();
+        // Step 1: the edge belongs to the augmented subgraph of the
+        // parts of its endpoints (large or not, for measurement parity
+        // count the part itself like measure_quality does via G[S_i]).
+        // Sampled instances (large ranks only):
+        for rep in 0..params.reps {
+            for &arcdir in &[(u, v), (v, u)] {
+                for r in oracle.picks_for_arc(arcdir.0, arcdir.1, rep, num_large) {
+                    // u ∉ S_i condition of Step 2.
+                    let part = large_parts[r as usize] as u32;
+                    if partition.part_of(arcdir.0) != Some(part) {
+                        picks.push(r);
+                    }
+                }
+            }
+        }
+        picks.sort_unstable();
+        picks.dedup();
+        let mut c = picks.len() as u32;
+        // Parts that own the edge via G[S_i] or Step 1 (edge incident to
+        // the part) and were not already counted via sampling.
+        for &w in &[u, v] {
+            if let Some(p) = partition.part_of(w) {
+                if is_large[p as usize] {
+                    let r = rank_of_part[p as usize].expect("large part has a rank");
+                    if picks.binary_search(&r).is_err() {
+                        c += 1;
+                        picks.push(r); // guard against u,v in same part
+                        picks.sort_unstable();
+                    }
+                } else if partition.part_of(u) == partition.part_of(v) && w == u {
+                    // Small part internal edge: counted once.
+                    c += 1;
+                }
+            }
+        }
+        if c > 0 {
+            loaded += 1;
+            sum_c += c as u64;
+        }
+        max_c = max_c.max(c);
+    }
+
+    // --- Dilation: sampled parts, one materialized H_i at a time. -----
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD11A);
+    let mut sample = large_parts.clone();
+    sample.shuffle(&mut rng);
+    sample.truncate(dilation_sample);
+    let mut dil_upper = 0u32;
+    let mut dil_lower = 0u32;
+    for &i in &sample {
+        let leader = partition.leader(i);
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for e in graph.edge_ids() {
+            let (u, v) = graph.edge_endpoints(e);
+            let pi = Some(i as u32);
+            let step1 = partition.part_of(u) == pi || partition.part_of(v) == pi;
+            if step1 || oracle.edge_in_instance(u, v, leader) {
+                edges.push(e);
+            }
+        }
+        let shortcut = ShortcutSet::from_edge_lists({
+            let mut per_part = vec![Vec::new(); partition.num_parts()];
+            per_part[i] = edges;
+            per_part
+        });
+        let sub = shortcut.augmented_subgraph(graph, partition, i);
+        if let Some((lo, hi)) = sub.estimate_pairwise_distance(partition.part(i), leader) {
+            dil_upper = dil_upper.max(hi);
+            dil_lower = dil_lower.max(lo);
+        }
+    }
+
+    StreamedQuality {
+        congestion: max_c,
+        mean_congestion: if loaded == 0 {
+            0.0
+        } else {
+            sum_c as f64 / loaded as f64
+        },
+        dilation_upper: dil_upper,
+        dilation_lower: dil_lower,
+        parts_sampled: sample.len(),
+        num_large,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::{centralized_shortcuts, OracleMode};
+    use lcs_graph::{HighwayGraph, HighwayParams};
+    use lcs_shortcut::{measure_quality, DilationMode};
+
+    #[test]
+    fn streamed_congestion_matches_materialized_per_arc() {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 4,
+            path_len: 30,
+            diameter: 4,
+        })
+        .unwrap();
+        let g = hw.graph();
+        let p = Partition::new(g, hw.path_parts()).unwrap();
+        let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+        for seed in [1u64, 7, 42] {
+            let streamed =
+                streamed_quality(g, &p, params, seed, LargenessRule::Radius, 0);
+            let materialized = centralized_shortcuts(
+                g,
+                &p,
+                params,
+                seed,
+                LargenessRule::Radius,
+                OracleMode::PerArc,
+            );
+            let report =
+                measure_quality(g, &p, &materialized.shortcuts, DilationMode::Exact);
+            assert_eq!(
+                streamed.congestion, report.quality.congestion,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_dilation_brackets_materialized() {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 3,
+            path_len: 24,
+            diameter: 4,
+        })
+        .unwrap();
+        let g = hw.graph();
+        let p = Partition::new(g, hw.path_parts()).unwrap();
+        let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+        let streamed = streamed_quality(g, &p, params, 5, LargenessRule::Radius, 3);
+        assert_eq!(streamed.parts_sampled, 3);
+        let materialized = centralized_shortcuts(
+            g,
+            &p,
+            params,
+            5,
+            LargenessRule::Radius,
+            OracleMode::PerArc,
+        );
+        let exact = measure_quality(g, &p, &materialized.shortcuts, DilationMode::Exact);
+        // Sampled-part double-sweep brackets the exact max when all
+        // parts are sampled.
+        assert!(streamed.dilation_upper >= exact.quality.dilation);
+        assert!(streamed.dilation_lower <= exact.quality.dilation);
+    }
+
+    #[test]
+    fn zero_sample_skips_dilation() {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 2,
+            path_len: 16,
+            diameter: 4,
+        })
+        .unwrap();
+        let g = hw.graph();
+        let p = Partition::new(g, hw.path_parts()).unwrap();
+        let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+        let s = streamed_quality(g, &p, params, 1, LargenessRule::Radius, 0);
+        assert_eq!(s.dilation_upper, 0);
+        assert_eq!(s.parts_sampled, 0);
+        assert!(s.congestion > 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Breadth-first search: distances, trees, truncated and filtered
+//! variants.
+//!
+//! The shortcut constructions need several flavours of BFS:
+//!
+//! * plain single-source BFS over the whole graph;
+//! * BFS restricted to an induced node subset (`G[S_i]`);
+//! * *truncated* BFS that stops at a depth bound `k_D` and reports
+//!   whether any frontier remained (the paper's large-part test);
+//! * multi-source BFS (distance to a node set, used by the shortcut-tree
+//!   machinery).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Result of a (possibly truncated / filtered) BFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `dist[v]` is the hop distance from the source set, or
+    /// [`UNREACHABLE`].
+    pub dist: Vec<u32>,
+    /// `parent[v]` is the BFS-tree parent, `None` for sources and
+    /// unreached nodes.
+    pub parent: Vec<Option<NodeId>>,
+    /// Nodes in visitation order (sources first).
+    pub order: Vec<NodeId>,
+    /// True iff the BFS was truncated while some unvisited neighbor of
+    /// the deepest layer existed (i.e. the ball of the given radius does
+    /// not cover the reachable subgraph).
+    pub truncated_with_frontier: bool,
+}
+
+impl BfsResult {
+    /// Maximum finite distance reached (0 when only sources visited).
+    pub fn max_depth(&self) -> u32 {
+        self.order
+            .iter()
+            .map(|&v| self.dist[v as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of visited nodes.
+    pub fn visited(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v as usize] != UNREACHABLE
+    }
+
+    /// Reconstructs the tree path from a source to `v` (inclusive), or
+    /// `None` when `v` was not reached.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Configuration for [`bfs`]. Use [`BfsOptions::default`] for a full
+/// single-graph BFS.
+#[derive(Clone)]
+pub struct BfsOptions<'a> {
+    /// Maximum depth to explore (`u32::MAX` = unbounded).
+    pub max_depth: u32,
+    /// Restrict traversal to nodes for which this returns true (sources
+    /// are always allowed). `None` = all nodes.
+    #[allow(clippy::type_complexity)]
+    pub node_filter: Option<&'a dyn Fn(NodeId) -> bool>,
+}
+
+impl<'a> Default for BfsOptions<'a> {
+    fn default() -> Self {
+        BfsOptions {
+            max_depth: u32::MAX,
+            node_filter: None,
+        }
+    }
+}
+
+impl<'a> std::fmt::Debug for BfsOptions<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BfsOptions")
+            .field("max_depth", &self.max_depth)
+            .field("has_node_filter", &self.node_filter.is_some())
+            .finish()
+    }
+}
+
+/// Multi-source BFS with optional depth bound and node filter.
+///
+/// # Panics
+///
+/// Panics if a source id is `>= g.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use lcs_graph::{Graph, bfs, BfsOptions};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let r = bfs(&g, &[0], &BfsOptions::default());
+/// assert_eq!(r.dist, vec![0, 1, 2, 3]);
+/// ```
+pub fn bfs(g: &Graph, sources: &[NodeId], opts: &BfsOptions<'_>) -> BfsResult {
+    let n = g.n();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![None; n];
+    let mut order = Vec::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &s in sources {
+        assert!((s as usize) < n, "BFS source {s} out of range (n={n})");
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            order.push(s);
+            queue.push_back(s);
+        }
+    }
+    let mut truncated_with_frontier = false;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] != UNREACHABLE {
+                continue;
+            }
+            if let Some(filter) = opts.node_filter {
+                if !filter(w) {
+                    continue;
+                }
+            }
+            if du >= opts.max_depth {
+                truncated_with_frontier = true;
+                continue;
+            }
+            dist[w as usize] = du + 1;
+            parent[w as usize] = Some(u);
+            order.push(w);
+            queue.push_back(w);
+        }
+    }
+    BfsResult {
+        dist,
+        parent,
+        order,
+        truncated_with_frontier,
+    }
+}
+
+/// Single-source full-graph BFS distances.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    bfs(g, &[source], &BfsOptions::default()).dist
+}
+
+/// BFS restricted to the induced subgraph `G[set]`; `set_member` must be
+/// a membership predicate for the set and `source` must satisfy it.
+pub fn bfs_within(
+    g: &Graph,
+    source: NodeId,
+    set_member: &dyn Fn(NodeId) -> bool,
+    max_depth: u32,
+) -> BfsResult {
+    debug_assert!(set_member(source), "source must belong to the set");
+    bfs(
+        g,
+        &[source],
+        &BfsOptions {
+            max_depth,
+            node_filter: Some(set_member),
+        },
+    )
+}
+
+/// Eccentricity of `v` (max finite BFS distance). Returns `None` if the
+/// graph has unreachable nodes from `v` and `require_connected` is set.
+pub fn eccentricity(g: &Graph, v: NodeId, require_connected: bool) -> Option<u32> {
+    let dist = bfs_distances(g, v);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            if require_connected {
+                return None;
+            }
+            continue;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// Extracts one shortest path between `s` and `t`, or `None` when
+/// disconnected.
+pub fn shortest_path(g: &Graph, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+    bfs(g, &[s], &BfsOptions::default()).path_to(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn plain_bfs_distances() {
+        let g = path_graph(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_marks_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn truncated_bfs_reports_frontier() {
+        let g = path_graph(10);
+        let r = bfs(
+            &g,
+            &[0],
+            &BfsOptions {
+                max_depth: 3,
+                node_filter: None,
+            },
+        );
+        assert_eq!(r.visited(), 4);
+        assert!(r.truncated_with_frontier);
+        assert_eq!(r.max_depth(), 3);
+
+        let r_full = bfs(
+            &g,
+            &[0],
+            &BfsOptions {
+                max_depth: 9,
+                node_filter: None,
+            },
+        );
+        assert!(!r_full.truncated_with_frontier);
+        assert_eq!(r_full.visited(), 10);
+    }
+
+    #[test]
+    fn truncation_at_exact_cover_depth_has_no_frontier() {
+        let g = path_graph(5);
+        let r = bfs(
+            &g,
+            &[2],
+            &BfsOptions {
+                max_depth: 2,
+                node_filter: None,
+            },
+        );
+        assert_eq!(r.visited(), 5);
+        assert!(!r.truncated_with_frontier);
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = path_graph(7);
+        let r = bfs(&g, &[0, 6], &BfsOptions::default());
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 2, 1, 0]);
+        // Duplicate sources are harmless.
+        let r2 = bfs(&g, &[0, 0, 6], &BfsOptions::default());
+        assert_eq!(r2.dist, r.dist);
+    }
+
+    #[test]
+    fn filtered_bfs_stays_inside_set() {
+        // Star: center 0 connected to 1..5; set = {0, 1, 2}.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        let member = |v: NodeId| v <= 2;
+        let r = bfs_within(&g, 0, &member, u32::MAX);
+        assert_eq!(r.visited(), 3);
+        assert!(!r.reached(3));
+        assert_eq!(r.dist[1], 1);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = path_graph(5);
+        let r = bfs(&g, &[0], &BfsOptions::default());
+        assert_eq!(r.path_to(4).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.path_to(0).unwrap(), vec![0]);
+        assert_eq!(shortest_path(&g, 4, 1).unwrap(), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn parents_form_valid_tree() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (1, 5)],
+        )
+        .unwrap();
+        let r = bfs(&g, &[0], &BfsOptions::default());
+        for v in g.nodes() {
+            if let Some(p) = r.parent[v as usize] {
+                assert!(g.has_edge(p, v));
+                assert_eq!(r.dist[v as usize], r.dist[p as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_values() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, 0, true), Some(4));
+        assert_eq!(eccentricity(&g, 2, true), Some(2));
+        let disc = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(eccentricity(&disc, 0, true), None);
+        assert_eq!(eccentricity(&disc, 0, false), Some(1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Bridge detection (Tarjan's low-link algorithm, iterative).
+//!
+//! Used to verify two-edge-connected subgraphs in the 2-ECSS
+//! application (Corollary 4.3).
+
+use crate::graph::{EdgeId, Graph};
+
+/// All bridges of `g` (edges whose removal disconnects their
+/// component), sorted by edge id.
+pub fn bridges(g: &Graph) -> Vec<EdgeId> {
+    let n = g.n();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut timer = 0u32;
+    let mut out = Vec::new();
+    // Iterative DFS storing (node, parent_edge, neighbor cursor).
+    let mut stack: Vec<(u32, Option<EdgeId>, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if disc[start as usize] != u32::MAX {
+            continue;
+        }
+        disc[start as usize] = timer;
+        low[start as usize] = timer;
+        timer += 1;
+        stack.push((start, None, 0));
+        while let Some(&mut (v, pe, ref mut cursor)) = stack.last_mut() {
+            let adj: Vec<(u32, EdgeId)> = g.neighbors_with_edges(v).collect();
+            if *cursor < adj.len() {
+                let (w, e) = adj[*cursor];
+                *cursor += 1;
+                if Some(e) == pe {
+                    continue; // don't traverse the parent edge back
+                }
+                if disc[w as usize] == u32::MAX {
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, Some(e), 0));
+                } else {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(parent, _, _)) = stack.last() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    if low[v as usize] > disc[parent as usize] {
+                        out.push(pe.expect("non-root frame has a parent edge"));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Whether `g` is two-edge-connected (connected and bridgeless); trivial
+/// graphs (`n ≤ 1`) count as two-edge-connected.
+pub fn is_two_edge_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    crate::components::is_connected(g) && bridges(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, path};
+
+    #[test]
+    fn path_is_all_bridges() {
+        let g = path(5);
+        assert_eq!(bridges(&g).len(), 4);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = cycle(6);
+        assert!(bridges(&g).is_empty());
+        assert!(is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn bridge_between_two_triangles() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+        .unwrap();
+        let b = bridges(&g);
+        assert_eq!(b.len(), 1);
+        let (u, v) = g.edge_endpoints(b[0]);
+        assert_eq!((u, v), (2, 3));
+    }
+
+    #[test]
+    fn complete_graph_two_edge_connected() {
+        assert!(is_two_edge_connected(&complete(5)));
+    }
+
+    #[test]
+    fn disconnected_graph_bridges_per_component() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4), (4, 2), (4, 5)]).unwrap();
+        let b = bridges(&g);
+        // (0,1) and (4,5) are bridges; the triangle 2-3-4 is not.
+        assert_eq!(b.len(), 2);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        assert!(is_two_edge_connected(&Graph::from_edges(0, &[]).unwrap()));
+        assert!(is_two_edge_connected(&Graph::from_edges(1, &[]).unwrap()));
+        assert!(!is_two_edge_connected(&Graph::from_edges(2, &[]).unwrap()));
+    }
+}

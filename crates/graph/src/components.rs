@@ -1,0 +1,135 @@
+//! Connected components and connectivity predicates.
+
+use crate::bfs::{bfs, BfsOptions, UNREACHABLE};
+use crate::graph::{Graph, NodeId};
+use crate::union_find::UnionFind;
+
+/// Connected-component labelling of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component index of `v`, dense in
+    /// `0..num_components`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+    /// Sizes indexed by component label.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Nodes of a given component, in increasing id order.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+}
+
+/// Labels connected components via union-find.
+pub fn connected_components(g: &Graph) -> Components {
+    let mut uf = UnionFind::new(g.n());
+    for &(u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let mut label = vec![u32::MAX; g.n()];
+    let mut sizes = Vec::new();
+    let mut next = 0u32;
+    for v in 0..g.n() as u32 {
+        let r = uf.find(v);
+        if label[r as usize] == u32::MAX {
+            label[r as usize] = next;
+            sizes.push(0);
+            next += 1;
+        }
+        let c = label[r as usize];
+        if v != r {
+            label[v as usize] = c;
+        }
+        sizes[c as usize] += 1;
+    }
+    Components {
+        label,
+        num_components: next as usize,
+        sizes,
+    }
+}
+
+/// Whether the whole graph is connected (the empty graph counts as
+/// connected; a single node does too).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    let r = bfs(g, &[0], &BfsOptions::default());
+    r.visited() == g.n()
+}
+
+/// Whether the induced subgraph `G[set]` is connected. An empty set and a
+/// singleton are connected. `set` must contain valid, distinct node ids.
+pub fn is_set_connected(g: &Graph, set: &[NodeId]) -> bool {
+    if set.len() <= 1 {
+        return true;
+    }
+    let mut member = vec![false; g.n()];
+    for &v in set {
+        member[v as usize] = true;
+    }
+    let pred = |v: NodeId| member[v as usize];
+    let r = bfs(
+        g,
+        &[set[0]],
+        &BfsOptions {
+            max_depth: u32::MAX,
+            node_filter: Some(&pred),
+        },
+    );
+    set.iter().all(|&v| r.dist[v as usize] != UNREACHABLE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 1);
+        assert_eq!(c.sizes, vec![4]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components_and_isolated() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 3);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 5);
+        assert!(!is_connected(&g));
+        assert_eq!(c.label[0], c.label[1]);
+        assert_ne!(c.label[0], c.label[2]);
+        assert_eq!(c.members(c.label[4]), vec![4]);
+    }
+
+    #[test]
+    fn trivial_graphs_connected() {
+        assert!(is_connected(&Graph::from_edges(0, &[]).unwrap()));
+        assert!(is_connected(&Graph::from_edges(1, &[]).unwrap()));
+        assert!(!is_connected(&Graph::from_edges(2, &[]).unwrap()));
+    }
+
+    #[test]
+    fn set_connectivity() {
+        // Path 0-1-2-3-4.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert!(is_set_connected(&g, &[1, 2, 3]));
+        assert!(!is_set_connected(&g, &[0, 2]));
+        assert!(is_set_connected(&g, &[4]));
+        assert!(is_set_connected(&g, &[]));
+        // The whole path is connected as a set even though 0 and 4 are far.
+        assert!(is_set_connected(&g, &[0, 1, 2, 3, 4]));
+    }
+}

@@ -1,0 +1,225 @@
+//! Diameter computation: exact (all-pairs BFS), double-sweep bounds, and
+//! sampled eccentricity estimates.
+//!
+//! The paper's parameters hinge on the exact unweighted diameter `D` (or
+//! the 2-approximation a single BFS provides); the workloads need to
+//! *verify* that generated graphs have the intended constant diameter.
+
+use crate::bfs::{bfs, bfs_distances, BfsOptions, UNREACHABLE};
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Exact diameter by BFS from every node. `None` for the empty graph or
+/// a disconnected graph.
+///
+/// Runs in `O(n·m)`; intended for verification on moderate sizes.
+pub fn exact_diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut best = 0u32;
+    for v in g.nodes() {
+        let dist = bfs_distances(g, v);
+        for &d in &dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+/// Double-sweep lower bound: BFS from `start`, then BFS from the farthest
+/// node found. Exact on trees; a lower bound in general. `None` when the
+/// graph is disconnected or empty.
+pub fn double_sweep_lower_bound(g: &Graph, start: NodeId) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let d0 = bfs_distances(g, start);
+    let mut far = start;
+    let mut best = 0;
+    for (v, &d) in d0.iter().enumerate() {
+        if d == UNREACHABLE {
+            return None;
+        }
+        if d > best {
+            best = d;
+            far = v as NodeId;
+        }
+    }
+    let d1 = bfs_distances(g, far);
+    d1.iter().copied().filter(|&d| d != UNREACHABLE).max()
+}
+
+/// Upper bound from a single BFS: `2 × ecc(start)`.
+/// `None` when disconnected or empty.
+pub fn single_bfs_upper_bound(g: &Graph, start: NodeId) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let dist = bfs_distances(g, start);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc * 2)
+}
+
+/// Bracketed diameter estimate `(lower, upper)` using `samples` random
+/// double sweeps. `None` when disconnected or empty.
+pub fn estimate_diameter<R: Rng>(g: &Graph, samples: usize, rng: &mut R) -> Option<(u32, u32)> {
+    if g.n() == 0 {
+        return None;
+    }
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let mut lower = 0u32;
+    let mut upper = u32::MAX;
+    for _ in 0..samples.max(1) {
+        let &start = nodes.choose(rng).expect("nonempty");
+        lower = lower.max(double_sweep_lower_bound(g, start)?);
+        upper = upper.min(single_bfs_upper_bound(g, start)?);
+    }
+    Some((lower, upper.max(lower)))
+}
+
+/// Eccentricity of every node (exact, `O(n·m)`); `None` entries never
+/// occur — a disconnected graph yields `None` overall.
+pub fn all_eccentricities(g: &Graph) -> Option<Vec<u32>> {
+    let mut eccs = Vec::with_capacity(g.n());
+    for v in g.nodes() {
+        let dist = bfs_distances(g, v);
+        let mut e = 0;
+        for &d in &dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            e = e.max(d);
+        }
+        eccs.push(e);
+    }
+    Some(eccs)
+}
+
+/// Radius (min eccentricity) and diameter (max eccentricity) together.
+pub fn radius_and_diameter(g: &Graph) -> Option<(u32, u32)> {
+    let eccs = all_eccentricities(g)?;
+    let r = eccs.iter().copied().min()?;
+    let d = eccs.iter().copied().max()?;
+    Some((r, d))
+}
+
+/// Diameter of the induced subgraph `G[set]`: the maximum pairwise
+/// distance when travelling only through `set`. `Some(u32::MAX)` if the
+/// induced subgraph is disconnected; `None` when `set` is empty.
+pub fn induced_diameter(g: &Graph, set: &[NodeId]) -> Option<u32> {
+    if set.is_empty() {
+        return None;
+    }
+    let mut member = vec![false; g.n()];
+    for &v in set {
+        member[v as usize] = true;
+    }
+    let pred = |v: NodeId| member[v as usize];
+    let mut best = 0u32;
+    for &s in set {
+        let r = bfs(
+            g,
+            &[s],
+            &BfsOptions {
+                max_depth: u32::MAX,
+                node_filter: Some(&pred),
+            },
+        );
+        for &t in set {
+            let d = r.dist[t as usize];
+            if d == UNREACHABLE {
+                return Some(u32::MAX);
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    fn cycle_graph(n: usize) -> Graph {
+        let mut edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n as u32 - 1, 0));
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn exact_on_path_and_cycle() {
+        assert_eq!(exact_diameter(&path_graph(6)), Some(5));
+        assert_eq!(exact_diameter(&cycle_graph(6)), Some(3));
+        assert_eq!(exact_diameter(&cycle_graph(7)), Some(3));
+    }
+
+    #[test]
+    fn exact_handles_trivial_and_disconnected() {
+        assert_eq!(exact_diameter(&Graph::from_edges(0, &[]).unwrap()), None);
+        assert_eq!(exact_diameter(&Graph::from_edges(1, &[]).unwrap()), Some(0));
+        assert_eq!(exact_diameter(&Graph::from_edges(2, &[]).unwrap()), None);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        // A caterpillar: path 0..4 with leaves hanging off 2.
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (2, 6)]).unwrap();
+        let exact = exact_diameter(&g).unwrap();
+        for v in g.nodes() {
+            assert_eq!(double_sweep_lower_bound(&g, v), Some(exact));
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_exact() {
+        let g = cycle_graph(9);
+        let exact = exact_diameter(&g).unwrap();
+        for v in g.nodes() {
+            let lo = double_sweep_lower_bound(&g, v).unwrap();
+            let hi = single_bfs_upper_bound(&g, v).unwrap();
+            assert!(lo <= exact && exact <= hi);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (lo, hi) = estimate_diameter(&g, 4, &mut rng).unwrap();
+        assert!(lo <= exact && exact <= hi);
+    }
+
+    #[test]
+    fn radius_diameter_relation() {
+        let g = path_graph(9);
+        let (r, d) = radius_and_diameter(&g).unwrap();
+        assert_eq!((r, d), (4, 8));
+        assert!(d <= 2 * r);
+    }
+
+    #[test]
+    fn induced_diameter_cases() {
+        let g = path_graph(6);
+        // Contiguous segment: its own diameter.
+        assert_eq!(induced_diameter(&g, &[1, 2, 3]), Some(2));
+        // Disconnected within the induced subgraph.
+        assert_eq!(induced_diameter(&g, &[0, 2]), Some(u32::MAX));
+        // Empty.
+        assert_eq!(induced_diameter(&g, &[]), None);
+        // Singleton.
+        assert_eq!(induced_diameter(&g, &[3]), Some(0));
+    }
+}

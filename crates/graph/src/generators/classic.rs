@@ -1,0 +1,156 @@
+//! Deterministic classic topologies: paths, cycles, cliques, stars,
+//! grids, and balanced trees.
+
+use crate::graph::{Graph, NodeId};
+
+/// Path on `n` nodes (`n ≥ 1`); diameter `n - 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "path requires at least one node");
+    let edges: Vec<_> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges).expect("valid path")
+}
+
+/// Cycle on `n ≥ 3` nodes; diameter `⌊n/2⌋`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires at least three nodes");
+    let mut edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n as u32 - 1, 0));
+    Graph::from_edges(n, &edges).expect("valid cycle")
+}
+
+/// Complete graph on `n ≥ 1` nodes; diameter 1 (for `n ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 1, "complete graph requires at least one node");
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid clique")
+}
+
+/// Star with center 0 and `n - 1` leaves; diameter 2 (for `n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star requires at least one node");
+    let edges: Vec<_> = (1..n as u32).map(|v| (0, v)).collect();
+    Graph::from_edges(n, &edges).expect("valid star")
+}
+
+/// `rows × cols` grid; diameter `rows + cols - 2`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("valid grid")
+}
+
+/// Balanced `b`-ary tree of the given `depth` (root at node 0);
+/// diameter `2 × depth`. Returns the graph and the first node id of the
+/// deepest level.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn balanced_tree(b: usize, depth: usize) -> (Graph, NodeId) {
+    assert!(b >= 1, "branching factor must be positive");
+    let mut edges = Vec::new();
+    let mut level_start = 0u32;
+    let mut level_size = 1u32;
+    let mut next = 1u32;
+    for _ in 0..depth {
+        for i in 0..level_size {
+            let parent = level_start + i;
+            for _ in 0..b {
+                edges.push((parent, next));
+                next += 1;
+            }
+        }
+        level_start = next - level_size * b as u32;
+        level_size *= b as u32;
+    }
+    let n = next as usize;
+    (
+        Graph::from_edges(n, &edges).expect("valid tree"),
+        level_start,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diameter::exact_diameter;
+
+    #[test]
+    fn path_diameter() {
+        assert_eq!(exact_diameter(&path(1)), Some(0));
+        assert_eq!(exact_diameter(&path(7)), Some(6));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(exact_diameter(&cycle(8)), Some(4));
+        assert_eq!(exact_diameter(&cycle(9)), Some(4));
+    }
+
+    #[test]
+    fn complete_properties() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(exact_diameter(&g), Some(1));
+        assert_eq!(exact_diameter(&complete(1)), Some(0));
+    }
+
+    #[test]
+    fn star_diameter() {
+        assert_eq!(exact_diameter(&star(10)), Some(2));
+        assert_eq!(star(10).degree(0), 9);
+    }
+
+    #[test]
+    fn grid_diameter() {
+        assert_eq!(exact_diameter(&grid(3, 4)), Some(5));
+        assert_eq!(exact_diameter(&grid(1, 5)), Some(4));
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let (g, deepest) = balanced_tree(2, 3);
+        assert_eq!(g.n(), 1 + 2 + 4 + 8);
+        assert_eq!(exact_diameter(&g), Some(6));
+        assert_eq!(deepest, 7);
+        let (g1, d1) = balanced_tree(3, 0);
+        assert_eq!(g1.n(), 1);
+        assert_eq!(d1, 0);
+    }
+}

@@ -1,0 +1,462 @@
+//! The hard instance family for constant-diameter shortcuts.
+//!
+//! Elkin (STOC 2004) and Das Sarma et al. (STOC 2011) prove the
+//! `c + d = Ω̃(n^((D−2)/(2D−2)))` shortcut/MST lower bound on graphs built
+//! from **many long vertex-disjoint paths** that can only communicate
+//! through a **shallow, small "highway" hierarchy**: every path must either
+//! walk along itself (dilation) or funnel through the few high-level
+//! highway edges shared by all paths (congestion).
+//!
+//! [`HighwayGraph`] reproduces that mechanism with exact unweighted
+//! diameter `D` for any `D ≥ 3`:
+//!
+//! * `Γ` ([`HighwayParams::num_paths`]) disjoint paths, each with `ℓ`
+//!   ([`HighwayParams::path_len`]) *columns*;
+//! * every column `c` has a **leaf** node adjacent to the `c`-th node of
+//!   every path;
+//! * **even `D = 2h + 2`**: the `ℓ` leaves are the depth-`h` level of one
+//!   balanced tree;
+//! * **odd `D = 2h + 3`**: columns are split into contiguous groups, each
+//!   group has its own depth-`h` subtree, and the subtree roots form a
+//!   clique (for `D = 3` the leaves themselves form the clique).
+//!
+//! The natural part collection is one part per path
+//! ([`HighwayGraph::path_parts`]); these are exactly the subsets on which
+//! the lower bound binds.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use std::fmt;
+
+/// Parameters of a [`HighwayGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HighwayParams {
+    /// Number of vertex-disjoint paths `Γ`.
+    pub num_paths: usize,
+    /// Number of columns `ℓ` (nodes per path).
+    pub path_len: usize,
+    /// Target exact diameter `D ≥ 3`.
+    pub diameter: u32,
+}
+
+/// Error constructing a [`HighwayGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HighwayError {
+    /// `diameter < 3` — use a clique (D=1) or star-like graphs (D=2).
+    UnsupportedDiameter(u32),
+    /// The paths are too short to realize the requested diameter
+    /// (`path_len ≥ diameter + 2` is required).
+    PathTooShort {
+        /// Required minimum path length.
+        needed: usize,
+        /// Supplied path length.
+        got: usize,
+    },
+    /// `num_paths == 0`.
+    NoPaths,
+}
+
+impl fmt::Display for HighwayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HighwayError::UnsupportedDiameter(d) => {
+                write!(f, "highway family requires diameter >= 3, got {d}")
+            }
+            HighwayError::PathTooShort { needed, got } => {
+                write!(f, "path_len {got} too short, need at least {needed}")
+            }
+            HighwayError::NoPaths => write!(f, "num_paths must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for HighwayError {}
+
+/// A hard-instance graph together with its path parts and highway
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct HighwayGraph {
+    params: HighwayParams,
+    graph: Graph,
+    /// First node id of the highway (all smaller ids are path nodes).
+    highway_first: NodeId,
+    /// Leaf node id of every column.
+    column_leaf: Vec<NodeId>,
+}
+
+impl HighwayGraph {
+    /// Builds the family member with the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`HighwayError`].
+    pub fn new(params: HighwayParams) -> Result<Self, HighwayError> {
+        let HighwayParams {
+            num_paths,
+            path_len,
+            diameter,
+        } = params;
+        if diameter < 3 {
+            return Err(HighwayError::UnsupportedDiameter(diameter));
+        }
+        if num_paths == 0 {
+            return Err(HighwayError::NoPaths);
+        }
+        let needed = diameter as usize + 2;
+        if path_len < needed {
+            return Err(HighwayError::PathTooShort {
+                needed,
+                got: path_len,
+            });
+        }
+
+        let gamma = num_paths;
+        let ell = path_len;
+        let path_node = |i: usize, c: usize| (i * ell + c) as NodeId;
+        let highway_first = (gamma * ell) as u32;
+        let mut next_id = highway_first;
+        let mut alloc = |k: usize| {
+            let start = next_id;
+            next_id += k as u32;
+            start
+        };
+
+        // Path edges.
+        let mut builder_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for i in 0..gamma {
+            for c in 0..ell - 1 {
+                builder_edges.push((path_node(i, c), path_node(i, c + 1)));
+            }
+        }
+
+        // One leaf per column.
+        let leaf_start = alloc(ell);
+        let column_leaf: Vec<NodeId> = (0..ell).map(|c| leaf_start + c as u32).collect();
+        for (c, &leaf) in column_leaf.iter().enumerate() {
+            for i in 0..gamma {
+                builder_edges.push((leaf, path_node(i, c)));
+            }
+        }
+
+        // Highway above the leaves.
+        if diameter % 2 == 0 {
+            // D = 2h + 2: one tree of depth exactly h over all leaves.
+            let h = (diameter as usize - 2) / 2;
+            Self::build_tree_over(
+                &mut builder_edges,
+                &column_leaf,
+                h,
+                &mut alloc,
+            );
+        } else {
+            // D = 2h + 3: groups with depth-h subtrees; roots in a clique.
+            let h = (diameter as usize - 3) / 2;
+            let groups = Self::odd_group_count(ell, h);
+            let group_size = ell.div_ceil(groups);
+            let mut roots: Vec<NodeId> = Vec::with_capacity(groups);
+            for g in 0..groups {
+                let lo = g * group_size;
+                let hi = ((g + 1) * group_size).min(ell);
+                if lo >= hi {
+                    break;
+                }
+                let group_leaves: Vec<NodeId> = column_leaf[lo..hi].to_vec();
+                let root = Self::build_tree_over(
+                    &mut builder_edges,
+                    &group_leaves,
+                    h,
+                    &mut alloc,
+                );
+                roots.push(root);
+            }
+            for a in 0..roots.len() {
+                for b in (a + 1)..roots.len() {
+                    builder_edges.push((roots[a], roots[b]));
+                }
+            }
+        }
+
+        let n = next_id as usize;
+        let mut builder = GraphBuilder::new(n);
+        builder.add_edges(builder_edges);
+        let graph = builder.build().expect("construction yields a simple graph");
+        Ok(HighwayGraph {
+            params,
+            graph,
+            highway_first,
+            column_leaf,
+        })
+    }
+
+    /// Number of root groups used for odd diameters.
+    fn odd_group_count(ell: usize, h: usize) -> usize {
+        if h == 0 {
+            // Depth-0 subtrees are single leaves: one group per column.
+            ell
+        } else {
+            // Balance the clique size against subtree width.
+            let f = (ell as f64).powf(1.0 / (h as f64 + 1.0)).ceil() as usize;
+            f.clamp(2, ell)
+        }
+    }
+
+    /// Builds a tree of depth exactly `h` whose deepest level is exactly
+    /// `leaves`; returns the root. For `h = 0`, `leaves` must be a single
+    /// node, which becomes the root.
+    fn build_tree_over(
+        edges: &mut Vec<(NodeId, NodeId)>,
+        leaves: &[NodeId],
+        h: usize,
+        alloc: &mut impl FnMut(usize) -> NodeId,
+    ) -> NodeId {
+        debug_assert!(!leaves.is_empty());
+        if h == 0 {
+            debug_assert_eq!(leaves.len(), 1, "depth-0 tree must be a single leaf");
+            return leaves[0];
+        }
+        // Branching factor that contracts `leaves` to one node within h
+        // levels.
+        let b = (leaves.len() as f64).powf(1.0 / h as f64).ceil().max(2.0) as usize;
+        let mut level: Vec<NodeId> = leaves.to_vec();
+        for _ in 0..h {
+            if level.len() == 1 {
+                // Already contracted: extend upward with a unary chain so
+                // the root sits at depth exactly h above the leaves.
+                let start = alloc(1);
+                edges.push((level[0], start));
+                level = vec![start];
+                continue;
+            }
+            let parents = level.len().div_ceil(b);
+            let start = alloc(parents);
+            for (idx, &child) in level.iter().enumerate() {
+                edges.push((start + (idx / b) as u32, child));
+            }
+            level = (0..parents as u32).map(|i| start + i).collect();
+        }
+        debug_assert_eq!(level.len(), 1, "tree must contract to a single root");
+        level[0]
+    }
+
+    /// Convenience constructor: the balanced `Γ = ℓ ≈ √n` member with
+    /// roughly `n_target` path nodes, the canonical benchmark instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HighwayError`] (e.g. `n_target` too small for the
+    /// requested diameter).
+    pub fn balanced(n_target: usize, diameter: u32) -> Result<Self, HighwayError> {
+        let side = (n_target as f64).sqrt().round().max(1.0) as usize;
+        let path_len = side.max(diameter as usize + 2);
+        let num_paths = (n_target / path_len).max(1);
+        HighwayGraph::new(HighwayParams {
+            num_paths,
+            path_len,
+            diameter,
+        })
+    }
+
+    /// Convenience constructor sweeping the path-count exponent:
+    /// `Γ ≈ n_target^gamma_exp`, `ℓ = n_target / Γ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HighwayError`].
+    pub fn with_gamma_exponent(
+        n_target: usize,
+        diameter: u32,
+        gamma_exp: f64,
+    ) -> Result<Self, HighwayError> {
+        let gamma = (n_target as f64).powf(gamma_exp).round().max(1.0) as usize;
+        let path_len = (n_target / gamma).max(diameter as usize + 2);
+        HighwayGraph::new(HighwayParams {
+            num_paths: gamma,
+            path_len,
+            diameter,
+        })
+    }
+
+    /// The parameters used.
+    pub fn params(&self) -> HighwayParams {
+        self.params
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes self, returning the graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Total node count.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Node id of path `i`, column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i`/`c` are out of range.
+    pub fn path_node(&self, i: usize, c: usize) -> NodeId {
+        assert!(i < self.params.num_paths && c < self.params.path_len);
+        (i * self.params.path_len + c) as NodeId
+    }
+
+    /// The leaf node attached to every path at column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn column_leaf(&self, c: usize) -> NodeId {
+        self.column_leaf[c]
+    }
+
+    /// First highway node id (all ids below are path nodes).
+    pub fn highway_first(&self) -> NodeId {
+        self.highway_first
+    }
+
+    /// Number of highway (non-path) nodes.
+    pub fn num_highway_nodes(&self) -> usize {
+        self.graph.n() - self.highway_first as usize
+    }
+
+    /// The canonical part collection: one part per path.
+    pub fn path_parts(&self) -> Vec<Vec<NodeId>> {
+        (0..self.params.num_paths)
+            .map(|i| {
+                (0..self.params.path_len)
+                    .map(|c| self.path_node(i, c))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{is_connected, is_set_connected};
+    use crate::diameter::exact_diameter;
+
+    fn check_exact_diameter(num_paths: usize, path_len: usize, diameter: u32) {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths,
+            path_len,
+            diameter,
+        })
+        .unwrap();
+        assert!(is_connected(hw.graph()), "D={diameter} connected");
+        assert_eq!(
+            exact_diameter(hw.graph()),
+            Some(diameter),
+            "D={diameter}, gamma={num_paths}, ell={path_len}, n={}",
+            hw.n()
+        );
+    }
+
+    #[test]
+    fn exact_diameter_for_all_small_d() {
+        for d in 3..=9u32 {
+            check_exact_diameter(4, (d as usize + 2).max(14), d);
+        }
+    }
+
+    #[test]
+    fn exact_diameter_single_path() {
+        check_exact_diameter(1, 16, 4);
+        check_exact_diameter(1, 16, 5);
+    }
+
+    #[test]
+    fn exact_diameter_larger_instances() {
+        check_exact_diameter(8, 40, 3);
+        check_exact_diameter(8, 40, 6);
+        check_exact_diameter(6, 30, 7);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(matches!(
+            HighwayGraph::new(HighwayParams {
+                num_paths: 2,
+                path_len: 10,
+                diameter: 2
+            }),
+            Err(HighwayError::UnsupportedDiameter(2))
+        ));
+        assert!(matches!(
+            HighwayGraph::new(HighwayParams {
+                num_paths: 0,
+                path_len: 10,
+                diameter: 4
+            }),
+            Err(HighwayError::NoPaths)
+        ));
+        assert!(matches!(
+            HighwayGraph::new(HighwayParams {
+                num_paths: 2,
+                path_len: 4,
+                diameter: 4
+            }),
+            Err(HighwayError::PathTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn parts_are_disjoint_connected_paths() {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 5,
+            path_len: 12,
+            diameter: 5,
+        })
+        .unwrap();
+        let parts = hw.path_parts();
+        assert_eq!(parts.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for part in &parts {
+            assert_eq!(part.len(), 12);
+            assert!(is_set_connected(hw.graph(), part));
+            for &v in part {
+                assert!(seen.insert(v), "parts must be disjoint");
+                assert!(v < hw.highway_first(), "parts contain only path nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn column_leaf_touches_every_path() {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 4,
+            path_len: 10,
+            diameter: 4,
+        })
+        .unwrap();
+        for c in 0..10 {
+            let leaf = hw.column_leaf(c);
+            for i in 0..4 {
+                assert!(hw.graph().has_edge(leaf, hw.path_node(i, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_constructor_hits_target_scale() {
+        let hw = HighwayGraph::balanced(900, 4).unwrap();
+        let p = hw.params();
+        assert!(p.num_paths * p.path_len >= 600);
+        assert_eq!(exact_diameter(hw.graph()), Some(4));
+    }
+
+    #[test]
+    fn gamma_exponent_sweep() {
+        let hw = HighwayGraph::with_gamma_exponent(600, 5, 0.25).unwrap();
+        assert_eq!(exact_diameter(hw.graph()), Some(5));
+        let p = hw.params();
+        // gamma ≈ 600^0.25 ≈ 5
+        assert!(p.num_paths >= 3 && p.num_paths <= 8);
+    }
+}

@@ -1,0 +1,10 @@
+//! Graph generators: deterministic classics, randomized families, and the
+//! constant-diameter lower-bound ("highway") hard instances.
+
+pub mod classic;
+pub mod lower_bound;
+pub mod random;
+
+pub use classic::{balanced_tree, complete, cycle, grid, path, star};
+pub use lower_bound::{HighwayError, HighwayGraph, HighwayParams};
+pub use random::{gnp, gnp_connected, hub_and_spoke, random_tree};

@@ -1,0 +1,158 @@
+//! Randomized graph generators: Erdős–Rényi, random trees, hub-and-spoke
+//! "social network" topologies.
+//!
+//! Constant-diameter random workloads are produced by generating and then
+//! *measuring*: dense-enough G(n, p) has diameter 2–4 w.h.p., and
+//! hub-and-spoke families have diameter ≤ 4 by construction. Benchmarks
+//! always report the measured diameter rather than trusting the target.
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: each pair independently an edge.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid gnp")
+}
+
+/// `G(n, p)` forced connected by overlaying a uniform random attachment
+/// tree. The tree adds at most `n - 1` edges, preserving sparsity.
+pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut edges = Vec::new();
+    for v in 1..n as u32 {
+        let u = rng.gen_range(0..v);
+        edges.push((u, v));
+    }
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid connected gnp")
+}
+
+/// Uniform random recursive tree on `n ≥ 1` nodes (each node attaches to
+/// a uniform earlier node).
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "tree requires at least one node");
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n as u32 {
+        edges.push((rng.gen_range(0..v), v));
+    }
+    Graph::from_edges(n, &edges).expect("valid tree")
+}
+
+/// Hub-and-spoke "social network": `hubs` fully connected hub nodes;
+/// every other node links to `links_per_node` distinct random hubs and to
+/// `peer_links` random non-hub peers. Diameter ≤ 4 by construction
+/// (spoke → hub → hub → spoke), usually 3.
+///
+/// # Panics
+///
+/// Panics if `hubs == 0` or `hubs > n` or `links_per_node == 0`.
+pub fn hub_and_spoke<R: Rng>(
+    n: usize,
+    hubs: usize,
+    links_per_node: usize,
+    peer_links: usize,
+    rng: &mut R,
+) -> Graph {
+    assert!(hubs >= 1 && hubs <= n, "invalid hub count");
+    assert!(links_per_node >= 1, "spokes must link to at least one hub");
+    let mut edges = Vec::new();
+    for u in 0..hubs as u32 {
+        for v in (u + 1)..hubs as u32 {
+            edges.push((u, v));
+        }
+    }
+    let hub_ids: Vec<NodeId> = (0..hubs as u32).collect();
+    for v in hubs as u32..n as u32 {
+        let k = links_per_node.min(hubs);
+        for &h in hub_ids.choose_multiple(rng, k) {
+            edges.push((h, v));
+        }
+        for _ in 0..peer_links {
+            let w = rng.gen_range(hubs as u32..n as u32);
+            if w != v {
+                edges.push((v, w));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid hub-and-spoke")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::diameter::exact_diameter;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let empty = gnp(10, 0.0, &mut rng);
+        assert_eq!(empty.m(), 0);
+        let full = gnp(10, 1.0, &mut rng);
+        assert_eq!(full.m(), 45);
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..5 {
+            let g = gnp_connected(50, 0.01, &mut rng);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn dense_gnp_has_small_diameter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = gnp_connected(200, 0.08, &mut rng);
+        let d = exact_diameter(&g).unwrap();
+        assert!(d <= 4, "dense gnp diameter was {d}");
+    }
+
+    #[test]
+    fn random_tree_is_spanning_acyclic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = random_tree(64, &mut rng);
+        assert_eq!(g.m(), 63);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hub_and_spoke_diameter_at_most_four() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = hub_and_spoke(300, 8, 2, 1, &mut rng);
+        assert!(is_connected(&g));
+        let d = exact_diameter(&g).unwrap();
+        assert!(d <= 4, "hub-and-spoke diameter was {d}");
+    }
+
+    #[test]
+    fn hub_and_spoke_single_hub_is_star_like() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = hub_and_spoke(20, 1, 1, 0, &mut rng);
+        assert!(is_connected(&g));
+        assert!(exact_diameter(&g).unwrap() <= 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Reference minimum-spanning-tree algorithms (Kruskal, Prim) and
+//! spanning-forest verification.
+//!
+//! These are the correctness oracles for the distributed
+//! Boruvka-over-shortcuts MST in `lcs-apps` (Corollary 1.2 of the paper).
+//! Ties are broken by edge id, which makes the MST unique and lets the
+//! distributed and centralized algorithms be compared edge-by-edge, not
+//! just by weight.
+
+use crate::graph::{EdgeId, NodeId};
+use crate::union_find::UnionFind;
+use crate::weighted::WeightedGraph;
+
+/// A minimum spanning forest: edges plus total weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// Chosen edges, sorted by edge id.
+    pub edges: Vec<EdgeId>,
+    /// Sum of chosen edge weights.
+    pub weight: u64,
+    /// Number of trees in the forest (1 when the graph is connected).
+    pub num_trees: usize,
+}
+
+/// Tie-broken comparison key: `(weight, edge id)`. Both reference and
+/// distributed MSTs must use this key for edge-level comparability.
+#[inline]
+pub fn mst_key(wg: &WeightedGraph, e: EdgeId) -> (u64, u32) {
+    (wg.weight(e), e.0)
+}
+
+/// Kruskal's algorithm with `(weight, edge id)` tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use lcs_graph::{WeightedGraph, kruskal};
+///
+/// let wg = WeightedGraph::from_weighted_edges(
+///     4,
+///     &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)],
+/// ).unwrap();
+/// let mst = kruskal(&wg);
+/// assert_eq!(mst.weight, 6);
+/// assert_eq!(mst.num_trees, 1);
+/// assert_eq!(mst.edges.len(), 3);
+/// ```
+pub fn kruskal(wg: &WeightedGraph) -> SpanningForest {
+    let g = wg.graph();
+    let mut order: Vec<EdgeId> = g.edge_ids().collect();
+    order.sort_unstable_by_key(|&e| mst_key(wg, e));
+    let mut uf = UnionFind::new(g.n());
+    let mut edges = Vec::new();
+    let mut weight = 0u64;
+    for e in order {
+        let (u, v) = g.edge_endpoints(e);
+        if uf.union(u, v) {
+            edges.push(e);
+            weight += wg.weight(e);
+        }
+    }
+    edges.sort_unstable();
+    SpanningForest {
+        edges,
+        weight,
+        num_trees: uf.num_sets(),
+    }
+}
+
+/// Prim's algorithm (lazy heap) from node 0 of each component, with the
+/// same tie-breaking as [`kruskal`]. Exists as an independent oracle.
+pub fn prim(wg: &WeightedGraph) -> SpanningForest {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let g = wg.graph();
+    let n = g.n();
+    let mut in_tree = vec![false; n];
+    let mut edges = Vec::new();
+    let mut weight = 0u64;
+    let mut num_trees = 0usize;
+    for root in 0..n as u32 {
+        if in_tree[root as usize] {
+            continue;
+        }
+        num_trees += 1;
+        in_tree[root as usize] = true;
+        let mut heap: BinaryHeap<Reverse<(u64, u32, NodeId)>> = BinaryHeap::new();
+        for (w, e) in g.neighbors_with_edges(root) {
+            heap.push(Reverse((wg.weight(e), e.0, w)));
+        }
+        while let Some(Reverse((wt, eid, v))) = heap.pop() {
+            if in_tree[v as usize] {
+                continue;
+            }
+            in_tree[v as usize] = true;
+            edges.push(EdgeId(eid));
+            weight += wt;
+            for (w, e) in g.neighbors_with_edges(v) {
+                if !in_tree[w as usize] {
+                    heap.push(Reverse((wg.weight(e), e.0, w)));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    SpanningForest {
+        edges,
+        weight,
+        num_trees,
+    }
+}
+
+/// Checks that `edges` form a spanning forest of `wg` (acyclic, and
+/// spanning each connected component), returning its weight when valid.
+pub fn verify_spanning_forest(wg: &WeightedGraph, edges: &[EdgeId]) -> Option<u64> {
+    let g = wg.graph();
+    let mut uf = UnionFind::new(g.n());
+    let mut weight = 0u64;
+    for &e in edges {
+        let (u, v) = g.edge_endpoints(e);
+        if !uf.union(u, v) {
+            return None; // cycle
+        }
+        weight += wg.weight(e);
+    }
+    // Spanning: the forest must connect exactly as much as the graph.
+    let mut guf = UnionFind::new(g.n());
+    for &(u, v) in g.edges() {
+        guf.union(u, v);
+    }
+    if uf.num_sets() != guf.num_sets() {
+        return None;
+    }
+    Some(weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_connected(n: usize, extra: usize, seed: u64) -> WeightedGraph {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        // Random spanning tree by random attachment.
+        for v in 1..n as u32 {
+            let u = rng.gen_range(0..v);
+            edges.push((u, v));
+        }
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        let g = crate::graph::Graph::from_edges(n, &edges).unwrap();
+        WeightedGraph::with_random_weights(g, 100, &mut rng)
+    }
+
+    #[test]
+    fn kruskal_matches_prim_weight_and_edges() {
+        for seed in 0..10 {
+            let wg = random_connected(40, 80, seed);
+            let k = kruskal(&wg);
+            let p = prim(&wg);
+            assert_eq!(k.weight, p.weight, "seed {seed}");
+            // With (weight, id) tie-breaking the MST is unique.
+            assert_eq!(k.edges, p.edges, "seed {seed}");
+            assert_eq!(k.num_trees, 1);
+            assert_eq!(verify_spanning_forest(&wg, &k.edges), Some(k.weight));
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let wg =
+            WeightedGraph::from_weighted_edges(5, &[(0, 1, 3), (1, 2, 1), (3, 4, 7)]).unwrap();
+        let k = kruskal(&wg);
+        assert_eq!(k.num_trees, 2);
+        assert_eq!(k.weight, 11);
+        assert_eq!(k.edges.len(), 3);
+    }
+
+    #[test]
+    fn verify_rejects_cycle_and_non_spanning() {
+        let wg = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1)],
+        )
+        .unwrap();
+        let g = wg.graph();
+        let cyc = [
+            g.edge_between(0, 1).unwrap(),
+            g.edge_between(1, 2).unwrap(),
+            g.edge_between(0, 2).unwrap(),
+        ];
+        assert_eq!(verify_spanning_forest(&wg, &cyc), None);
+        let partial = [g.edge_between(0, 1).unwrap()];
+        assert_eq!(verify_spanning_forest(&wg, &partial), None);
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        let wg = WeightedGraph::from_weighted_edges(1, &[]).unwrap();
+        let k = kruskal(&wg);
+        assert_eq!(k.weight, 0);
+        assert_eq!(k.num_trees, 1);
+        let empty = WeightedGraph::from_weighted_edges(0, &[]).unwrap();
+        assert_eq!(kruskal(&empty).num_trees, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Dijkstra reference single-source shortest paths (weighted).
+//!
+//! Oracle for the approximate distributed SSSP in `lcs-apps`
+//! (Corollary 4.2).
+
+use crate::graph::NodeId;
+use crate::weighted::WeightedGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Weighted distance for unreachable nodes.
+pub const W_UNREACHABLE: u64 = u64::MAX;
+
+/// Dijkstra distances from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use lcs_graph::{WeightedGraph, dijkstra};
+///
+/// let wg = WeightedGraph::from_weighted_edges(
+///     4,
+///     &[(0, 1, 1), (1, 2, 1), (0, 2, 5), (2, 3, 1)],
+/// ).unwrap();
+/// assert_eq!(dijkstra(&wg, 0), vec![0, 1, 2, 3]);
+/// ```
+pub fn dijkstra(wg: &WeightedGraph, source: NodeId) -> Vec<u64> {
+    let g = wg.graph();
+    assert!((source as usize) < g.n(), "source out of range");
+    let mut dist = vec![W_UNREACHABLE; g.n()];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, e) in g.neighbors_with_edges(u) {
+            let nd = d.saturating_add(wg.weight(e));
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Bellman–Ford distances limited to paths of at most `hops` edges.
+/// Matches what a `hops`-round distributed Bellman–Ford can know.
+pub fn bounded_hop_distances(wg: &WeightedGraph, source: NodeId, hops: usize) -> Vec<u64> {
+    let g = wg.graph();
+    assert!((source as usize) < g.n(), "source out of range");
+    let mut dist = vec![W_UNREACHABLE; g.n()];
+    dist[source as usize] = 0;
+    for _ in 0..hops {
+        let mut next = dist.clone();
+        let mut changed = false;
+        for e in g.edge_ids() {
+            let (u, v) = g.edge_endpoints(e);
+            let w = wg.weight(e);
+            let du = dist[u as usize];
+            let dv = dist[v as usize];
+            if du != W_UNREACHABLE && du + w < next[v as usize] {
+                next[v as usize] = du + w;
+                changed = true;
+            }
+            if dv != W_UNREACHABLE && dv + w < next[u as usize] {
+                next[u as usize] = dv + w;
+                changed = true;
+            }
+        }
+        dist = next;
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dijkstra_prefers_light_paths() {
+        let wg = WeightedGraph::from_weighted_edges(
+            5,
+            &[(0, 1, 10), (0, 2, 1), (2, 3, 1), (3, 1, 1), (1, 4, 1)],
+        )
+        .unwrap();
+        let d = dijkstra(&wg, 0);
+        assert_eq!(d[1], 3);
+        assert_eq!(d[4], 4);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let wg = WeightedGraph::from_weighted_edges(3, &[(0, 1, 2)]).unwrap();
+        let d = dijkstra(&wg, 0);
+        assert_eq!(d[2], W_UNREACHABLE);
+    }
+
+    #[test]
+    fn bounded_hops_converge_to_dijkstra() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut edges = Vec::new();
+        let n = 30;
+        for v in 1..n as u32 {
+            edges.push((rng.gen_range(0..v), v, rng.gen_range(1..50)));
+        }
+        for _ in 0..40 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                edges.push((u, v, rng.gen_range(1..50)));
+            }
+        }
+        let wg = WeightedGraph::from_weighted_edges(n, &edges).unwrap();
+        let exact = dijkstra(&wg, 0);
+        let bounded = bounded_hop_distances(&wg, 0, n);
+        assert_eq!(exact, bounded);
+        // One hop only sees direct neighbors.
+        let one = bounded_hop_distances(&wg, 0, 1);
+        for v in 0..n {
+            assert!(one[v] >= exact[v]);
+        }
+    }
+}

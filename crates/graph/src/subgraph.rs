@@ -1,0 +1,274 @@
+//! Materialized subgraphs over an edge subset of a parent graph.
+//!
+//! The augmented part `G[S_i] ∪ H_i` of a shortcut is exactly such a
+//! subgraph: a set of parent-graph edges together with every endpoint they
+//! touch. [`EdgeSubgraph`] re-indexes the touched nodes densely so BFS and
+//! diameter computations run in time proportional to the subgraph, not the
+//! parent graph.
+
+use crate::bfs::{bfs, BfsOptions, UNREACHABLE};
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::HashMap;
+
+/// A subgraph of a parent [`Graph`] induced by an edge subset (plus,
+/// optionally, extra isolated nodes that must be present, e.g. singleton
+/// parts).
+#[derive(Debug, Clone)]
+pub struct EdgeSubgraph {
+    /// Dense local graph over the touched nodes.
+    local: Graph,
+    /// Local index -> parent node id.
+    to_parent: Vec<NodeId>,
+    /// Parent node id -> local index.
+    to_local: HashMap<NodeId, u32>,
+}
+
+impl EdgeSubgraph {
+    /// Builds the subgraph of `g` spanned by `edges`, forcing
+    /// `extra_nodes` to exist even when isolated. Duplicate edge ids are
+    /// collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge id is out of range for `g`.
+    pub fn new(g: &Graph, edges: &[EdgeId], extra_nodes: &[NodeId]) -> Self {
+        let mut to_parent: Vec<NodeId> = Vec::new();
+        let mut to_local: HashMap<NodeId, u32> = HashMap::new();
+        let local_id = |v: NodeId, to_parent: &mut Vec<NodeId>,
+                            to_local: &mut HashMap<NodeId, u32>| {
+            *to_local.entry(v).or_insert_with(|| {
+                to_parent.push(v);
+                (to_parent.len() - 1) as u32
+            })
+        };
+        for &v in extra_nodes {
+            local_id(v, &mut to_parent, &mut to_local);
+        }
+        let mut local_edges = Vec::with_capacity(edges.len());
+        for &e in edges {
+            let (u, v) = g.edge_endpoints(e);
+            let lu = local_id(u, &mut to_parent, &mut to_local);
+            let lv = local_id(v, &mut to_parent, &mut to_local);
+            local_edges.push((lu, lv));
+        }
+        let local = Graph::from_edges(to_parent.len(), &local_edges)
+            .expect("edge endpoints are valid parent nodes");
+        EdgeSubgraph {
+            local,
+            to_parent,
+            to_local,
+        }
+    }
+
+    /// The dense local graph.
+    pub fn local(&self) -> &Graph {
+        &self.local
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn n(&self) -> usize {
+        self.local.n()
+    }
+
+    /// Number of edges in the subgraph.
+    pub fn m(&self) -> usize {
+        self.local.m()
+    }
+
+    /// Maps a parent node to its local index, if present.
+    pub fn local_of(&self, parent: NodeId) -> Option<u32> {
+        self.to_local.get(&parent).copied()
+    }
+
+    /// Maps a local index back to the parent node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn parent_of(&self, local: u32) -> NodeId {
+        self.to_parent[local as usize]
+    }
+
+    /// Hop distance between two parent nodes inside the subgraph;
+    /// `None` if either is absent or they are disconnected here.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        let (lu, lv) = (self.local_of(u)?, self.local_of(v)?);
+        let d = bfs(&self.local, &[lu], &BfsOptions::default()).dist[lv as usize];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Exact maximum finite pairwise distance among `targets` (parent
+    /// ids), ignoring targets absent from the subgraph. Returns
+    /// `Some(u32::MAX)` if two present targets are disconnected within
+    /// the subgraph, and `None` when fewer than two targets are present.
+    pub fn max_pairwise_distance(&self, targets: &[NodeId]) -> Option<u32> {
+        let locals: Vec<u32> = targets.iter().filter_map(|&v| self.local_of(v)).collect();
+        if locals.len() < 2 {
+            return None;
+        }
+        let mut best = 0u32;
+        for &s in &locals {
+            let dist = bfs(&self.local, &[s], &BfsOptions::default()).dist;
+            for &t in &locals {
+                let d = dist[t as usize];
+                if d == UNREACHABLE {
+                    return Some(u32::MAX);
+                }
+                best = best.max(d);
+            }
+        }
+        Some(best)
+    }
+
+    /// Exact diameter of the connected component containing `anchor`
+    /// (a parent id); `None` if `anchor` is absent.
+    pub fn component_diameter(&self, anchor: NodeId) -> Option<u32> {
+        let la = self.local_of(anchor)?;
+        let from_anchor = bfs(&self.local, &[la], &BfsOptions::default()).dist;
+        let members: Vec<u32> = (0..self.n() as u32)
+            .filter(|&v| from_anchor[v as usize] != UNREACHABLE)
+            .collect();
+        let mut best = 0;
+        for &s in &members {
+            let dist = bfs(&self.local, &[s], &BfsOptions::default()).dist;
+            for &t in &members {
+                if dist[t as usize] != UNREACHABLE {
+                    best = best.max(dist[t as usize]);
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// Double-sweep estimate of the max pairwise distance among
+    /// `targets`: a cheap lower bound paired with the `2·radius` upper
+    /// bound from `anchor`. Returns `None` when fewer than two targets
+    /// are present; `(u32::MAX, u32::MAX)` if some present target is
+    /// unreachable from `anchor`.
+    pub fn estimate_pairwise_distance(
+        &self,
+        targets: &[NodeId],
+        anchor: NodeId,
+    ) -> Option<(u32, u32)> {
+        let locals: Vec<u32> = targets.iter().filter_map(|&v| self.local_of(v)).collect();
+        if locals.len() < 2 {
+            return None;
+        }
+        let la = self.local_of(anchor)?;
+        let d0 = bfs(&self.local, &[la], &BfsOptions::default()).dist;
+        let mut radius = 0u32;
+        let mut far = la;
+        for &t in &locals {
+            let d = d0[t as usize];
+            if d == UNREACHABLE {
+                return Some((u32::MAX, u32::MAX));
+            }
+            if d > radius {
+                radius = d;
+                far = t;
+            }
+        }
+        // Second sweep from the farthest target.
+        let d1 = bfs(&self.local, &[far], &BfsOptions::default()).dist;
+        let lower = locals
+            .iter()
+            .map(|&t| d1[t as usize])
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0);
+        let upper = radius.saturating_mul(2);
+        Some((lower.max(radius), upper.max(lower)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent() -> Graph {
+        // 0-1-2-3-4 path plus chord 0-4 and spur 2-5.
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (2, 5)]).unwrap()
+    }
+
+    fn eids(g: &Graph, pairs: &[(NodeId, NodeId)]) -> Vec<EdgeId> {
+        pairs
+            .iter()
+            .map(|&(u, v)| g.edge_between(u, v).expect("edge exists"))
+            .collect()
+    }
+
+    #[test]
+    fn builds_with_local_reindexing() {
+        let g = parent();
+        let sub = EdgeSubgraph::new(&g, &eids(&g, &[(2, 3), (3, 4)]), &[]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2);
+        assert!(sub.local_of(0).is_none());
+        assert_eq!(sub.parent_of(sub.local_of(3).unwrap()), 3);
+    }
+
+    #[test]
+    fn distances_respect_subgraph_not_parent() {
+        let g = parent();
+        // Without the 0-4 chord, 0 to 4 takes the long way.
+        let sub = EdgeSubgraph::new(&g, &eids(&g, &[(0, 1), (1, 2), (2, 3), (3, 4)]), &[]);
+        assert_eq!(sub.distance(0, 4), Some(4));
+        // Parent has the chord.
+        let full = EdgeSubgraph::new(&g, &g.edge_ids().collect::<Vec<_>>(), &[]);
+        assert_eq!(full.distance(0, 4), Some(1));
+    }
+
+    #[test]
+    fn disconnected_pairwise_is_max() {
+        let g = parent();
+        let sub = EdgeSubgraph::new(&g, &eids(&g, &[(0, 1), (3, 4)]), &[]);
+        assert_eq!(sub.max_pairwise_distance(&[0, 4]), Some(u32::MAX));
+        assert_eq!(sub.distance(0, 4), None);
+    }
+
+    #[test]
+    fn pairwise_distance_exact() {
+        let g = parent();
+        let sub = EdgeSubgraph::new(&g, &eids(&g, &[(0, 1), (1, 2), (2, 3), (2, 5)]), &[]);
+        assert_eq!(sub.max_pairwise_distance(&[0, 3, 5]), Some(3));
+        // Fewer than two present targets.
+        assert_eq!(sub.max_pairwise_distance(&[0]), None);
+        assert_eq!(sub.max_pairwise_distance(&[]), None);
+    }
+
+    #[test]
+    fn extra_nodes_can_be_isolated() {
+        let g = parent();
+        let sub = EdgeSubgraph::new(&g, &[], &[5]);
+        assert_eq!(sub.n(), 1);
+        assert_eq!(sub.m(), 0);
+        assert_eq!(sub.max_pairwise_distance(&[5]), None);
+        assert_eq!(sub.component_diameter(5), Some(0));
+    }
+
+    #[test]
+    fn component_diameter_of_path() {
+        let g = parent();
+        let sub = EdgeSubgraph::new(&g, &eids(&g, &[(0, 1), (1, 2), (2, 3)]), &[]);
+        assert_eq!(sub.component_diameter(0), Some(3));
+        assert_eq!(sub.component_diameter(5), None);
+    }
+
+    #[test]
+    fn estimate_brackets_exact() {
+        let g = parent();
+        let sub = EdgeSubgraph::new(&g, &eids(&g, &[(0, 1), (1, 2), (2, 3), (3, 4)]), &[]);
+        let exact = sub.max_pairwise_distance(&[0, 2, 4]).unwrap();
+        let (lo, hi) = sub.estimate_pairwise_distance(&[0, 2, 4], 2).unwrap();
+        assert!(lo <= exact, "lower bound {lo} vs exact {exact}");
+        assert!(hi >= exact, "upper bound {hi} vs exact {exact}");
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = parent();
+        let e = g.edge_between(0, 1).unwrap();
+        let sub = EdgeSubgraph::new(&g, &[e, e, e], &[]);
+        assert_eq!(sub.m(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Edge-weighted view over a [`Graph`].
+//!
+//! Weights are `u64` (the paper's applications assume polynomially
+//! bounded integer weights, which fit in one CONGEST message). The
+//! topology is shared with the unweighted layer so BFS/diameter utilities
+//! keep working on the same node/edge ids.
+
+use crate::graph::{EdgeId, Graph, GraphError, NodeId};
+use rand::Rng;
+use std::fmt;
+
+/// Error constructing a [`WeightedGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedGraphError {
+    /// Underlying graph construction failed.
+    Graph(GraphError),
+    /// `weights.len() != g.m()`.
+    WeightCountMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of edges in the graph.
+        edges: usize,
+    },
+}
+
+impl fmt::Display for WeightedGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedGraphError::Graph(e) => write!(f, "graph error: {e}"),
+            WeightedGraphError::WeightCountMismatch { weights, edges } => {
+                write!(f, "{weights} weights for {edges} edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightedGraphError {}
+
+impl From<GraphError> for WeightedGraphError {
+    fn from(e: GraphError) -> Self {
+        WeightedGraphError::Graph(e)
+    }
+}
+
+/// An undirected graph with one `u64` weight per edge.
+///
+/// # Examples
+///
+/// ```
+/// use lcs_graph::{Graph, WeightedGraph};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let wg = WeightedGraph::new(g, vec![5, 7]).unwrap();
+/// let e = wg.graph().edge_between(0, 1).unwrap();
+/// assert_eq!(wg.weight(e), 5);
+/// assert_eq!(wg.total_weight(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    graph: Graph,
+    weights: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Attaches weights (indexed by [`EdgeId`]) to a graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedGraphError::WeightCountMismatch`] when the
+    /// weight vector length differs from the edge count.
+    pub fn new(graph: Graph, weights: Vec<u64>) -> Result<Self, WeightedGraphError> {
+        if weights.len() != graph.m() {
+            return Err(WeightedGraphError::WeightCountMismatch {
+                weights: weights.len(),
+                edges: graph.m(),
+            });
+        }
+        Ok(WeightedGraph { graph, weights })
+    }
+
+    /// Builds topology and weights together from `(u, v, w)` triples.
+    /// Duplicate edges keep the *minimum* weight supplied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from topology construction.
+    pub fn from_weighted_edges(
+        n: usize,
+        edges: &[(NodeId, NodeId, u64)],
+    ) -> Result<Self, WeightedGraphError> {
+        let topo: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        let graph = Graph::from_edges(n, &topo)?;
+        let mut weights = vec![u64::MAX; graph.m()];
+        for &(u, v, w) in edges {
+            let e = graph
+                .edge_between(u, v)
+                .expect("edge present after construction");
+            weights[e.index()] = weights[e.index()].min(w);
+        }
+        Ok(WeightedGraph { graph, weights })
+    }
+
+    /// Uniform random weights in `[1, max_weight]` for an existing
+    /// topology.
+    pub fn with_random_weights<R: Rng>(graph: Graph, max_weight: u64, rng: &mut R) -> Self {
+        let weights = (0..graph.m())
+            .map(|_| rng.gen_range(1..=max_weight.max(1)))
+            .collect();
+        WeightedGraph { graph, weights }
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Weight of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> u64 {
+        self.weights[e.index()]
+    }
+
+    /// All weights indexed by edge id.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Sum of weights over an edge subset.
+    pub fn subset_weight(&self, edges: &[EdgeId]) -> u64 {
+        edges.iter().map(|&e| self.weight(e)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn weight_count_must_match() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let err = WeightedGraph::new(g, vec![1]).unwrap_err();
+        assert!(matches!(
+            err,
+            WeightedGraphError::WeightCountMismatch {
+                weights: 1,
+                edges: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn triples_keep_min_weight_on_duplicates() {
+        let wg =
+            WeightedGraph::from_weighted_edges(3, &[(0, 1, 9), (1, 0, 4), (1, 2, 2)]).unwrap();
+        let e01 = wg.graph().edge_between(0, 1).unwrap();
+        assert_eq!(wg.weight(e01), 4);
+        assert_eq!(wg.total_weight(), 6);
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let wg = WeightedGraph::with_random_weights(g, 10, &mut rng);
+        assert!(wg.weights().iter().all(|&w| (1..=10).contains(&w)));
+    }
+
+    #[test]
+    fn subset_weight_sums() {
+        let wg =
+            WeightedGraph::from_weighted_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3)]).unwrap();
+        let e = [
+            wg.graph().edge_between(0, 1).unwrap(),
+            wg.graph().edge_between(2, 3).unwrap(),
+        ];
+        assert_eq!(wg.subset_weight(&e), 4);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests for the graph substrate.
+
+use lcs_graph::{
+    bfs, bfs_distances, connected_components, double_sweep_lower_bound, exact_diameter,
+    gnp_connected, kruskal, prim, single_bfs_upper_bound, stoer_wagner, verify_spanning_forest,
+    BfsOptions, EdgeSubgraph, Graph, NodeId, UnionFind, WeightedGraph, UNREACHABLE,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: an arbitrary simple graph given as (n, edge list).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32)
+            .prop_filter("no self loop", |(u, v)| u != v)
+            .prop_map(|(u, v)| (u, v));
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+/// Strategy: a connected graph (random attachment tree + extra edges).
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        gnp_connected(n, 0.08, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_roundtrip_preserves_edges((n, edges) in arb_graph(40, 120)) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        // Every input edge must be present.
+        for &(u, v) in &edges {
+            prop_assert!(g.has_edge(u, v));
+        }
+        // Every graph edge must come from the input.
+        let mut canon: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        prop_assert_eq!(g.m(), canon.len());
+        // Degree sum = 2m.
+        let degsum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.m());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_edge_lipschitz((n, edges) in arb_graph(40, 120)) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let d = bfs_distances(&g, 0);
+        // Adjacent nodes differ by at most 1 when both reachable.
+        for &(u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                // One endpoint reachable forces the other reachable.
+                prop_assert_eq!(du, dv);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_bfs_is_prefix_of_full((n, edges) in arb_graph(30, 90), depth in 0u32..6) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let full = bfs(&g, &[0], &BfsOptions::default());
+        let trunc = bfs(&g, &[0], &BfsOptions { max_depth: depth, node_filter: None });
+        for v in 0..n {
+            let fd = full.dist[v];
+            if fd != UNREACHABLE && fd <= depth {
+                prop_assert_eq!(trunc.dist[v], fd);
+            } else {
+                prop_assert_eq!(trunc.dist[v], UNREACHABLE);
+            }
+        }
+        // Frontier flag is set iff some node lies strictly deeper.
+        let deeper = full
+            .dist
+            .iter()
+            .any(|&fd| fd != UNREACHABLE && fd > depth);
+        prop_assert_eq!(trunc.truncated_with_frontier, deeper);
+    }
+
+    #[test]
+    fn diameter_bounds_bracket_exact(g in arb_connected_graph(36)) {
+        let exact = exact_diameter(&g).unwrap();
+        for start in [0u32, (g.n() / 2) as u32] {
+            let lo = double_sweep_lower_bound(&g, start).unwrap();
+            let hi = single_bfs_upper_bound(&g, start).unwrap();
+            prop_assert!(lo <= exact);
+            prop_assert!(exact <= hi);
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes((n, edges) in arb_graph(40, 60)) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let c = connected_components(&g);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), n);
+        // Edges never cross components.
+        for &(u, v) in g.edges() {
+            prop_assert_eq!(c.label[u as usize], c.label[v as usize]);
+        }
+        // Labels dense.
+        for &l in &c.label {
+            prop_assert!((l as usize) < c.num_components);
+        }
+    }
+
+    #[test]
+    fn union_find_matches_components((n, edges) in arb_graph(40, 60)) {
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut uf = UnionFind::new(n);
+        for &(u, v) in g.edges() {
+            uf.union(u, v);
+        }
+        let c = connected_components(&g);
+        prop_assert_eq!(uf.num_sets(), c.num_components);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                prop_assert_eq!(
+                    uf.same_set(u, v),
+                    c.label[u as usize] == c.label[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kruskal_prim_agree_and_verify(seed in any::<u64>(), n in 4usize..40) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = gnp_connected(n, 0.15, &mut rng);
+        let wg = WeightedGraph::with_random_weights(g, 50, &mut rng);
+        let k = kruskal(&wg);
+        let p = prim(&wg);
+        prop_assert_eq!(k.weight, p.weight);
+        prop_assert_eq!(&k.edges, &p.edges);
+        prop_assert_eq!(verify_spanning_forest(&wg, &k.edges), Some(k.weight));
+        prop_assert_eq!(k.edges.len(), n - 1);
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_under_edge_swap(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = gnp_connected(12, 0.3, &mut rng);
+        let wg = WeightedGraph::with_random_weights(g, 30, &mut rng);
+        let mst = kruskal(&wg);
+        // Cycle property spot-check: adding any non-tree edge and removing
+        // any tree edge never improves the weight (checked via total
+        // weight of the alternative forest when it is spanning).
+        for e in wg.graph().edge_ids() {
+            if mst.edges.contains(&e) {
+                continue;
+            }
+            for &t in &mst.edges {
+                let mut alt: Vec<_> = mst.edges.iter().copied().filter(|&x| x != t).collect();
+                alt.push(e);
+                if let Some(w) = verify_spanning_forest(&wg, &alt) {
+                    prop_assert!(w >= mst.weight);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stoer_wagner_cut_is_no_larger_than_degree_cuts(seed in any::<u64>(), n in 3usize..16) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = gnp_connected(n, 0.3, &mut rng);
+        let wg = WeightedGraph::with_random_weights(g, 20, &mut rng);
+        let cut = stoer_wagner(&wg).unwrap();
+        // Singleton cuts are upper bounds on the min cut.
+        for v in wg.graph().nodes() {
+            let deg_cut: u64 = wg
+                .graph()
+                .neighbors_with_edges(v)
+                .map(|(_, e)| wg.weight(e))
+                .sum();
+            prop_assert!(cut.weight <= deg_cut);
+        }
+        prop_assert_eq!(lcs_graph::cut_weight(&wg, &cut.side), cut.weight);
+    }
+
+    #[test]
+    fn edge_subgraph_distances_dominate_parent(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = gnp_connected(25, 0.12, &mut rng);
+        // Take a random half of the edges.
+        let edges: Vec<_> = g
+            .edge_ids()
+            .filter(|e| e.0 % 2 == seed as u32 % 2)
+            .collect();
+        let sub = EdgeSubgraph::new(&g, &edges, &[]);
+        let parent_dist = bfs_distances(&g, 0);
+        for v in g.nodes() {
+            if let Some(d) = sub.distance(0, v) {
+                prop_assert!(d as u32 >= parent_dist[v as usize]);
+            }
+        }
+    }
+}

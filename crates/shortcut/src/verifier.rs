@@ -1,0 +1,150 @@
+//! Independent validity checking of shortcut sets.
+
+use crate::partition::Partition;
+use crate::shortcut::{measure_quality, DilationMode, Quality, QualityReport, ShortcutSet};
+use lcs_graph::Graph;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Shortcut set and partition disagree on part count.
+    PartCountMismatch {
+        /// Parts in the shortcut set.
+        shortcuts: usize,
+        /// Parts in the partition.
+        partition: usize,
+    },
+    /// An edge id exceeds the graph's edge count.
+    EdgeOutOfRange {
+        /// Offending part.
+        part: usize,
+        /// The raw edge index.
+        edge: u32,
+    },
+    /// Measured quality exceeds the claimed bound.
+    QualityExceeded {
+        /// What was claimed.
+        claimed: Quality,
+        /// What was measured.
+        measured: Quality,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::PartCountMismatch {
+                shortcuts,
+                partition,
+            } => write!(
+                f,
+                "shortcut set has {shortcuts} parts, partition has {partition}"
+            ),
+            VerifyError::EdgeOutOfRange { part, edge } => {
+                write!(f, "part {part} references nonexistent edge {edge}")
+            }
+            VerifyError::QualityExceeded { claimed, measured } => {
+                write!(f, "claimed {claimed} but measured {measured}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies structural validity of a shortcut set and (optionally) a
+/// claimed quality bound; returns the measured report on success.
+///
+/// A claim is violated only if *either* component is exceeded: a valid
+/// `(c, d)` shortcut is also valid for any `(c' ≥ c, d' ≥ d)`.
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify(
+    graph: &Graph,
+    partition: &Partition,
+    shortcuts: &ShortcutSet,
+    claimed: Option<Quality>,
+    mode: DilationMode,
+) -> Result<QualityReport, VerifyError> {
+    if shortcuts.num_parts() != partition.num_parts() {
+        return Err(VerifyError::PartCountMismatch {
+            shortcuts: shortcuts.num_parts(),
+            partition: partition.num_parts(),
+        });
+    }
+    for i in 0..shortcuts.num_parts() {
+        for &e in shortcuts.edges(i) {
+            if e.index() >= graph.m() {
+                return Err(VerifyError::EdgeOutOfRange { part: i, edge: e.0 });
+            }
+        }
+    }
+    let report = measure_quality(graph, partition, shortcuts, mode);
+    if let Some(claimed) = claimed {
+        let measured = report.quality;
+        if measured.congestion > claimed.congestion || measured.dilation > claimed.dilation {
+            return Err(VerifyError::QualityExceeded { claimed, measured });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::generators::path;
+    use lcs_graph::EdgeId;
+
+    #[test]
+    fn accepts_valid_and_checks_claims() {
+        let g = path(8);
+        let p = Partition::new(&g, vec![vec![0, 1, 2, 3]]).unwrap();
+        let s = ShortcutSet::empty(1);
+        let r = verify(&g, &p, &s, None, DilationMode::Exact).unwrap();
+        assert_eq!(r.quality.dilation, 3);
+        // Generous claim passes.
+        verify(
+            &g,
+            &p,
+            &s,
+            Some(Quality {
+                congestion: 5,
+                dilation: 5,
+            }),
+            DilationMode::Exact,
+        )
+        .unwrap();
+        // Tight claim fails.
+        let err = verify(
+            &g,
+            &p,
+            &s,
+            Some(Quality {
+                congestion: 1,
+                dilation: 2,
+            }),
+            DilationMode::Exact,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::QualityExceeded { .. }));
+    }
+
+    #[test]
+    fn rejects_mismatched_counts_and_bad_edges() {
+        let g = path(8);
+        let p = Partition::new(&g, vec![vec![0, 1]]).unwrap();
+        let s2 = ShortcutSet::empty(2);
+        assert!(matches!(
+            verify(&g, &p, &s2, None, DilationMode::Exact),
+            Err(VerifyError::PartCountMismatch { .. })
+        ));
+        let bad = ShortcutSet::from_edge_lists(vec![vec![EdgeId(999)]]);
+        assert!(matches!(
+            verify(&g, &p, &bad, None, DilationMode::Exact),
+            Err(VerifyError::EdgeOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the shortcut framework: quality measurement
+//! against brute force, partition invariants, aggregation equivalences.
+
+use lcs_congest::{AggOp, SimConfig};
+use lcs_graph::{gnp_connected, EdgeId, NodeId};
+use lcs_shortcut::{
+    global_tree_shortcuts, measure_quality, trivial_shortcuts, verify, AggregationSetup,
+    DilationMode, Partition, ShortcutSet,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random_setup(seed: u64, n: usize, k: usize) -> (lcs_graph::Graph, Partition) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = gnp_connected(n, 0.1, &mut rng);
+    let p = Partition::bfs_balls(&g, k.min(n), &mut rng);
+    (g, p)
+}
+
+/// Brute-force congestion: for each edge, count parts whose augmented
+/// subgraph contains it.
+fn brute_congestion(
+    g: &lcs_graph::Graph,
+    p: &Partition,
+    s: &ShortcutSet,
+) -> Vec<u32> {
+    let mut per_edge = vec![0u32; g.m()];
+    for i in 0..p.num_parts() {
+        for e in g.edge_ids() {
+            let (u, v) = g.edge_endpoints(e);
+            let internal =
+                p.part_of(u) == Some(i as u32) && p.part_of(v) == Some(i as u32);
+            let in_h = s.edges(i).contains(&e);
+            if internal || in_h {
+                per_edge[e.index()] += 1;
+            }
+        }
+    }
+    per_edge
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// measure_quality's congestion equals the brute-force count, for
+    /// random shortcut sets.
+    #[test]
+    fn congestion_matches_brute_force(seed in any::<u64>(), n in 6usize..35, k in 2usize..6) {
+        let (g, p) = random_setup(seed, n, k);
+        // Random shortcut set: each part gets a pseudo-random slice of
+        // edges.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 99);
+        let per_part: Vec<Vec<EdgeId>> = (0..p.num_parts())
+            .map(|_| {
+                g.edge_ids()
+                    .filter(|_| rand::Rng::gen_bool(&mut rng, 0.3))
+                    .collect()
+            })
+            .collect();
+        let s = ShortcutSet::from_edge_lists(per_part);
+        let report = measure_quality(&g, &p, &s, DilationMode::Exact);
+        let brute = brute_congestion(&g, &p, &s);
+        prop_assert_eq!(report.per_edge_congestion, brute);
+    }
+
+    /// Estimate-mode dilation brackets exact-mode dilation per part.
+    #[test]
+    fn estimate_brackets_exact(seed in any::<u64>(), n in 6usize..30, k in 2usize..5) {
+        let (g, p) = random_setup(seed, n, k);
+        let s = global_tree_shortcuts(&g, &p, 0, Some(2));
+        let exact = measure_quality(&g, &p, &s, DilationMode::Exact);
+        let est = measure_quality(&g, &p, &s, DilationMode::Estimate);
+        for i in 0..p.num_parts() {
+            prop_assert!(est.per_part_dilation[i] >= exact.per_part_dilation[i]);
+            prop_assert!(est.per_part_dilation_lower[i] <= exact.per_part_dilation[i]);
+        }
+    }
+
+    /// BFS-ball partitions always validate and cover the graph; leaders
+    /// are part maxima.
+    #[test]
+    fn bfs_balls_invariants(seed in any::<u64>(), n in 4usize..60, k in 1usize..8) {
+        let (g, p) = random_setup(seed, n, k);
+        prop_assert_eq!(p.covered(), n);
+        for i in 0..p.num_parts() {
+            let part = p.part(i);
+            prop_assert_eq!(p.leader(i), *part.last().unwrap());
+            for &v in part {
+                prop_assert_eq!(p.part_of(v), Some(i as u32));
+            }
+        }
+        // Re-validation through the public constructor must succeed.
+        let again = Partition::new(&g, p.parts().to_vec()).unwrap();
+        prop_assert_eq!(again.num_parts(), p.num_parts());
+    }
+
+    /// verify() accepts everything measure_quality produces and rejects
+    /// any tighter claim.
+    #[test]
+    fn verifier_consistency(seed in any::<u64>(), n in 6usize..30, k in 2usize..5) {
+        let (g, p) = random_setup(seed, n, k);
+        let s = trivial_shortcuts(&p);
+        let report = verify(&g, &p, &s, None, DilationMode::Exact).unwrap();
+        let q = report.quality;
+        // Exact claim passes.
+        verify(&g, &p, &s, Some(q), DilationMode::Exact).unwrap();
+        // Tighter dilation claim fails when dilation > 0.
+        if q.dilation > 0 {
+            let mut tight = q;
+            tight.dilation -= 1;
+            prop_assert!(verify(&g, &p, &s, Some(tight), DilationMode::Exact).is_err());
+        }
+    }
+
+    /// Simulated partwise aggregation equals the centralized fold for
+    /// random partitions and values.
+    #[test]
+    fn aggregation_simulated_equals_centralized(seed in any::<u64>(), n in 6usize..30, k in 2usize..5) {
+        let (g, p) = random_setup(seed, n, k);
+        let s = global_tree_shortcuts(&g, &p, 0, Some(1));
+        let setup = AggregationSetup::build(&g, &p, &s);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 7);
+        let values: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..500u64)).collect();
+        let value = |v: NodeId, part: usize| {
+            if p.part_of(v) == Some(part as u32) {
+                values[v as usize]
+            } else {
+                AggOp::Min.identity()
+            }
+        };
+        let central = setup.aggregate_centralized(AggOp::Min, &value);
+        let (roots, _) = setup
+            .aggregate_simulated(&g, AggOp::Min, &value, false, &SimConfig::default())
+            .unwrap();
+        for i in 0..p.num_parts() {
+            prop_assert_eq!(roots[i], Some(central[i]), "part {}", i);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Network resilience audit: how much capacity must fail to disconnect
+//! a datacenter-style topology? Runs the (1+ε)-approximate min cut
+//! (Corollary 1.2) and the 2-ECSS backbone design (Corollary 4.3) on a
+//! two-tier network, checking both against exact references.
+//!
+//! Run with: `cargo run --release --example network_resilience`
+
+use low_congestion_shortcuts::prelude::*;
+use lcs_apps::{approximation_ratio, verify_two_ecss};
+use lcs_graph::cut_weight;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    // Two-tier topology: 8 core routers (clique), 72 racks each
+    // dual-homed to cores plus some rack-to-rack links.
+    let g = lcs_graph::hub_and_spoke(80, 8, 2, 2, &mut rng);
+    let d = exact_diameter(&g).expect("connected");
+    let wg = WeightedGraph::with_random_weights(g, 40, &mut rng);
+    println!(
+        "topology: n={} m={} diameter={}",
+        wg.graph().n(),
+        wg.graph().m(),
+        d
+    );
+
+    // --- Minimum cut: the cheapest way to split the network. ---------
+    let exact = stoer_wagner(&wg).expect("connected");
+    println!("exact min cut (Stoer-Wagner): {}", exact.weight);
+    let cfg = MinCutConfig {
+        epsilon: 0.2,
+        seed: 5,
+        mst: MstConfig {
+            diameter: Some(d.max(3)),
+            ..MstConfig::default()
+        },
+        ..MinCutConfig::default()
+    };
+    let approx = approximate_min_cut(&wg, &cfg).expect("cuttable");
+    println!(
+        "approx min cut: {} ({} trees packed, {} accounted rounds, ratio {:.3})",
+        approx.weight,
+        approx.trees_packed,
+        approx.total_rounds,
+        approximation_ratio(&wg, &approx)
+    );
+    assert_eq!(cut_weight(&wg, &approx.side), approx.weight);
+    assert!(approx.weight as f64 <= 1.2 * exact.weight as f64 + 1e-9);
+
+    // --- 2-ECSS: a cheap backbone that survives any single link cut. -
+    match two_ecss(&wg, &cfg.mst) {
+        Ok(backbone) => {
+            assert!(verify_two_ecss(wg.graph(), &backbone.edges));
+            println!(
+                "2-ECSS backbone: {} edges, weight {} (MST part {}, augmentation {})",
+                backbone.edges.len(),
+                backbone.weight,
+                backbone.mst_weight,
+                backbone.augmentation_weight
+            );
+        }
+        Err(e) => println!("2-ECSS unavailable: {e}"),
+    }
+}

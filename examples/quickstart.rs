@@ -1,0 +1,75 @@
+//! Quickstart: build a constant-diameter hard instance, compute the
+//! Kogan–Parter shortcuts three ways (centralized raw, pruned trees,
+//! fully distributed), and compare their quality against the baselines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use low_congestion_shortcuts::prelude::*;
+
+fn main() {
+    // 1. Workload: 6 disjoint paths of 40 columns behind a diameter-4
+    //    highway — the structure that makes shortcuts hard (Elkin's
+    //    lower bound family).
+    let hw = HighwayGraph::new(HighwayParams {
+        num_paths: 6,
+        path_len: 40,
+        diameter: 4,
+    })
+    .expect("valid family parameters");
+    let g = hw.graph();
+    println!(
+        "graph: n={} m={} diameter={:?}",
+        g.n(),
+        g.m(),
+        exact_diameter(g)
+    );
+
+    // 2. Parts: one per path (vertex-disjoint, connected).
+    let parts = Partition::new(g, hw.path_parts()).expect("valid parts");
+    println!("parts: {} paths of {} nodes", parts.num_parts(), parts.part(0).len());
+
+    // 3. Paper parameters: k_D = n^((D-2)/(2D-2)), N = n/k_D,
+    //    p = k_D log n / N.
+    let params = KpParams::new(g.n(), 4, 1.0).expect("D >= 3");
+    println!(
+        "params: k_D={:.2} N={} p={:.3} reps={}",
+        params.k, params.big_n, params.p, params.reps
+    );
+
+    // 4. Centralized construction + pruning to the BFS-tree form.
+    let raw = centralized_shortcuts(g, &parts, params, 42, LargenessRule::Radius, OracleMode::PerPart);
+    let pruned = prune_to_trees(g, &parts, &raw.shortcuts, params.depth_limit());
+
+    // 5. Full CONGEST execution (diameter guessing included).
+    let dist = distributed_shortcuts(
+        g,
+        &parts,
+        &DistributedConfig {
+            seed: 42,
+            ..DistributedConfig::default()
+        },
+    )
+    .expect("construction verifies");
+    println!(
+        "distributed: accepted D''={} in {} rounds, {} messages",
+        dist.accepted_guess, dist.total_rounds, dist.total_messages
+    );
+
+    // 6. Quality comparison.
+    for (name, shortcuts) in [
+        ("trivial (H=∅)", trivial_shortcuts(&parts)),
+        ("global tree", global_tree_shortcuts(g, &parts, 0, Some(1))),
+        ("KP raw", raw.shortcuts.clone()),
+        ("KP pruned", pruned.shortcuts.clone()),
+        ("KP distributed", dist.shortcuts.clone()),
+    ] {
+        let report = verify(g, &parts, &shortcuts, None, DilationMode::Exact)
+            .expect("valid shortcut set");
+        println!("{name:>16}: {}", report.quality);
+    }
+    println!(
+        "bounds: congestion <= {} dilation <= {}",
+        params.congestion_bound(),
+        params.dilation_bound()
+    );
+}

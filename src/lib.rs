@@ -1,0 +1,65 @@
+//! # low-congestion-shortcuts
+//!
+//! A full reproduction of **Kogan & Parter, “Low-Congestion Shortcuts in
+//! Constant Diameter Graphs” (PODC 2021)** as a Rust workspace:
+//!
+//! * [`graph`] (re-export of `lcs-graph`) — graph substrate, generators
+//!   (including the Elkin / Das-Sarma-style lower-bound family), and
+//!   centralized reference algorithms;
+//! * [`congest`] (`lcs-congest`) — a synchronous CONGEST-model simulator
+//!   with bandwidth enforcement and the distributed primitives
+//!   (BFS, tree aggregation, random-delay multi-BFS);
+//! * [`shortcut`] (`lcs-shortcut`) — the shortcut framework: partitions,
+//!   quality measurement, verification, baselines, partwise aggregation;
+//! * [`core`] (`lcs-core`) — the paper's construction: centralized,
+//!   fully distributed (diameter guessing included), odd-diameter
+//!   reduction, shortcut trees, and dilation certification;
+//! * [`apps`] (`lcs-apps`) — MST, (1+ε) min cut, SSSP, 2-ECSS.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use low_congestion_shortcuts::prelude::*;
+//!
+//! // A hard instance: disjoint paths joined by a shallow highway.
+//! let hw = HighwayGraph::new(HighwayParams {
+//!     num_paths: 4, path_len: 30, diameter: 4,
+//! }).unwrap();
+//! let g = hw.graph();
+//! let parts = Partition::new(g, hw.path_parts()).unwrap();
+//!
+//! // Build the paper's shortcuts and check their quality.
+//! let params = KpParams::new(g.n(), 4, 1.0).unwrap();
+//! let built = centralized_shortcuts(
+//!     g, &parts, params, 7, LargenessRule::Radius, OracleMode::PerPart);
+//! let q = measure_quality(g, &parts, &built.shortcuts, DilationMode::Exact).quality;
+//! assert!((q.dilation as u64) <= params.dilation_bound());
+//! assert!((q.congestion as u64) <= params.congestion_bound());
+//! ```
+
+pub use lcs_apps as apps;
+pub use lcs_congest as congest;
+pub use lcs_core as core;
+pub use lcs_graph as graph;
+pub use lcs_shortcut as shortcut;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use lcs_apps::{
+        approximate_min_cut, mst_via_shortcuts, shortcut_sssp, two_ecss, MinCutConfig, MstConfig,
+        ShortcutStrategy,
+    };
+    pub use lcs_congest::{distributed_bfs, ExecutionMode, SimConfig};
+    pub use lcs_core::{
+        centralized_shortcuts, distributed_shortcuts, k_d, prune_to_trees, DistributedConfig,
+        KpParams, LargenessRule, OracleMode, SampleOracle, ShortcutTree,
+    };
+    pub use lcs_graph::{
+        exact_diameter, kruskal, stoer_wagner, Graph, GraphBuilder, HighwayGraph, HighwayParams,
+        NodeId, WeightedGraph,
+    };
+    pub use lcs_shortcut::{
+        global_tree_shortcuts, measure_quality, trivial_shortcuts, verify, DilationMode,
+        Partition, Quality, ShortcutSet,
+    };
+}

@@ -1,0 +1,156 @@
+//! End-to-end integration: the full distributed pipeline against the
+//! centralized construction and the paper's bounds, across diameters
+//! and graph families.
+
+use low_congestion_shortcuts::prelude::*;
+
+fn highway(d: u32, paths: usize, len: usize) -> (Graph, Partition) {
+    let hw = HighwayGraph::new(HighwayParams {
+        num_paths: paths,
+        path_len: len,
+        diameter: d,
+    })
+    .unwrap();
+    let g = hw.graph().clone();
+    let p = Partition::new(&g, hw.path_parts()).unwrap();
+    (g, p)
+}
+
+#[test]
+fn distributed_meets_bounds_across_diameters() {
+    for d in [3u32, 4, 5, 6] {
+        let (g, parts) = highway(d, 3, (d as usize + 2).max(20));
+        let out = distributed_shortcuts(
+            &g,
+            &parts,
+            &DistributedConfig {
+                known_diameter: Some(d),
+                seed: d as u64,
+                ..DistributedConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("D={d}: {e}"));
+        let report = verify(&g, &parts, &out.shortcuts, None, DilationMode::Exact).unwrap();
+        assert!(
+            (report.quality.congestion as u64) <= out.params.congestion_bound(),
+            "D={d} congestion {} vs bound {}",
+            report.quality.congestion,
+            out.params.congestion_bound()
+        );
+        assert!(
+            (report.quality.dilation as u64) <= 2 * out.params.depth_limit() as u64,
+            "D={d} dilation {}",
+            report.quality.dilation
+        );
+        assert!(
+            out.total_rounds <= 4 * out.params.round_budget(),
+            "D={d} rounds {} vs budget {}",
+            out.total_rounds,
+            out.params.round_budget()
+        );
+    }
+}
+
+#[test]
+fn unknown_diameter_ladder_terminates_with_valid_shortcuts() {
+    let (g, parts) = highway(5, 3, 24);
+    let out = distributed_shortcuts(&g, &parts, &DistributedConfig::default()).unwrap();
+    assert!(out.guesses.last().unwrap().accepted);
+    verify(&g, &parts, &out.shortcuts, None, DilationMode::Exact).unwrap();
+}
+
+#[test]
+fn centralized_and_distributed_agree_on_largeness_and_scale() {
+    let (g, parts) = highway(4, 4, 28);
+    let seed = 77;
+    let dist = distributed_shortcuts(
+        &g,
+        &parts,
+        &DistributedConfig {
+            known_diameter: Some(4),
+            seed,
+            ..DistributedConfig::default()
+        },
+    )
+    .unwrap();
+    let central = centralized_shortcuts(
+        &g,
+        &parts,
+        dist.params,
+        seed,
+        LargenessRule::Radius,
+        OracleMode::PerPart,
+    );
+    assert_eq!(dist.is_large, central.is_large);
+    // Distributed trees are subsets of the (direction-restricted)
+    // centralized raw shortcut edges + part-incident edges.
+    for i in 0..parts.num_parts() {
+        let raw: std::collections::HashSet<_> = central.shortcuts.edges(i).iter().collect();
+        for e in dist.shortcuts.edges(i) {
+            let (u, v) = g.edge_endpoints(*e);
+            let step1 = parts.part_of(u) == Some(i as u32) || parts.part_of(v) == Some(i as u32);
+            assert!(
+                step1 || raw.contains(e),
+                "part {i}: distributed tree edge {e:?} missing from centralized H_i"
+            );
+        }
+    }
+}
+
+#[test]
+fn shortcuts_on_random_small_diameter_graphs() {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let g = lcs_graph::gnp_connected(300, 0.05, &mut rng);
+    let d = exact_diameter(&g).unwrap().max(3);
+    let parts = Partition::bfs_balls(&g, 12, &mut rng);
+    let params = KpParams::new(g.n(), d, 1.0).unwrap();
+    let out = centralized_shortcuts(&g, &parts, params, 3, LargenessRule::Radius, OracleMode::PerPart);
+    let report = verify(&g, &parts, &out.shortcuts, None, DilationMode::Exact).unwrap();
+    assert!((report.quality.congestion as u64) <= params.congestion_bound());
+    assert!((report.quality.dilation as u64) <= params.dilation_bound());
+}
+
+#[test]
+fn odd_diameter_subdivision_end_to_end() {
+    let (g, parts) = highway(5, 4, 30);
+    let params = KpParams::new(g.n(), 5, 1.0).unwrap();
+    let out = lcs_core::odd_shortcuts_subdivision(&g, &parts, params, 11, LargenessRule::Radius);
+    let report = verify(&g, &parts, &out.shortcuts, None, DilationMode::Exact).unwrap();
+    assert!((report.quality.dilation as u64) <= params.dilation_bound());
+    assert!((report.quality.congestion as u64) <= params.congestion_bound());
+}
+
+#[test]
+fn quality_beats_trivial_baseline_on_hard_family() {
+    // The headline separation at D=3: KP quality below the sqrt(n)-ish
+    // baselines. (At n=1600 the margin is seed-dependent; by n=3600 the
+    // k_3 = n^(1/4) vs sqrt(n) gap is structural.)
+    let hw = HighwayGraph::balanced(3600, 3).unwrap();
+    let g = hw.graph().clone();
+    let parts = Partition::new(&g, hw.path_parts()).unwrap();
+    let params = KpParams::new(g.n(), 3, 1.0).unwrap();
+    let kp = centralized_shortcuts(&g, &parts, params, 9, LargenessRule::Radius, OracleMode::PerArc);
+    let kp_q = measure_quality(&g, &parts, &kp.shortcuts, DilationMode::Exact).quality;
+    let triv_q =
+        measure_quality(&g, &parts, &trivial_shortcuts(&parts), DilationMode::Exact).quality;
+    let glob_q = measure_quality(
+        &g,
+        &parts,
+        &global_tree_shortcuts(&g, &parts, 0, Some(1)),
+        DilationMode::Exact,
+    )
+    .quality;
+    assert!(
+        kp_q.total() < triv_q.total(),
+        "KP {} vs trivial {}",
+        kp_q.total(),
+        triv_q.total()
+    );
+    assert!(
+        kp_q.total() < glob_q.total(),
+        "KP {} vs global tree {}",
+        kp_q.total(),
+        glob_q.total()
+    );
+}
