@@ -29,9 +29,7 @@
 
 use crate::mst::{mst_via_shortcuts, MstConfig, MstError};
 use lcs_congest::ceil_log2;
-use lcs_graph::{
-    kruskal, stoer_wagner, Graph, NodeId, WeightedGraph,
-};
+use lcs_graph::{kruskal, stoer_wagner, Graph, NodeId, WeightedGraph};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
@@ -158,8 +156,7 @@ impl RootedTree {
     /// Is `x` in the subtree of `v`?
     #[inline]
     fn in_subtree(&self, v: NodeId, x: NodeId) -> bool {
-        self.tin[v as usize] <= self.tin[x as usize]
-            && self.tin[x as usize] < self.tout[v as usize]
+        self.tin[v as usize] <= self.tin[x as usize] && self.tin[x as usize] < self.tout[v as usize]
     }
 
     /// Tree path from `x` up to the root as node list.
@@ -224,9 +221,8 @@ pub fn min_respecting_cut(
     // 1-respecting.
     let mut best = u64::MAX;
     let mut best_side: Vec<NodeId> = Vec::new();
-    let subtree_side = |v: NodeId| -> Vec<NodeId> {
-        (0..n as u32).filter(|&x| t.in_subtree(v, x)).collect()
-    };
+    let subtree_side =
+        |v: NodeId| -> Vec<NodeId> { (0..n as u32).filter(|&x| t.in_subtree(v, x)).collect() };
     for &v in &t.order {
         if v == root {
             continue;
@@ -245,14 +241,11 @@ pub fn min_respecting_cut(
             if v == root || t.tin[v as usize] <= t.tin[u as usize] {
                 continue; // enumerate unordered pairs once
             }
-            let c2 = cut1[u as usize] + cut1[v as usize]
-                - 2 * m[u as usize * n + v as usize];
+            let c2 = cut1[u as usize] + cut1[v as usize] - 2 * m[u as usize * n + v as usize];
             if c2 < best && c2 > 0 {
                 // Side = S_u Δ S_v.
-                let su: std::collections::HashSet<NodeId> =
-                    subtree_side(u).into_iter().collect();
-                let sv: std::collections::HashSet<NodeId> =
-                    subtree_side(v).into_iter().collect();
+                let su: std::collections::HashSet<NodeId> = subtree_side(u).into_iter().collect();
+                let sv: std::collections::HashSet<NodeId> = subtree_side(v).into_iter().collect();
                 let side: Vec<NodeId> = su.symmetric_difference(&sv).copied().collect();
                 if !side.is_empty() && side.len() < n {
                     best = c2;
@@ -328,8 +321,8 @@ pub fn approximate_min_cut(
         iterations += 1;
         // Skeleton: weighted sampling — edge kept with probability
         // 1 − (1−p)^w (a weight-w bundle of parallel unit edges).
-        let p = (cfg.sampling_constant * ln_n / (cfg.epsilon * cfg.epsilon * estimate as f64))
-            .min(1.0);
+        let p =
+            (cfg.sampling_constant * ln_n / (cfg.epsilon * cfg.epsilon * estimate as f64)).min(1.0);
         let kept: Vec<(NodeId, NodeId)> = g
             .edge_ids()
             .filter(|&e| {

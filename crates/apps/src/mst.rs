@@ -27,9 +27,7 @@ use lcs_congest::{AggOp, ExecutionMode, SimConfig, SimError};
 use lcs_core::{
     centralized_shortcuts, prune_to_trees, KpParams, LargenessRule, OracleMode, ParamError,
 };
-use lcs_graph::{
-    exact_diameter, kruskal, EdgeId, NodeId, UnionFind, WeightedGraph,
-};
+use lcs_graph::{exact_diameter, kruskal, EdgeId, NodeId, UnionFind, WeightedGraph};
 use lcs_shortcut::{
     global_tree_shortcuts, trivial_shortcuts, AggregationSetup, Partition, PartitionError,
     ShortcutSet,
@@ -225,8 +223,7 @@ pub fn mst_via_shortcuts(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutco
         // Shortcuts for the fragments.
         let (shortcuts, shortcut_rounds): (ShortcutSet, u64) = match cfg.strategy {
             ShortcutStrategy::KoganParter => {
-                let params =
-                    KpParams::new(n, diameter.max(3), cfg.prob_constant)?;
+                let params = KpParams::new(n, diameter.max(3), cfg.prob_constant)?;
                 let raw = centralized_shortcuts(
                     g,
                     &partition,
@@ -278,10 +275,7 @@ pub fn mst_via_shortcuts(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutco
                     setup.aggregate_simulated(g, AggOp::Min, &value, true, &sim_cfg)?;
                 aggregation_rounds += outcome.stats.rounds;
                 messages += outcome.stats.messages;
-                roots
-                    .into_iter()
-                    .map(|r| r.unwrap_or(u64::MAX))
-                    .collect()
+                roots.into_iter().map(|r| r.unwrap_or(u64::MAX)).collect()
             }
             ExecutionMode::Accounted => {
                 let res = setup.aggregate_centralized(AggOp::Min, &value);
@@ -427,11 +421,9 @@ mod tests {
 
     #[test]
     fn disconnected_graph_yields_forest() {
-        let wg = WeightedGraph::from_weighted_edges(
-            6,
-            &[(0, 1, 5), (1, 2, 2), (3, 4, 1), (4, 5, 9)],
-        )
-        .unwrap();
+        let wg =
+            WeightedGraph::from_weighted_edges(6, &[(0, 1, 5), (1, 2, 2), (3, 4, 1), (4, 5, 9)])
+                .unwrap();
         let cfg = MstConfig {
             diameter: Some(3),
             ..MstConfig::default()

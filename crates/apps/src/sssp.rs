@@ -72,10 +72,7 @@ pub fn bellman_ford_rounds(wg: &WeightedGraph, source: NodeId) -> (Vec<u64>, u64
 }
 
 /// Weighted depths of every tree node from the tree root, per part tree.
-fn weighted_depths(
-    wg: &WeightedGraph,
-    setup: &AggregationSetup,
-) -> Vec<HashMap<NodeId, u64>> {
+fn weighted_depths(wg: &WeightedGraph, setup: &AggregationSetup) -> Vec<HashMap<NodeId, u64>> {
     let g = wg.graph();
     setup
         .trees
@@ -234,7 +231,14 @@ mod tests {
         let wg = WeightedGraph::new(g.clone(), weights).unwrap();
         let p = Partition::new(&g, hw.path_parts()).unwrap();
         let params = KpParams::new(g.n(), 4, 1.0).unwrap();
-        let raw = centralized_shortcuts(&g, &p, params, 3, LargenessRule::Radius, OracleMode::PerPart);
+        let raw = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            3,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         let pruned = prune_to_trees(&g, &p, &raw.shortcuts, params.depth_limit());
         (wg, p, pruned.shortcuts)
     }
@@ -244,9 +248,9 @@ mod tests {
         let (wg, p, s) = fixture();
         let out = shortcut_sssp(&wg, &p, &s, 0, 64);
         let exact = dijkstra(&wg, 0);
-        for v in 0..wg.graph().n() {
-            if exact[v] != W_UNREACHABLE {
-                assert!(out.dist[v] >= exact[v], "node {v}");
+        for (v, &exact_d) in exact.iter().enumerate() {
+            if exact_d != W_UNREACHABLE {
+                assert!(out.dist[v] >= exact_d, "node {v}");
                 assert_ne!(out.dist[v], W_UNREACHABLE, "node {v} must be reached");
             }
         }
@@ -273,9 +277,9 @@ mod tests {
         );
         let truncated = lcs_graph::bounded_hop_distances(&wg, 0, budget as usize);
         let mut strictly_better = false;
-        for v in 0..wg.graph().n() {
-            assert!(accel.dist[v] <= truncated[v], "node {v}");
-            strictly_better |= accel.dist[v] < truncated[v];
+        for (v, &trunc_d) in truncated.iter().enumerate() {
+            assert!(accel.dist[v] <= trunc_d, "node {v}");
+            strictly_better |= accel.dist[v] < trunc_d;
         }
         assert!(strictly_better, "tree relaxation must help somewhere");
         // And exactness arrives as iterations continue.

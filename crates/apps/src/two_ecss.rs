@@ -66,12 +66,7 @@ pub struct TwoEcssOutcome {
 
 /// Tree edges on the tree path between `u` and `v` (indices into
 /// `tree_edges`).
-fn tree_path_edges(
-    n: usize,
-    tree_edges: &[(NodeId, NodeId)],
-    u: NodeId,
-    v: NodeId,
-) -> Vec<usize> {
+fn tree_path_edges(n: usize, tree_edges: &[(NodeId, NodeId)], u: NodeId, v: NodeId) -> Vec<usize> {
     // Build adjacency with edge indices; BFS from u to v.
     let mut adj: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
     for (i, &(a, b)) in tree_edges.iter().enumerate() {
@@ -158,9 +153,7 @@ pub fn two_ecss(wg: &WeightedGraph, cfg: &MstConfig) -> Result<TwoEcssOutcome, T
                 continue;
             }
             let ratio = wg.weight(*e) as f64 / gain as f64;
-            if best.map_or(true, |(r, be, _)| {
-                ratio < r || (ratio == r && e.0 < be.0)
-            }) {
+            if best.is_none_or(|(r, be, _)| ratio < r || (ratio == r && e.0 < be.0)) {
                 best = Some((ratio, *e, idx));
             }
         }
@@ -199,8 +192,7 @@ pub fn two_ecss(wg: &WeightedGraph, cfg: &MstConfig) -> Result<TwoEcssOutcome, T
 /// Verifies that the chosen edges form a two-edge-connected spanning
 /// subgraph of `wg`'s topology.
 pub fn verify_two_ecss(g: &Graph, edges: &[EdgeId]) -> bool {
-    let sub_edges: Vec<(NodeId, NodeId)> =
-        edges.iter().map(|&e| g.edge_endpoints(e)).collect();
+    let sub_edges: Vec<(NodeId, NodeId)> = edges.iter().map(|&e| g.edge_endpoints(e)).collect();
     match Graph::from_edges(g.n(), &sub_edges) {
         Ok(sub) => is_two_edge_connected(&sub),
         Err(_) => false,
@@ -247,11 +239,9 @@ mod tests {
 
     #[test]
     fn rejects_bridged_graphs() {
-        let wg = WeightedGraph::from_weighted_edges(
-            4,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1)],
-        )
-        .unwrap();
+        let wg =
+            WeightedGraph::from_weighted_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1)])
+                .unwrap();
         assert_eq!(
             two_ecss(&wg, &MstConfig::default()).unwrap_err(),
             TwoEcssError::NotTwoEdgeConnected

@@ -6,11 +6,11 @@
 //! * random start delays in the scheduled BFS (on vs off).
 
 use lcs_bench::{f3, highway_workload, BenchArgs, Table};
+use lcs_congest::{run_multi_bfs, MultiBfsInstance, MultiBfsSpec, SimConfig};
 use lcs_core::{
     centralized_shortcuts, classify_large, shared_delay, KpParams, LargenessRule, OracleMode,
     SampleOracle,
 };
-use lcs_congest::{run_multi_bfs, MultiBfsInstance, MultiBfsSpec, SimConfig};
 use lcs_shortcut::{measure_quality, DilationMode};
 use std::sync::Arc;
 
@@ -163,7 +163,14 @@ fn main() {
     // the framework's "good for every part collection" universality.
     let mut t5 = Table::new(
         "ablate_part_shape: quality vs part-count exponent (D=4, n≈2500)",
-        &["gamma exp", "paths", "path len", "KP c+d", "trivial c+d", "glob-tree c+d"],
+        &[
+            "gamma exp",
+            "paths",
+            "path len",
+            "KP c+d",
+            "trivial c+d",
+            "glob-tree c+d",
+        ],
     );
     for gexp in [0.25f64, 0.4, 0.5, 0.6, 0.75] {
         let Ok(hw) = lcs_graph::HighwayGraph::with_gamma_exponent(2500, 4, gexp) else {
@@ -173,7 +180,9 @@ fn main() {
         let Ok(partition) = lcs_shortcut::Partition::new(g, hw.path_parts()) else {
             continue;
         };
-        let Ok(params) = KpParams::new(g.n(), 4, 1.0) else { continue };
+        let Ok(params) = KpParams::new(g.n(), 4, 1.0) else {
+            continue;
+        };
         let kp = centralized_shortcuts(
             g,
             &partition,
@@ -182,8 +191,7 @@ fn main() {
             LargenessRule::Radius,
             OracleMode::PerArc,
         );
-        let kp_q =
-            measure_quality(g, &partition, &kp.shortcuts, DilationMode::Exact).quality;
+        let kp_q = measure_quality(g, &partition, &kp.shortcuts, DilationMode::Exact).quality;
         let triv = measure_quality(
             g,
             &partition,

@@ -72,7 +72,11 @@ fn main() {
         "E11b (Cor 4.3): O(log n)-approx 2-ECSS on weighted cliques",
         &["n", "mst w", "2ecss w", "w/mst", "greedy rounds", "valid"],
     );
-    let ns2: &[usize] = if args.quick { &[12, 20] } else { &[12, 20, 32, 48] };
+    let ns2: &[usize] = if args.quick {
+        &[12, 20]
+    } else {
+        &[12, 20, 32, 48]
+    };
     for &n in ns2 {
         let g = complete(n);
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);

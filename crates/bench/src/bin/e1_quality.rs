@@ -7,9 +7,7 @@
 
 use lcs_bench::{f3, highway_workload, loglog_slope, BenchArgs, Table};
 use lcs_core::{centralized_shortcuts, k_d, KpParams, LargenessRule, OracleMode};
-use lcs_shortcut::{
-    global_tree_shortcuts, measure_quality, trivial_shortcuts, DilationMode,
-};
+use lcs_shortcut::{global_tree_shortcuts, measure_quality, trivial_shortcuts, DilationMode};
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -60,8 +58,7 @@ fn main() {
                 DilationMode::Exact
             };
             let q = measure_quality(g, &partition, &out.shortcuts, mode).quality;
-            let triv =
-                measure_quality(g, &partition, &trivial_shortcuts(&partition), mode).quality;
+            let triv = measure_quality(g, &partition, &trivial_shortcuts(&partition), mode).quality;
             let glob = measure_quality(
                 g,
                 &partition,

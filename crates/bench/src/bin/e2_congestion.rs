@@ -16,7 +16,14 @@ fn main() {
     for d in [3u32, 4, 6] {
         let mut t = Table::new(
             &format!("E2 (D={d}): per-edge congestion vs O(D·k_D·lg n) bound"),
-            &["n", "bound", "max c (worst seed)", "mean c", "max/bound", "violations"],
+            &[
+                "n",
+                "bound",
+                "max c (worst seed)",
+                "mean c",
+                "max/bound",
+                "violations",
+            ],
         );
         for &nt in sizes {
             let (hw, partition) = highway_workload(nt, d);
@@ -38,8 +45,7 @@ fn main() {
                     LargenessRule::Radius,
                     OracleMode::PerArc,
                 );
-                let report =
-                    measure_quality(g, &partition, &out.shortcuts, DilationMode::Estimate);
+                let report = measure_quality(g, &partition, &out.shortcuts, DilationMode::Estimate);
                 worst = worst.max(report.quality.congestion);
                 means.push(report.mean_loaded_congestion());
                 if (report.quality.congestion as u64) > bound {

@@ -59,8 +59,7 @@ fn main() {
                 max_dil = max_dil.max(q.dilation);
                 // Recursion trace on the first (longest) part with a
                 // threshold of 4·k_D (the O(k_D) per-level budget).
-                let trace =
-                    certify_part(g, &partition, &out.shortcuts, 0, 4 * params.k_ceil);
+                let trace = certify_part(g, &partition, &out.shortcuts, 0, 4 * params.k_ceil);
                 max_depth = max_depth.max(trace.recursion_depth);
                 violations += trace.violations as u64;
                 for e in &trace.events {
@@ -135,8 +134,7 @@ fn main() {
                 LargenessRule::Radius,
                 OracleMode::PerArc,
             );
-            let report =
-                measure_quality(g, &partition, &out.shortcuts, DilationMode::Exact);
+            let report = measure_quality(g, &partition, &out.shortcuts, DilationMode::Exact);
             max_dil = max_dil.max(report.quality.dilation);
             // Trace the worst part with a tight per-level budget so the
             // recursion is forced to do the work.
@@ -147,8 +145,7 @@ fn main() {
                 .max_by_key(|&(_, &d)| d)
                 .map(|(i, _)| i)
                 .unwrap_or(0);
-            let trace =
-                certify_part(g, &partition, &out.shortcuts, worst_part, params.k_ceil);
+            let trace = certify_part(g, &partition, &out.shortcuts, worst_part, params.k_ceil);
             max_depth = max_depth.max(trace.recursion_depth);
             for e in &trace.events {
                 match e {

@@ -76,7 +76,10 @@ fn main() {
         let oracle = SampleOracle::new(0, params.p, params.reps);
         let tree = ShortcutTree::new(g, &path, &q, ell, &oracle, partition.leader(0), 0)
             .expect("valid tree");
-        println!("trace: aux graph has {} nodes, ell = {ell}", tree.aux_size());
+        println!(
+            "trace: aux graph has {} nodes, ell = {ell}",
+            tree.aux_size()
+        );
         for target in 2..=ell + 1 {
             if let Some(m) = tree.walk_to_level(0, target) {
                 println!(

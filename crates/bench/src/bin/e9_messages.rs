@@ -11,7 +11,14 @@ fn main() {
 
     let mut t = Table::new(
         "E9: distributed-construction messages vs m·k_D·lg n (D=4)",
-        &["n", "m", "k_D", "messages", "msgs/(m·k_D)", "msgs/(m·k_D·lg n)"],
+        &[
+            "n",
+            "m",
+            "k_D",
+            "messages",
+            "msgs/(m·k_D)",
+            "msgs/(m·k_D·lg n)",
+        ],
     );
     for &nt in sizes {
         let (hw, partition) = highway_workload(nt, 4);

@@ -74,7 +74,7 @@ impl NodeAlgorithm for BfsNode {
                 BfsMsg::Token { dist } => {
                     if self.dist.is_none() {
                         let cand = (*dist + 1, from);
-                        if best.map_or(true, |b| cand < b) {
+                        if best.is_none_or(|b| cand < b) {
                             best = Some(cand);
                         }
                     }
@@ -138,7 +138,9 @@ pub fn distributed_bfs(
     root: NodeId,
     cfg: &SimConfig,
 ) -> Result<DistBfsOutcome, SimError> {
-    let nodes: Vec<BfsNode> = (0..graph.n() as u32).map(|v| BfsNode::new(v == root)).collect();
+    let nodes: Vec<BfsNode> = (0..graph.n() as u32)
+        .map(|v| BfsNode::new(v == root))
+        .collect();
     let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
     let mut children: Vec<Vec<NodeId>> = nodes.iter().map(|s| s.children.clone()).collect();
     for c in &mut children {

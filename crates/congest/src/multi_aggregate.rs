@@ -137,7 +137,10 @@ impl NodeAlgorithm for MultiAggNode {
                     st.pending = st.pending.saturating_sub(1);
                 }
                 MultiAggMsg::Down { inst, value } => {
-                    let st = self.insts.get_mut(&inst).expect("Down for unknown instance");
+                    let st = self
+                        .insts
+                        .get_mut(&inst)
+                        .expect("Down for unknown instance");
                     st.result = Some(value);
                 }
             }
@@ -282,8 +285,7 @@ mod tests {
         let g = lcs_graph::generators::grid(4, 4);
         let values: Vec<u64> = (0..16u64).collect();
         let parts = single_tree_participation(&g, 0, &values);
-        let out =
-            run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let out = run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
         let expected: u64 = (0..16u64).sum();
         for v in g.nodes() {
             assert_eq!(out.result_at(v, 0), Some(expected), "node {v}");
@@ -295,8 +297,7 @@ mod tests {
         let g = lcs_graph::generators::path(6);
         let values = vec![9, 4, 7, 2, 8, 6];
         let parts = single_tree_participation(&g, 0, &values);
-        let out =
-            run_multi_aggregate(&g, parts, AggOp::Min, false, &SimConfig::default()).unwrap();
+        let out = run_multi_aggregate(&g, parts, AggOp::Min, false, &SimConfig::default()).unwrap();
         assert_eq!(out.result_at(0, 0), Some(2));
         assert_eq!(out.result_at(3, 0), None);
     }
@@ -333,8 +334,7 @@ mod tests {
                 });
             }
         }
-        let out =
-            run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let out = run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
         for (i, &r) in leaves.iter().take(6).enumerate() {
             let inst = i as u32;
             let others_sum: u64 = leaves
@@ -357,8 +357,7 @@ mod tests {
     fn empty_participation_is_inert() {
         let g = lcs_graph::generators::path(3);
         let parts = vec![Vec::new(), Vec::new(), Vec::new()];
-        let out =
-            run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let out = run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
         assert_eq!(out.stats.messages, 0);
         assert!(out.results.iter().all(|m| m.is_empty()));
     }

@@ -267,9 +267,7 @@ impl NodeAlgorithm for MultiBfsNode {
     fn halted(&self) -> bool {
         // A root with a pending delayed start must keep the run alive
         // even when no messages are in flight yet.
-        self.roots_here
-            .iter()
-            .all(|i| self.reached.contains_key(i))
+        self.roots_here.iter().all(|i| self.reached.contains_key(i))
             && self.queues.iter().all(|q| q.is_empty())
     }
 }
@@ -400,7 +398,7 @@ mod tests {
         let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
         assert_eq!(out.instance_depth(0), 4);
         assert_eq!(out.instance_nodes(0).len(), 5);
-        assert!(out.reached[5].get(&0).is_none());
+        assert!(!out.reached[5].contains_key(&0));
     }
 
     #[test]
@@ -408,8 +406,13 @@ mod tests {
         // Two paths sharing no edges, as instances over node-partitioned
         // membership.
         let g = lcs_graph::generators::path(10);
-        let membership: MembershipFn =
-            Arc::new(|u, v, i| if i == 0 { u < 5 && v < 5 } else { u >= 5 && v >= 5 });
+        let membership: MembershipFn = Arc::new(|u, v, i| {
+            if i == 0 {
+                u < 5 && v < 5
+            } else {
+                u >= 5 && v >= 5
+            }
+        });
         let spec = Arc::new(MultiBfsSpec {
             instances: vec![
                 MultiBfsInstance {
@@ -431,7 +434,7 @@ mod tests {
         assert_eq!(out.instance_nodes(1).len(), 5);
         assert_eq!(out.reached[4][&0].dist, 4);
         assert_eq!(out.reached[5][&1].dist, 4);
-        assert!(out.reached[4].get(&1).is_none());
+        assert!(!out.reached[4].contains_key(&1));
     }
 
     #[test]
@@ -506,7 +509,9 @@ mod tests {
         let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
         assert!(out.overflowed);
         // Some instance failed to span.
-        let spanned = (0..8u32).filter(|&i| out.instance_nodes(i).len() == 12).count();
+        let spanned = (0..8u32)
+            .filter(|&i| out.instance_nodes(i).len() == 12)
+            .count();
         assert!(spanned < 8);
     }
 

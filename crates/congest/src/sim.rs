@@ -188,8 +188,12 @@ mod tests {
     #[test]
     fn flood_reaches_everyone_in_ecc_rounds() {
         let g = lcs_graph::generators::path(6);
-        let out = run(&g, (0..6).map(|_| Flood::default()).collect(), &SimConfig::default())
-            .unwrap();
+        let out = run(
+            &g,
+            (0..6).map(|_| Flood::default()).collect(),
+            &SimConfig::default(),
+        )
+        .unwrap();
         for (v, node) in out.nodes.iter().enumerate() {
             assert_eq!(node.heard_at, Some(v as u64), "node {v}");
         }

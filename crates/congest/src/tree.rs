@@ -303,14 +303,8 @@ pub fn prefix_number(
         .map(|(pos, &m)| PrefixNumberNode::new(pos, m))
         .collect();
     let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
-    let total = root
-        .and_then(|r| nodes[r].total)
-        .unwrap_or(0);
-    Ok((
-        nodes.into_iter().map(|s| s.rank).collect(),
-        total,
-        stats,
-    ))
+    let total = root.and_then(|r| nodes[r].total).unwrap_or(0);
+    Ok((nodes.into_iter().map(|s| s.rank).collect(), total, stats))
 }
 
 /// Builds [`TreePosition`]s from parallel parent/children arrays (such as
@@ -388,8 +382,7 @@ mod tests {
     fn prefix_numbering_assigns_distinct_dense_ranks() {
         let (g, pos) = tree_fixture(40, 8);
         let marked: Vec<bool> = (0..g.n()).map(|v| v % 3 == 0).collect();
-        let (ranks, total, _) =
-            prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
+        let (ranks, total, _) = prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
         let expected: u64 = marked.iter().filter(|&&m| m).count() as u64;
         assert_eq!(total, expected);
         let mut seen: Vec<u64> = ranks.iter().flatten().copied().collect();

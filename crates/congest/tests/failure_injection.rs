@@ -40,12 +40,12 @@ impl NodeAlgorithm for LateViolator {
         }
         if ctx.round() == self.at_round {
             match self.mode {
-                0 => ctx.send(2, BigMsg(1)),         // non-neighbor on a path
+                0 => ctx.send(2, BigMsg(1)), // non-neighbor on a path
                 1 => {
                     ctx.send(1, BigMsg(1));
-                    ctx.send(1, BigMsg(1));          // double send
+                    ctx.send(1, BigMsg(1)); // double send
                 }
-                _ => ctx.send(1, BigMsg(99)),        // oversized
+                _ => ctx.send(1, BigMsg(99)), // oversized
             }
         }
     }
@@ -54,13 +54,15 @@ impl NodeAlgorithm for LateViolator {
     }
 }
 
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
 #[test]
 fn late_violations_are_caught_at_the_right_round() {
     let g = path(3);
     for (mode, expect_kind) in [(0u8, "dest"), (1, "overflow"), (2, "size")] {
-        let nodes = (0..3)
-            .map(|_| LateViolator { mode, at_round: 5 })
-            .collect();
+        let nodes = (0..3).map(|_| LateViolator { mode, at_round: 5 }).collect();
         let err = run(&g, nodes, &SimConfig::default()).unwrap_err();
         match (expect_kind, &err) {
             ("dest", SimError::InvalidDestination { round, .. })
@@ -73,6 +75,10 @@ fn late_violations_are_caught_at_the_right_round() {
     }
 }
 
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
 #[test]
 fn malformed_aggregation_tree_yields_no_result_not_a_hang() {
     // Participation claims a child that never reports: the convergecast
@@ -100,6 +106,10 @@ fn malformed_aggregation_tree_yields_no_result_not_a_hang() {
     assert!(out.stats.rounds < 50, "quiesces well before the limit");
 }
 
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
 #[test]
 fn cyclic_parent_pointers_yield_no_results() {
     // 0 and 1 claim each other as parent: neither can ever send Up, so
@@ -128,6 +138,10 @@ fn cyclic_parent_pointers_yield_no_results() {
     assert_eq!(out.result_at(1, 0), None);
 }
 
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
 #[test]
 fn tiny_queue_cap_degrades_gracefully_not_fatally() {
     // Congestion enforcement drops tokens and flags, but the run itself
@@ -153,6 +167,10 @@ fn tiny_queue_cap_degrades_gracefully_not_fatally() {
     assert!(spanned < 12, "some instance must be incomplete");
 }
 
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
 #[test]
 fn round_limit_zero_fails_immediately() {
     let g = path(2);

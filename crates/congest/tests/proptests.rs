@@ -21,6 +21,7 @@ proptest! {
 
     /// Distributed BFS distances equal centralized BFS distances from
     /// any root on any connected graph.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn distributed_bfs_equals_centralized(seed in any::<u64>(), n in 5usize..60, root_pick in any::<u32>()) {
         let g = random_graph(seed, n);
@@ -39,6 +40,7 @@ proptest! {
     /// contention a longer-route token can win the race, which is why
     /// the construction budgets a generous depth limit). A contention-
     /// free single instance is exact.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn multi_bfs_instances_are_sound(seed in any::<u64>(), n in 5usize..40, k in 1usize..5) {
         let g = random_graph(seed, n);
@@ -82,6 +84,7 @@ proptest! {
 
     /// Tree aggregation over a BFS tree computes exactly the centralized
     /// fold for every operator.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn convergecast_matches_fold(seed in any::<u64>(), n in 3usize..50) {
         let g = random_graph(seed, n);
@@ -99,6 +102,7 @@ proptest! {
 
     /// Prefix numbering assigns dense distinct ranks matching the count
     /// of marked nodes, for any mark pattern.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn prefix_numbering_is_a_bijection(seed in any::<u64>(), n in 3usize..50, mask in any::<u64>()) {
         let g = random_graph(seed, n);
@@ -115,6 +119,7 @@ proptest! {
 
     /// Multi-instance aggregation over BFS-tree participations matches
     /// the centralized per-instance fold.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn multi_aggregate_matches_fold(seed in any::<u64>(), n in 4usize..30) {
         let g = random_graph(seed, n);

@@ -190,7 +190,11 @@ impl ShortcutBuilder {
     /// # Errors
     ///
     /// See [`BuildError`].
-    pub fn build(&self, graph: &Graph, partition: &Partition) -> Result<BuiltShortcuts, BuildError> {
+    pub fn build(
+        &self,
+        graph: &Graph,
+        partition: &Partition,
+    ) -> Result<BuiltShortcuts, BuildError> {
         let d = match self.diameter {
             Some(d) => d,
             None => exact_diameter(graph)
@@ -295,8 +299,7 @@ mod tests {
                 .build(&g, &p)
                 .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
             assert!(
-                (built.quality_report.quality.congestion as u64)
-                    <= built.params.congestion_bound(),
+                (built.quality_report.quality.congestion as u64) <= built.params.congestion_bound(),
                 "{variant:?}"
             );
             assert_eq!(built.rounds.is_some(), variant == Variant::Distributed);

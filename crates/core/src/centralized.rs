@@ -208,7 +208,7 @@ pub fn prune_to_trees(
         }
         let span = partition.part(i).iter().all(|&v| {
             sub.local_of(v)
-                .map_or(false, |lv| r.dist[lv as usize] != UNREACHABLE)
+                .is_some_and(|lv| r.dist[lv as usize] != UNREACHABLE)
         });
         per_part.push(edges);
         spans.push(span);
@@ -255,7 +255,8 @@ mod tests {
         // With a huge k threshold, everything is small.
         let mut fake = params;
         fake.k_ceil = 1000;
-        let out = centralized_shortcuts(&g, &p, fake, 1, LargenessRule::Radius, OracleMode::PerPart);
+        let out =
+            centralized_shortcuts(&g, &p, fake, 1, LargenessRule::Radius, OracleMode::PerPart);
         assert!(out.is_large.iter().all(|&l| !l));
         assert_eq!(out.shortcuts.total_edges(), 0);
     }
@@ -263,8 +264,14 @@ mod tests {
     #[test]
     fn step1_edges_present_for_large_parts() {
         let (g, p, params) = fixture(4, 2, 30);
-        let out =
-            centralized_shortcuts(&g, &p, params, 2, LargenessRule::Radius, OracleMode::PerPart);
+        let out = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            2,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         assert!(out.is_large.iter().all(|&l| l), "long paths are large");
         // Every edge incident to part 0 is in H_0.
         for &v in p.part(0) {
@@ -287,8 +294,14 @@ mod tests {
     #[test]
     fn sampled_construction_meets_bounds_on_highway() {
         let (g, p, params) = fixture(4, 4, 40);
-        let out =
-            centralized_shortcuts(&g, &p, params, 3, LargenessRule::Radius, OracleMode::PerPart);
+        let out = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            3,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         let report = measure_quality(&g, &p, &out.shortcuts, DilationMode::Exact);
         assert!(
             (report.quality.congestion as u64) <= params.congestion_bound(),
@@ -315,10 +328,20 @@ mod tests {
     #[test]
     fn per_arc_mode_has_same_distribution() {
         let (g, p, params) = fixture(4, 4, 40);
-        let a = centralized_shortcuts(&g, &p, params, 5, LargenessRule::Radius, OracleMode::PerPart);
+        let a = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            5,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         let b = centralized_shortcuts(&g, &p, params, 5, LargenessRule::Radius, OracleMode::PerArc);
         // Not identical coins, but comparable volume (within 2x).
-        let (ta, tb) = (a.shortcuts.total_edges() as f64, b.shortcuts.total_edges() as f64);
+        let (ta, tb) = (
+            a.shortcuts.total_edges() as f64,
+            b.shortcuts.total_edges() as f64,
+        );
         assert!(ta > 0.0 && tb > 0.0);
         assert!(
             (ta / tb) < 2.0 && (tb / ta) < 2.0,
@@ -329,14 +352,17 @@ mod tests {
     #[test]
     fn pruned_trees_span_and_respect_depth() {
         let (g, p, params) = fixture(4, 4, 40);
-        let out =
-            centralized_shortcuts(&g, &p, params, 7, LargenessRule::Radius, OracleMode::PerPart);
+        let out = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            7,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         let pruned = prune_to_trees(&g, &p, &out.shortcuts, params.depth_limit());
         assert!(pruned.spans.iter().all(|&s| s), "trees must span parts");
-        assert!(pruned
-            .depths
-            .iter()
-            .all(|&d| d <= params.depth_limit()));
+        assert!(pruned.depths.iter().all(|&d| d <= params.depth_limit()));
         // Pruned quality: dilation within 2*depth_limit; congestion no
         // worse than raw.
         let raw_q = measure_quality(&g, &p, &out.shortcuts, DilationMode::Exact).quality;
@@ -348,18 +374,45 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (g, p, params) = fixture(3, 3, 30);
-        let a = centralized_shortcuts(&g, &p, params, 11, LargenessRule::Radius, OracleMode::PerPart);
-        let b = centralized_shortcuts(&g, &p, params, 11, LargenessRule::Radius, OracleMode::PerPart);
+        let a = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            11,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
+        let b = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            11,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         assert_eq!(a.shortcuts, b.shortcuts);
-        let c = centralized_shortcuts(&g, &p, params, 12, LargenessRule::Radius, OracleMode::PerPart);
+        let c = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            12,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         assert_ne!(a.shortcuts, c.shortcuts, "different seed, different coins");
     }
 
     #[test]
     fn large_part_leaders_ordering() {
         let (g, p, params) = fixture(4, 3, 30);
-        let out =
-            centralized_shortcuts(&g, &p, params, 1, LargenessRule::Radius, OracleMode::PerPart);
+        let out = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            1,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         let leaders = large_part_leaders(&p, &out.is_large);
         assert_eq!(leaders.len(), 3);
         assert!(leaders.windows(2).all(|w| w[0] < w[1]));

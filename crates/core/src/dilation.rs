@@ -82,9 +82,7 @@ fn rec(
     trace.violations += 1;
     // Fallback: both halves plus the connecting hop. `first.last()` and
     // `second[0]` are adjacent on the path.
-    rec(sub, first, threshold, depth + 1, trace)
-        + 1
-        + rec(sub, second, threshold, depth + 1, trace)
+    rec(sub, first, threshold, depth + 1, trace) + 1 + rec(sub, second, threshold, depth + 1, trace)
 }
 
 /// Replays the recursion on `path` (a path in `G[S_j]`, given as its
@@ -185,7 +183,7 @@ mod tests {
         let s = trivial_shortcuts(&p);
         let sub = s.augmented_subgraph(&g, &p, 0);
         let path: Vec<NodeId> = p.part(0).to_vec(); // the path itself
-        // Threshold = path length: O3 fires immediately.
+                                                    // Threshold = path length: O3 fires immediately.
         let t = dilation_trace(&sub, &path, 47);
         assert_eq!(t.events, vec![Trichotomy::O3Whole]);
         assert_eq!(t.total_length, 47);
@@ -201,8 +199,14 @@ mod tests {
     #[test]
     fn kp_shortcuts_certify_with_few_violations() {
         let (g, p, params) = fixture();
-        let out =
-            centralized_shortcuts(&g, &p, params, 21, LargenessRule::Radius, OracleMode::PerPart);
+        let out = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            21,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         let threshold = params.dilation_bound() as u32;
         for i in 0..p.num_parts() {
             let trace = certify_part(&g, &p, &out.shortcuts, i, threshold);
@@ -218,8 +222,14 @@ mod tests {
     #[test]
     fn recursion_depth_is_logarithmic() {
         let (g, p, params) = fixture();
-        let out =
-            centralized_shortcuts(&g, &p, params, 22, LargenessRule::Radius, OracleMode::PerPart);
+        let out = centralized_shortcuts(
+            &g,
+            &p,
+            params,
+            22,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         // Small threshold forces actual recursion.
         let trace = certify_part(&g, &p, &out.shortcuts, 0, params.k_ceil);
         // Path length 48: depth must stay well below the path length

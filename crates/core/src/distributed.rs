@@ -39,8 +39,8 @@ use crate::params::{guess_ladder, KpParams, ParamError};
 use crate::sampling::SampleOracle;
 use lcs_congest::{
     ceil_log2, distributed_bfs, positions_from_tree, prefix_number, run_multi_aggregate,
-    run_multi_bfs, tree_aggregate, AggOp, MultiBfsInstance, MultiBfsSpec, Participation,
-    RunStats, SimConfig, SimError, TreePosition,
+    run_multi_bfs, tree_aggregate, AggOp, MultiBfsInstance, MultiBfsSpec, Participation, RunStats,
+    SimConfig, SimError, TreePosition,
 };
 use lcs_graph::{is_connected, EdgeId, Graph, NodeId};
 use lcs_shortcut::{Partition, ShortcutSet};
@@ -189,16 +189,20 @@ pub fn distributed_shortcuts(
     // Convergecast n (Sum of 1) and ecc (Max of depth), both broadcast.
     {
         let ones = vec![1u64; n];
-        let (res, st) = tree_aggregate(graph, global_pos.clone(), &ones, AggOp::Sum, true, &sim_cfg)?;
+        let (res, st) =
+            tree_aggregate(graph, global_pos.clone(), &ones, AggOp::Sum, true, &sim_cfg)?;
         stats.absorb(&st);
         total_rounds += st.rounds;
         debug_assert_eq!(res[root as usize], Some(n as u64));
-        let depths: Vec<u64> = bfs_out
-            .dist
-            .iter()
-            .map(|d| d.unwrap_or(0) as u64)
-            .collect();
-        let (res2, st2) = tree_aggregate(graph, global_pos.clone(), &depths, AggOp::Max, true, &sim_cfg)?;
+        let depths: Vec<u64> = bfs_out.dist.iter().map(|d| d.unwrap_or(0) as u64).collect();
+        let (res2, st2) = tree_aggregate(
+            graph,
+            global_pos.clone(),
+            &depths,
+            AggOp::Max,
+            true,
+            &sim_cfg,
+        )?;
         stats.absorb(&st2);
         total_rounds += st2.rounds;
         debug_assert_eq!(res2[root as usize], Some(ecc as u64));
@@ -269,13 +273,12 @@ pub fn distributed_shortcuts(
         // B2: prefix-number the large-part leaders over the global tree.
         let marked: Vec<bool> = (0..n)
             .map(|v| {
-                partition.part_of(v as NodeId).map_or(false, |i| {
+                partition.part_of(v as NodeId).is_some_and(|i| {
                     partition.leader(i as usize) == v as NodeId && is_large[i as usize]
                 })
             })
             .collect();
-        let (ranks, total_large, st) =
-            prefix_number(graph, global_pos.clone(), &marked, &sim_cfg)?;
+        let (ranks, total_large, st) = prefix_number(graph, global_pos.clone(), &marked, &sim_cfg)?;
         stats.absorb(&st);
         total_rounds += st.rounds;
         let num_large = total_large as usize;
@@ -299,8 +302,7 @@ pub fn distributed_shortcuts(
         let instances: Vec<MultiBfsInstance> = (0..num_large)
             .map(|r| MultiBfsInstance {
                 root: rank_leader[r],
-                start_round: shared_delay(shared_word, r as u32, params.k_ceil as u64)
-                    * phase_len,
+                start_round: shared_delay(shared_word, r as u32, params.k_ceil as u64) * phase_len,
                 depth_limit: params.depth_limit(),
             })
             .collect();
@@ -362,16 +364,20 @@ pub fn distributed_shortcuts(
                 return true;
             }
             let leader = partition.leader(pi as usize);
-            b3.reached[v as usize]
-                .values()
-                .any(|r| r.root == leader)
+            b3.reached[v as usize].values().any(|r| r.root == leader)
         };
         let all_ok = (0..n as u32).all(satisfied) && !b3.overflowed;
         // Global AND convergecast + broadcast of the decision.
         {
             let values: Vec<u64> = (0..n as u32).map(|v| u64::from(satisfied(v))).collect();
-            let (_, st) =
-                tree_aggregate(graph, global_pos.clone(), &values, AggOp::Min, true, &sim_cfg)?;
+            let (_, st) = tree_aggregate(
+                graph,
+                global_pos.clone(),
+                &values,
+                AggOp::Min,
+                true,
+                &sim_cfg,
+            )?;
             stats.absorb(&st);
             total_rounds += st.rounds;
         }
@@ -455,8 +461,8 @@ pub fn global_tree_positions(
 pub fn rank_map(partition: &Partition, is_large: &[bool]) -> HashMap<u32, usize> {
     let mut rank = 0u32;
     let mut map = HashMap::new();
-    for i in 0..partition.num_parts() {
-        if is_large[i] {
+    for (i, &large) in is_large.iter().enumerate().take(partition.num_parts()) {
+        if large {
             map.insert(rank, i);
             rank += 1;
         }
@@ -548,14 +554,8 @@ mod tests {
             ..DistributedConfig::default()
         };
         let dist = distributed_shortcuts(&g, &p, &cfg).unwrap();
-        let central = centralized_shortcuts(
-            &g,
-            &p,
-            dist.params,
-            42,
-            LR::Radius,
-            OracleMode::PerPart,
-        );
+        let central =
+            centralized_shortcuts(&g, &p, dist.params, 42, LR::Radius, OracleMode::PerPart);
         let dq = measure_quality(&g, &p, &dist.shortcuts, DilationMode::Exact).quality;
         let cq = measure_quality(&g, &p, &central.shortcuts, DilationMode::Exact).quality;
         // The distributed trees are prunings of (directionally
@@ -649,8 +649,7 @@ mod helper_tests {
     #[test]
     fn global_tree_positions_build() {
         let g = grid(3, 3);
-        let (pos, stats) =
-            global_tree_positions(&g, 4, &SimConfig::default()).unwrap();
+        let (pos, stats) = global_tree_positions(&g, 4, &SimConfig::default()).unwrap();
         assert!(pos[4].is_root);
         assert!(pos.iter().all(|p| p.in_tree));
         assert!(stats.rounds > 0);

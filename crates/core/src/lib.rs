@@ -57,5 +57,5 @@ pub use distributed::{
 pub use odd::{odd_shortcuts_subdivision, shared_delay, subdivide, OddStrategy};
 pub use params::{guess_ladder, k_d, KpParams, ParamError};
 pub use sampling::{splitmix64, SampleOracle};
-pub use streaming::{streamed_quality, StreamedQuality};
 pub use shortcut_tree::{ShortcutTree, ShortcutTreeError, WalkEnd, WalkMeasurement};
+pub use streaming::{streamed_quality, StreamedQuality};

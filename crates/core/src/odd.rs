@@ -175,8 +175,14 @@ mod tests {
         let p = Partition::new(g, hw.path_parts()).unwrap();
         let params = KpParams::new(g.n(), 5, 1.0).unwrap();
         let sub = odd_shortcuts_subdivision(g, &p, params, 13, LargenessRule::Radius);
-        let dir =
-            centralized_shortcuts(g, &p, params, 13, LargenessRule::Radius, OracleMode::PerPart);
+        let dir = centralized_shortcuts(
+            g,
+            &p,
+            params,
+            13,
+            LargenessRule::Radius,
+            OracleMode::PerPart,
+        );
         let (a, b) = (
             sub.shortcuts.total_edges() as f64,
             dir.shortcuts.total_edges() as f64,

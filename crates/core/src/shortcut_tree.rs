@@ -254,10 +254,8 @@ impl ShortcutTree {
                 continue;
             }
             let child_layer = tree.layer(id);
-            let surv = if p == root {
-                true
-            } else if child_layer == 1 {
-                true // E(L1, L2) kept with probability 1
+            let surv = if p == root || child_layer == 1 {
+                true // root edges and E(L1, L2) kept with probability 1
             } else {
                 let cv = tree.vertex(id).expect("non-root child");
                 let pv = tree.vertex(p).expect("non-root parent");

@@ -180,8 +180,7 @@ mod tests {
         let p = Partition::new(g, hw.path_parts()).unwrap();
         let params = KpParams::new(g.n(), 4, 1.0).unwrap();
         for seed in [1u64, 7, 42] {
-            let streamed =
-                streamed_quality(g, &p, params, seed, LargenessRule::Radius, 0);
+            let streamed = streamed_quality(g, &p, params, seed, LargenessRule::Radius, 0);
             let materialized = centralized_shortcuts(
                 g,
                 &p,
@@ -190,8 +189,7 @@ mod tests {
                 LargenessRule::Radius,
                 OracleMode::PerArc,
             );
-            let report =
-                measure_quality(g, &p, &materialized.shortcuts, DilationMode::Exact);
+            let report = measure_quality(g, &p, &materialized.shortcuts, DilationMode::Exact);
             assert_eq!(
                 streamed.congestion, report.quality.congestion,
                 "seed {seed}"
@@ -212,14 +210,8 @@ mod tests {
         let params = KpParams::new(g.n(), 4, 1.0).unwrap();
         let streamed = streamed_quality(g, &p, params, 5, LargenessRule::Radius, 3);
         assert_eq!(streamed.parts_sampled, 3);
-        let materialized = centralized_shortcuts(
-            g,
-            &p,
-            params,
-            5,
-            LargenessRule::Radius,
-            OracleMode::PerArc,
-        );
+        let materialized =
+            centralized_shortcuts(g, &p, params, 5, LargenessRule::Radius, OracleMode::PerArc);
         let exact = measure_quality(g, &p, &materialized.shortcuts, DilationMode::Exact);
         // Sampled-part double-sweep brackets the exact max when all
         // parts are sampled.

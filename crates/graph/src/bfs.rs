@@ -306,11 +306,8 @@ mod tests {
 
     #[test]
     fn parents_form_valid_tree() {
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (1, 5)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (1, 5)])
+            .unwrap();
         let r = bfs(&g, &[0], &BfsOptions::default());
         for v in g.nodes() {
             if let Some(p) = r.parent[v as usize] {

@@ -84,11 +84,8 @@ mod tests {
 
     #[test]
     fn bridge_between_two_triangles() {
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap();
         let b = bridges(&g);
         assert_eq!(b.len(), 1);
         let (u, v) = g.edge_endpoints(b[0]);

@@ -10,7 +10,9 @@ use crate::graph::{Graph, NodeId};
 /// Panics if `n == 0`.
 pub fn path(n: usize) -> Graph {
     assert!(n >= 1, "path requires at least one node");
-    let edges: Vec<_> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    let edges: Vec<_> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
     Graph::from_edges(n, &edges).expect("valid path")
 }
 

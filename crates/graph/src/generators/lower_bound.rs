@@ -141,12 +141,7 @@ impl HighwayGraph {
         if diameter % 2 == 0 {
             // D = 2h + 2: one tree of depth exactly h over all leaves.
             let h = (diameter as usize - 2) / 2;
-            Self::build_tree_over(
-                &mut builder_edges,
-                &column_leaf,
-                h,
-                &mut alloc,
-            );
+            Self::build_tree_over(&mut builder_edges, &column_leaf, h, &mut alloc);
         } else {
             // D = 2h + 3: groups with depth-h subtrees; roots in a clique.
             let h = (diameter as usize - 3) / 2;
@@ -160,12 +155,7 @@ impl HighwayGraph {
                     break;
                 }
                 let group_leaves: Vec<NodeId> = column_leaf[lo..hi].to_vec();
-                let root = Self::build_tree_over(
-                    &mut builder_edges,
-                    &group_leaves,
-                    h,
-                    &mut alloc,
-                );
+                let root = Self::build_tree_over(&mut builder_edges, &group_leaves, h, &mut alloc);
                 roots.push(root);
             }
             for a in 0..roots.len() {

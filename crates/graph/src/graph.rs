@@ -253,10 +253,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `v >= n`.
-    pub fn neighbors_with_edges(
-        &self,
-        v: NodeId,
-    ) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+    pub fn neighbors_with_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;
         self.neighbors[lo..hi]
@@ -302,10 +299,7 @@ impl Graph {
         let lo = self.offsets[a as usize] as usize;
         let hi = self.offsets[a as usize + 1] as usize;
         let slice = &self.neighbors[lo..hi];
-        slice
-            .binary_search(&b)
-            .ok()
-            .map(|i| self.arc_edges[lo + i])
+        slice.binary_search(&b).ok().map(|i| self.arc_edges[lo + i])
     }
 
     /// Whether `{u, v}` is an edge.
@@ -323,7 +317,9 @@ impl Graph {
         debug_assert!(a.index() < self.num_arcs());
         // partition_point returns the first v with offsets[v] > a, so the
         // tail is that minus one.
-        let v = self.offsets.partition_point(|&off| off as usize <= a.index());
+        let v = self
+            .offsets
+            .partition_point(|&off| off as usize <= a.index());
         (v - 1) as NodeId
     }
 
@@ -359,7 +355,10 @@ impl Graph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 

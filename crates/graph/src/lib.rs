@@ -40,8 +40,7 @@ pub mod union_find;
 pub mod weighted;
 
 pub use bfs::{
-    bfs, bfs_distances, bfs_within, eccentricity, shortest_path, BfsOptions, BfsResult,
-    UNREACHABLE,
+    bfs, bfs_distances, bfs_within, eccentricity, shortest_path, BfsOptions, BfsResult, UNREACHABLE,
 };
 pub use bridges::{bridges, is_two_edge_connected};
 pub use components::{connected_components, is_connected, is_set_connected, Components};

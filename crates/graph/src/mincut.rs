@@ -89,7 +89,7 @@ pub fn stoer_wagner(wg: &WeightedGraph) -> Option<Cut> {
             weight: cut_weight,
             side: merged[t].clone(),
         };
-        if best.as_ref().map_or(true, |b| candidate.weight < b.weight) {
+        if best.as_ref().is_none_or(|b| candidate.weight < b.weight) {
             best = Some(candidate);
         }
         // Contract t into s.
@@ -139,13 +139,16 @@ pub fn cut_weight(wg: &WeightedGraph, side: &[NodeId]) -> u64 {
 /// Only usable for `n <= ~20`; test oracle for [`stoer_wagner`].
 pub fn brute_force_min_cut(wg: &WeightedGraph) -> Option<u64> {
     let n = wg.graph().n();
-    if n < 2 || n > 24 {
+    if !(2..=24).contains(&n) {
         return None;
     }
     let mut best = u64::MAX;
     // Fix node 0 on one side to halve the enumeration.
     for mask in 1u32..(1 << (n - 1)) {
-        let side: Vec<NodeId> = (0..n as u32 - 1).filter(|&v| mask >> v & 1 == 1).map(|v| v + 1).collect();
+        let side: Vec<NodeId> = (0..n as u32 - 1)
+            .filter(|&v| mask >> v & 1 == 1)
+            .map(|v| v + 1)
+            .collect();
         best = best.min(cut_weight(wg, &side));
     }
     (best != u64::MAX).then_some(best)

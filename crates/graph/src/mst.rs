@@ -177,8 +177,7 @@ mod tests {
 
     #[test]
     fn forest_on_disconnected_graph() {
-        let wg =
-            WeightedGraph::from_weighted_edges(5, &[(0, 1, 3), (1, 2, 1), (3, 4, 7)]).unwrap();
+        let wg = WeightedGraph::from_weighted_edges(5, &[(0, 1, 3), (1, 2, 1), (3, 4, 7)]).unwrap();
         let k = kruskal(&wg);
         assert_eq!(k.num_trees, 2);
         assert_eq!(k.weight, 11);
@@ -187,11 +186,9 @@ mod tests {
 
     #[test]
     fn verify_rejects_cycle_and_non_spanning() {
-        let wg = WeightedGraph::from_weighted_edges(
-            4,
-            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1)],
-        )
-        .unwrap();
+        let wg =
+            WeightedGraph::from_weighted_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1)])
+                .unwrap();
         let g = wg.graph();
         let cyc = [
             g.edge_between(0, 1).unwrap(),

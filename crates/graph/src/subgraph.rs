@@ -34,13 +34,13 @@ impl EdgeSubgraph {
     pub fn new(g: &Graph, edges: &[EdgeId], extra_nodes: &[NodeId]) -> Self {
         let mut to_parent: Vec<NodeId> = Vec::new();
         let mut to_local: HashMap<NodeId, u32> = HashMap::new();
-        let local_id = |v: NodeId, to_parent: &mut Vec<NodeId>,
-                            to_local: &mut HashMap<NodeId, u32>| {
-            *to_local.entry(v).or_insert_with(|| {
-                to_parent.push(v);
-                (to_parent.len() - 1) as u32
-            })
-        };
+        let local_id =
+            |v: NodeId, to_parent: &mut Vec<NodeId>, to_local: &mut HashMap<NodeId, u32>| {
+                *to_local.entry(v).or_insert_with(|| {
+                    to_parent.push(v);
+                    (to_parent.len() - 1) as u32
+                })
+            };
         for &v in extra_nodes {
             local_id(v, &mut to_parent, &mut to_local);
         }

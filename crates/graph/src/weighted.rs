@@ -161,8 +161,7 @@ mod tests {
 
     #[test]
     fn triples_keep_min_weight_on_duplicates() {
-        let wg =
-            WeightedGraph::from_weighted_edges(3, &[(0, 1, 9), (1, 0, 4), (1, 2, 2)]).unwrap();
+        let wg = WeightedGraph::from_weighted_edges(3, &[(0, 1, 9), (1, 0, 4), (1, 2, 2)]).unwrap();
         let e01 = wg.graph().edge_between(0, 1).unwrap();
         assert_eq!(wg.weight(e01), 4);
         assert_eq!(wg.total_weight(), 6);
@@ -178,8 +177,7 @@ mod tests {
 
     #[test]
     fn subset_weight_sums() {
-        let wg =
-            WeightedGraph::from_weighted_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3)]).unwrap();
+        let wg = WeightedGraph::from_weighted_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3)]).unwrap();
         let e = [
             wg.graph().edge_between(0, 1).unwrap(),
             wg.graph().edge_between(2, 3).unwrap(),

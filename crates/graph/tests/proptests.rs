@@ -30,6 +30,7 @@ fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn csr_roundtrip_preserves_edges((n, edges) in arb_graph(40, 120)) {
         let g = Graph::from_edges(n, &edges).unwrap();
@@ -50,6 +51,7 @@ proptest! {
         prop_assert_eq!(degsum, 2 * g.m());
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn bfs_distances_satisfy_edge_lipschitz((n, edges) in arb_graph(40, 120)) {
         let g = Graph::from_edges(n, &edges).unwrap();
@@ -66,6 +68,7 @@ proptest! {
         }
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn truncated_bfs_is_prefix_of_full((n, edges) in arb_graph(30, 90), depth in 0u32..6) {
         let g = Graph::from_edges(n, &edges).unwrap();
@@ -87,6 +90,7 @@ proptest! {
         prop_assert_eq!(trunc.truncated_with_frontier, deeper);
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn diameter_bounds_bracket_exact(g in arb_connected_graph(36)) {
         let exact = exact_diameter(&g).unwrap();
@@ -98,6 +102,7 @@ proptest! {
         }
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn components_partition_nodes((n, edges) in arb_graph(40, 60)) {
         let g = Graph::from_edges(n, &edges).unwrap();
@@ -113,6 +118,7 @@ proptest! {
         }
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn union_find_matches_components((n, edges) in arb_graph(40, 60)) {
         let g = Graph::from_edges(n, &edges).unwrap();
@@ -132,6 +138,7 @@ proptest! {
         }
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn kruskal_prim_agree_and_verify(seed in any::<u64>(), n in 4usize..40) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -145,6 +152,7 @@ proptest! {
         prop_assert_eq!(k.edges.len(), n - 1);
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn mst_weight_is_minimal_under_edge_swap(seed in any::<u64>()) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -168,6 +176,7 @@ proptest! {
         }
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn stoer_wagner_cut_is_no_larger_than_degree_cuts(seed in any::<u64>(), n in 3usize..16) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -186,6 +195,7 @@ proptest! {
         prop_assert_eq!(lcs_graph::cut_weight(&wg, &cut.side), cut.weight);
     }
 
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn edge_subgraph_distances_dominate_parent(seed in any::<u64>()) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -199,7 +209,7 @@ proptest! {
         let parent_dist = bfs_distances(&g, 0);
         for v in g.nodes() {
             if let Some(d) = sub.distance(0, v) {
-                prop_assert!(d as u32 >= parent_dist[v as usize]);
+                prop_assert!(d >= parent_dist[v as usize]);
             }
         }
     }

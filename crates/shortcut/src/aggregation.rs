@@ -89,10 +89,10 @@ impl AggregationSetup {
                 }
                 members.push((node, parent));
             }
-            let spans_part = partition
-                .part(i)
-                .iter()
-                .all(|&v| sub.local_of(v).map_or(false, |lv| r.dist[lv as usize] != UNREACHABLE));
+            let spans_part = partition.part(i).iter().all(|&v| {
+                sub.local_of(v)
+                    .is_some_and(|lv| r.dist[lv as usize] != UNREACHABLE)
+            });
             max_depth = max_depth.max(depth);
             trees.push(PartTree {
                 part: i,
@@ -293,11 +293,7 @@ mod tests {
     fn accounted_rounds_scale_with_quality() {
         let (g, p) = fixture();
         let slow = AggregationSetup::build(&g, &p, &trivial_shortcuts(&p));
-        let fast = AggregationSetup::build(
-            &g,
-            &p,
-            &global_tree_shortcuts(&g, &p, 0, Some(1)),
-        );
+        let fast = AggregationSetup::build(&g, &p, &global_tree_shortcuts(&g, &p, 0, Some(1)));
         // Better shortcuts -> cheaper aggregation, even though the
         // global tree costs congestion.
         assert!(fast.accounted_rounds(g.n()) < slow.accounted_rounds(g.n()));

@@ -40,8 +40,7 @@ pub fn global_tree_shortcuts(
     root: NodeId,
     threshold: Option<usize>,
 ) -> ShortcutSet {
-    let threshold =
-        threshold.unwrap_or_else(|| (graph.n() as f64).sqrt().ceil() as usize);
+    let threshold = threshold.unwrap_or_else(|| (graph.n() as f64).sqrt().ceil() as usize);
     let r = bfs(graph, &[root], &BfsOptions::default());
     let mut tree_edges: Vec<EdgeId> = Vec::with_capacity(graph.n().saturating_sub(1));
     for v in graph.nodes() {
@@ -81,7 +80,10 @@ pub fn kitamura_style_shortcuts<R: Rng>(
     prob_constant: f64,
     rng: &mut R,
 ) -> ShortcutSet {
-    assert!(d == 3 || d == 4, "kitamura baseline is specialized to D in {{3,4}}");
+    assert!(
+        d == 3 || d == 4,
+        "kitamura baseline is specialized to D in {{3,4}}"
+    );
     let n = graph.n().max(2) as f64;
     let p = (prob_constant * n.ln() * n.powf(-1.0 / (d as f64 - 1.0))).min(1.0);
     let reps = if d == 3 { 1 } else { 2 };

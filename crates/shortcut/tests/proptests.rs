@@ -20,17 +20,12 @@ fn random_setup(seed: u64, n: usize, k: usize) -> (lcs_graph::Graph, Partition) 
 
 /// Brute-force congestion: for each edge, count parts whose augmented
 /// subgraph contains it.
-fn brute_congestion(
-    g: &lcs_graph::Graph,
-    p: &Partition,
-    s: &ShortcutSet,
-) -> Vec<u32> {
+fn brute_congestion(g: &lcs_graph::Graph, p: &Partition, s: &ShortcutSet) -> Vec<u32> {
     let mut per_edge = vec![0u32; g.m()];
     for i in 0..p.num_parts() {
         for e in g.edge_ids() {
             let (u, v) = g.edge_endpoints(e);
-            let internal =
-                p.part_of(u) == Some(i as u32) && p.part_of(v) == Some(i as u32);
+            let internal = p.part_of(u) == Some(i as u32) && p.part_of(v) == Some(i as u32);
             let in_h = s.edges(i).contains(&e);
             if internal || in_h {
                 per_edge[e.index()] += 1;
@@ -45,6 +40,7 @@ proptest! {
 
     /// measure_quality's congestion equals the brute-force count, for
     /// random shortcut sets.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn congestion_matches_brute_force(seed in any::<u64>(), n in 6usize..35, k in 2usize..6) {
         let (g, p) = random_setup(seed, n, k);
@@ -65,6 +61,7 @@ proptest! {
     }
 
     /// Estimate-mode dilation brackets exact-mode dilation per part.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn estimate_brackets_exact(seed in any::<u64>(), n in 6usize..30, k in 2usize..5) {
         let (g, p) = random_setup(seed, n, k);
@@ -79,6 +76,7 @@ proptest! {
 
     /// BFS-ball partitions always validate and cover the graph; leaders
     /// are part maxima.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn bfs_balls_invariants(seed in any::<u64>(), n in 4usize..60, k in 1usize..8) {
         let (g, p) = random_setup(seed, n, k);
@@ -97,6 +95,7 @@ proptest! {
 
     /// verify() accepts everything measure_quality produces and rejects
     /// any tighter claim.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn verifier_consistency(seed in any::<u64>(), n in 6usize..30, k in 2usize..5) {
         let (g, p) = random_setup(seed, n, k);
@@ -115,6 +114,7 @@ proptest! {
 
     /// Simulated partwise aggregation equals the centralized fold for
     /// random partitions and values.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn aggregation_simulated_equals_centralized(seed in any::<u64>(), n in 6usize..30, k in 2usize..5) {
         let (g, p) = random_setup(seed, n, k);

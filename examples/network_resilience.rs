@@ -1,13 +1,13 @@
-//! Network resilience audit: how much capacity must fail to disconnect
-//! a datacenter-style topology? Runs the (1+ε)-approximate min cut
-//! (Corollary 1.2) and the 2-ECSS backbone design (Corollary 4.3) on a
-//! two-tier network, checking both against exact references.
-//!
-//! Run with: `cargo run --release --example network_resilience`
+// Network resilience audit: how much capacity must fail to disconnect
+// a datacenter-style topology? Runs the (1+ε)-approximate min cut
+// (Corollary 1.2) and the 2-ECSS backbone design (Corollary 4.3) on a
+// two-tier network, checking both against exact references.
+//
+// Run with: `cargo run --release --example network_resilience`
 
-use low_congestion_shortcuts::prelude::*;
 use lcs_apps::{approximation_ratio, verify_two_ecss};
 use lcs_graph::cut_weight;
+use low_congestion_shortcuts::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

@@ -1,8 +1,8 @@
-//! Quickstart: build a constant-diameter hard instance, compute the
-//! Kogan–Parter shortcuts three ways (centralized raw, pruned trees,
-//! fully distributed), and compare their quality against the baselines.
-//!
-//! Run with: `cargo run --release --example quickstart`
+// Quickstart: build a constant-diameter hard instance, compute the
+// Kogan–Parter shortcuts three ways (centralized raw, pruned trees,
+// fully distributed), and compare their quality against the baselines.
+//
+// Run with: `cargo run --release --example quickstart`
 
 use low_congestion_shortcuts::prelude::*;
 
@@ -26,7 +26,11 @@ fn main() {
 
     // 2. Parts: one per path (vertex-disjoint, connected).
     let parts = Partition::new(g, hw.path_parts()).expect("valid parts");
-    println!("parts: {} paths of {} nodes", parts.num_parts(), parts.part(0).len());
+    println!(
+        "parts: {} paths of {} nodes",
+        parts.num_parts(),
+        parts.part(0).len()
+    );
 
     // 3. Paper parameters: k_D = n^((D-2)/(2D-2)), N = n/k_D,
     //    p = k_D log n / N.
@@ -37,7 +41,14 @@ fn main() {
     );
 
     // 4. Centralized construction + pruning to the BFS-tree form.
-    let raw = centralized_shortcuts(g, &parts, params, 42, LargenessRule::Radius, OracleMode::PerPart);
+    let raw = centralized_shortcuts(
+        g,
+        &parts,
+        params,
+        42,
+        LargenessRule::Radius,
+        OracleMode::PerPart,
+    );
     let pruned = prune_to_trees(g, &parts, &raw.shortcuts, params.depth_limit());
 
     // 5. Full CONGEST execution (diameter guessing included).
@@ -63,8 +74,8 @@ fn main() {
         ("KP pruned", pruned.shortcuts.clone()),
         ("KP distributed", dist.shortcuts.clone()),
     ] {
-        let report = verify(g, &parts, &shortcuts, None, DilationMode::Exact)
-            .expect("valid shortcut set");
+        let report =
+            verify(g, &parts, &shortcuts, None, DilationMode::Exact).expect("valid shortcut set");
         println!("{name:>16}: {}", report.quality);
     }
     println!(

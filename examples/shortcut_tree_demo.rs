@@ -1,11 +1,11 @@
-//! Figure 1 & 2, executable: builds the auxiliary layered graph
-//! `G_{P,Q,ℓ}`, its BFS tree, the sampled forest `T*`, and walks the
-//! (i,k)-walk machinery of §3.1, printing each measured walk.
-//!
-//! Run with: `cargo run --release --example shortcut_tree_demo`
+// Figure 1 & 2, executable: builds the auxiliary layered graph
+// `G_{P,Q,ℓ}`, its BFS tree, the sampled forest `T*`, and walks the
+// (i,k)-walk machinery of §3.1, printing each measured walk.
+//
+// Run with: `cargo run --release --example shortcut_tree_demo`
 
-use low_congestion_shortcuts::prelude::*;
 use lcs_core::WalkEnd;
+use low_congestion_shortcuts::prelude::*;
 
 fn main() {
     // Small instance so the printout stays readable: 2 paths of 14
@@ -33,7 +33,11 @@ fn main() {
     let q: Vec<NodeId> = (0..14).map(|c| hw.column_leaf(c)).collect();
     let ell = 2usize;
 
-    for (label, p_sample) in [("p = 0 (no sampling)", 0.0), ("p = paper", params.p), ("p = 1", 1.0)] {
+    for (label, p_sample) in [
+        ("p = 0 (no sampling)", 0.0),
+        ("p = paper", params.p),
+        ("p = 1", 1.0),
+    ] {
         let oracle = SampleOracle::new(7, p_sample, params.reps);
         let tree = ShortcutTree::new(g, &path, &q, ell, &oracle, path[13], 0)
             .expect("P within distance ell of Q");
@@ -54,11 +58,7 @@ fn main() {
             };
             println!(
                 "  (1,{}) walk: length {:>3}, {:>2} units, Obs 3.1 distinct: {} — {}",
-                target,
-                m.length,
-                m.units,
-                m.level_nodes_distinct,
-                end
+                target, m.length, m.units, m.level_nodes_distinct, end
             );
         }
         if let Some(d) = tree.tstar_dist_to_layer(0, ell + 2) {

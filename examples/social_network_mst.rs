@@ -1,10 +1,10 @@
-//! MST on a constant-diameter "social network": the paper's motivating
-//! scenario (§1: real-world networks have tiny diameter independent of
-//! size). Builds a hub-and-spoke graph with measured diameter ≤ 4,
-//! computes the MST through the shortcut framework with full round
-//! accounting, and verifies it against Kruskal.
-//!
-//! Run with: `cargo run --release --example social_network_mst`
+// MST on a constant-diameter "social network": the paper's motivating
+// scenario (§1: real-world networks have tiny diameter independent of
+// size). Builds a hub-and-spoke graph with measured diameter ≤ 4,
+// computes the MST through the shortcut framework with full round
+// accounting, and verifies it against Kruskal.
+//
+// Run with: `cargo run --release --example social_network_mst`
 
 use low_congestion_shortcuts::prelude::*;
 use rand::SeedableRng;
@@ -16,7 +16,12 @@ fn main() {
     // and one random peer; link weights = interaction costs.
     let g = lcs_graph::hub_and_spoke(2000, 12, 2, 1, &mut rng);
     let d = exact_diameter(&g).expect("connected");
-    println!("social network: n={} m={} measured diameter={}", g.n(), g.m(), d);
+    println!(
+        "social network: n={} m={} measured diameter={}",
+        g.n(),
+        g.m(),
+        d
+    );
     let wg = WeightedGraph::with_random_weights(g, 10_000, &mut rng);
 
     let reference = kruskal(&wg);
@@ -34,7 +39,10 @@ fn main() {
             ..MstConfig::default()
         };
         let out = mst_via_shortcuts(&wg, &cfg).expect("mst computes");
-        assert_eq!(out.weight, reference.weight, "strategy {strategy} wrong tree");
+        assert_eq!(
+            out.weight, reference.weight,
+            "strategy {strategy} wrong tree"
+        );
         assert_eq!(out.edges, reference.edges, "strategy {strategy} wrong tree");
         println!(
             "{strategy:>14}: {} phases, {} accounted rounds (construction+aggregation)",

@@ -59,7 +59,7 @@ pub mod prelude {
         NodeId, WeightedGraph,
     };
     pub use lcs_shortcut::{
-        global_tree_shortcuts, measure_quality, trivial_shortcuts, verify, DilationMode,
-        Partition, Quality, ShortcutSet,
+        global_tree_shortcuts, measure_quality, trivial_shortcuts, verify, DilationMode, Partition,
+        Quality, ShortcutSet,
     };
 }

@@ -3,8 +3,8 @@
 //! to H-paths), shortcut validity under random partitions, and the
 //! congestion/dilation bounds across random seeds.
 
-use low_congestion_shortcuts::prelude::*;
 use lcs_core::{ShortcutTree, WalkEnd};
+use low_congestion_shortcuts::prelude::*;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -1,8 +1,8 @@
 //! End-to-end application tests: MST (simulated on the CONGEST engine),
 //! min cut, SSSP, and 2-ECSS, all against exact references.
 
-use low_congestion_shortcuts::prelude::*;
 use lcs_apps::{approximation_ratio, bellman_ford_rounds, verify_two_ecss};
+use low_congestion_shortcuts::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -101,14 +101,21 @@ fn sssp_accelerates_long_chains_with_sound_bounds() {
     let wg = WeightedGraph::new(g.clone(), weights).unwrap();
     let parts = Partition::new(&g, hw.path_parts()).unwrap();
     let params = KpParams::new(g.n(), 4, 1.0).unwrap();
-    let raw = centralized_shortcuts(&g, &parts, params, 4, LargenessRule::Radius, OracleMode::PerPart);
+    let raw = centralized_shortcuts(
+        &g,
+        &parts,
+        params,
+        4,
+        LargenessRule::Radius,
+        OracleMode::PerPart,
+    );
     let pruned = prune_to_trees(&g, &parts, &raw.shortcuts, params.depth_limit());
     let accel = shortcut_sssp(&wg, &parts, &pruned.shortcuts, 0, 512);
     let (_, bf_rounds) = bellman_ford_rounds(&wg, 0);
     assert!((accel.iterations as u64) < bf_rounds);
     let exact = lcs_graph::dijkstra(&wg, 0);
-    for v in 0..g.n() {
-        assert!(accel.dist[v] >= exact[v], "node {v} below true distance");
+    for (v, &exact_d) in exact.iter().enumerate().take(g.n()) {
+        assert!(accel.dist[v] >= exact_d, "node {v} below true distance");
     }
 }
 

@@ -88,11 +88,20 @@ fn different_seeds_change_the_coins_not_the_guarantees() {
             OracleMode::PerPart,
         );
         let q = measure_quality(g, &parts, &out.shortcuts, DilationMode::Exact).quality;
-        assert!((q.congestion as u64) <= params.congestion_bound(), "seed {seed}");
-        assert!((q.dilation as u64) <= params.dilation_bound(), "seed {seed}");
+        assert!(
+            (q.congestion as u64) <= params.congestion_bound(),
+            "seed {seed}"
+        );
+        assert!(
+            (q.dilation as u64) <= params.dilation_bound(),
+            "seed {seed}"
+        );
         qualities.push(out.shortcuts.total_edges());
     }
     // The coins genuinely vary.
     qualities.dedup();
-    assert!(qualities.len() > 1, "seeds should produce different samples");
+    assert!(
+        qualities.len() > 1,
+        "seeds should produce different samples"
+    );
 }

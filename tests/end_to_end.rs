@@ -105,7 +105,14 @@ fn shortcuts_on_random_small_diameter_graphs() {
     let d = exact_diameter(&g).unwrap().max(3);
     let parts = Partition::bfs_balls(&g, 12, &mut rng);
     let params = KpParams::new(g.n(), d, 1.0).unwrap();
-    let out = centralized_shortcuts(&g, &parts, params, 3, LargenessRule::Radius, OracleMode::PerPart);
+    let out = centralized_shortcuts(
+        &g,
+        &parts,
+        params,
+        3,
+        LargenessRule::Radius,
+        OracleMode::PerPart,
+    );
     let report = verify(&g, &parts, &out.shortcuts, None, DilationMode::Exact).unwrap();
     assert!((report.quality.congestion as u64) <= params.congestion_bound());
     assert!((report.quality.dilation as u64) <= params.dilation_bound());
@@ -130,7 +137,14 @@ fn quality_beats_trivial_baseline_on_hard_family() {
     let g = hw.graph().clone();
     let parts = Partition::new(&g, hw.path_parts()).unwrap();
     let params = KpParams::new(g.n(), 3, 1.0).unwrap();
-    let kp = centralized_shortcuts(&g, &parts, params, 9, LargenessRule::Radius, OracleMode::PerArc);
+    let kp = centralized_shortcuts(
+        &g,
+        &parts,
+        params,
+        9,
+        LargenessRule::Radius,
+        OracleMode::PerArc,
+    );
     let kp_q = measure_quality(&g, &parts, &kp.shortcuts, DilationMode::Exact).quality;
     let triv_q =
         measure_quality(&g, &parts, &trivial_shortcuts(&parts), DilationMode::Exact).quality;
