@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the CONGEST engine's throughput: the
+//! raw arc-mailbox message path, multi-BFS (the acceptance workload of
+//! the arc-indexed engine rewrite), and sharded round execution.
+//!
+//! The `sim_throughput` binary measures the same workloads at full scale
+//! and emits `BENCH_sim.json`; these benches track the trend at
+//! criterion-friendly sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_bench::sim_workloads::{multi_bfs_spec, Saturate};
+use lcs_congest::{run_multi_bfs, SimConfig};
+use lcs_graph::generators;
+use std::sync::Arc;
+
+fn bench_engine_message_path(c: &mut Criterion) {
+    let g = generators::grid(40, 40);
+    c.bench_function("engine_saturate_n1600", |b| {
+        b.iter(|| {
+            lcs_congest::run(
+                &g,
+                (0..g.n()).map(|_| Saturate::new(30)).collect::<Vec<_>>(),
+                &SimConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_multi_bfs_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_multi_bfs");
+    for &n_side in &[30usize, 50] {
+        let g = generators::grid(n_side, n_side);
+        let spec = multi_bfs_spec(g.n(), 16);
+        group.bench_with_input(BenchmarkId::from_parameter(n_side * n_side), &g, |b, g| {
+            b.iter(|| run_multi_bfs(g, Arc::clone(&spec), &SimConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_rounds(c: &mut Criterion) {
+    let g = generators::grid(50, 50);
+    let spec = multi_bfs_spec(g.n(), 16);
+    let mut group = c.benchmark_group("sim_shards");
+    for &shards in &[1usize, 2, 4] {
+        let cfg = SimConfig {
+            shards,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &cfg, |b, cfg| {
+            b.iter(|| run_multi_bfs(&g, Arc::clone(&spec), cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_message_path,
+    bench_multi_bfs_throughput,
+    bench_sharded_rounds
+);
+criterion_main!(benches);

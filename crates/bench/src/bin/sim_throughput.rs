@@ -1,0 +1,272 @@
+//! Simulator throughput benchmark: rounds/sec and messages/sec of the
+//! CONGEST engine on three standard workloads (flood, multi-BFS,
+//! partwise aggregation), emitted as `BENCH_sim.json` so the engine's
+//! perf trajectory is tracked per-PR.
+//!
+//! Usage: `sim_throughput [--quick] [--shards K] [--out PATH]`
+//!
+//! `--quick` shrinks the workloads to CI scale; `--shards K` additionally
+//! measures the sharded engine at `K` threads (the default run always
+//! measures the sequential engine, which is the configuration the
+//! acceptance numbers are recorded at).
+
+use lcs_bench::sim_workloads::{multi_bfs_spec, Saturate};
+use lcs_congest::{
+    distributed_bfs, run, run_multi_aggregate, run_multi_bfs, AggOp, NodeAlgorithm, Participation,
+    RoundCtx, RunStats, SimConfig,
+};
+use lcs_graph::{generators, Graph};
+use std::time::Instant;
+
+/// Flood protocol (same shape as the engine's own smoke test): node 0
+/// fires a token that everyone forwards once. Message-light, round-heavy
+/// — measures per-round engine overhead.
+#[derive(Debug, Default)]
+struct Flood {
+    seen: bool,
+    fired: bool,
+}
+
+impl NodeAlgorithm for Flood {
+    type Msg = u32;
+    fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+        if ctx.round() == 0 && ctx.node() == 0 {
+            self.seen = true;
+        }
+        if !self.seen && !ctx.inbox().is_empty() {
+            self.seen = true;
+        }
+        if self.seen && !self.fired {
+            self.fired = true;
+            for i in 0..ctx.degree() {
+                ctx.send(ctx.neighbors()[i], 1);
+            }
+        }
+    }
+    fn halted(&self) -> bool {
+        self.fired || !self.seen
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    name: String,
+    n: usize,
+    m: usize,
+    shards: usize,
+    rounds: u64,
+    messages: u64,
+    elapsed_s: f64,
+}
+
+impl Measurement {
+    fn from_stats(name: &str, g: &Graph, shards: usize, stats: &RunStats, secs: f64) -> Self {
+        Measurement {
+            name: name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            shards,
+            rounds: stats.rounds,
+            messages: stats.messages,
+            elapsed_s: secs,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"n\":{},\"m\":{},\"shards\":{},",
+                "\"rounds\":{},\"messages\":{},\"elapsed_s\":{:.6},",
+                "\"rounds_per_s\":{:.1},\"messages_per_s\":{:.1}}}"
+            ),
+            self.name,
+            self.n,
+            self.m,
+            self.shards,
+            self.rounds,
+            self.messages,
+            self.elapsed_s,
+            self.rounds as f64 / self.elapsed_s,
+            self.messages as f64 / self.elapsed_s,
+        )
+    }
+}
+
+fn cfg_with(shards: usize, max_rounds: u64) -> SimConfig {
+    SimConfig {
+        max_rounds,
+        shards,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_flood(g: &Graph, shards: usize) -> Measurement {
+    let t = Instant::now();
+    let out = run(
+        g,
+        (0..g.n()).map(|_| Flood::default()).collect(),
+        &cfg_with(shards, 1_000_000),
+    )
+    .expect("flood");
+    Measurement::from_stats("flood", g, shards, &out.stats, t.elapsed().as_secs_f64())
+}
+
+fn bench_multi_bfs(g: &Graph, instances: usize, shards: usize) -> Measurement {
+    let spec = multi_bfs_spec(g.n(), instances);
+    let t = Instant::now();
+    let out = run_multi_bfs(g, spec, &cfg_with(shards, 10_000_000)).expect("multi_bfs");
+    Measurement::from_stats(
+        "multi_bfs",
+        g,
+        shards,
+        &out.stats,
+        t.elapsed().as_secs_f64(),
+    )
+}
+
+fn bench_multi_aggregate(g: &Graph, instances: usize, shards: usize) -> Measurement {
+    let bfs = distributed_bfs(g, 0, &SimConfig::default()).expect("bfs tree");
+    let parts: Vec<Vec<Participation>> = (0..g.n())
+        .map(|v| {
+            (0..instances as u32)
+                .map(|inst| Participation {
+                    inst,
+                    parent: bfs.parent[v],
+                    children: bfs.children[v].clone(),
+                    value: v as u64 + inst as u64,
+                })
+                .collect()
+        })
+        .collect();
+    let t = Instant::now();
+    let out = run_multi_aggregate(g, parts, AggOp::Sum, true, &cfg_with(shards, 10_000_000))
+        .expect("multi_aggregate");
+    Measurement::from_stats(
+        "multi_aggregate",
+        g,
+        shards,
+        &out.stats,
+        t.elapsed().as_secs_f64(),
+    )
+}
+
+/// Never sends, never halts: isolates the engine's fixed per-node-round
+/// overhead (run hits the round limit by design).
+#[derive(Debug)]
+struct Idle;
+
+impl NodeAlgorithm for Idle {
+    type Msg = u32;
+    fn round(&mut self, _ctx: &mut RoundCtx<'_, u32>) {}
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
+fn bench_idle(g: &Graph, rounds: u64, shards: usize) -> Measurement {
+    let cfg = SimConfig {
+        max_rounds: rounds,
+        shards,
+        ..SimConfig::default()
+    };
+    let t = Instant::now();
+    let err = run(g, (0..g.n()).map(|_| Idle).collect(), &cfg).unwrap_err();
+    assert!(matches!(
+        err,
+        lcs_congest::SimError::RoundLimitExceeded { .. }
+    ));
+    let secs = t.elapsed().as_secs_f64();
+    Measurement {
+        name: "idle".to_string(),
+        n: g.n(),
+        m: g.m(),
+        shards,
+        rounds,
+        messages: 0,
+        elapsed_s: secs,
+    }
+}
+
+fn bench_saturate(g: &Graph, rounds: u64, shards: usize) -> Measurement {
+    let t = Instant::now();
+    let out = run(
+        g,
+        (0..g.n()).map(|_| Saturate::new(rounds)).collect(),
+        &cfg_with(shards, 10_000_000),
+    )
+    .expect("saturate");
+    Measurement::from_stats("saturate", g, shards, &out.stats, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let shards_extra: Option<usize> = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    let side = if quick { 40 } else { 100 };
+    let instances = args
+        .iter()
+        .position(|a| a == "--instances")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 8 } else { 32 });
+    let g = generators::grid(side, side);
+
+    let mut all: Vec<Measurement> = Vec::new();
+    let mut shard_counts = vec![1usize];
+    if let Some(k) = shards_extra {
+        if k > 1 {
+            shard_counts.push(k);
+        }
+    }
+    for &k in &shard_counts {
+        eprintln!("== shards = {k} ==");
+        for m in [
+            bench_idle(&g, if quick { 200 } else { 1000 }, k),
+            bench_saturate(&g, if quick { 50 } else { 200 }, k),
+            bench_flood(&g, k),
+            bench_multi_bfs(&g, instances, k),
+            bench_multi_aggregate(&g, instances / 2, k),
+        ] {
+            eprintln!(
+                "{:>16}  n={} rounds={} messages={} elapsed={:.3}s  ({:.0} rounds/s, {:.0} msgs/s)",
+                m.name,
+                m.n,
+                m.rounds,
+                m.messages,
+                m.elapsed_s,
+                m.rounds as f64 / m.elapsed_s,
+                m.messages as f64 / m.elapsed_s,
+            );
+            all.push(m);
+        }
+    }
+
+    let body = all
+        .iter()
+        .map(Measurement::json)
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"sim_throughput\",\n  \"mode\": \"{}\",\n",
+            "  \"workloads\": [\n    {}\n  ]\n}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        body
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+    eprintln!("wrote {out_path}");
+    // A machine-readable copy for CI logs.
+    println!("{json}");
+}

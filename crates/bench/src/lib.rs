@@ -178,6 +178,71 @@ pub fn covered_nodes(partition: &Partition) -> Vec<NodeId> {
     partition.parts().iter().flatten().copied().collect()
 }
 
+/// Shared simulator-throughput workloads, used by both the
+/// `sim_throughput` binary (full scale, emits `BENCH_sim.json`) and the
+/// `sim_throughput` criterion bench — one definition, so the two
+/// trend lines measure the same thing.
+pub mod sim_workloads {
+    use lcs_congest::{MultiBfsInstance, MultiBfsSpec, NodeAlgorithm, RoundCtx};
+    use lcs_graph::NodeId;
+    use std::sync::Arc;
+
+    /// Saturates every arc every round: the raw engine message path
+    /// (send → slot → gather) with a trivial node program.
+    #[derive(Debug)]
+    pub struct Saturate {
+        /// Rounds left to keep sending.
+        pub rounds_left: u64,
+        /// Checksum of everything heard (defeats dead-code elimination).
+        pub sum: u64,
+    }
+
+    impl Saturate {
+        /// A node that sends for `rounds` rounds.
+        pub fn new(rounds: u64) -> Self {
+            Saturate {
+                rounds_left: rounds,
+                sum: 0,
+            }
+        }
+    }
+
+    impl NodeAlgorithm for Saturate {
+        type Msg = u32;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+            for &(_, m) in ctx.inbox() {
+                self.sum = self.sum.wrapping_add(u64::from(m));
+            }
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                for i in 0..ctx.degree() {
+                    ctx.send_nth(i, ctx.round() as u32);
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            self.rounds_left == 0
+        }
+    }
+
+    /// The standard multi-BFS bundle: `instances` full-membership BFS
+    /// roots spread evenly over `0..n`, staggered starts, unlimited
+    /// depth.
+    pub fn multi_bfs_spec(n: usize, instances: usize) -> Arc<MultiBfsSpec> {
+        Arc::new(MultiBfsSpec {
+            instances: (0..instances)
+                .map(|i| MultiBfsInstance {
+                    root: ((i * n) / instances) as NodeId,
+                    start_round: (i as u64 * 3) % 16,
+                    depth_limit: u32::MAX,
+                })
+                .collect(),
+            membership: Arc::new(|_, _, _| true),
+            queue_cap: 0,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,15 +88,17 @@ impl NodeAlgorithm for BfsNode {
                 self.parent = Some(p);
             }
         }
-        // Fire once: ack parent, flood everyone else.
+        // Fire once: ack parent, flood everyone else (indexed sends hit
+        // the engine's zero-lookup arc-slot path).
         if let (Some(d), false) = (self.dist, self.fired) {
             self.fired = true;
-            if let Some(p) = self.parent {
-                ctx.send(p, BfsMsg::Child);
+            let parent_idx = self.parent.and_then(|p| ctx.neighbor_index(p));
+            if let Some(pi) = parent_idx {
+                ctx.send_nth(pi, BfsMsg::Child);
             }
-            for &w in ctx.neighbors() {
-                if Some(w) != self.parent {
-                    ctx.send(w, BfsMsg::Token { dist: d });
+            for i in 0..ctx.degree() {
+                if Some(i) != parent_idx {
+                    ctx.send_nth(i, BfsMsg::Token { dist: d });
                 }
             }
         }

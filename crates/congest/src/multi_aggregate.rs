@@ -59,6 +59,10 @@ impl Message for MultiAggMsg {
 struct InstState {
     parent: Option<NodeId>,
     children: Vec<NodeId>,
+    /// Neighbor index of `parent`, resolved on the first round.
+    parent_idx: Option<usize>,
+    /// Neighbor indices of `children`, resolved on the first round.
+    children_idx: Vec<usize>,
     pending: usize,
     acc: u64,
     sent_up: bool,
@@ -71,7 +75,9 @@ struct InstState {
 pub struct MultiAggNode {
     op: AggOp,
     broadcast: bool,
-    insts: HashMap<u32, InstState>,
+    /// Instance states sorted by instance id (deterministic iteration,
+    /// binary-searchable on message arrival).
+    insts: Vec<(u32, InstState)>,
     queues: Vec<VecDeque<MultiAggMsg>>,
     /// Longest queue observed.
     pub max_queue: usize,
@@ -81,7 +87,9 @@ pub struct MultiAggNode {
 impl MultiAggNode {
     /// Creates the node state from this node's participations.
     pub fn new(participations: Vec<Participation>, op: AggOp, broadcast: bool) -> Self {
-        let insts = participations
+        // BTreeMap construction: sorted by instance id, duplicate
+        // participations collapse to the last one given.
+        let insts: Vec<(u32, InstState)> = participations
             .into_iter()
             .map(|p| {
                 let pending = p.children.len();
@@ -90,6 +98,8 @@ impl MultiAggNode {
                     InstState {
                         parent: p.parent,
                         children: p.children,
+                        parent_idx: None,
+                        children_idx: Vec::new(),
                         pending,
                         acc: p.value,
                         sent_up: false,
@@ -98,6 +108,8 @@ impl MultiAggNode {
                     },
                 )
             })
+            .collect::<std::collections::BTreeMap<u32, InstState>>()
+            .into_iter()
             .collect();
         MultiAggNode {
             op,
@@ -109,10 +121,11 @@ impl MultiAggNode {
         }
     }
 
-    fn enqueue(&mut self, idx: usize, msg: MultiAggMsg) {
-        let q = &mut self.queues[idx];
-        q.push_back(msg);
-        self.max_queue = self.max_queue.max(q.len());
+    fn inst_mut(&mut self, inst: u32) -> Option<&mut InstState> {
+        self.insts
+            .binary_search_by_key(&inst, |&(i, _)| i)
+            .ok()
+            .map(|i| &mut self.insts[i].1)
     }
 }
 
@@ -120,70 +133,65 @@ impl NodeAlgorithm for MultiAggNode {
     type Msg = MultiAggMsg;
 
     fn round(&mut self, ctx: &mut RoundCtx<'_, MultiAggMsg>) {
-        let neighbors = ctx.neighbors();
         if !self.initialized {
             self.initialized = true;
-            self.queues = vec![VecDeque::new(); neighbors.len()];
+            self.queues = vec![VecDeque::new(); ctx.degree()];
+            for (_, st) in &mut self.insts {
+                (st.parent_idx, st.children_idx) = ctx.tree_indices(st.parent, &st.children);
+            }
         }
-        let idx_of = |w: NodeId| neighbors.iter().position(|&x| x == w).expect("neighbor");
         // Absorb arrivals.
-        let inbox: Vec<(NodeId, MultiAggMsg)> = ctx.inbox().to_vec();
-        for (_from, msg) in inbox {
-            match msg {
+        let op = self.op;
+        for &(_from, ref msg) in ctx.inbox() {
+            match *msg {
                 MultiAggMsg::Up { inst, value } => {
-                    let op = self.op;
-                    let st = self.insts.get_mut(&inst).expect("Up for unknown instance");
+                    let st = self.inst_mut(inst).expect("Up for unknown instance");
                     st.acc = op.apply(st.acc, value);
                     st.pending = st.pending.saturating_sub(1);
                 }
                 MultiAggMsg::Down { inst, value } => {
-                    let st = self
-                        .insts
-                        .get_mut(&inst)
-                        .expect("Down for unknown instance");
-                    st.result = Some(value);
+                    self.inst_mut(inst)
+                        .expect("Down for unknown instance")
+                        .result = Some(value);
                 }
             }
         }
-        // Progress each instance; deterministic order.
-        let mut inst_ids: Vec<u32> = self.insts.keys().copied().collect();
-        inst_ids.sort_unstable();
-        for inst in inst_ids {
-            let (ready_up, parent, acc, is_root) = {
-                let st = &self.insts[&inst];
-                (
-                    st.pending == 0 && !st.sent_up,
-                    st.parent,
-                    st.acc,
-                    st.parent.is_none(),
-                )
-            };
-            if ready_up {
-                self.insts.get_mut(&inst).unwrap().sent_up = true;
-                if is_root {
-                    self.insts.get_mut(&inst).unwrap().result = Some(acc);
-                } else {
-                    let p = parent.expect("non-root has parent");
-                    self.enqueue(idx_of(p), MultiAggMsg::Up { inst, value: acc });
+        // Progress each instance; sorted order keeps queue contents
+        // deterministic. Field-split borrows: `insts` drives, `queues`
+        // and `max_queue` absorb, with no per-round clones.
+        let broadcast = self.broadcast;
+        let queues = &mut self.queues;
+        let max_queue = &mut self.max_queue;
+        for &mut (inst, ref mut st) in &mut self.insts {
+            if st.pending == 0 && !st.sent_up {
+                st.sent_up = true;
+                match st.parent_idx {
+                    None => st.result = Some(st.acc),
+                    Some(pi) => {
+                        let q = &mut queues[pi];
+                        q.push_back(MultiAggMsg::Up {
+                            inst,
+                            value: st.acc,
+                        });
+                        *max_queue = (*max_queue).max(q.len());
+                    }
                 }
             }
-            if self.broadcast {
-                let (has_result, sent_down, children) = {
-                    let st = &self.insts[&inst];
-                    (st.result, st.sent_down, st.children.clone())
-                };
-                if let (Some(r), false) = (has_result, sent_down) {
-                    self.insts.get_mut(&inst).unwrap().sent_down = true;
-                    for c in children {
-                        self.enqueue(idx_of(c), MultiAggMsg::Down { inst, value: r });
+            if broadcast && !st.sent_down {
+                if let Some(r) = st.result {
+                    st.sent_down = true;
+                    for &ci in &st.children_idx {
+                        let q = &mut queues[ci];
+                        q.push_back(MultiAggMsg::Down { inst, value: r });
+                        *max_queue = (*max_queue).max(q.len());
                     }
                 }
             }
         }
         // Drain one message per neighbor.
-        for (idx, &w) in neighbors.iter().enumerate() {
+        for idx in 0..self.queues.len() {
             if let Some(msg) = self.queues[idx].pop_front() {
-                ctx.send(w, msg);
+                ctx.send_nth(idx, msg);
             }
         }
     }

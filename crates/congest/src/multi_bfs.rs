@@ -29,7 +29,7 @@ use crate::node::{NodeAlgorithm, RoundCtx};
 use crate::sim::{run, RunOutcome, SimConfig};
 use crate::SimError;
 use lcs_graph::{Graph, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One BFS instance of the bundle.
@@ -117,15 +117,18 @@ pub struct Reached {
 }
 
 /// Per-node state of the multi-BFS protocol.
+///
+/// Instance ids are dense (`0..instances.len()`), so per-instance state
+/// is kept in flat vectors — token arrival is an index, not a hash.
 #[derive(Debug)]
 pub struct MultiBfsNode {
     spec: Arc<MultiBfsSpec>,
     /// Instance ids rooted at this node.
     roots_here: Vec<u32>,
-    /// inst -> reach info.
-    pub reached: HashMap<u32, Reached>,
-    /// inst -> children discovered.
-    pub children: HashMap<u32, Vec<NodeId>>,
+    /// Reach info, indexed by instance id.
+    pub reached: Vec<Option<Reached>>,
+    /// Children discovered, indexed by instance id.
+    pub children: Vec<Vec<NodeId>>,
     /// Per-neighbor outgoing FIFO queues (indexed in neighbor order).
     queues: Vec<VecDeque<MultiBfsMsg>>,
     /// Longest queue ever observed (scheduling-quality diagnostic).
@@ -139,11 +142,12 @@ impl MultiBfsNode {
     /// Creates the state for one node; `roots_here` lists the instance
     /// ids whose root is this node.
     pub fn new(spec: Arc<MultiBfsSpec>, roots_here: Vec<u32>) -> Self {
+        let k = spec.instances.len();
         MultiBfsNode {
             spec,
             roots_here,
-            reached: HashMap::new(),
-            children: HashMap::new(),
+            reached: vec![None; k],
+            children: vec![Vec::new(); k],
             queues: Vec::new(),
             max_queue: 0,
             overflowed: false,
@@ -175,20 +179,23 @@ impl MultiBfsNode {
         if dist >= limit {
             return;
         }
-        let membership = Arc::clone(&self.spec.membership);
+        let cap = self.spec.queue_cap;
         for (idx, &w) in neighbors.iter().enumerate() {
             if Some(w) == skip {
                 continue;
             }
-            if (membership)(me, w, inst) {
-                self.enqueue(
-                    idx,
-                    MultiBfsMsg::Token {
-                        inst,
-                        root,
-                        dist: dist + 1,
-                    },
-                );
+            if (self.spec.membership)(me, w, inst) {
+                let q = &mut self.queues[idx];
+                if cap > 0 && q.len() >= cap {
+                    self.overflowed = true;
+                    continue;
+                }
+                q.push_back(MultiBfsMsg::Token {
+                    inst,
+                    root,
+                    dist: dist + 1,
+                });
+                self.max_queue = self.max_queue.max(q.len());
             }
         }
     }
@@ -204,62 +211,55 @@ impl NodeAlgorithm for MultiBfsNode {
             self.initialized = true;
             self.queues = vec![VecDeque::new(); neighbors.len()];
         }
-        // Root activations scheduled for this round.
-        let to_start: Vec<u32> = self
-            .roots_here
-            .iter()
-            .copied()
-            .filter(|&i| {
-                self.spec.instances[i as usize].start_round == ctx.round()
-                    && !self.reached.contains_key(&i)
-            })
-            .collect();
-        for inst in to_start {
-            self.reached.insert(
-                inst,
-                Reached {
-                    dist: 0,
-                    parent: None,
-                    round: ctx.round(),
-                    root: me,
-                },
-            );
+        // Root activations scheduled for this round (indexed loop: no
+        // per-round allocation).
+        for r in 0..self.roots_here.len() {
+            let inst = self.roots_here[r];
+            if self.spec.instances[inst as usize].start_round != ctx.round()
+                || self.reached[inst as usize].is_some()
+            {
+                continue;
+            }
+            self.reached[inst as usize] = Some(Reached {
+                dist: 0,
+                parent: None,
+                round: ctx.round(),
+                root: me,
+            });
             self.fan_out(me, neighbors, inst, me, 0, None);
         }
-        // Process arrivals.
-        let inbox: Vec<(NodeId, MultiBfsMsg)> = ctx.inbox().to_vec();
-        for (from, msg) in inbox {
-            match msg {
+        // Process arrivals (no inbox copy — the slice outlives the ctx
+        // borrow).
+        for &(from, ref msg) in ctx.inbox() {
+            match *msg {
                 MultiBfsMsg::Token { inst, root, dist } => {
-                    let limit = self.spec.instances[inst as usize].depth_limit;
-                    if dist > limit || self.reached.contains_key(&inst) {
+                    // Already-reached is by far the common rejection:
+                    // test it before touching the shared spec.
+                    if self.reached[inst as usize].is_some()
+                        || dist > self.spec.instances[inst as usize].depth_limit
+                    {
                         continue;
                     }
-                    self.reached.insert(
-                        inst,
-                        Reached {
-                            dist,
-                            parent: Some(from),
-                            round: ctx.round(),
-                            root,
-                        },
-                    );
-                    let from_idx = neighbors
-                        .iter()
-                        .position(|&w| w == from)
-                        .expect("sender is a neighbor");
+                    self.reached[inst as usize] = Some(Reached {
+                        dist,
+                        parent: Some(from),
+                        round: ctx.round(),
+                        root,
+                    });
+                    let from_idx = ctx.neighbor_index(from).expect("sender is a neighbor");
                     self.enqueue(from_idx, MultiBfsMsg::Child { inst });
                     self.fan_out(me, neighbors, inst, root, dist, Some(from));
                 }
                 MultiBfsMsg::Child { inst } => {
-                    self.children.entry(inst).or_default().push(from);
+                    self.children[inst as usize].push(from);
                 }
             }
         }
-        // Drain: one message per neighbor per round.
-        for (idx, &w) in neighbors.iter().enumerate() {
+        // Drain: one message per neighbor per round, via the zero-lookup
+        // arc-slot fast path.
+        for idx in 0..self.queues.len() {
             if let Some(msg) = self.queues[idx].pop_front() {
-                ctx.send(w, msg);
+                ctx.send_nth(idx, msg);
             }
         }
     }
@@ -267,19 +267,25 @@ impl NodeAlgorithm for MultiBfsNode {
     fn halted(&self) -> bool {
         // A root with a pending delayed start must keep the run alive
         // even when no messages are in flight yet.
-        self.roots_here.iter().all(|i| self.reached.contains_key(i))
+        self.roots_here
+            .iter()
+            .all(|&i| self.reached[i as usize].is_some())
             && self.queues.iter().all(|q| q.is_empty())
     }
 }
 
 /// Result of [`run_multi_bfs`].
+///
+/// Instance ids are dense (`0..spec.instances.len()`), so per-node
+/// per-instance data is stored in flat vectors indexed by instance id —
+/// the node states are moved out verbatim, with no per-entry hashing.
 #[derive(Debug)]
 pub struct MultiBfsOutcome {
-    /// Per-node reach info: `reached[v]` maps instance id to
-    /// [`Reached`].
-    pub reached: Vec<HashMap<u32, Reached>>,
-    /// Per-node children per instance (sorted).
-    pub children: Vec<HashMap<u32, Vec<NodeId>>>,
+    /// Per-node reach info: `reached[v][inst]` is `Some` when instance
+    /// `inst` reached node `v`.
+    pub reached: Vec<Vec<Option<Reached>>>,
+    /// Per-node children per instance (sorted): `children[v][inst]`.
+    pub children: Vec<Vec<Vec<NodeId>>>,
     /// Longest per-neighbor queue observed anywhere.
     pub max_queue: usize,
     /// Whether any node dropped tokens (congestion-cap enforcement
@@ -292,21 +298,23 @@ pub struct MultiBfsOutcome {
 impl MultiBfsOutcome {
     /// Nodes reached by instance `i`, with distances.
     pub fn instance_nodes(&self, inst: u32) -> Vec<(NodeId, Reached)> {
-        let mut out: Vec<(NodeId, Reached)> = self
-            .reached
+        self.reached
             .iter()
             .enumerate()
-            .filter_map(|(v, m)| m.get(&inst).map(|&r| (v as NodeId, r)))
-            .collect();
-        out.sort_unstable_by_key(|&(v, _)| v);
-        out
+            .filter_map(|(v, m)| {
+                m.get(inst as usize)
+                    .copied()
+                    .flatten()
+                    .map(|r| (v as NodeId, r))
+            })
+            .collect()
     }
 
-    /// Depth actually reached by instance `i`.
+    /// Depth actually reached by instance `i` (0 for an unknown id).
     pub fn instance_depth(&self, inst: u32) -> u32 {
         self.reached
             .iter()
-            .filter_map(|m| m.get(&inst).map(|r| r.dist))
+            .filter_map(|m| m.get(inst as usize).copied().flatten().map(|r| r.dist))
             .max()
             .unwrap_or(0)
     }
@@ -334,15 +342,18 @@ pub fn run_multi_bfs(
     let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
     let max_queue = nodes.iter().map(|s| s.max_queue).max().unwrap_or(0);
     let overflowed = nodes.iter().any(|s| s.overflowed);
-    let mut children: Vec<HashMap<u32, Vec<NodeId>>> =
-        nodes.iter().map(|s| s.children.clone()).collect();
-    for m in &mut children {
-        for c in m.values_mut() {
-            c.sort_unstable();
+    let mut reached = Vec::with_capacity(nodes.len());
+    let mut children = Vec::with_capacity(nodes.len());
+    for s in nodes {
+        reached.push(s.reached);
+        let mut c = s.children;
+        for list in &mut c {
+            list.sort_unstable();
         }
+        children.push(c);
     }
     Ok(MultiBfsOutcome {
-        reached: nodes.into_iter().map(|s| s.reached).collect(),
+        reached,
         children,
         max_queue,
         overflowed,
@@ -375,7 +386,7 @@ mod tests {
         let exact = bfs_distances(&g, 0);
         for v in g.nodes() {
             assert_eq!(
-                out.reached[v as usize].get(&0).map(|r| r.dist),
+                out.reached[v as usize][0].map(|r| r.dist),
                 Some(exact[v as usize]),
                 "node {v}"
             );
@@ -398,7 +409,7 @@ mod tests {
         let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
         assert_eq!(out.instance_depth(0), 4);
         assert_eq!(out.instance_nodes(0).len(), 5);
-        assert!(!out.reached[5].contains_key(&0));
+        assert!(out.reached[5][0].is_none());
     }
 
     #[test]
@@ -432,9 +443,9 @@ mod tests {
         let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
         assert_eq!(out.instance_nodes(0).len(), 5);
         assert_eq!(out.instance_nodes(1).len(), 5);
-        assert_eq!(out.reached[4][&0].dist, 4);
-        assert_eq!(out.reached[5][&1].dist, 4);
-        assert!(!out.reached[4].contains_key(&1));
+        assert_eq!(out.reached[4][0].unwrap().dist, 4);
+        assert_eq!(out.reached[5][1].unwrap().dist, 4);
+        assert!(out.reached[4][1].is_none());
     }
 
     #[test]
@@ -529,9 +540,9 @@ mod tests {
         });
         let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
         for v in g.nodes() {
-            if let Some(r) = out.reached[v as usize].get(&0) {
+            if let Some(r) = out.reached[v as usize][0] {
                 if let Some(p) = r.parent {
-                    assert!(out.children[p as usize][&0].contains(&v));
+                    assert!(out.children[p as usize][0].contains(&v));
                 }
             }
         }

@@ -1,6 +1,7 @@
 //! Node-program interface: the [`NodeAlgorithm`] trait and the per-round
 //! context handed to it.
 
+use crate::error::SimError;
 use crate::message::Message;
 use lcs_graph::{Graph, NodeId};
 use rand_chacha::ChaCha8Rng;
@@ -28,15 +29,45 @@ pub trait NodeAlgorithm {
     fn halted(&self) -> bool;
 }
 
+/// The send-side of a [`RoundCtx`]: this node's outgoing arc-indexed
+/// mailbox slots plus the statistics and violation sinks the engine
+/// threads through. A send is a direct slot write; occupancy of the slot
+/// *is* the one-message-per-neighbor-per-round discipline.
+pub(crate) struct TxState<'a, M> {
+    /// This node's slots in the next-round mailbox array, one per
+    /// neighbor, in neighbor (arc) order.
+    pub(crate) slots: &'a mut [Option<M>],
+    /// Sorted neighbor list, parallel to `slots`.
+    pub(crate) heads: &'a [NodeId],
+    /// Global arc index of `slots[0]`.
+    pub(crate) arc_base: u32,
+    /// Per-node "has mail next round" flags (shared across shards; a
+    /// relaxed store is enough, the round barrier orders it).
+    pub(crate) mail: &'a [std::sync::atomic::AtomicBool],
+    /// Global indices of slots written this round (the in-flight list).
+    pub(crate) dirty: &'a mut Vec<u32>,
+    /// Shard-accumulated message count.
+    pub(crate) messages: &'a mut u64,
+    /// Shard-accumulated word count.
+    pub(crate) words: &'a mut u64,
+    /// This node's per-arc message counts (parallel to `slots`; folded
+    /// into per-edge stats at the end of the run).
+    pub(crate) per_arc: &'a mut [u64],
+    /// First model violation observed this round, if any.
+    pub(crate) violation: &'a mut Option<SimError>,
+    /// Per-message size cap in words.
+    pub(crate) bandwidth: u32,
+}
+
 /// Per-round view and send interface for one node.
 pub struct RoundCtx<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) round: u64,
     pub(crate) graph: &'a Graph,
     pub(crate) inbox: &'a [(NodeId, M)],
-    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
     pub(crate) rng: &'a mut ChaCha8Rng,
     pub(crate) shared: &'a [u64],
+    pub(crate) tx: TxState<'a, M>,
 }
 
 impl<'a, M> std::fmt::Debug for RoundCtx<'a, M> {
@@ -49,7 +80,7 @@ impl<'a, M> std::fmt::Debug for RoundCtx<'a, M> {
     }
 }
 
-impl<'a, M> RoundCtx<'a, M> {
+impl<'a, M: Message> RoundCtx<'a, M> {
     /// This node's id.
     #[inline]
     pub fn node(&self) -> NodeId {
@@ -73,28 +104,130 @@ impl<'a, M> RoundCtx<'a, M> {
     /// Degree of this node.
     #[inline]
     pub fn degree(&self) -> usize {
-        self.graph.degree(self.node)
+        self.tx.heads.len()
     }
 
     /// Sorted neighbor list of this node.
     #[inline]
     pub fn neighbors(&self) -> &'a [NodeId] {
-        self.graph.neighbors(self.node)
+        self.tx.heads
     }
 
-    /// Messages delivered this round, as `(sender, message)` pairs.
+    /// Messages delivered this round, as `(sender, message)` pairs,
+    /// sorted by sender id.
     #[inline]
     pub fn inbox(&self) -> &'a [(NodeId, M)] {
         self.inbox
     }
 
+    /// Index of `w` in this node's sorted neighbor list, if adjacent.
+    /// Small lists are scanned (branch-predictable), larger ones binary
+    /// searched.
+    #[inline]
+    pub fn neighbor_index(&self, w: NodeId) -> Option<usize> {
+        let heads = self.tx.heads;
+        if heads.len() <= 8 {
+            heads.iter().position(|&x| x == w)
+        } else {
+            heads.binary_search(&w).ok()
+        }
+    }
+
+    /// Resolves a tree position (parent and children node ids) into
+    /// neighbor indices for [`RoundCtx::send_nth`]. Tree protocols call
+    /// this once on their first round and send by index thereafter.
+    ///
+    /// A parent or child that is not actually a neighbor (a malformed
+    /// tree) records an
+    /// [`InvalidDestination`](crate::SimError::InvalidDestination)
+    /// violation — the run aborts with that error and every later send
+    /// this round is ignored, exactly as if the node had sent to the
+    /// non-neighbor directly. The returned placeholder index is never
+    /// dereferenced in that case.
+    pub fn tree_indices(
+        &mut self,
+        parent: Option<NodeId>,
+        children: &[NodeId],
+    ) -> (Option<usize>, Vec<usize>) {
+        let mut resolve = |w: NodeId| {
+            self.neighbor_index(w).unwrap_or_else(|| {
+                if self.tx.violation.is_none() {
+                    *self.tx.violation = Some(SimError::InvalidDestination {
+                        from: self.node,
+                        to: w,
+                        round: self.round,
+                    });
+                }
+                0
+            })
+        };
+        (
+            parent.map(&mut resolve),
+            children.iter().map(|&c| resolve(c)).collect(),
+        )
+    }
+
     /// Queues a message to a neighbor. Model compliance (adjacency, one
-    /// message per edge direction per round, bandwidth) is checked by
-    /// the simulator when the round ends; violations abort the run with
-    /// a [`SimError`](crate::SimError).
+    /// message per edge direction per round, bandwidth) is checked at
+    /// send time; the first violation aborts the run with a
+    /// [`SimError`](crate::SimError) when the round ends.
     #[inline]
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.outbox.push((to, msg));
+        match self.neighbor_index(to) {
+            Some(i) => self.send_nth(i, msg),
+            None => {
+                if self.tx.violation.is_none() {
+                    *self.tx.violation = Some(SimError::InvalidDestination {
+                        from: self.node,
+                        to,
+                        round: self.round,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Zero-lookup fast path of [`RoundCtx::send`]: sends to the
+    /// `i`-th neighbor (the neighbor at `self.neighbors()[i]`). Hot
+    /// senders that already iterate neighbors by index should use this —
+    /// delivery is a single mailbox-slot write with no adjacency lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.degree()` (a programmer error, unlike the
+    /// model violations, which are reported as [`SimError`]s).
+    ///
+    /// [`SimError`]: crate::SimError
+    #[inline]
+    pub fn send_nth(&mut self, i: usize, msg: M) {
+        if self.tx.violation.is_some() {
+            return; // the run is already doomed; preserve the first error
+        }
+        let to = self.tx.heads[i];
+        let words = msg.size_words();
+        if words > self.tx.bandwidth {
+            *self.tx.violation = Some(SimError::MessageTooLarge {
+                words,
+                cap: self.tx.bandwidth,
+                round: self.round,
+            });
+            return;
+        }
+        let slot = &mut self.tx.slots[i];
+        if slot.is_some() {
+            *self.tx.violation = Some(SimError::ChannelOverflow {
+                from: self.node,
+                to,
+                round: self.round,
+            });
+            return;
+        }
+        *slot = Some(msg);
+        self.tx.mail[to as usize].store(true, std::sync::atomic::Ordering::Relaxed);
+        self.tx.dirty.push(self.tx.arc_base + i as u32);
+        *self.tx.messages += 1;
+        *self.tx.words += u64::from(words);
+        self.tx.per_arc[i] += 1;
     }
 
     /// This node's private RNG (deterministically seeded from the run

@@ -1,12 +1,46 @@
 //! The synchronous CONGEST simulator engine.
+//!
+//! # Mailbox layout
+//!
+//! Delivery is **arc-indexed**: the engine preallocates one
+//! `Option<Msg>` slot per directed arc of the graph, in CSR order. A
+//! message sent over arc `a = (u → v)` is written into slot `a` — the
+//! slot owned by the *sender's* adjacency range — so
+//!
+//! * delivery is a single slot write,
+//! * the CONGEST one-message-per-neighbor-per-round discipline is a
+//!   `slot.is_some()` check (no stamp array, no hash set),
+//! * the undirected [`EdgeId`](lcs_graph::EdgeId) for stats is
+//!   `arc_edges[a]` (no `edge_between` binary search per message), and
+//! * the in-flight count is the length of the per-shard dirty lists
+//!   (no `O(n)` scan per round).
+//!
+//! A receiver `v` gathers its inbox by walking its own arc range and
+//! reading slot `rev[b]` for each arc `b = (v → u)` — the
+//! opposite-direction arc of the same edge, precomputed once per run.
+//! Two buffers (`cur`, `nxt`) are swapped each round; only dirty slots
+//! are cleared, so quiet rounds cost `O(n)` node calls and nothing per
+//! arc.
+//!
+//! # Sharded rounds
+//!
+//! Nodes are split into contiguous shards ([`SimConfig::shards`]), each
+//! run on a [`std::thread::scope`] thread per round. A node's sends land
+//! in its own arc range, so shard write regions are disjoint contiguous
+//! slices of `nxt`; reads of `cur` are shared and immutable. Per-shard
+//! statistics buffers are merged in shard order, and every per-run
+//! quantity is an order-independent integer sum, so the outcome —
+//! node states, RNG streams, and [`RunStats`] — is **bit-identical to
+//! the sequential engine for any shard count**.
 
 use crate::error::SimError;
-use crate::message::{Message, DEFAULT_BANDWIDTH_WORDS};
-use crate::node::{NodeAlgorithm, RoundCtx};
+use crate::message::DEFAULT_BANDWIDTH_WORDS;
+use crate::node::{NodeAlgorithm, RoundCtx, TxState};
 use crate::stats::RunStats;
-use lcs_graph::{Graph, NodeId};
+use lcs_graph::{ArcId, Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration of a simulator run.
 #[derive(Debug, Clone)]
@@ -20,6 +54,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Number of shared-randomness words exposed to every node.
     pub shared_randomness_words: usize,
+    /// Number of contiguous node shards executed on scoped threads each
+    /// round. `1` (the default) runs fully sequentially; any value
+    /// produces bit-identical outcomes.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -29,6 +67,7 @@ impl Default for SimConfig {
             max_rounds: 1_000_000,
             seed: 0xC0FFEE,
             shared_randomness_words: 64,
+            shards: 1,
         }
     }
 }
@@ -42,6 +81,111 @@ pub struct RunOutcome<A> {
     pub stats: RunStats,
 }
 
+/// Per-shard engine state: the shard's node/arc spans, its accumulated
+/// statistics, its dirty-slot lists, and a reusable inbox buffer.
+struct Shard<M> {
+    node_lo: usize,
+    node_hi: usize,
+    arc_lo: usize,
+    arc_hi: usize,
+    messages: u64,
+    words: u64,
+    /// Per-arc message counts for the shard's own arc span (folded into
+    /// per-edge counts once at the end of the run — a sequential store
+    /// per send instead of a random per-edge access).
+    per_arc: Vec<u64>,
+    /// Slots of `cur` holding this round's deliveries (cleared at round
+    /// end).
+    dirty_in: Vec<u32>,
+    /// Slots of `nxt` written this round; its length is the shard's
+    /// contribution to the in-flight count.
+    dirty_out: Vec<u32>,
+    inbox: Vec<(NodeId, M)>,
+}
+
+/// `rev[a]` is the opposite-direction arc of the same undirected edge.
+fn build_rev_arcs(g: &Graph) -> Vec<u32> {
+    let mut first_arc_of_edge: Vec<u32> = vec![u32::MAX; g.m()];
+    let mut rev = vec![0u32; g.num_arcs()];
+    for a in 0..g.num_arcs() as u32 {
+        let e = g.arc_edge(ArcId(a)).index();
+        if first_arc_of_edge[e] == u32::MAX {
+            first_arc_of_edge[e] = a;
+        } else {
+            let b = first_arc_of_edge[e];
+            rev[a as usize] = b;
+            rev[b as usize] = a;
+        }
+    }
+    rev
+}
+
+/// Executes one round for one shard: gathers each node's inbox from
+/// `cur`, runs the node, and applies its sends into the shard's slice of
+/// `nxt`. Returns `(all_halted, first_violation)`.
+#[allow(clippy::too_many_arguments)]
+fn run_shard<A: NodeAlgorithm>(
+    graph: &Graph,
+    sh: &mut Shard<A::Msg>,
+    nodes: &mut [A],
+    rngs: &mut [ChaCha8Rng],
+    cur: &[Option<A::Msg>],
+    nxt: &mut [Option<A::Msg>],
+    mail_cur: &[AtomicBool],
+    mail_nxt: &[AtomicBool],
+    rev: &[u32],
+    shared: &[u64],
+    round: u64,
+    bandwidth: u32,
+) -> (bool, Option<SimError>) {
+    let mut all_halted = true;
+    let mut violation: Option<SimError> = None;
+    for v in sh.node_lo..sh.node_hi {
+        let range = graph.arc_range(v as NodeId);
+        sh.inbox.clear();
+        // The mail flag makes quiet rounds cheap: only nodes somebody
+        // actually addressed walk their arc range. (Relaxed is enough —
+        // the flag was set before last round's thread join, which is a
+        // happens-before edge.)
+        if mail_cur[v].load(Ordering::Relaxed) {
+            mail_cur[v].store(false, Ordering::Relaxed);
+            for b in range.clone() {
+                if let Some(m) = &cur[rev[b] as usize] {
+                    sh.inbox.push((graph.arc_head(ArcId(b as u32)), m.clone()));
+                }
+            }
+        }
+        {
+            let mut ctx = RoundCtx {
+                node: v as NodeId,
+                round,
+                graph,
+                inbox: &sh.inbox,
+                rng: &mut rngs[v - sh.node_lo],
+                shared,
+                tx: TxState {
+                    slots: &mut nxt[range.start - sh.arc_lo..range.end - sh.arc_lo],
+                    heads: graph.neighbors(v as NodeId),
+                    arc_base: range.start as u32,
+                    mail: mail_nxt,
+                    dirty: &mut sh.dirty_out,
+                    messages: &mut sh.messages,
+                    words: &mut sh.words,
+                    per_arc: &mut sh.per_arc[range.start - sh.arc_lo..range.end - sh.arc_lo],
+                    violation: &mut violation,
+                    bandwidth,
+                },
+            };
+            nodes[v - sh.node_lo].round(&mut ctx);
+        }
+        if violation.is_some() {
+            return (all_halted, violation);
+        }
+        all_halted &= nodes[v - sh.node_lo].halted();
+    }
+    (all_halted, violation)
+}
+
 /// Runs `nodes` (one [`NodeAlgorithm`] value per node of `graph`) to
 /// quiescence: every node halted and no messages in flight.
 ///
@@ -49,6 +193,12 @@ pub struct RunOutcome<A> {
 /// at round `r + 1`. The engine enforces the CONGEST discipline — a node
 /// may send at most one message per neighbor per round, each at most
 /// `cfg.bandwidth_words` words, and only to adjacent nodes.
+///
+/// With `cfg.shards > 1` the round is executed by that many scoped
+/// threads over contiguous node ranges; the outcome (including
+/// [`RunStats`] and per-node RNG streams) is bit-identical to the
+/// sequential engine. The `Send`/`Sync` bounds exist solely to allow
+/// this; every plain-data message/state type satisfies them.
 ///
 /// # Errors
 ///
@@ -59,11 +209,14 @@ pub struct RunOutcome<A> {
 /// # Panics
 ///
 /// Panics if `nodes.len() != graph.n()`.
-pub fn run<A: NodeAlgorithm>(
+pub fn run<A: NodeAlgorithm + Send>(
     graph: &Graph,
     mut nodes: Vec<A>,
     cfg: &SimConfig,
-) -> Result<RunOutcome<A>, SimError> {
+) -> Result<RunOutcome<A>, SimError>
+where
+    A::Msg: Send + Sync,
+{
     assert_eq!(
         nodes.len(),
         graph.n(),
@@ -85,62 +238,150 @@ pub fn run<A: NodeAlgorithm>(
         })
         .collect();
 
-    let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut next_inboxes: Vec<Vec<(NodeId, A::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut outbox: Vec<(NodeId, A::Msg)> = Vec::new();
-    // Double-send guard: `dest_stamp[to]` holds a value unique to the
-    // current (round, sender) pair when `to` has already been addressed
-    // by this sender this round. Uniqueness makes cross-sender and
-    // cross-round cleanup unnecessary.
-    let mut dest_stamp: Vec<u64> = vec![0; n];
+    let num_arcs = graph.num_arcs();
+    let rev = build_rev_arcs(graph);
+    let mut cur: Vec<Option<A::Msg>> = std::iter::repeat_with(|| None).take(num_arcs).collect();
+    let mut nxt: Vec<Option<A::Msg>> = std::iter::repeat_with(|| None).take(num_arcs).collect();
+    let mut mail_cur: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let mut mail_nxt: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
 
+    let shard_count = cfg.shards.clamp(1, n.max(1));
+    let mut shards: Vec<Shard<A::Msg>> = (0..shard_count)
+        .map(|s| {
+            let node_lo = s * n / shard_count;
+            let node_hi = (s + 1) * n / shard_count;
+            let arc_lo = if node_lo >= n {
+                graph.num_arcs() // empty trailing shard (n = 0 only)
+            } else {
+                graph.arc_range(node_lo as NodeId).start
+            };
+            let arc_hi = if node_hi == node_lo {
+                arc_lo
+            } else {
+                graph.arc_range((node_hi - 1) as NodeId).end
+            };
+            Shard {
+                node_lo,
+                node_hi,
+                arc_lo,
+                arc_hi,
+                messages: 0,
+                words: 0,
+                per_arc: vec![0; arc_hi - arc_lo],
+                // A shard can have at most one in-flight message per
+                // owned arc; reserving that up front keeps the dirty
+                // lists realloc-free for the whole run.
+                dirty_in: Vec::with_capacity(arc_hi - arc_lo),
+                dirty_out: Vec::with_capacity(arc_hi - arc_lo),
+                inbox: Vec::new(),
+            }
+        })
+        .collect();
+
+    let mut prev_in_flight: u64 = 0;
     for round in 0..cfg.max_rounds {
         stats.rounds = round + 1;
-        for v in 0..n as u32 {
-            let inbox = std::mem::take(&mut inboxes[v as usize]);
-            outbox.clear();
-            {
-                let mut ctx = RoundCtx {
-                    node: v,
-                    round,
-                    graph,
-                    inbox: &inbox,
-                    outbox: &mut outbox,
-                    rng: &mut node_rngs[v as usize],
-                    shared: &shared,
-                };
-                nodes[v as usize].round(&mut ctx);
-            }
-            let stamp = round
-                .wrapping_mul(n as u64)
-                .wrapping_add(v as u64)
-                .wrapping_add(1);
-            for (to, msg) in outbox.drain(..) {
-                let Some(edge) = graph.edge_between(v, to) else {
-                    return Err(SimError::InvalidDestination { from: v, to, round });
-                };
-                let words = msg.size_words();
-                if words > cfg.bandwidth_words {
-                    return Err(SimError::MessageTooLarge {
-                        words,
-                        cap: cfg.bandwidth_words,
-                        round,
-                    });
-                }
-                if dest_stamp[to as usize] == stamp {
-                    return Err(SimError::ChannelOverflow { from: v, to, round });
-                }
-                dest_stamp[to as usize] = stamp;
-                stats.record(edge, words);
-                next_inboxes[to as usize].push((v, msg));
-            }
+        if prev_in_flight > 0 {
+            stats.delivered_rounds += 1;
         }
-        let in_flight: u64 = next_inboxes.iter().map(|b| b.len() as u64).sum();
-        std::mem::swap(&mut inboxes, &mut next_inboxes);
-        for b in &mut next_inboxes {
-            b.clear();
+        let results: Vec<(bool, Option<SimError>)> = if shard_count == 1 {
+            vec![run_shard(
+                graph,
+                &mut shards[0],
+                &mut nodes,
+                &mut node_rngs,
+                &cur,
+                &mut nxt,
+                &mail_cur,
+                &mail_nxt,
+                &rev,
+                &shared,
+                round,
+                cfg.bandwidth_words,
+            )]
+        } else {
+            let cur_ref: &[Option<A::Msg>] = &cur;
+            let mail_cur_ref: &[AtomicBool] = &mail_cur;
+            let mail_nxt_ref: &[AtomicBool] = &mail_nxt;
+            let rev_ref: &[u32] = &rev;
+            let shared_ref: &[u64] = &shared;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shard_count);
+                let mut shards_rest: &mut [Shard<A::Msg>] = &mut shards;
+                let mut nodes_rest: &mut [A] = &mut nodes;
+                let mut rngs_rest: &mut [ChaCha8Rng] = &mut node_rngs;
+                let mut nxt_rest: &mut [Option<A::Msg>] = &mut nxt;
+                for _ in 0..shard_count {
+                    let (sh, rest) = shards_rest.split_first_mut().expect("shard count");
+                    shards_rest = rest;
+                    let (node_chunk, rest) = nodes_rest.split_at_mut(sh.node_hi - sh.node_lo);
+                    nodes_rest = rest;
+                    let (rng_chunk, rest) = rngs_rest.split_at_mut(sh.node_hi - sh.node_lo);
+                    rngs_rest = rest;
+                    let (nxt_chunk, rest) = nxt_rest.split_at_mut(sh.arc_hi - sh.arc_lo);
+                    nxt_rest = rest;
+                    handles.push(scope.spawn(move || {
+                        run_shard(
+                            graph,
+                            sh,
+                            node_chunk,
+                            rng_chunk,
+                            cur_ref,
+                            nxt_chunk,
+                            mail_cur_ref,
+                            mail_nxt_ref,
+                            rev_ref,
+                            shared_ref,
+                            round,
+                            cfg.bandwidth_words,
+                        )
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(p) => std::panic::resume_unwind(p),
+                    })
+                    .collect()
+            })
+        };
+
+        // Merge in shard order: the lowest shard's violation is the one
+        // the sequential engine would have hit first.
+        let mut all_halted = true;
+        for (halted, violation) in results {
+            if let Some(e) = violation {
+                return Err(e);
+            }
+            all_halted &= halted;
         }
-        if in_flight == 0 && nodes.iter().all(|a| a.halted()) {
+        let in_flight: u64 = shards.iter().map(|sh| sh.dirty_out.len() as u64).sum();
+
+        // End-of-round bookkeeping: wipe this round's delivered slots,
+        // then promote `nxt` (and its dirty lists) to `cur`.
+        for sh in &mut shards {
+            for &i in &sh.dirty_in {
+                cur[i as usize] = None;
+            }
+            sh.dirty_in.clear();
+            std::mem::swap(&mut sh.dirty_in, &mut sh.dirty_out);
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+        std::mem::swap(&mut mail_cur, &mut mail_nxt);
+        prev_in_flight = in_flight;
+
+        if in_flight == 0 && all_halted {
+            for sh in &shards {
+                stats.messages += sh.messages;
+                stats.words += sh.words;
+                for (j, &x) in sh.per_arc.iter().enumerate() {
+                    if x > 0 {
+                        let e = graph.arc_edge(ArcId((sh.arc_lo + j) as u32));
+                        stats.per_edge_messages[e.index()] += x;
+                    }
+                }
+            }
             return Ok(RunOutcome { nodes, stats });
         }
     }
@@ -155,7 +396,7 @@ mod tests {
 
     /// Flood: node 0 starts; everyone forwards one token to each
     /// neighbor exactly once.
-    #[derive(Debug, Default)]
+    #[derive(Debug, Default, Clone, PartialEq, Eq)]
     struct Flood {
         seen: bool,
         fired: bool,
@@ -175,8 +416,8 @@ mod tests {
             }
             if self.seen && !self.fired {
                 self.fired = true;
-                for &w in ctx.neighbors() {
-                    ctx.send(w, 1);
+                for i in 0..ctx.degree() {
+                    ctx.send_nth(i, 1);
                 }
             }
         }
@@ -200,6 +441,32 @@ mod tests {
         // 2 messages per internal edge (both directions), path has 5 edges.
         assert_eq!(out.stats.messages, 10);
         assert_eq!(out.stats.max_edge_messages(), 2);
+        // Tokens travel forward in rounds 1..=5 and the end node's own
+        // flood arrives back at round 6.
+        assert_eq!(out.stats.delivered_rounds, 6);
+    }
+
+    /// Tier-1 determinism smoke: sharded runs are bit-identical to the
+    /// sequential engine on a path and a clique.
+    #[test]
+    fn sharded_runs_bit_identical_on_path_and_clique() {
+        for g in [
+            lcs_graph::generators::path(23),
+            lcs_graph::generators::complete(17),
+        ] {
+            let n = g.n();
+            let mk = || (0..n).map(|_| Flood::default()).collect::<Vec<_>>();
+            let base = run(&g, mk(), &SimConfig::default()).unwrap();
+            for shards in [2, 4, 7, 64] {
+                let cfg = SimConfig {
+                    shards,
+                    ..SimConfig::default()
+                };
+                let out = run(&g, mk(), &cfg).unwrap();
+                assert_eq!(out.nodes, base.nodes, "shards={shards}");
+                assert_eq!(out.stats, base.stats, "shards={shards}");
+            }
+        }
     }
 
     /// A deliberately misbehaving node for violation tests.
@@ -255,6 +522,36 @@ mod tests {
                 round: 0
             }
         );
+    }
+
+    #[test]
+    fn violations_detected_identically_when_sharded() {
+        let g = lcs_graph::generators::path(3);
+        for (mode, expect) in [
+            (
+                0u8,
+                SimError::InvalidDestination {
+                    from: 0,
+                    to: 2,
+                    round: 0,
+                },
+            ),
+            (
+                1u8,
+                SimError::ChannelOverflow {
+                    from: 0,
+                    to: 1,
+                    round: 0,
+                },
+            ),
+        ] {
+            let cfg = SimConfig {
+                shards: 3,
+                ..SimConfig::default()
+            };
+            let nodes = (0..3).map(|_| Misbehave { mode }).collect();
+            assert_eq!(run(&g, nodes, &cfg).unwrap_err(), expect);
+        }
     }
 
     /// Sends an oversized message.
@@ -353,5 +650,43 @@ mod tests {
         assert_eq!(out1.nodes[0].coin, out2.nodes[0].coin);
         assert_ne!(out1.nodes[0].coin, out1.nodes[1].coin);
         assert_eq!(out1.stats.rounds, 3);
+        assert_eq!(out1.stats.delivered_rounds, 2);
+    }
+
+    /// `send_nth` out-of-range panics (programmer error, not a model
+    /// violation — there is no node id to report).
+    #[derive(Debug)]
+    struct BadIndex;
+
+    impl NodeAlgorithm for BadIndex {
+        type Msg = u32;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+            if ctx.node() == 0 {
+                ctx.send_nth(5, 1);
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn send_nth_out_of_range_panics() {
+        let g = lcs_graph::generators::path(2);
+        let _ = run(&g, vec![BadIndex, BadIndex], &SimConfig::default());
+    }
+
+    #[test]
+    fn rev_arcs_are_involutions() {
+        let g = lcs_graph::generators::grid(3, 4);
+        let rev = build_rev_arcs(&g);
+        for a in 0..g.num_arcs() {
+            let b = rev[a] as usize;
+            assert_eq!(rev[b] as usize, a);
+            assert_eq!(g.arc_edge(ArcId(a as u32)), g.arc_edge(ArcId(b as u32)));
+            assert_ne!(a, b);
+            assert_eq!(g.arc_head(ArcId(b as u32)), g.arc_tail(ArcId(a as u32)));
+        }
     }
 }

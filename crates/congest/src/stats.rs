@@ -1,13 +1,23 @@
 //! Run statistics: rounds, message counts, per-edge traffic.
 
-use lcs_graph::{EdgeId, Graph};
+use lcs_graph::Graph;
+
+#[cfg(test)]
+use lcs_graph::EdgeId;
 
 /// Statistics collected by a completed simulator run.
+///
+/// All fields are order-independent integer accumulations, which is what
+/// makes sharded execution able to reproduce them bit-identically (see
+/// [`crate::sim`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunStats {
     /// Number of synchronous rounds executed (including quiescent final
     /// sweep).
     pub rounds: u64,
+    /// Number of rounds in which at least one message was delivered
+    /// (always `<= rounds`; the gap counts idle/compute-only rounds).
+    pub delivered_rounds: u64,
     /// Total messages delivered.
     pub messages: u64,
     /// Total message volume in `⌈log₂ n⌉`-bit words.
@@ -23,6 +33,7 @@ impl RunStats {
     pub fn new(g: &Graph) -> Self {
         RunStats {
             rounds: 0,
+            delivered_rounds: 0,
             messages: 0,
             words: 0,
             per_edge_messages: vec![0; g.m()],
@@ -44,7 +55,10 @@ impl RunStats {
     }
 
     /// Accumulates another run's statistics (for multi-phase protocols
-    /// executed as successive simulator runs).
+    /// executed as successive simulator runs). Every field — including
+    /// [`RunStats::delivered_rounds`] — is summed, so absorbing the
+    /// stats of phases 1 and 2 yields exactly the component-wise totals
+    /// of the two runs.
     ///
     /// # Panics
     ///
@@ -57,6 +71,7 @@ impl RunStats {
             "stats from different graphs"
         );
         self.rounds += other.rounds;
+        self.delivered_rounds += other.delivered_rounds;
         self.messages += other.messages;
         self.words += other.words;
         for (a, b) in self
@@ -68,6 +83,7 @@ impl RunStats {
         }
     }
 
+    #[cfg(test)]
     pub(crate) fn record(&mut self, edge: EdgeId, words: u32) {
         self.messages += 1;
         self.words += words as u64;
@@ -78,6 +94,8 @@ impl RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bfs::distributed_bfs;
+    use crate::sim::SimConfig;
     use lcs_graph::Graph;
 
     #[test]
@@ -85,16 +103,59 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let mut a = RunStats::new(&g);
         a.rounds = 3;
+        a.delivered_rounds = 2;
         a.record(EdgeId(0), 2);
         let mut b = RunStats::new(&g);
         b.rounds = 2;
+        b.delivered_rounds = 1;
         b.record(EdgeId(1), 1);
         b.record(EdgeId(1), 1);
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
+        assert_eq!(a.delivered_rounds, 3);
         assert_eq!(a.messages, 3);
         assert_eq!(a.words, 4);
         assert_eq!(a.per_edge_messages, vec![1, 2]);
         assert_eq!(a.max_edge_messages(), 2);
+    }
+
+    #[test]
+    fn mean_edge_messages_is_zero_on_edgeless_graph() {
+        let g = Graph::from_edges(4, &[]).unwrap();
+        let s = RunStats::new(&g);
+        assert_eq!(s.mean_edge_messages(), 0.0);
+        assert_eq!(s.max_edge_messages(), 0);
+    }
+
+    /// Round-trips `absorb` against a real two-phase run: running the
+    /// same protocol twice and absorbing must equal the component-wise
+    /// sum of the individual runs, for every field the engine emits.
+    #[test]
+    fn absorb_round_trips_a_two_phase_run() {
+        let g = lcs_graph::generators::grid(4, 4);
+        let cfg = SimConfig::default();
+        let phase1 = distributed_bfs(&g, 0, &cfg).unwrap().stats;
+        let phase2 = distributed_bfs(&g, 15, &cfg).unwrap().stats;
+        let mut total = RunStats::new(&g);
+        total.absorb(&phase1);
+        total.absorb(&phase2);
+        assert_eq!(total.rounds, phase1.rounds + phase2.rounds);
+        assert_eq!(
+            total.delivered_rounds,
+            phase1.delivered_rounds + phase2.delivered_rounds
+        );
+        assert!(total.delivered_rounds > 0 && total.delivered_rounds < total.rounds);
+        assert_eq!(total.messages, phase1.messages + phase2.messages);
+        assert_eq!(total.words, phase1.words + phase2.words);
+        for e in 0..g.m() {
+            assert_eq!(
+                total.per_edge_messages[e],
+                phase1.per_edge_messages[e] + phase2.per_edge_messages[e]
+            );
+        }
+        // Absorbing a zeroed stats value is the identity.
+        let snapshot = total.clone();
+        total.absorb(&RunStats::new(&g));
+        assert_eq!(total, snapshot);
     }
 }

@@ -84,6 +84,11 @@ pub struct ConvergecastNode {
     pending: usize,
     sent_up: bool,
     sent_down: bool,
+    /// Neighbor indices of parent/children, resolved on the first round
+    /// so every send takes the engine's zero-lookup arc-slot path.
+    parent_idx: Option<usize>,
+    children_idx: Vec<usize>,
+    resolved: bool,
     /// The aggregate (root: after convergecast; all nodes: after
     /// broadcast when enabled).
     pub result: Option<u64>,
@@ -101,6 +106,9 @@ impl ConvergecastNode {
             pending,
             sent_up: false,
             sent_down: false,
+            parent_idx: None,
+            children_idx: Vec::new(),
+            resolved: false,
             result: None,
         }
     }
@@ -112,6 +120,11 @@ impl NodeAlgorithm for ConvergecastNode {
     fn round(&mut self, ctx: &mut RoundCtx<'_, TreeMsg>) {
         if !self.pos.in_tree {
             return;
+        }
+        if !self.resolved {
+            self.resolved = true;
+            (self.parent_idx, self.children_idx) =
+                ctx.tree_indices(self.pos.parent, &self.pos.children);
         }
         for &(from, ref msg) in ctx.inbox() {
             match msg {
@@ -129,15 +142,15 @@ impl NodeAlgorithm for ConvergecastNode {
             self.sent_up = true;
             if self.pos.is_root {
                 self.result = Some(self.acc);
-            } else if let Some(p) = self.pos.parent {
-                ctx.send(p, TreeMsg::Up(self.acc));
+            } else if let Some(pi) = self.parent_idx {
+                ctx.send_nth(pi, TreeMsg::Up(self.acc));
             }
         }
         if self.broadcast && !self.sent_down {
             if let Some(r) = self.result {
                 self.sent_down = true;
-                for &c in &self.pos.children.clone() {
-                    ctx.send(c, TreeMsg::Down(r));
+                for i in 0..self.children_idx.len() {
+                    ctx.send_nth(self.children_idx[i], TreeMsg::Down(r));
                 }
             }
         }
@@ -194,6 +207,10 @@ pub struct PrefixNumberNode {
     pending: usize,
     sent_up: bool,
     sent_down: bool,
+    /// Neighbor indices of parent/children, resolved on the first round.
+    parent_idx: Option<usize>,
+    children_idx: Vec<usize>,
+    resolved: bool,
     /// This node's rank among marked nodes (only when marked).
     pub rank: Option<u64>,
     /// Total number of marked nodes (root only, after convergecast).
@@ -213,6 +230,9 @@ impl PrefixNumberNode {
             pending,
             sent_up: false,
             sent_down: false,
+            parent_idx: None,
+            children_idx: Vec::new(),
+            resolved: false,
             rank: None,
             total: None,
             offset: None,
@@ -230,6 +250,11 @@ impl NodeAlgorithm for PrefixNumberNode {
     fn round(&mut self, ctx: &mut RoundCtx<'_, TreeMsg>) {
         if !self.pos.in_tree {
             return;
+        }
+        if !self.resolved {
+            self.resolved = true;
+            (self.parent_idx, self.children_idx) =
+                ctx.tree_indices(self.pos.parent, &self.pos.children);
         }
         for &(from, ref msg) in ctx.inbox() {
             match msg {
@@ -253,8 +278,8 @@ impl NodeAlgorithm for PrefixNumberNode {
             if self.pos.is_root {
                 self.total = Some(self.subtree_count());
                 self.offset = Some(0);
-            } else if let Some(p) = self.pos.parent {
-                ctx.send(p, TreeMsg::Up(self.subtree_count()));
+            } else if let Some(pi) = self.parent_idx {
+                ctx.send_nth(pi, TreeMsg::Up(self.subtree_count()));
             }
         }
         if self.sent_up && !self.sent_down {
@@ -264,9 +289,8 @@ impl NodeAlgorithm for PrefixNumberNode {
                     self.rank = Some(off);
                 }
                 let mut cursor = off + u64::from(self.marked);
-                let children = self.pos.children.clone();
-                for (idx, &c) in children.iter().enumerate() {
-                    ctx.send(c, TreeMsg::Down(cursor));
+                for idx in 0..self.children_idx.len() {
+                    ctx.send_nth(self.children_idx[idx], TreeMsg::Down(cursor));
                     cursor += self.child_counts[idx];
                 }
             }
@@ -400,6 +424,36 @@ mod tests {
         let (ranks, total, _) = prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
         assert_eq!(total, 0);
         assert!(ranks.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn malformed_tree_reports_invalid_destination() {
+        // Path 0-1-2; the root claims non-neighbor 2 as a child. The
+        // run must fail with the same error the old send-path produced,
+        // not panic.
+        let g = lcs_graph::generators::path(3);
+        let mk = |children| TreePosition {
+            parent: None,
+            children,
+            in_tree: true,
+            is_root: false,
+        };
+        let pos = vec![
+            TreePosition {
+                parent: None,
+                children: vec![2],
+                in_tree: true,
+                is_root: true,
+            },
+            mk(vec![]),
+            mk(vec![]),
+        ];
+        let err = tree_aggregate(&g, pos, &[1, 1, 1], AggOp::Sum, true, &SimConfig::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::InvalidDestination { from: 0, to: 2, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ proptest! {
         for (i, &r) in roots.iter().enumerate() {
             let exact = bfs_distances(&g, r);
             for v in g.nodes() {
-                let got = out.reached[v as usize].get(&(i as u32)).map(|x| x.dist);
+                let got = out.reached[v as usize][i].map(|x| x.dist);
                 match got {
                     Some(d) => {
                         prop_assert!(exact[v as usize] != UNREACHABLE);
@@ -151,5 +151,81 @@ proptest! {
                 prop_assert_eq!(out.result_at(v, i as u32), Some(expect));
             }
         }
+    }
+
+    /// Sharded execution is bit-identical to the sequential engine on
+    /// arbitrary graphs/seeds: final node states (including per-node RNG
+    /// draws), full [`RunStats`], and multi-BFS outcomes all match for
+    /// `shards ∈ {2, 4, 7}`.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
+    #[test]
+    fn sharded_runs_are_bit_identical(seed in any::<u64>(), n in 5usize..50, k in 1usize..5) {
+        let g = random_graph(seed, n);
+        let cfg_for = |shards| SimConfig { seed, shards, ..SimConfig::default() };
+
+        // A protocol that exercises RNG draws, inbox order, and sends:
+        // each node draws one coin per round and gossips the running
+        // xor to all neighbors for a few rounds.
+        let mk = || (0..n).map(|_| GossipXor::default()).collect::<Vec<_>>();
+        let base = lcs_congest::run(&g, mk(), &cfg_for(1)).unwrap();
+        for shards in [2usize, 4, 7] {
+            let out = lcs_congest::run(&g, mk(), &cfg_for(shards)).unwrap();
+            for v in 0..n {
+                prop_assert_eq!(&out.nodes[v].coins, &base.nodes[v].coins, "rng stream, shards={}", shards);
+                prop_assert_eq!(out.nodes[v].acc, base.nodes[v].acc, "state, shards={}", shards);
+            }
+            prop_assert_eq!(&out.stats, &base.stats, "stats, shards={}", shards);
+        }
+
+        // The real protocol stack: multi-BFS outcomes must also match.
+        let roots: Vec<NodeId> = (0..k as u32).map(|i| (i * 5) % n as u32).collect();
+        let spec = |_: ()| Arc::new(MultiBfsSpec {
+            instances: roots
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| MultiBfsInstance {
+                    root: r,
+                    start_round: (i as u64 * 3) % 4,
+                    depth_limit: u32::MAX,
+                })
+                .collect(),
+            membership: Arc::new(|_, _, _| true),
+            queue_cap: 0,
+        });
+        let base = run_multi_bfs(&g, spec(()), &cfg_for(1)).unwrap();
+        for shards in [2usize, 7] {
+            let out = run_multi_bfs(&g, spec(()), &cfg_for(shards)).unwrap();
+            prop_assert_eq!(&out.reached, &base.reached, "reached, shards={}", shards);
+            prop_assert_eq!(&out.children, &base.children, "children, shards={}", shards);
+            prop_assert_eq!(out.max_queue, base.max_queue);
+            prop_assert_eq!(&out.stats, &base.stats, "stats, shards={}", shards);
+        }
+    }
+}
+
+/// Proptest helper: draws a coin every round, xors in everything heard,
+/// and gossips for 6 rounds. Touches RNG, inbox, and sends each round.
+#[derive(Debug, Default)]
+struct GossipXor {
+    coins: Vec<u64>,
+    acc: u64,
+}
+
+impl lcs_congest::NodeAlgorithm for GossipXor {
+    type Msg = u32;
+    fn round(&mut self, ctx: &mut lcs_congest::RoundCtx<'_, u32>) {
+        let coin: u64 = rand::Rng::gen(ctx.rng());
+        self.coins.push(coin);
+        for &(from, m) in ctx.inbox() {
+            self.acc ^= u64::from(m) ^ (u64::from(from) << 32);
+        }
+        if ctx.round() < 6 {
+            for i in 0..ctx.degree() {
+                ctx.send_nth(i, (self.acc ^ coin) as u32);
+            }
+        }
+    }
+    fn halted(&self) -> bool {
+        true
     }
 }

@@ -60,6 +60,9 @@ pub struct DistributedConfig {
     /// Queue capacity multiplier over `congestion_bound` (congestion
     /// enforcement; 0 disables the cap).
     pub queue_cap_factor: f64,
+    /// Engine shards ([`SimConfig::shards`]) used for every simulator
+    /// phase; any value is bit-identical to `1`.
+    pub shards: usize,
 }
 
 impl Default for DistributedConfig {
@@ -69,6 +72,7 @@ impl Default for DistributedConfig {
             prob_constant: 1.0,
             known_diameter: None,
             queue_cap_factor: 1.0,
+            shards: 1,
         }
     }
 }
@@ -174,6 +178,7 @@ pub fn distributed_shortcuts(
     let partition = Arc::new(partition.clone());
     let sim_cfg = SimConfig {
         seed: cfg.seed,
+        shards: cfg.shards,
         ..SimConfig::default()
     };
     let mut stats = RunStats::new(graph);
@@ -252,7 +257,7 @@ pub fn distributed_shortcuts(
                 partition
                     .part(i)
                     .iter()
-                    .any(|&v| !b1.reached[v as usize].contains_key(&(i as u32)))
+                    .any(|&v| b1.reached[v as usize][i].is_none())
             })
             .collect();
         // Convergecast of the largeness bit over the truncated part
@@ -262,7 +267,7 @@ pub fn distributed_shortcuts(
             let parts_b1 = participations_from_multibfs(graph, &b1, |v, inst| {
                 u64::from(
                     partition.part_of(v) == Some(inst)
-                        && !b1.reached[v as usize].contains_key(&inst),
+                        && b1.reached[v as usize][inst as usize].is_none(),
                 )
             });
             let agg = run_multi_aggregate(graph, parts_b1, AggOp::Max, true, &sim_cfg)?;
@@ -331,6 +336,7 @@ pub fn distributed_shortcuts(
         let b3_cfg = SimConfig {
             seed: cfg.seed ^ guess as u64,
             max_rounds: (params.round_budget() * 8).max(10_000),
+            shards: cfg.shards,
             ..SimConfig::default()
         };
         let b3 = match run_multi_bfs(graph, b3_spec, &b3_cfg) {
@@ -364,7 +370,10 @@ pub fn distributed_shortcuts(
                 return true;
             }
             let leader = partition.leader(pi as usize);
-            b3.reached[v as usize].values().any(|r| r.root == leader)
+            b3.reached[v as usize]
+                .iter()
+                .flatten()
+                .any(|r| r.root == leader)
         };
         let all_ok = (0..n as u32).all(satisfied) && !b3.overflowed;
         // Global AND convergecast + broadcast of the decision.
@@ -398,12 +407,13 @@ pub fn distributed_shortcuts(
         // Extract the tree shortcuts: parent edges of each instance.
         let mut per_part: Vec<Vec<EdgeId>> = vec![Vec::new(); partition.num_parts()];
         for v in 0..n {
-            for (inst, r) in &b3.reached[v] {
+            for (inst, r) in b3.reached[v].iter().enumerate() {
+                let Some(r) = r else { continue };
                 if let Some(p) = r.parent {
                     let e = graph
                         .edge_between(v as NodeId, p)
                         .expect("tree edge exists");
-                    per_part[rank_part[*inst as usize]].push(e);
+                    per_part[rank_part[inst]].push(e);
                 }
             }
         }
@@ -432,11 +442,14 @@ fn participations_from_multibfs(
         .map(|v| {
             out.reached[v]
                 .iter()
-                .map(|(&inst, r)| Participation {
-                    inst,
-                    parent: r.parent,
-                    children: out.children[v].get(&inst).cloned().unwrap_or_default(),
-                    value: value(v as NodeId, inst),
+                .enumerate()
+                .filter_map(|(inst, r)| {
+                    r.as_ref().map(|r| Participation {
+                        inst: inst as u32,
+                        parent: r.parent,
+                        children: out.children[v][inst].clone(),
+                        value: value(v as NodeId, inst as u32),
+                    })
                 })
                 .collect()
         })
@@ -604,6 +617,24 @@ mod tests {
         let b = distributed_shortcuts(&g, &p, &cfg).unwrap();
         assert_eq!(a.shortcuts, b.shortcuts);
         assert_eq!(a.total_rounds, b.total_rounds);
+    }
+
+    #[test]
+    fn sharded_construction_is_bit_identical() {
+        let (g, p) = fixture(4, 3, 24);
+        let mk = |shards| DistributedConfig {
+            known_diameter: Some(4),
+            seed: 7,
+            shards,
+            ..DistributedConfig::default()
+        };
+        let seq = distributed_shortcuts(&g, &p, &mk(1)).unwrap();
+        for shards in [2, 5] {
+            let par = distributed_shortcuts(&g, &p, &mk(shards)).unwrap();
+            assert_eq!(par.shortcuts, seq.shortcuts, "shards={shards}");
+            assert_eq!(par.total_rounds, seq.total_rounds);
+            assert_eq!(par.stats, seq.stats);
+        }
     }
 
     #[test]

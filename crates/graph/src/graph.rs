@@ -269,6 +269,52 @@ impl Graph {
         (lo..hi).map(move |a| (ArcId(a as u32), self.neighbors[a], self.arc_edges[a]))
     }
 
+    /// The contiguous range of arc indices whose tail is `v` — `v`'s
+    /// slice of the CSR arrays. O(1); this is the addressing primitive
+    /// of the arc-indexed simulator mailboxes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcs_graph::{ArcId, Graph};
+    ///
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// assert_eq!(g.arc_range(1), 1..3);
+    /// for a in g.arc_range(1) {
+    ///     assert_eq!(g.arc_tail(ArcId(a as u32)), 1);
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn arc_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+    }
+
+    /// The `i`-th neighbor of `v` (in sorted neighbor order). O(1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcs_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(4, &[(2, 0), (2, 1), (2, 3)]).unwrap();
+    /// assert_eq!(g.nth_neighbor(2, 0), 0);
+    /// assert_eq!(g.nth_neighbor(2, 2), 3);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n` or `i >= degree(v)`.
+    #[inline]
+    pub fn nth_neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.neighbors[lo..hi][i]
+    }
+
     /// Endpoints of edge `e` in canonical `(min, max)` order.
     ///
     /// # Panics
@@ -290,7 +336,8 @@ impl Graph {
         if u as usize >= self.n() || v as usize >= self.n() || u == v {
             return None;
         }
-        // Search the smaller adjacency list.
+        // Search the smaller adjacency list; on tiny lists a linear scan
+        // is branch-predictable and beats binary search.
         let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
         } else {
@@ -299,7 +346,14 @@ impl Graph {
         let lo = self.offsets[a as usize] as usize;
         let hi = self.offsets[a as usize + 1] as usize;
         let slice = &self.neighbors[lo..hi];
-        slice.binary_search(&b).ok().map(|i| self.arc_edges[lo + i])
+        if slice.len() <= 8 {
+            slice
+                .iter()
+                .position(|&w| w == b)
+                .map(|i| self.arc_edges[lo + i])
+        } else {
+            slice.binary_search(&b).ok().map(|i| self.arc_edges[lo + i])
+        }
     }
 
     /// Whether `{u, v}` is an edge.
@@ -323,7 +377,19 @@ impl Graph {
         (v - 1) as NodeId
     }
 
-    /// Head node of arc `a`.
+    /// Head node of arc `a`. O(1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcs_graph::{ArcId, Graph};
+    ///
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// // Node 1's arcs point at its sorted neighbors 0 and 2.
+    /// let arcs: Vec<_> = g.arc_range(1).collect();
+    /// assert_eq!(g.arc_head(ArcId(arcs[0] as u32)), 0);
+    /// assert_eq!(g.arc_head(ArcId(arcs[1] as u32)), 2);
+    /// ```
     ///
     /// # Panics
     ///
@@ -333,7 +399,24 @@ impl Graph {
         self.neighbors[a.index()]
     }
 
-    /// Undirected edge underlying arc `a`.
+    /// Undirected edge underlying arc `a`. O(1) — an arc names its edge
+    /// directly, which is what lets the simulator account per-edge
+    /// traffic without an adjacency lookup.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcs_graph::{ArcId, Graph};
+    ///
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// for v in g.nodes() {
+    ///     for a in g.arc_range(v) {
+    ///         let e = g.arc_edge(ArcId(a as u32));
+    ///         let (x, y) = g.edge_endpoints(e);
+    ///         assert!(x == v || y == v);
+    ///     }
+    /// }
+    /// ```
     ///
     /// # Panics
     ///
@@ -535,6 +618,41 @@ mod tests {
         assert_eq!(g.m(), 4);
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn arc_range_and_nth_neighbor_match_csr() {
+        let g = k4();
+        let mut covered = 0usize;
+        for v in g.nodes() {
+            let r = g.arc_range(v);
+            assert_eq!(r.len(), g.degree(v));
+            covered += r.len();
+            for (i, a) in r.clone().enumerate() {
+                assert_eq!(g.arc_head(ArcId(a as u32)), g.nth_neighbor(v, i));
+                assert_eq!(g.arc_tail(ArcId(a as u32)), v);
+            }
+        }
+        assert_eq!(covered, g.num_arcs());
+    }
+
+    #[test]
+    fn edge_between_high_degree_uses_binary_search_path() {
+        // Complete graph on 12 nodes: every adjacency list has 11
+        // entries, forcing the binary-search branch on both endpoints.
+        let g = Graph::from_edges(
+            12,
+            &(0..12u32)
+                .flat_map(|u| (u + 1..12).map(move |v| (u, v)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for e in g.edge_ids() {
+            let (u, v) = g.edge_endpoints(e);
+            assert_eq!(g.edge_between(u, v), Some(e));
+            assert_eq!(g.edge_between(v, u), Some(e));
+        }
+        assert_eq!(g.edge_between(3, 3), None);
     }
 
     #[test]
