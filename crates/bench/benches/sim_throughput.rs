@@ -42,7 +42,7 @@ fn bench_sharded_rounds(c: &mut Criterion) {
     let g = generators::grid(50, 50);
     let spec = multi_bfs_spec(g.n(), 16);
     let mut group = c.benchmark_group("sim_shards");
-    for &shards in &[1usize, 2, 4] {
+    for &shards in &[1usize, 2, 4, 8] {
         let cfg = SimConfig {
             shards,
             ..SimConfig::default()
@@ -54,10 +54,48 @@ fn bench_sharded_rounds(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shard-sweep of pure per-round overhead: an idle protocol that never
+/// sends isolates what a pooled round costs — two barrier crossings per
+/// worker — against the sequential engine's bare node loop. This is the
+/// quantity the persistent pool was built to shrink (the per-round
+/// `thread::scope` spawn it replaced dominated here).
+fn bench_pool_round_overhead(c: &mut Criterion) {
+    #[derive(Debug)]
+    struct Idle;
+    impl lcs_congest::NodeAlgorithm for Idle {
+        type Msg = u32;
+        fn round(&mut self, _ctx: &mut lcs_congest::RoundCtx<'_, u32>) {}
+        fn halted(&self) -> bool {
+            false
+        }
+    }
+    let g = generators::grid(40, 40);
+    let mut group = c.benchmark_group("sim_pool_idle_rounds");
+    for &shards in &[1usize, 2, 4, 8] {
+        let cfg = SimConfig {
+            shards,
+            max_rounds: 100,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &cfg, |b, cfg| {
+            b.iter(|| {
+                let err = lcs_congest::run(&g, (0..g.n()).map(|_| Idle).collect::<Vec<_>>(), cfg)
+                    .unwrap_err();
+                assert!(matches!(
+                    err,
+                    lcs_congest::SimError::RoundLimitExceeded { .. }
+                ));
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_message_path,
     bench_multi_bfs_throughput,
-    bench_sharded_rounds
+    bench_sharded_rounds,
+    bench_pool_round_overhead
 );
 criterion_main!(benches);

@@ -1,14 +1,18 @@
 //! Simulator throughput benchmark: rounds/sec and messages/sec of the
-//! CONGEST engine on three standard workloads (flood, multi-BFS,
-//! partwise aggregation), emitted as `BENCH_sim.json` so the engine's
-//! perf trajectory is tracked per-PR.
+//! CONGEST engine on standard workloads (flood, multi-BFS, partwise
+//! aggregation), emitted as `BENCH_sim.json` so the engine's perf
+//! trajectory is tracked per-PR.
 //!
-//! Usage: `sim_throughput [--quick] [--shards K] [--out PATH]`
+//! Usage: `sim_throughput [--quick] [--shards K[,K2,...]] [--out PATH]`
 //!
-//! `--quick` shrinks the workloads to CI scale; `--shards K` additionally
-//! measures the sharded engine at `K` threads (the default run always
-//! measures the sequential engine, which is the configuration the
-//! acceptance numbers are recorded at).
+//! `--quick` shrinks the workloads to CI scale. `--shards` takes a
+//! comma-separated sweep of shard counts (e.g. `--shards 1,2,4,8`);
+//! shard count 1 is always measured first as the baseline. For every
+//! workload the run records a [`RunStats::fingerprint`] and a speedup
+//! relative to the 1-shard baseline, and **exits nonzero if any sharded
+//! run's statistics diverge from the sequential run's** — CI runs
+//! `--quick --shards 1,4` and relies on that exit code as the shard
+//! determinism gate.
 
 use lcs_bench::sim_workloads::{multi_bfs_spec, Saturate};
 use lcs_congest::{
@@ -57,6 +61,12 @@ struct Measurement {
     rounds: u64,
     messages: u64,
     elapsed_s: f64,
+    /// [`RunStats::fingerprint`] of the run (0 for the idle workload,
+    /// which aborts at the round limit without stats by design).
+    stats_fingerprint: u64,
+    /// Wall-clock speedup over the 1-shard run of the same workload
+    /// (filled in after the sweep; 1.0 for the baseline itself).
+    speedup_vs_1shard: f64,
 }
 
 impl Measurement {
@@ -69,6 +79,8 @@ impl Measurement {
             rounds: stats.rounds,
             messages: stats.messages,
             elapsed_s: secs,
+            stats_fingerprint: stats.fingerprint(),
+            speedup_vs_1shard: 1.0,
         }
     }
 
@@ -77,7 +89,8 @@ impl Measurement {
             concat!(
                 "{{\"name\":\"{}\",\"n\":{},\"m\":{},\"shards\":{},",
                 "\"rounds\":{},\"messages\":{},\"elapsed_s\":{:.6},",
-                "\"rounds_per_s\":{:.1},\"messages_per_s\":{:.1}}}"
+                "\"rounds_per_s\":{:.1},\"messages_per_s\":{:.1},",
+                "\"stats_fingerprint\":\"{:#018x}\",\"speedup_vs_1shard\":{:.3}}}"
             ),
             self.name,
             self.n,
@@ -88,6 +101,8 @@ impl Measurement {
             self.elapsed_s,
             self.rounds as f64 / self.elapsed_s,
             self.messages as f64 / self.elapsed_s,
+            self.stats_fingerprint,
+            self.speedup_vs_1shard,
         )
     }
 }
@@ -151,7 +166,8 @@ fn bench_multi_aggregate(g: &Graph, instances: usize, shards: usize) -> Measurem
 }
 
 /// Never sends, never halts: isolates the engine's fixed per-node-round
-/// overhead (run hits the round limit by design).
+/// overhead — under the pool, two barrier crossings plus the node calls
+/// (run hits the round limit by design).
 #[derive(Debug)]
 struct Idle;
 
@@ -184,6 +200,8 @@ fn bench_idle(g: &Graph, rounds: u64, shards: usize) -> Measurement {
         rounds,
         messages: 0,
         elapsed_s: secs,
+        stats_fingerprint: 0,
+        speedup_vs_1shard: 1.0,
     }
 }
 
@@ -198,14 +216,41 @@ fn bench_saturate(g: &Graph, rounds: u64, shards: usize) -> Measurement {
     Measurement::from_stats("saturate", g, shards, &out.stats, t.elapsed().as_secs_f64())
 }
 
+/// Parses `--shards 1,4` (comma-separated sweep) or `--shards 4`
+/// (shorthand for `1,4`). Shard count 1 is always included as the
+/// baseline and measured first.
+fn parse_shard_sweep(args: &[String]) -> Vec<usize> {
+    let flag = args.iter().position(|a| a == "--shards");
+    let raw = flag.and_then(|i| args.get(i + 1));
+    if flag.is_some() && raw.is_none_or(|v| v.starts_with("--")) {
+        // A bare `--shards` must not silently degrade to a 1-shard run:
+        // that would pass the determinism gate without testing anything.
+        eprintln!("sim_throughput: --shards requires a value (e.g. --shards 1,4)");
+        std::process::exit(2);
+    }
+    let mut sweep = vec![1usize];
+    if let Some(raw) = raw {
+        for piece in raw.split(',') {
+            match piece.trim().parse::<usize>() {
+                Ok(k) if k >= 1 => {
+                    if !sweep.contains(&k) {
+                        sweep.push(k);
+                    }
+                }
+                _ => {
+                    eprintln!("sim_throughput: bad --shards value {piece:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    sweep
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let shards_extra: Option<usize> = args
-        .iter()
-        .position(|a| a == "--shards")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok());
+    let shard_sweep = parse_shard_sweep(&args);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -223,13 +268,7 @@ fn main() {
     let g = generators::grid(side, side);
 
     let mut all: Vec<Measurement> = Vec::new();
-    let mut shard_counts = vec![1usize];
-    if let Some(k) = shards_extra {
-        if k > 1 {
-            shard_counts.push(k);
-        }
-    }
-    for &k in &shard_counts {
+    for &k in &shard_sweep {
         eprintln!("== shards = {k} ==");
         for m in [
             bench_idle(&g, if quick { 200 } else { 1000 }, k),
@@ -252,6 +291,42 @@ fn main() {
         }
     }
 
+    // Fill in speedups against the 1-shard baseline of each workload.
+    let baselines: Vec<(String, f64)> = all
+        .iter()
+        .filter(|m| m.shards == 1)
+        .map(|m| (m.name.clone(), m.elapsed_s))
+        .collect();
+    for m in &mut all {
+        if let Some((_, base)) = baselines.iter().find(|(n, _)| *n == m.name) {
+            m.speedup_vs_1shard = base / m.elapsed_s;
+        }
+    }
+    for m in all.iter().filter(|m| m.shards != 1) {
+        eprintln!(
+            "speedup {:>16} @ {} shards: {:.2}x",
+            m.name, m.shards, m.speedup_vs_1shard
+        );
+    }
+
+    // Shard determinism gate: every sharded run's stats fingerprint
+    // must equal the sequential run's for the same workload.
+    let mut diverged = false;
+    for m in all.iter().filter(|m| m.shards != 1) {
+        let base = all
+            .iter()
+            .find(|b| b.shards == 1 && b.name == m.name)
+            .expect("baseline measured first");
+        if m.stats_fingerprint != base.stats_fingerprint {
+            diverged = true;
+            eprintln!(
+                "DETERMINISM VIOLATION: {} stats fingerprint {:#018x} at {} shards \
+                 != {:#018x} at 1 shard",
+                m.name, m.stats_fingerprint, m.shards, base.stats_fingerprint
+            );
+        }
+    }
+
     let body = all
         .iter()
         .map(Measurement::json)
@@ -260,13 +335,21 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"sim_throughput\",\n  \"mode\": \"{}\",\n",
+            "  \"shard_sweep\": {:?},\n  \"determinism\": \"{}\",\n",
             "  \"workloads\": [\n    {}\n  ]\n}}\n"
         ),
         if quick { "quick" } else { "full" },
+        shard_sweep,
+        if diverged { "DIVERGED" } else { "ok" },
         body
     );
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
     eprintln!("wrote {out_path}");
     // A machine-readable copy for CI logs.
     println!("{json}");
+    if diverged {
+        eprintln!("sim_throughput: sharded RunStats diverged from the sequential engine");
+        std::process::exit(1);
+    }
+    eprintln!("shard determinism check: ok");
 }

@@ -42,6 +42,7 @@ pub mod message;
 pub mod multi_aggregate;
 pub mod multi_bfs;
 pub mod node;
+pub mod pool;
 pub mod sim;
 pub mod stats;
 pub mod tree;
@@ -58,6 +59,7 @@ pub use multi_bfs::{
     MultiBfsSpec, Reached,
 };
 pub use node::{NodeAlgorithm, RoundCtx};
+pub use pool::Control;
 pub use sim::{run, RunOutcome, SimConfig};
 pub use stats::RunStats;
 pub use tree::{

@@ -18,28 +18,69 @@
 //! A receiver `v` gathers its inbox by walking its own arc range and
 //! reading slot `rev[b]` for each arc `b = (v → u)` — the
 //! opposite-direction arc of the same edge, precomputed once per run.
-//! Two buffers (`cur`, `nxt`) are swapped each round; only dirty slots
-//! are cleared, so quiet rounds cost `O(n)` node calls and nothing per
-//! arc.
 //!
-//! # Sharded rounds
+//! Two buffers alternate roles by round parity: buffer `r mod 2` is
+//! read (current round's deliveries) while buffer `(r + 1) mod 2` is
+//! written (next round's deliveries). The buffers never move — unlike
+//! the previous engine's `mem::swap` — so the persistent workers below
+//! can hold their views for the whole run. A slot written in round `r`
+//! is read in round `r + 1` and wiped by its owning shard at the start
+//! of round `r + 2`, just before that buffer becomes the write target
+//! again; only dirty slots are ever touched, so quiet rounds cost
+//! `O(n)` node calls and nothing per arc.
 //!
-//! Nodes are split into contiguous shards ([`SimConfig::shards`]), each
-//! run on a [`std::thread::scope`] thread per round. A node's sends land
-//! in its own arc range, so shard write regions are disjoint contiguous
-//! slices of `nxt`; reads of `cur` are shared and immutable. Per-shard
-//! statistics buffers are merged in shard order, and every per-run
-//! quantity is an order-independent integer sum, so the outcome —
-//! node states, RNG streams, and [`RunStats`] — is **bit-identical to
-//! the sequential engine for any shard count**.
+//! # Persistent sharded rounds
+//!
+//! Nodes are split into contiguous shards ([`SimConfig::shards`]). The
+//! shards are executed by a **persistent worker pool**
+//! ([`crate::pool`]): one thread per shard, spawned once per run and
+//! synchronized by a reusable two-phase barrier — a *send phase* (every
+//! worker runs its shard's nodes and applies their sends) and a
+//! *deliver phase* (the coordinator aggregates the shard reports,
+//! advances the round, and decides termination). The previous engine
+//! spawned fresh [`std::thread::scope`] threads every round; at
+//! simulator round granularity that spawn/join cost dominated, capping
+//! multi-thread scaling at ~1.2× regardless of core count.
+//!
+//! ## Safety protocol of the shared mailboxes
+//!
+//! The mailbox buffers are shared across workers through interior
+//! mutability ([`Slot`]). Soundness rests on three invariants, enforced
+//! structurally and ordered by the pool's barriers:
+//!
+//! 1. During a round's send phase, slot `a` of the **write** buffer is
+//!    mutated only by the shard owning arc `a` (sends land in the
+//!    sender's own arc range; the deferred wipe touches only the
+//!    shard's own `dirty_in` list, which holds own-range arcs).
+//! 2. The **read** buffer is never written during a send phase, and
+//!    slot `rev[b]` is read only by the shard owning arc `b` — each
+//!    slot has exactly one reader and one writer, in different phases.
+//! 3. The barrier crossings between phases provide the happens-before
+//!    edges that make writes of one phase visible to the next.
+//!
+//! # Determinism contract
+//!
+//! A node's sends land in its own arc range, shard write regions are
+//! disjoint, per-shard statistics are merged in shard order, and every
+//! per-run quantity is an order-independent integer sum — so the
+//! outcome (node states, per-node RNG streams, and [`RunStats`],
+//! including [`RunStats::per_edge_messages`] and
+//! [`RunStats::delivered_rounds`]) is **bit-identical to the sequential
+//! engine for any shard count**. Model violations abort with exactly
+//! the error the sequential engine would have reported first (lowest
+//! shard, then lowest node). This contract is enforced by the tier-1
+//! differential suite (`tests/shard_equivalence.rs`), tier-2 proptests,
+//! and the shard-sweep determinism check in the `sim_throughput` bench.
 
 use crate::error::SimError;
 use crate::message::DEFAULT_BANDWIDTH_WORDS;
 use crate::node::{NodeAlgorithm, RoundCtx, TxState};
+use crate::pool::{self, Control};
 use crate::stats::RunStats;
 use lcs_graph::{ArcId, Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration of a simulator run.
@@ -54,9 +95,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Number of shared-randomness words exposed to every node.
     pub shared_randomness_words: usize,
-    /// Number of contiguous node shards executed on scoped threads each
-    /// round. `1` (the default) runs fully sequentially; any value
-    /// produces bit-identical outcomes.
+    /// Number of contiguous node shards executed by the persistent
+    /// worker pool ([`crate::pool`]), one thread per shard for the whole
+    /// run. `1` (the default) runs fully sequentially on the calling
+    /// thread; any value produces bit-identical outcomes.
     pub shards: usize,
 }
 
@@ -81,26 +123,76 @@ pub struct RunOutcome<A> {
     pub stats: RunStats,
 }
 
+/// One arc-indexed mailbox slot, interior-mutable so the two parity
+/// buffers can alternate read/write roles across the persistent workers
+/// without re-borrowing each round. See the module docs for the
+/// ownership protocol that makes the `Sync` impl sound.
+#[repr(transparent)]
+struct Slot<M>(UnsafeCell<Option<M>>);
+
+impl<M> Slot<M> {
+    fn new() -> Self {
+        Slot(UnsafeCell::new(None))
+    }
+}
+
+// SAFETY: slots are accessed under the engine's round protocol (module
+// docs): per phase, each slot has at most one accessor — the owner of
+// its arc for writes, the owner of the reverse arc for reads — and the
+// pool's barriers order the phases.
+unsafe impl<M: Send + Sync> Sync for Slot<M> {}
+
+/// Reborrows a shard's own contiguous arc span as plain mutable
+/// option slots (the form [`TxState`] consumes).
+///
+/// # Safety
+///
+/// The caller must hold exclusive access to every slot in `slots` for
+/// the duration of the borrow — guaranteed by the engine protocol for a
+/// shard's own arc span of the write buffer during its send phase.
+/// Layout: `Slot<M>` is `repr(transparent)` over
+/// `UnsafeCell<Option<M>>`, which has the representation of
+/// `Option<M>`.
+#[allow(clippy::mut_from_ref)]
+unsafe fn own_span_mut<M>(slots: &[Slot<M>]) -> &mut [Option<M>] {
+    std::slice::from_raw_parts_mut(slots.as_ptr() as *mut Option<M>, slots.len())
+}
+
 /// Per-shard engine state: the shard's node/arc spans, its accumulated
 /// statistics, its dirty-slot lists, and a reusable inbox buffer.
 struct Shard<M> {
     node_lo: usize,
     node_hi: usize,
     arc_lo: usize,
-    arc_hi: usize,
     messages: u64,
     words: u64,
     /// Per-arc message counts for the shard's own arc span (folded into
     /// per-edge counts once at the end of the run — a sequential store
     /// per send instead of a random per-edge access).
     per_arc: Vec<u64>,
-    /// Slots of `cur` holding this round's deliveries (cleared at round
-    /// end).
+    /// Own-span slots delivered (read) this round; wiped at the start
+    /// of the next round, when their buffer becomes the write target
+    /// again.
     dirty_in: Vec<u32>,
-    /// Slots of `nxt` written this round; its length is the shard's
+    /// Own-span slots written this round; its length is the shard's
     /// contribution to the in-flight count.
     dirty_out: Vec<u32>,
     inbox: Vec<(NodeId, M)>,
+}
+
+/// A pool worker's state: its shard bookkeeping plus disjoint mutable
+/// views of the node and RNG arrays.
+struct ShardWorker<'a, A: NodeAlgorithm> {
+    sh: Shard<A::Msg>,
+    nodes: &'a mut [A],
+    rngs: &'a mut [ChaCha8Rng],
+}
+
+/// What a shard reports to the coordinator after each send phase.
+struct StepReport {
+    all_halted: bool,
+    violation: Option<SimError>,
+    in_flight: u64,
 }
 
 /// `rev[a]` is the opposite-direction arc of the same undirected edge.
@@ -120,17 +212,18 @@ fn build_rev_arcs(g: &Graph) -> Vec<u32> {
     rev
 }
 
-/// Executes one round for one shard: gathers each node's inbox from
-/// `cur`, runs the node, and applies its sends into the shard's slice of
-/// `nxt`. Returns `(all_halted, first_violation)`.
+/// Executes one send phase for one shard: wipes the slots it delivered
+/// last round (deferred deliver-phase cleanup), gathers each node's
+/// inbox from `cur`, runs the node, and applies its sends into the
+/// shard's own span of `nxt`. Returns `(all_halted, first_violation)`.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<A: NodeAlgorithm>(
     graph: &Graph,
     sh: &mut Shard<A::Msg>,
     nodes: &mut [A],
     rngs: &mut [ChaCha8Rng],
-    cur: &[Option<A::Msg>],
-    nxt: &mut [Option<A::Msg>],
+    cur: &[Slot<A::Msg>],
+    nxt: &[Slot<A::Msg>],
     mail_cur: &[AtomicBool],
     mail_nxt: &[AtomicBool],
     rev: &[u32],
@@ -138,6 +231,17 @@ fn run_shard<A: NodeAlgorithm>(
     round: u64,
     bandwidth: u32,
 ) -> (bool, Option<SimError>) {
+    // Deferred cleanup: the slots this shard's messages were read from
+    // last round live in its own span of what is now the write buffer;
+    // wipe them before any send can find a stale occupant, then rotate
+    // the dirty lists so `dirty_in` names this round's inbound slots.
+    // SAFETY: own-span slots of the write buffer (invariant 1).
+    for &a in &sh.dirty_in {
+        unsafe { *nxt[a as usize].0.get() = None };
+    }
+    sh.dirty_in.clear();
+    std::mem::swap(&mut sh.dirty_in, &mut sh.dirty_out);
+
     let mut all_halted = true;
     let mut violation: Option<SimError> = None;
     for v in sh.node_lo..sh.node_hi {
@@ -145,17 +249,22 @@ fn run_shard<A: NodeAlgorithm>(
         sh.inbox.clear();
         // The mail flag makes quiet rounds cheap: only nodes somebody
         // actually addressed walk their arc range. (Relaxed is enough —
-        // the flag was set before last round's thread join, which is a
-        // happens-before edge.)
+        // the flag was set before the previous round's barrier
+        // crossing, which is a happens-before edge.)
         if mail_cur[v].load(Ordering::Relaxed) {
             mail_cur[v].store(false, Ordering::Relaxed);
             for b in range.clone() {
-                if let Some(m) = &cur[rev[b] as usize] {
+                // SAFETY: read buffer, slot `rev[b]` is read only by the
+                // owner of arc `b` (invariant 2).
+                if let Some(m) = unsafe { (*cur[rev[b] as usize].0.get()).as_ref() } {
                     sh.inbox.push((graph.arc_head(ArcId(b as u32)), m.clone()));
                 }
             }
         }
         {
+            // SAFETY: this shard's own arc span of the write buffer
+            // (invariant 1); the borrow ends with `ctx`.
+            let own = unsafe { own_span_mut(&nxt[range.start..range.end]) };
             let mut ctx = RoundCtx {
                 node: v as NodeId,
                 round,
@@ -164,7 +273,7 @@ fn run_shard<A: NodeAlgorithm>(
                 rng: &mut rngs[v - sh.node_lo],
                 shared,
                 tx: TxState {
-                    slots: &mut nxt[range.start - sh.arc_lo..range.end - sh.arc_lo],
+                    slots: own,
                     heads: graph.neighbors(v as NodeId),
                     arc_base: range.start as u32,
                     mail: mail_nxt,
@@ -194,11 +303,12 @@ fn run_shard<A: NodeAlgorithm>(
 /// may send at most one message per neighbor per round, each at most
 /// `cfg.bandwidth_words` words, and only to adjacent nodes.
 ///
-/// With `cfg.shards > 1` the round is executed by that many scoped
-/// threads over contiguous node ranges; the outcome (including
-/// [`RunStats`] and per-node RNG streams) is bit-identical to the
-/// sequential engine. The `Send`/`Sync` bounds exist solely to allow
-/// this; every plain-data message/state type satisfies them.
+/// With `cfg.shards > 1` the rounds are executed by a persistent pool
+/// of that many worker threads over contiguous node ranges (see
+/// [`crate::pool`]); the outcome (including [`RunStats`] and per-node
+/// RNG streams) is bit-identical to the sequential engine. The
+/// `Send`/`Sync` bounds exist solely to allow this; every plain-data
+/// message/state type satisfies them.
 ///
 /// # Errors
 ///
@@ -208,7 +318,9 @@ fn run_shard<A: NodeAlgorithm>(
 ///
 /// # Panics
 ///
-/// Panics if `nodes.len() != graph.n()`.
+/// Panics if `nodes.len() != graph.n()`. A panic inside a node's
+/// `round` — on any shard — propagates to the caller after the pool
+/// shuts down (it never deadlocks the barrier).
 pub fn run<A: NodeAlgorithm + Send>(
     graph: &Graph,
     mut nodes: Vec<A>,
@@ -240,13 +352,19 @@ where
 
     let num_arcs = graph.num_arcs();
     let rev = build_rev_arcs(graph);
-    let mut cur: Vec<Option<A::Msg>> = std::iter::repeat_with(|| None).take(num_arcs).collect();
-    let mut nxt: Vec<Option<A::Msg>> = std::iter::repeat_with(|| None).take(num_arcs).collect();
-    let mut mail_cur: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-    let mut mail_nxt: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    // Parity mailbox buffers and mail flags: buffer `r % 2` is read in
+    // round `r`, buffer `(r + 1) % 2` written.
+    let bufs: [Vec<Slot<A::Msg>>; 2] = [
+        (0..num_arcs).map(|_| Slot::new()).collect(),
+        (0..num_arcs).map(|_| Slot::new()).collect(),
+    ];
+    let mails: [Vec<AtomicBool>; 2] = [
+        (0..n).map(|_| AtomicBool::new(false)).collect(),
+        (0..n).map(|_| AtomicBool::new(false)).collect(),
+    ];
 
     let shard_count = cfg.shards.clamp(1, n.max(1));
-    let mut shards: Vec<Shard<A::Msg>> = (0..shard_count)
+    let shards: Vec<Shard<A::Msg>> = (0..shard_count)
         .map(|s| {
             let node_lo = s * n / shard_count;
             let node_hi = (s + 1) * n / shard_count;
@@ -264,7 +382,6 @@ where
                 node_lo,
                 node_hi,
                 arc_lo,
-                arc_hi,
                 messages: 0,
                 words: 0,
                 per_arc: vec![0; arc_hi - arc_lo],
@@ -278,116 +395,111 @@ where
         })
         .collect();
 
-    let mut prev_in_flight: u64 = 0;
-    for round in 0..cfg.max_rounds {
-        stats.rounds = round + 1;
+    // Worker states: each owns its shard bookkeeping plus disjoint
+    // mutable slices of the node and RNG arrays.
+    let mut workers: Vec<ShardWorker<'_, A>> = Vec::with_capacity(shard_count);
+    {
+        let mut nodes_rest: &mut [A] = &mut nodes;
+        let mut rngs_rest: &mut [ChaCha8Rng] = &mut node_rngs;
+        for sh in shards {
+            let span = sh.node_hi - sh.node_lo;
+            let (node_chunk, rest) = nodes_rest.split_at_mut(span);
+            nodes_rest = rest;
+            let (rng_chunk, rest) = rngs_rest.split_at_mut(span);
+            rngs_rest = rest;
+            workers.push(ShardWorker {
+                sh,
+                nodes: node_chunk,
+                rngs: rng_chunk,
+            });
+        }
+    }
+
+    let bufs = &bufs;
+    let mails = &mails;
+    let rev_ref: &[u32] = &rev;
+    let shared_ref: &[u64] = &shared;
+    let bandwidth = cfg.bandwidth_words;
+    let step = move |_w: usize, st: &mut ShardWorker<'_, A>, round: u64| -> StepReport {
+        let parity = (round % 2) as usize;
+        let (all_halted, violation) = run_shard(
+            graph,
+            &mut st.sh,
+            st.nodes,
+            st.rngs,
+            &bufs[parity],
+            &bufs[1 - parity],
+            &mails[parity],
+            &mails[1 - parity],
+            rev_ref,
+            shared_ref,
+            round,
+            bandwidth,
+        );
+        StepReport {
+            all_halted,
+            violation,
+            in_flight: st.sh.dirty_out.len() as u64,
+        }
+    };
+
+    let mut prev_in_flight = 0u64;
+    let stats_ref = &mut stats;
+    let control = move |round: u64,
+                        results: Vec<std::thread::Result<StepReport>>|
+          -> Control<Result<(), SimError>> {
+        stats_ref.rounds = round + 1;
         if prev_in_flight > 0 {
-            stats.delivered_rounds += 1;
+            stats_ref.delivered_rounds += 1;
         }
-        let results: Vec<(bool, Option<SimError>)> = if shard_count == 1 {
-            vec![run_shard(
-                graph,
-                &mut shards[0],
-                &mut nodes,
-                &mut node_rngs,
-                &cur,
-                &mut nxt,
-                &mail_cur,
-                &mail_nxt,
-                &rev,
-                &shared,
-                round,
-                cfg.bandwidth_words,
-            )]
-        } else {
-            let cur_ref: &[Option<A::Msg>] = &cur;
-            let mail_cur_ref: &[AtomicBool] = &mail_cur;
-            let mail_nxt_ref: &[AtomicBool] = &mail_nxt;
-            let rev_ref: &[u32] = &rev;
-            let shared_ref: &[u64] = &shared;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(shard_count);
-                let mut shards_rest: &mut [Shard<A::Msg>] = &mut shards;
-                let mut nodes_rest: &mut [A] = &mut nodes;
-                let mut rngs_rest: &mut [ChaCha8Rng] = &mut node_rngs;
-                let mut nxt_rest: &mut [Option<A::Msg>] = &mut nxt;
-                for _ in 0..shard_count {
-                    let (sh, rest) = shards_rest.split_first_mut().expect("shard count");
-                    shards_rest = rest;
-                    let (node_chunk, rest) = nodes_rest.split_at_mut(sh.node_hi - sh.node_lo);
-                    nodes_rest = rest;
-                    let (rng_chunk, rest) = rngs_rest.split_at_mut(sh.node_hi - sh.node_lo);
-                    rngs_rest = rest;
-                    let (nxt_chunk, rest) = nxt_rest.split_at_mut(sh.arc_hi - sh.arc_lo);
-                    nxt_rest = rest;
-                    handles.push(scope.spawn(move || {
-                        run_shard(
-                            graph,
-                            sh,
-                            node_chunk,
-                            rng_chunk,
-                            cur_ref,
-                            nxt_chunk,
-                            mail_cur_ref,
-                            mail_nxt_ref,
-                            rev_ref,
-                            shared_ref,
-                            round,
-                            cfg.bandwidth_words,
-                        )
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(r) => r,
-                        Err(p) => std::panic::resume_unwind(p),
-                    })
-                    .collect()
-            })
-        };
-
-        // Merge in shard order: the lowest shard's violation is the one
-        // the sequential engine would have hit first.
+        // Aggregate in shard order — which is node order, so the first
+        // abnormal event encountered below (a model violation or a
+        // protocol panic) is exactly the one the sequential engine
+        // would have hit first: a violation in a lower shard outranks a
+        // panic in a higher one, and vice versa.
         let mut all_halted = true;
-        for (halted, violation) in results {
-            if let Some(e) = violation {
-                return Err(e);
+        let mut in_flight = 0u64;
+        for result in results {
+            match result {
+                Ok(report) => {
+                    if let Some(e) = report.violation {
+                        return Control::Stop(Err(e));
+                    }
+                    all_halted &= report.all_halted;
+                    in_flight += report.in_flight;
+                }
+                Err(payload) => return Control::Abort(payload),
             }
-            all_halted &= halted;
         }
-        let in_flight: u64 = shards.iter().map(|sh| sh.dirty_out.len() as u64).sum();
-
-        // End-of-round bookkeeping: wipe this round's delivered slots,
-        // then promote `nxt` (and its dirty lists) to `cur`.
-        for sh in &mut shards {
-            for &i in &sh.dirty_in {
-                cur[i as usize] = None;
-            }
-            sh.dirty_in.clear();
-            std::mem::swap(&mut sh.dirty_in, &mut sh.dirty_out);
-        }
-        std::mem::swap(&mut cur, &mut nxt);
-        std::mem::swap(&mut mail_cur, &mut mail_nxt);
         prev_in_flight = in_flight;
-
         if in_flight == 0 && all_halted {
-            for sh in &shards {
-                stats.messages += sh.messages;
-                stats.words += sh.words;
-                for (j, &x) in sh.per_arc.iter().enumerate() {
+            Control::Stop(Ok(()))
+        } else {
+            Control::Continue
+        }
+    };
+
+    let (workers, outcome) = pool::run_rounds(workers, cfg.max_rounds, step, control);
+    match outcome {
+        Some(Ok(())) => {
+            for w in &workers {
+                stats.messages += w.sh.messages;
+                stats.words += w.sh.words;
+                for (j, &x) in w.sh.per_arc.iter().enumerate() {
                     if x > 0 {
-                        let e = graph.arc_edge(ArcId((sh.arc_lo + j) as u32));
+                        let e = graph.arc_edge(ArcId((w.sh.arc_lo + j) as u32));
                         stats.per_edge_messages[e.index()] += x;
                     }
                 }
             }
-            return Ok(RunOutcome { nodes, stats });
+            drop(workers);
+            Ok(RunOutcome { nodes, stats })
         }
+        Some(Err(e)) => Err(e),
+        None => Err(SimError::RoundLimitExceeded {
+            limit: cfg.max_rounds,
+        }),
     }
-    Err(SimError::RoundLimitExceeded {
-        limit: cfg.max_rounds,
-    })
 }
 
 #[cfg(test)]
@@ -446,8 +558,8 @@ mod tests {
         assert_eq!(out.stats.delivered_rounds, 6);
     }
 
-    /// Tier-1 determinism smoke: sharded runs are bit-identical to the
-    /// sequential engine on a path and a clique.
+    /// Tier-1 determinism smoke: pooled sharded runs are bit-identical
+    /// to the sequential engine on a path and a clique.
     #[test]
     fn sharded_runs_bit_identical_on_path_and_clique() {
         for g in [
@@ -466,6 +578,34 @@ mod tests {
                 assert_eq!(out.nodes, base.nodes, "shards={shards}");
                 assert_eq!(out.stats, base.stats, "shards={shards}");
             }
+        }
+    }
+
+    /// Per-edge stat folding under the pool: on a path split across
+    /// shards, every shard-boundary edge's two arcs live in *different*
+    /// shards, and the fold must still count the edge exactly once per
+    /// message — with exact totals, not merely shard-count-invariant
+    /// ones.
+    #[test]
+    fn per_edge_folding_counts_shard_boundary_arcs_exactly_once() {
+        let g = lcs_graph::generators::path(8);
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            let out = run(&g, (0..8).map(|_| Flood::default()).collect(), &cfg).unwrap();
+            // Flood crosses every edge exactly once in each direction.
+            assert_eq!(
+                out.stats.per_edge_messages,
+                vec![2u64; 7],
+                "shards={shards}"
+            );
+            assert_eq!(out.stats.messages, 14, "shards={shards}");
+            assert_eq!(out.stats.words, 14, "shards={shards}");
+            // Forward wave rounds 1..=7, plus node 7's own flood echo at
+            // round 8.
+            assert_eq!(out.stats.delivered_rounds, 8, "shards={shards}");
         }
     }
 
@@ -675,6 +815,107 @@ mod tests {
     fn send_nth_out_of_range_panics() {
         let g = lcs_graph::generators::path(2);
         let _ = run(&g, vec![BadIndex, BadIndex], &SimConfig::default());
+    }
+
+    /// The pool path must propagate the same programmer-error panic
+    /// (from a worker thread) instead of deadlocking the barrier.
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn send_nth_out_of_range_panics_under_the_pool_too() {
+        let g = lcs_graph::generators::path(4);
+        let cfg = SimConfig {
+            shards: 4,
+            ..SimConfig::default()
+        };
+        let _ = run(&g, vec![BadIndex, BadIndex, BadIndex, BadIndex], &cfg);
+    }
+
+    /// Node 0 violates the model; a node in a *higher* shard panics in
+    /// the same round. The sequential engine reports the violation (it
+    /// never reaches the panicking node), so the pool must too.
+    #[derive(Debug)]
+    struct ViolateOrPanic {
+        panic_node: NodeId,
+    }
+
+    impl NodeAlgorithm for ViolateOrPanic {
+        type Msg = u64;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u64>) {
+            if ctx.round() == 0 {
+                if ctx.node() == 0 {
+                    ctx.send(2, 1); // non-neighbor on a path: violation
+                }
+                if ctx.node() == self.panic_node {
+                    panic!("node {} panicked", self.panic_node);
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn violation_in_lower_shard_outranks_panic_in_higher_shard() {
+        let g = lcs_graph::generators::path(4);
+        let expect = SimError::InvalidDestination {
+            from: 0,
+            to: 2,
+            round: 0,
+        };
+        for shards in [1usize, 2, 4] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            // Panic at node 3: sequential order hits node 0's violation
+            // first and stops the scan before node 3 ever runs — but
+            // only within a shard; across shards both events happen in
+            // the same round and the coordinator must order them.
+            let nodes = (0..4).map(|_| ViolateOrPanic { panic_node: 3 }).collect();
+            assert_eq!(run(&g, nodes, &cfg).unwrap_err(), expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn panic_in_lower_shard_outranks_violation_in_higher_shard() {
+        // Mirror image: node 1 panics, node 2 (a higher shard at
+        // shards=4) violates. Sequential order hits the panic first.
+        #[derive(Debug)]
+        struct PanicThenViolate;
+        impl NodeAlgorithm for PanicThenViolate {
+            type Msg = u64;
+            fn round(&mut self, ctx: &mut RoundCtx<'_, u64>) {
+                if ctx.round() == 0 {
+                    if ctx.node() == 1 {
+                        panic!("node 1 panicked");
+                    }
+                    if ctx.node() == 2 {
+                        ctx.send(0, 1); // non-neighbor on a path 0-1-2-3
+                    }
+                }
+            }
+            fn halted(&self) -> bool {
+                true
+            }
+        }
+        let g = lcs_graph::generators::path(4);
+        for shards in [1usize, 4] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            let nodes = (0..4).map(|_| PanicThenViolate).collect::<Vec<_>>();
+            let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = run(&g, nodes, &cfg);
+            }))
+            .expect_err("panic must win, shards={shards}");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("<non-str payload>");
+            assert_eq!(msg, "node 1 panicked", "shards={shards}");
+        }
     }
 
     #[test]

@@ -54,6 +54,32 @@ impl RunStats {
         self.messages as f64 / self.per_edge_messages.len() as f64
     }
 
+    /// Stable 64-bit fingerprint over every field (FNV-1a), including
+    /// the full per-edge histogram. Two runs have equal fingerprints
+    /// iff their statistics are byte-equal (modulo hash collisions), so
+    /// the shard-sweep determinism check in the `sim_throughput` bench
+    /// can compare sharded against sequential runs with one number.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.rounds);
+        fold(self.delivered_rounds);
+        fold(self.messages);
+        fold(self.words);
+        fold(self.per_edge_messages.len() as u64);
+        for &x in &self.per_edge_messages {
+            fold(x);
+        }
+        h
+    }
+
     /// Accumulates another run's statistics (for multi-phase protocols
     /// executed as successive simulator runs). Every field — including
     /// [`RunStats::delivered_rounds`] — is summed, so absorbing the
@@ -117,6 +143,40 @@ mod tests {
         assert_eq!(a.words, 4);
         assert_eq!(a.per_edge_messages, vec![1, 2]);
         assert_eq!(a.max_edge_messages(), 2);
+    }
+
+    #[test]
+    fn fingerprint_separates_unequal_stats_and_matches_equal_ones() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut a = RunStats::new(&g);
+        a.rounds = 3;
+        a.record(EdgeId(0), 2);
+        let mut b = RunStats::new(&g);
+        b.rounds = 3;
+        b.record(EdgeId(0), 2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any field difference must move the fingerprint.
+        b.delivered_rounds += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.delivered_rounds -= 1;
+        b.per_edge_messages[1] += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// The fingerprint is shard-invariant because the stats themselves
+    /// are — sequential and pooled runs of the same protocol agree.
+    #[test]
+    fn fingerprint_is_shard_invariant_on_a_real_run() {
+        let g = lcs_graph::generators::grid(5, 5);
+        let base = distributed_bfs(&g, 0, &SimConfig::default()).unwrap().stats;
+        for shards in [2usize, 5, 25] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            let st = distributed_bfs(&g, 0, &cfg).unwrap().stats;
+            assert_eq!(st.fingerprint(), base.fingerprint(), "shards={shards}");
+        }
     }
 
     #[test]

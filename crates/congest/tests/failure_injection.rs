@@ -80,6 +80,125 @@ fn late_violations_are_caught_at_the_right_round() {
     ignore = "tier-2: run with --features slow-tests or -- --ignored"
 )]
 #[test]
+fn late_violations_are_identical_under_the_worker_pool() {
+    // The pool path must surface exactly the error the sequential
+    // engine reports, at the same round, for every shard count.
+    let g = path(3);
+    for mode in [0u8, 1, 2] {
+        let mk = || (0..3).map(|_| LateViolator { mode, at_round: 5 }).collect();
+        let base = run(&g, mk(), &SimConfig::default()).unwrap_err();
+        for shards in [2usize, 3] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            let err = run(&g, mk(), &cfg).unwrap_err();
+            assert_eq!(err, base, "mode {mode}, shards {shards}");
+        }
+    }
+}
+
+/// Behaves correctly for a few rounds, then panics outright — the
+/// harshest protocol failure a worker shard can inject.
+#[derive(Debug)]
+struct PanicsAt {
+    node: u32,
+    at_round: u64,
+}
+
+impl NodeAlgorithm for PanicsAt {
+    type Msg = u32;
+    fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+        if ctx.node() == 0 && ctx.round() < 10 {
+            ctx.send(1, 1); // keep the run alive past the panic round
+        }
+        if ctx.node() == self.node && ctx.round() == self.at_round {
+            panic!("injected protocol panic at node {}", self.node);
+        }
+    }
+    fn halted(&self) -> bool {
+        true
+    }
+}
+
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
+#[test]
+fn panicking_protocol_in_a_worker_shard_propagates_instead_of_deadlocking() {
+    // A node in the *last* shard panics mid-run: the pool must catch it
+    // in the worker (so no barrier participant is left waiting), shut
+    // down, and re-raise the payload on the calling thread — for every
+    // shard layout, including the sequential path.
+    let g = path(12);
+    for shards in [1usize, 2, 4, 12] {
+        let cfg = SimConfig {
+            shards,
+            ..SimConfig::default()
+        };
+        let nodes: Vec<PanicsAt> = (0..12)
+            .map(|_| PanicsAt {
+                node: 11,
+                at_round: 3,
+            })
+            .collect();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = run(&g, nodes, &cfg);
+        }))
+        .expect_err("the protocol panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("injected protocol panic at node 11"),
+            "shards {shards}: unexpected payload {msg:?}"
+        );
+    }
+}
+
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
+#[test]
+fn simultaneous_worker_panics_surface_the_lowest_shard() {
+    // Every node panics in the same round; the pool must deterministically
+    // re-raise the lowest shard's payload (the one the sequential engine
+    // would hit first).
+    let g = path(8);
+    for shards in [1usize, 4, 8] {
+        let cfg = SimConfig {
+            shards,
+            ..SimConfig::default()
+        };
+        let nodes: Vec<PanicsAt> = (0..8)
+            .map(|v| PanicsAt {
+                node: v,
+                at_round: 0,
+            })
+            .collect();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = run(&g, nodes, &cfg);
+        }))
+        .expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(
+            msg, "injected protocol panic at node 0",
+            "shards {shards}: wrong panic won"
+        );
+    }
+}
+
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
+#[test]
 fn malformed_aggregation_tree_yields_no_result_not_a_hang() {
     // Participation claims a child that never reports: the convergecast
     // cannot complete. The protocol quiesces (all queues empty) rather

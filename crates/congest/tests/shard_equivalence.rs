@@ -1,0 +1,235 @@
+//! Tier-1 differential suite for the persistent worker pool: every
+//! protocol the construction uses — bfs, tree aggregation / prefix
+//! numbering, multi-BFS, multi-aggregate — must produce **byte-equal
+//! outcomes and `RunStats`** for `shards ∈ {1, 2, 3, 8}` on a fixed
+//! seed set. Unlike the tier-2 proptests this runs on every `cargo
+//! test`, so a pool regression fails fast without `--features
+//! slow-tests`.
+
+use lcs_congest::{
+    distributed_bfs, positions_from_tree, prefix_number, run, run_multi_aggregate, run_multi_bfs,
+    tree_aggregate, AggOp, MultiBfsInstance, MultiBfsSpec, NodeAlgorithm, Participation, RoundCtx,
+    SimConfig,
+};
+use lcs_graph::{gnp_connected, Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// The shard counts under test: sequential, even splits, an odd split,
+/// and more shards than fit evenly.
+const SHARDS: [usize; 4] = [1, 2, 3, 8];
+
+/// Fixed seeds: enough diversity to hit different graph shapes and
+/// message schedules while keeping this suite tier-1 fast.
+const SEEDS: [u64; 3] = [0xA11CE, 0xB0B, 0x5EED];
+
+fn fixtures(seed: u64) -> Vec<Graph> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    vec![
+        gnp_connected(48, 0.12, &mut rng),
+        lcs_graph::generators::grid(8, 6),
+        lcs_graph::generators::star(17),
+    ]
+}
+
+fn cfg(seed: u64, shards: usize) -> SimConfig {
+    SimConfig {
+        seed,
+        shards,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn bfs_outcomes_and_stats_are_byte_equal_across_shard_counts() {
+    for seed in SEEDS {
+        for g in fixtures(seed) {
+            let root = (seed % g.n() as u64) as NodeId;
+            let base = distributed_bfs(&g, root, &cfg(seed, 1)).unwrap();
+            for shards in SHARDS {
+                let out = distributed_bfs(&g, root, &cfg(seed, shards)).unwrap();
+                assert_eq!(out.dist, base.dist, "dist, seed={seed}, shards={shards}");
+                assert_eq!(
+                    out.parent, base.parent,
+                    "parent, seed={seed}, shards={shards}"
+                );
+                assert_eq!(
+                    out.children, base.children,
+                    "children, seed={seed}, shards={shards}"
+                );
+                assert_eq!(out.stats, base.stats, "stats, seed={seed}, shards={shards}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_protocols_are_byte_equal_across_shard_counts() {
+    for seed in SEEDS {
+        for g in fixtures(seed) {
+            let n = g.n();
+            let bfs = distributed_bfs(&g, 0, &cfg(seed, 1)).unwrap();
+            let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
+            let values: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(seed) % 997).collect();
+            let marked: Vec<bool> = (0..n).map(|v| (seed >> (v % 64)) & 1 == 1).collect();
+            for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
+                let (base_res, base_stats) =
+                    tree_aggregate(&g, pos.clone(), &values, op, true, &cfg(seed, 1)).unwrap();
+                for shards in SHARDS {
+                    let (res, stats) =
+                        tree_aggregate(&g, pos.clone(), &values, op, true, &cfg(seed, shards))
+                            .unwrap();
+                    assert_eq!(res, base_res, "agg {op:?}, seed={seed}, shards={shards}");
+                    assert_eq!(
+                        stats, base_stats,
+                        "agg stats {op:?}, seed={seed}, shards={shards}"
+                    );
+                }
+            }
+            let (base_ranks, base_total, base_stats) =
+                prefix_number(&g, pos.clone(), &marked, &cfg(seed, 1)).unwrap();
+            for shards in SHARDS {
+                let (ranks, total, stats) =
+                    prefix_number(&g, pos.clone(), &marked, &cfg(seed, shards)).unwrap();
+                assert_eq!(ranks, base_ranks, "ranks, seed={seed}, shards={shards}");
+                assert_eq!(total, base_total, "total, seed={seed}, shards={shards}");
+                assert_eq!(
+                    stats, base_stats,
+                    "prefix stats, seed={seed}, shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_bfs_outcomes_are_byte_equal_across_shard_counts() {
+    for seed in SEEDS {
+        for g in fixtures(seed) {
+            let n = g.n();
+            let spec = || {
+                Arc::new(MultiBfsSpec {
+                    instances: (0..4u32)
+                        .map(|i| MultiBfsInstance {
+                            root: (i * 7 + seed as u32) % n as u32,
+                            start_round: (u64::from(i) * 3) % 5,
+                            depth_limit: u32::MAX,
+                        })
+                        .collect(),
+                    membership: Arc::new(|_, _, _| true),
+                    queue_cap: 3,
+                })
+            };
+            let base = run_multi_bfs(&g, spec(), &cfg(seed, 1)).unwrap();
+            for shards in SHARDS {
+                let out = run_multi_bfs(&g, spec(), &cfg(seed, shards)).unwrap();
+                assert_eq!(
+                    out.reached, base.reached,
+                    "reached, seed={seed}, shards={shards}"
+                );
+                assert_eq!(
+                    out.children, base.children,
+                    "children, seed={seed}, shards={shards}"
+                );
+                assert_eq!(out.max_queue, base.max_queue);
+                assert_eq!(out.overflowed, base.overflowed);
+                assert_eq!(out.stats, base.stats, "stats, seed={seed}, shards={shards}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_aggregate_outcomes_are_byte_equal_across_shard_counts() {
+    for seed in SEEDS {
+        for g in fixtures(seed) {
+            let n = g.n();
+            let roots = [0 as NodeId, (n - 1) as NodeId];
+            let mut parts: Vec<Vec<Participation>> = vec![Vec::new(); n];
+            for (i, &r) in roots.iter().enumerate() {
+                let bfs = distributed_bfs(&g, r, &cfg(seed, 1)).unwrap();
+                for (v, part) in parts.iter_mut().enumerate() {
+                    if bfs.dist[v].is_none() {
+                        continue;
+                    }
+                    part.push(Participation {
+                        inst: i as u32,
+                        parent: bfs.parent[v],
+                        children: bfs.children[v].clone(),
+                        value: (v as u64).wrapping_mul(seed) % 101,
+                    });
+                }
+            }
+            let base =
+                run_multi_aggregate(&g, parts.clone(), AggOp::Sum, true, &cfg(seed, 1)).unwrap();
+            for shards in SHARDS {
+                let out =
+                    run_multi_aggregate(&g, parts.clone(), AggOp::Sum, true, &cfg(seed, shards))
+                        .unwrap();
+                for v in 0..n as u32 {
+                    for inst in 0..roots.len() as u32 {
+                        assert_eq!(
+                            out.result_at(v, inst),
+                            base.result_at(v, inst),
+                            "result at {v}/{inst}, seed={seed}, shards={shards}"
+                        );
+                    }
+                }
+                assert_eq!(out.stats, base.stats, "stats, seed={seed}, shards={shards}");
+            }
+        }
+    }
+}
+
+/// RNG-heavy protocol: every node draws a coin per round and gossips a
+/// running xor. Catches any divergence in per-node RNG streams or inbox
+/// ordering under the pool.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct GossipXor {
+    coins: Vec<u64>,
+    acc: u64,
+}
+
+impl NodeAlgorithm for GossipXor {
+    type Msg = u32;
+    fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+        let coin: u64 = rand::Rng::gen(ctx.rng());
+        self.coins.push(coin);
+        for &(from, m) in ctx.inbox() {
+            self.acc ^= u64::from(m) ^ (u64::from(from) << 32);
+        }
+        if ctx.round() < 6 {
+            for i in 0..ctx.degree() {
+                ctx.send_nth(i, (self.acc ^ coin) as u32);
+            }
+        }
+    }
+    fn halted(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn rng_streams_and_delivered_rounds_are_byte_equal_across_shard_counts() {
+    for seed in SEEDS {
+        for g in fixtures(seed) {
+            let n = g.n();
+            let mk = || (0..n).map(|_| GossipXor::default()).collect::<Vec<_>>();
+            let base = run(&g, mk(), &cfg(seed, 1)).unwrap();
+            assert!(base.stats.delivered_rounds > 0);
+            for shards in SHARDS {
+                let out = run(&g, mk(), &cfg(seed, shards)).unwrap();
+                assert_eq!(
+                    out.nodes, base.nodes,
+                    "states, seed={seed}, shards={shards}"
+                );
+                assert_eq!(
+                    out.stats.delivered_rounds, base.stats.delivered_rounds,
+                    "delivered_rounds, seed={seed}, shards={shards}"
+                );
+                assert_eq!(out.stats, base.stats, "stats, seed={seed}, shards={shards}");
+            }
+        }
+    }
+}

@@ -61,7 +61,10 @@ pub struct DistributedConfig {
     /// enforcement; 0 disables the cap).
     pub queue_cap_factor: f64,
     /// Engine shards ([`SimConfig::shards`]) used for every simulator
-    /// phase; any value is bit-identical to `1`.
+    /// phase. Each phase's run is executed by the engine's persistent
+    /// barrier-synchronized worker pool ([`lcs_congest::pool`]), one
+    /// thread per shard for the duration of that run; any value is
+    /// bit-identical to `1`.
     pub shards: usize,
 }
 
@@ -621,6 +624,10 @@ mod tests {
 
     #[test]
     fn sharded_construction_is_bit_identical() {
+        // End-to-end determinism contract of the worker pool: the whole
+        // multi-phase construction — every phase a separate pooled
+        // simulator run — is byte-equal to the sequential engine, for
+        // even, odd, and oversubscribed shard counts.
         let (g, p) = fixture(4, 3, 24);
         let mk = |shards| DistributedConfig {
             known_diameter: Some(4),
@@ -629,11 +636,16 @@ mod tests {
             ..DistributedConfig::default()
         };
         let seq = distributed_shortcuts(&g, &p, &mk(1)).unwrap();
-        for shards in [2, 5] {
+        for shards in [2, 5, 8] {
             let par = distributed_shortcuts(&g, &p, &mk(shards)).unwrap();
             assert_eq!(par.shortcuts, seq.shortcuts, "shards={shards}");
             assert_eq!(par.total_rounds, seq.total_rounds);
             assert_eq!(par.stats, seq.stats);
+            assert_eq!(
+                par.stats.fingerprint(),
+                seq.stats.fingerprint(),
+                "shards={shards}"
+            );
         }
     }
 

@@ -13,23 +13,116 @@
 //!   [`prop_assert_eq!`];
 //! * [`test_runner::ProptestConfig`] with `with_cases`.
 //!
-//! Differences from the real crate: cases are generated from a fixed
-//! deterministic seed sequence (fully reproducible runs), and failing
-//! inputs are reported but **not shrunk**.
+//! Cases are generated from a fixed deterministic seed sequence (fully
+//! reproducible runs).
+//!
+//! # Shrinking
+//!
+//! Unlike earlier versions of this shim, failing inputs **are shrunk**.
+//! The approach is choice-sequence minimization (à la Hypothesis)
+//! rather than value trees: every random word a strategy draws while
+//! generating a case is recorded on a *tape* ([`strategy::TestRng`]).
+//! On failure, the runner searches for a simpler still-failing tape —
+//! binary-searching the shortest failing prefix (missing words replay
+//! as zero) and then binary-searching each word toward zero — and
+//! replays generation from the minimized tape to report the minimized
+//! counterexample. Because shrinking happens below the strategy layer,
+//! it composes through `prop_map` / `prop_flat_map` / `prop_filter` for
+//! free, and every integer strategy in this shim maps words to values
+//! monotonically, so "smaller tape word" means "smaller value".
 
 pub mod strategy {
-    use rand::{Rng, SeedableRng};
+    use rand::{RngCore, SeedableRng};
 
-    /// The RNG driving generation. Concrete to keep the trait simple.
-    pub type TestRng = rand_chacha::ChaCha20Rng;
-
-    pub fn rng_for_case(case: u64) -> TestRng {
-        // Distinct, reproducible stream per case.
-        TestRng::seed_from_u64(0x5eed_c0de ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    /// The RNG driving generation: records every drawn word on a tape
+    /// (so failing cases can be shrunk by tape minimization) or replays
+    /// a previously recorded — possibly minimized — tape. Draws past
+    /// the end of a replay tape yield zero, the minimal word.
+    pub struct TestRng {
+        mode: Mode,
     }
 
-    /// A generator of values. Unlike real proptest there is no value
-    /// tree / shrinking: `generate` produces the final value directly.
+    enum Mode {
+        Record {
+            inner: rand_chacha::ChaCha20Rng,
+            tape: Vec<u64>,
+        },
+        Replay {
+            tape: Vec<u64>,
+            pos: usize,
+        },
+    }
+
+    impl TestRng {
+        /// The words drawn so far (record mode) or the full source tape
+        /// (replay mode).
+        pub fn tape(&self) -> &[u64] {
+            match &self.mode {
+                Mode::Record { tape, .. } | Mode::Replay { tape, .. } => tape,
+            }
+        }
+
+        /// Consumes the RNG, returning its tape.
+        pub fn into_tape(self) -> Vec<u64> {
+            match self.mode {
+                Mode::Record { tape, .. } | Mode::Replay { tape, .. } => tape,
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            match &mut self.mode {
+                Mode::Record { inner, tape } => {
+                    let word = inner.next_u64();
+                    tape.push(word);
+                    word
+                }
+                Mode::Replay { tape, pos } => {
+                    let word = tape.get(*pos).copied().unwrap_or(0);
+                    *pos += 1;
+                    word
+                }
+            }
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+
+    /// Recording RNG with a distinct, reproducible stream per case.
+    pub fn rng_for_case(case: u64) -> TestRng {
+        TestRng {
+            mode: Mode::Record {
+                inner: rand_chacha::ChaCha20Rng::seed_from_u64(
+                    0x5eed_c0de ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                tape: Vec::new(),
+            },
+        }
+    }
+
+    /// Replaying RNG over a recorded (or shrunk) tape.
+    pub fn replay_rng(tape: &[u64]) -> TestRng {
+        TestRng {
+            mode: Mode::Replay {
+                tape: tape.to_vec(),
+                pos: 0,
+            },
+        }
+    }
+
+    /// A generator of values. There is no value tree: `generate`
+    /// produces the final value directly, and shrinking operates on the
+    /// [`TestRng`] tape underneath (see the crate docs).
     pub trait Strategy {
         type Value;
 
@@ -120,7 +213,10 @@ pub mod strategy {
         type Value = S::Value;
         fn generate(&self, rng: &mut TestRng) -> S::Value {
             // Rejection sampling with a generous cap; a filter that
-            // rejects this often is a bug in the strategy.
+            // rejects this often is a bug in the strategy. (During
+            // shrinking a minimized tape can trip this legitimately —
+            // the runner treats a generation panic as "candidate
+            // invalid", not as a failure.)
             for _ in 0..10_000 {
                 let v = self.inner.generate(rng);
                 if (self.f)(&v) {
@@ -150,13 +246,13 @@ pub mod strategy {
             impl Strategy for core::ops::Range<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
-                    rng.gen_range(self.clone())
+                    rand::Rng::gen_range(rng, self.clone())
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
-                    rng.gen_range(self.clone())
+                    rand::Rng::gen_range(rng, self.clone())
                 }
             }
         )*};
@@ -191,12 +287,50 @@ pub mod strategy {
         ($($t:ty),*) => {$(
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> Self {
-                    rng.gen::<$t>()
+                    // Drawn via the full-range `gen_range` rather than a
+                    // truncating `gen::<$t>()`: the fixed-point
+                    // multiply-shift maps the tape word to the value
+                    // *monotonically*, which is what lets the shrinker's
+                    // per-word binary search land on failure boundaries
+                    // for every integer width (a truncating cast would
+                    // make the low-bits value non-monotone in the word).
+                    rand::Rng::gen_range(rng, <$t>::MIN..=<$t>::MAX)
                 }
             }
         )*};
     }
-    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64);
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Two words, high then low; monotone per word (coordinate-wise),
+    /// which is the granularity the shrinker minimizes at.
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let hi = u64::arbitrary(rng);
+            let lo = u64::arbitrary(rng);
+            (u128::from(hi) << 64) | u128::from(lo)
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    /// `false` on a zero word (the shrink target), monotone.
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::Rng::gen_range(rng, 0u8..=1) == 1
+        }
+    }
+
+    /// `Standard` f64 is already monotone in the word (`word >> 11`
+    /// scaled into [0, 1)).
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::Rng::gen::<f64>(rng)
+        }
+    }
 
     pub struct Any<T>(core::marker::PhantomData<T>);
 
@@ -241,21 +375,193 @@ pub mod collection {
 }
 
 pub mod test_runner {
-    /// Run configuration; only `cases` is honored by this shim.
+    use crate::strategy::{replay_rng, rng_for_case, TestRng};
+    use std::panic::resume_unwind;
+
+    /// Run configuration; `cases` and `max_shrink_iters` are honored by
+    /// this shim.
     #[derive(Clone, Debug)]
     pub struct ProptestConfig {
         pub cases: u32,
+        /// Upper bound on the number of candidate executions the tape
+        /// shrinker may spend per failing case.
+        pub max_shrink_iters: u32,
     }
 
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// Outcome of executing one generated case (generation + body).
+    pub enum CaseRun {
+        /// The body returned normally.
+        Pass,
+        /// Generation itself panicked (e.g. `prop_filter` exhaustion on
+        /// a shrunk tape). On a fresh case this is a strategy bug; on a
+        /// shrink candidate it just marks the candidate invalid.
+        GenFailed(Box<dyn std::any::Any + Send>),
+        /// The body panicked: `repr` is the `Debug` form of the
+        /// generated inputs, `panic` the payload.
+        Fail {
+            repr: String,
+            panic: Box<dyn std::any::Any + Send>,
+        },
+    }
+
+    /// Minimizes a failing tape: binary-searches the shortest failing
+    /// prefix (truncated words replay as zero), then binary-searches
+    /// each remaining word down toward zero, repeating to a fixpoint or
+    /// until `max_iters` candidate executions are spent. Every returned
+    /// tape is *known failing* — a candidate is only adopted after
+    /// `exec` reproduced the failure on it. Returns the minimized tape
+    /// and the number of successful shrink steps.
+    pub fn shrink<F>(tape: Vec<u64>, exec: &F, max_iters: u32) -> (Vec<u64>, u32)
+    where
+        F: Fn(&mut TestRng) -> CaseRun,
+    {
+        let mut spent: u32 = 0;
+        let mut steps: u32 = 0;
+        let fails = |t: &[u64], spent: &mut u32| -> bool {
+            if *spent >= max_iters {
+                return false; // budget gone: conservatively "passing"
+            }
+            *spent += 1;
+            matches!(exec(&mut replay_rng(t)), CaseRun::Fail { .. })
+        };
+        let mut tape = tape;
+        loop {
+            let mut progress = false;
+            // Phase 1: shortest failing prefix. `hi` only ever moves to
+            // a prefix length verified to fail, so the truncation below
+            // never adopts an unverified tape.
+            let mut lo = 0usize;
+            let mut hi = tape.len();
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if fails(&tape[..mid], &mut spent) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if hi < tape.len() {
+                tape.truncate(hi);
+                progress = true;
+                steps += 1;
+            }
+            // Phase 2: minimize each word toward zero (all integer
+            // strategies in this shim map words to values
+            // monotonically, so this is a binary search on the value).
+            for i in 0..tape.len() {
+                let original = tape[i];
+                if original == 0 {
+                    continue;
+                }
+                tape[i] = 0;
+                if fails(&tape, &mut spent) {
+                    steps += 1;
+                    progress = true;
+                    continue;
+                }
+                let mut lo = 0u64; // known passing
+                let mut hi = original; // known failing
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    tape[i] = mid;
+                    if fails(&tape, &mut spent) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                tape[i] = hi;
+                if hi < original {
+                    steps += 1;
+                    progress = true;
+                }
+            }
+            if !progress || spent >= max_iters {
+                break;
+            }
+        }
+        (tape, steps)
+    }
+
+    /// The per-test driver behind the [`proptest!`](crate::proptest)
+    /// macro: runs `cases` deterministic cases, and on the first failure
+    /// shrinks its tape, reports the raw and minimized counterexamples,
+    /// and re-raises the (minimized run's) panic.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, exec: &F)
+    where
+        F: Fn(&mut TestRng) -> CaseRun,
+    {
+        for case in 0..config.cases as u64 {
+            let mut rng = rng_for_case(case);
+            match exec(&mut rng) {
+                CaseRun::Pass => {}
+                CaseRun::GenFailed(payload) => {
+                    eprintln!(
+                        "proptest `{name}`: strategy generation failed on case {}/{}",
+                        case + 1,
+                        config.cases,
+                    );
+                    resume_unwind(payload);
+                }
+                CaseRun::Fail {
+                    repr: raw_repr,
+                    panic: raw_panic,
+                } => {
+                    let raw_tape = rng.into_tape();
+                    let raw_words = raw_tape.len();
+                    let (min_tape, steps) = shrink(raw_tape, exec, config.max_shrink_iters);
+                    match exec(&mut replay_rng(&min_tape)) {
+                        CaseRun::Fail { repr, panic } => {
+                            eprintln!(
+                                "proptest case {}/{} failed in `{}`\n  \
+                                 raw input:       {}\n  \
+                                 minimized input: {}\n  \
+                                 ({} shrink steps; tape {} -> {} words)",
+                                case + 1,
+                                config.cases,
+                                name,
+                                raw_repr,
+                                repr,
+                                steps,
+                                raw_words,
+                                min_tape.len(),
+                            );
+                            resume_unwind(panic);
+                        }
+                        // Unreachable in practice (shrink only returns
+                        // verified-failing tapes); fall back to the raw
+                        // failure rather than masking it.
+                        _ => {
+                            eprintln!(
+                                "proptest case {}/{} failed in `{}` (input: {})",
+                                case + 1,
+                                config.cases,
+                                name,
+                                raw_repr,
+                            );
+                            resume_unwind(raw_panic);
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -266,7 +572,8 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
-/// proptest-compatible assertion; panics (no shrinking in this shim).
+/// proptest-compatible assertion; panics (the runner catches the panic
+/// and shrinks the failing input).
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
@@ -284,8 +591,9 @@ macro_rules! prop_assert_ne {
 
 /// The `proptest!` block: an optional `#![proptest_config(...)]`
 /// followed by `#[test] fn name(pat in strategy, ...) { body }` items.
-/// Each test runs `cases` times over deterministic seeds; a failure
-/// reports the case number (inputs are not shrunk).
+/// Each test runs `cases` times over deterministic seeds; a failing
+/// case is shrunk (tape minimization, see the crate docs) and both the
+/// raw and the minimized counterexample are reported.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -306,25 +614,26 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
-            for case in 0..config.cases as u64 {
-                let mut proptest_rng = $crate::strategy::rng_for_case(case);
-                $(
-                    let $pat = $crate::strategy::Strategy::generate(
-                        &($strat),
-                        &mut proptest_rng,
-                    );
-                )+
-                let run = || -> () { $body };
-                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
-                    eprintln!(
-                        "proptest case {}/{} failed in `{}` (deterministic seed; no shrinking)",
-                        case + 1,
-                        config.cases,
-                        stringify!($name),
-                    );
-                    ::std::panic::resume_unwind(panic);
+            let exec = |proptest_rng: &mut $crate::strategy::TestRng|
+                -> $crate::test_runner::CaseRun
+            {
+                let generated = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || ( $( $crate::strategy::Strategy::generate(&($strat), proptest_rng), )+ ),
+                ));
+                let values = match generated {
+                    Ok(values) => values,
+                    Err(payload) => return $crate::test_runner::CaseRun::GenFailed(payload),
+                };
+                let repr = format!("{:?}", values);
+                let ($($pat,)+) = values;
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> () { $body },
+                )) {
+                    Ok(()) => $crate::test_runner::CaseRun::Pass,
+                    Err(panic) => $crate::test_runner::CaseRun::Fail { repr, panic },
                 }
-            }
+            };
+            $crate::test_runner::run_cases(stringify!($name), &config, &exec);
         }
     )*};
 }
@@ -332,6 +641,8 @@ macro_rules! __proptest_fns {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::strategy::{replay_rng, rng_for_case, Strategy, TestRng};
+    use crate::test_runner::{shrink, CaseRun};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
@@ -355,14 +666,181 @@ mod tests {
             let (n, k) = x;
             prop_assert!(k < n);
         }
+
+        /// A deliberately failing property, exercising the whole
+        /// macro-level pipeline: the failing case is shrunk (to `x = 0`,
+        /// since the property fails for every `x`) and the panic is
+        /// re-raised — which is exactly what `should_panic` expects.
+        #[test]
+        #[should_panic]
+        fn deliberately_failing_property_panics_after_shrinking(x in 0u64..1000) {
+            prop_assert!(x > 1000, "impossible for {}", x);
+        }
     }
 
     #[test]
     fn deterministic_across_runs() {
-        use crate::strategy::{rng_for_case, Strategy};
         let s = 0u64..1_000_000;
         let a: Vec<u64> = (0..10).map(|c| s.generate(&mut rng_for_case(c))).collect();
         let b: Vec<u64> = (0..10).map(|c| s.generate(&mut rng_for_case(c))).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replaying_a_recorded_tape_reproduces_the_value() {
+        let s = (0u64..1_000_000, 3usize..40);
+        let mut rec = rng_for_case(11);
+        let v = s.generate(&mut rec);
+        let tape = rec.into_tape();
+        assert!(!tape.is_empty());
+        let v2 = s.generate(&mut replay_rng(&tape));
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn empty_tape_replays_as_minimal_values() {
+        let v = (5u32..100).generate(&mut replay_rng(&[]));
+        assert_eq!(v, 5, "zero words must map to the range minimum");
+        let w = crate::collection::vec(0u8..10, 0..7).generate(&mut replay_rng(&[]));
+        assert!(w.is_empty());
+    }
+
+    /// The shim exec closure the macro would build for a deliberately
+    /// failing property `assert!(x < limit)` over `0u64..1_000_000`.
+    fn failing_exec(limit: u64) -> impl Fn(&mut TestRng) -> CaseRun {
+        move |rng: &mut TestRng| {
+            let x = (0u64..1_000_000).generate(rng);
+            let repr = format!("{x:?}");
+            match std::panic::catch_unwind(move || assert!(x < limit)) {
+                Ok(()) => CaseRun::Pass,
+                Err(panic) => CaseRun::Fail { repr, panic },
+            }
+        }
+    }
+
+    /// The ISSUE-3 acceptance demo: a deliberately failing property
+    /// whose shrunk counterexample is *strictly smaller* than the raw
+    /// generated case — in fact exactly the boundary value `limit`.
+    #[test]
+    fn shrinking_finds_a_smaller_counterexample_than_the_raw_case() {
+        let exec = failing_exec(500);
+        // Find a raw failing case the way `run_cases` would.
+        let (case, raw_value, raw_tape) = (0..64u64)
+            .find_map(|case| {
+                let mut rng = rng_for_case(case);
+                match exec(&mut rng) {
+                    CaseRun::Fail { repr, .. } => {
+                        Some((case, repr.parse::<u64>().unwrap(), rng.into_tape()))
+                    }
+                    _ => None,
+                }
+            })
+            .expect("a value >= 500 appears within 64 cases");
+        assert!(raw_value >= 500, "case {case} failed with {raw_value}");
+        let (min_tape, steps) = shrink(raw_tape, &exec, 1024);
+        let CaseRun::Fail { repr, .. } = exec(&mut replay_rng(&min_tape)) else {
+            panic!("minimized tape must still fail");
+        };
+        let minimized: u64 = repr.parse().unwrap();
+        assert_eq!(
+            minimized, 500,
+            "binary search lands exactly on the failure boundary"
+        );
+        assert!(minimized < raw_value || raw_value == 500);
+        assert!(steps >= 1, "at least one shrink step must succeed");
+    }
+
+    /// Structural shrinking through a collection: a property failing on
+    /// "3 or more elements" minimizes to exactly `[0, 0, 0]` — the tape
+    /// is truncated to the single length word (elements replay as
+    /// zeros), then that word is binary-searched down to the smallest
+    /// length draw that still yields 3 elements.
+    #[test]
+    fn shrinking_minimizes_vec_cases_structurally() {
+        let exec = |rng: &mut TestRng| {
+            let v = crate::collection::vec(0u32..100, 0..20).generate(rng);
+            let repr = format!("{v:?}");
+            match std::panic::catch_unwind(move || assert!(v.len() < 3)) {
+                Ok(()) => CaseRun::Pass,
+                Err(panic) => CaseRun::Fail { repr, panic },
+            }
+        };
+        let (raw_tape, raw_repr) = (0..64u64)
+            .find_map(|case| {
+                let mut rng = rng_for_case(case);
+                match exec(&mut rng) {
+                    CaseRun::Fail { repr, .. } => Some((rng.into_tape(), repr)),
+                    _ => None,
+                }
+            })
+            .expect("a vec of length >= 3 appears within 64 cases");
+        let (min_tape, _steps) = shrink(raw_tape, &exec, 1024);
+        let CaseRun::Fail { repr, .. } = exec(&mut replay_rng(&min_tape)) else {
+            panic!("minimized tape must still fail");
+        };
+        assert_eq!(repr, "[0, 0, 0]", "raw case was {raw_repr}");
+        assert_eq!(min_tape.len(), 1, "only the length word survives");
+    }
+
+    /// The monotone-word contract must hold for *narrow* integer
+    /// strategies too: an `any::<u32>()` counterexample minimizes to
+    /// the exact failure boundary, not an arbitrary failing value (a
+    /// truncating word→value cast would break the binary search).
+    #[test]
+    fn shrinking_narrow_any_lands_on_the_boundary() {
+        let exec = |rng: &mut TestRng| {
+            let x = crate::strategy::any::<u32>().generate(rng);
+            let repr = format!("{x:?}");
+            match std::panic::catch_unwind(move || assert!(x < 500)) {
+                Ok(()) => CaseRun::Pass,
+                Err(panic) => CaseRun::Fail { repr, panic },
+            }
+        };
+        let raw_tape = (0..64u64)
+            .find_map(|case| {
+                let mut rng = rng_for_case(case);
+                matches!(exec(&mut rng), CaseRun::Fail { .. }).then(|| rng.into_tape())
+            })
+            .expect("a u32 >= 500 appears within 64 cases");
+        let (min_tape, _) = shrink(raw_tape, &exec, 1024);
+        let CaseRun::Fail { repr, .. } = exec(&mut replay_rng(&min_tape)) else {
+            panic!("minimized tape must still fail");
+        };
+        assert_eq!(repr.parse::<u32>().unwrap(), 500);
+    }
+
+    /// Shrink candidates whose generation panics (e.g. a filter that
+    /// becomes unsatisfiable on a zeroed tape) are rejected, not
+    /// treated as failures — and never mask the real counterexample.
+    #[test]
+    fn generation_panics_during_shrinking_are_treated_as_invalid() {
+        let strat = (500u64..1_000_000).prop_filter("nonzero draw", |&x| x != 500);
+        let exec = move |rng: &mut TestRng| {
+            let gen = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Strategy::generate(&strat, rng)
+            }));
+            let x = match gen {
+                Ok(x) => x,
+                Err(payload) => return CaseRun::GenFailed(payload),
+            };
+            let repr = format!("{x:?}");
+            match std::panic::catch_unwind(move || assert!(x < 501)) {
+                Ok(()) => CaseRun::Pass,
+                Err(panic) => CaseRun::Fail { repr, panic },
+            }
+        };
+        let raw_tape = (0..64u64)
+            .find_map(|case| {
+                let mut rng = rng_for_case(case);
+                matches!(exec(&mut rng), CaseRun::Fail { .. }).then(|| rng.into_tape())
+            })
+            .expect("a failing case exists");
+        let (min_tape, _) = shrink(raw_tape, &exec, 1024);
+        let CaseRun::Fail { repr, .. } = exec(&mut replay_rng(&min_tape)) else {
+            panic!("minimized tape must still fail");
+        };
+        // 500 is filtered out, so the minimum reachable failing value
+        // is 501.
+        assert_eq!(repr.parse::<u64>().unwrap(), 501);
     }
 }
