@@ -42,5 +42,7 @@ pub use mst::{
     assert_matches_kruskal, mst_via_shortcuts, MstConfig, MstError, MstOutcome, PhaseCost,
     ShortcutStrategy,
 };
-pub use sssp::{bellman_ford_rounds, shortcut_sssp, SsspOutcome};
+pub use sssp::{
+    bellman_ford_rounds, shortcut_sssp, shortcut_sssp_simulated, SimulatedSsspOutcome, SsspOutcome,
+};
 pub use two_ecss::{two_ecss, verify_two_ecss, TwoEcssError, TwoEcssOutcome};

@@ -46,7 +46,11 @@ pub struct MinCutConfig {
     pub sampling_constant: f64,
     /// Number of packed trees per estimate round (`None` = `⌈3·ln n⌉`).
     pub trees: Option<usize>,
-    /// MST configuration used when accounting distributed rounds.
+    /// MST configuration used when accounting distributed rounds. In
+    /// [`ExecutionMode::Simulated`](lcs_congest::ExecutionMode) the MST
+    /// subroutine runs all of its Boruvka aggregations through one
+    /// engine [`Session`](lcs_congest::Session) (its `shards` field
+    /// sizes the session's worker pool).
     pub mst: MstConfig,
 }
 

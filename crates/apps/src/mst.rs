@@ -23,7 +23,7 @@
 //! Fragment-merge bookkeeping (leader relabeling) is charged as one
 //! extra aggregation sweep per phase (see DESIGN.md substitutions).
 
-use lcs_congest::{AggOp, ExecutionMode, SimConfig, SimError};
+use lcs_congest::{AggOp, ExecutionMode, Session, SimConfig, SimError};
 use lcs_core::{
     centralized_shortcuts, prune_to_trees, KpParams, LargenessRule, OracleMode, ParamError,
 };
@@ -70,6 +70,10 @@ pub struct MstConfig {
     pub diameter: Option<u32>,
     /// Probability constant for the KP sampling.
     pub prob_constant: f64,
+    /// Engine shards for simulated execution ([`SimConfig::shards`]);
+    /// `0` (the default) auto-sizes to the machine. Any value is
+    /// bit-identical.
+    pub shards: usize,
 }
 
 impl Default for MstConfig {
@@ -80,6 +84,7 @@ impl Default for MstConfig {
             execution: ExecutionMode::Accounted,
             diameter: None,
             prob_constant: 1.0,
+            shards: 0,
         }
     }
 }
@@ -201,7 +206,15 @@ pub fn mst_via_shortcuts(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutco
     };
     let sim_cfg = SimConfig {
         seed: cfg.seed,
+        shards: cfg.shards,
         ..SimConfig::default()
+    };
+    // One engine for every Boruvka phase's MWOE aggregation: the
+    // session's pool and reverse-arc tables are built once, and its
+    // cumulative stats give the whole run's message total.
+    let mut session = match cfg.execution {
+        ExecutionMode::Simulated => Some(Session::new(g, sim_cfg)),
+        ExecutionMode::Accounted => None,
     };
 
     let mut uf = UnionFind::new(n);
@@ -271,8 +284,9 @@ pub fn mst_via_shortcuts(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutco
         let mut aggregation_rounds = 1u64;
         let mwoe: Vec<u64> = match cfg.execution {
             ExecutionMode::Simulated => {
+                let session = session.as_mut().expect("simulated mode has a session");
                 let (roots, outcome) =
-                    setup.aggregate_simulated(g, AggOp::Min, &value, true, &sim_cfg)?;
+                    setup.aggregate_in_session(session, AggOp::Min, &value, true)?;
                 aggregation_rounds += outcome.stats.rounds;
                 messages += outcome.stats.messages;
                 roots.into_iter().map(|r| r.unwrap_or(u64::MAX)).collect()
@@ -313,6 +327,11 @@ pub fn mst_via_shortcuts(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutco
         }
     }
 
+    debug_assert_eq!(
+        session.as_ref().map_or(0, |s| s.stats().messages),
+        messages,
+        "session cumulative stats must equal the per-phase sum"
+    );
     mst_edges.sort_unstable();
     Ok(MstOutcome {
         edges: mst_edges,

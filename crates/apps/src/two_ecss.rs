@@ -104,6 +104,11 @@ fn tree_path_edges(n: usize, tree_edges: &[(NodeId, NodeId)], u: NodeId, v: Node
 
 /// Computes the O(log n)-approximate 2-ECSS.
 ///
+/// The MST subroutine is session-backed: in simulated mode every
+/// Boruvka aggregation runs through one engine
+/// [`Session`](lcs_congest::Session) (see
+/// [`mst_via_shortcuts`]), so `cfg.shards` sizes its worker pool.
+///
 /// # Errors
 ///
 /// [`TwoEcssError::NotTwoEdgeConnected`] when no 2-ECSS exists.

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcs_bench::highway_workload;
-use lcs_congest::{distributed_bfs, AggOp, SimConfig};
+use lcs_congest::{AggOp, Bfs, Session, SimConfig};
 use lcs_core::{centralized_shortcuts, prune_to_trees, KpParams, LargenessRule, OracleMode};
 use lcs_shortcut::AggregationSetup;
 
@@ -45,7 +45,11 @@ fn bench_engine(c: &mut Criterion) {
     let (hw, _) = highway_workload(1600, 4);
     let g = hw.graph().clone();
     c.bench_function("engine_bfs_n1600", |b| {
-        b.iter(|| distributed_bfs(&g, 0, &SimConfig::default()).unwrap())
+        b.iter(|| {
+            Session::new(&g, SimConfig::default())
+                .run(Bfs::new(0))
+                .unwrap()
+        })
     });
 }
 

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcs_bench::sim_workloads::{multi_bfs_spec, Saturate};
-use lcs_congest::{run_multi_bfs, SimConfig};
+use lcs_congest::{MultiBfs, MultiBfsSpec, Session, SimConfig};
 use lcs_graph::generators;
 use std::sync::Arc;
 
@@ -26,13 +26,19 @@ fn bench_engine_message_path(c: &mut Criterion) {
     });
 }
 
+fn run_bundle(g: &lcs_graph::Graph, spec: Arc<MultiBfsSpec>, cfg: &SimConfig) {
+    Session::new(g, cfg.clone())
+        .run(MultiBfs::new(spec))
+        .unwrap();
+}
+
 fn bench_multi_bfs_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_multi_bfs");
     for &n_side in &[30usize, 50] {
         let g = generators::grid(n_side, n_side);
         let spec = multi_bfs_spec(g.n(), 16);
         group.bench_with_input(BenchmarkId::from_parameter(n_side * n_side), &g, |b, g| {
-            b.iter(|| run_multi_bfs(g, Arc::clone(&spec), &SimConfig::default()).unwrap())
+            b.iter(|| run_bundle(g, Arc::clone(&spec), &SimConfig::default()))
         });
     }
     group.finish();
@@ -48,7 +54,7 @@ fn bench_sharded_rounds(c: &mut Criterion) {
             ..SimConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(shards), &cfg, |b, cfg| {
-            b.iter(|| run_multi_bfs(&g, Arc::clone(&spec), cfg).unwrap())
+            b.iter(|| run_bundle(&g, Arc::clone(&spec), cfg))
         });
     }
     group.finish();

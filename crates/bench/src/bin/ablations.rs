@@ -6,7 +6,7 @@
 //! * random start delays in the scheduled BFS (on vs off).
 
 use lcs_bench::{f3, highway_workload, BenchArgs, Table};
-use lcs_congest::{run_multi_bfs, MultiBfsInstance, MultiBfsSpec, SimConfig};
+use lcs_congest::{MultiBfs, MultiBfsInstance, MultiBfsSpec, Session, SimConfig};
 use lcs_core::{
     centralized_shortcuts, classify_large, shared_delay, KpParams, LargenessRule, OracleMode,
     SampleOracle,
@@ -146,7 +146,9 @@ fn main() {
                 membership: Arc::clone(&membership),
                 queue_cap: 0,
             });
-            let out = run_multi_bfs(g, spec, &SimConfig::default()).expect("bfs bundle");
+            let out = Session::new(g, SimConfig::default())
+                .run(MultiBfs::new(spec))
+                .expect("bfs bundle");
             t4.row(vec![
                 name.to_string(),
                 out.stats.rounds.to_string(),

@@ -16,8 +16,8 @@
 
 use lcs_bench::sim_workloads::{multi_bfs_spec, Saturate};
 use lcs_congest::{
-    distributed_bfs, run, run_multi_aggregate, run_multi_bfs, AggOp, NodeAlgorithm, Participation,
-    RoundCtx, RunStats, SimConfig,
+    positions_from_tree, run, AggOp, Bfs, MultiAggregate, MultiBfs, NodeAlgorithm, Participation,
+    RoundCtx, RunStats, Session, SimConfig, TreeAggregate,
 };
 use lcs_graph::{generators, Graph};
 use std::time::Instant;
@@ -62,11 +62,16 @@ struct Measurement {
     messages: u64,
     elapsed_s: f64,
     /// [`RunStats::fingerprint`] of the run (0 for the idle workload,
-    /// which aborts at the round limit without stats by design).
+    /// which aborts at the round limit without stats by design; the
+    /// cumulative session fingerprint for composed workloads).
     stats_fingerprint: u64,
     /// Wall-clock speedup over the 1-shard run of the same workload
     /// (filled in after the sweep; 1.0 for the baseline itself).
     speedup_vs_1shard: f64,
+    /// Per-phase breakdown for composed (Session) workloads:
+    /// `(label, rounds, messages, fingerprint)`; empty for
+    /// single-protocol workloads.
+    phases: Vec<(String, u64, u64, u64)>,
 }
 
 impl Measurement {
@@ -81,16 +86,36 @@ impl Measurement {
             elapsed_s: secs,
             stats_fingerprint: stats.fingerprint(),
             speedup_vs_1shard: 1.0,
+            phases: Vec::new(),
         }
     }
 
     fn json(&self) -> String {
+        let phases = if self.phases.is_empty() {
+            String::new()
+        } else {
+            let body = self
+                .phases
+                .iter()
+                .map(|(label, rounds, messages, fp)| {
+                    format!(
+                        concat!(
+                            "{{\"label\":\"{}\",\"rounds\":{},",
+                            "\"messages\":{},\"fingerprint\":\"{:#018x}\"}}"
+                        ),
+                        label, rounds, messages, fp
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(",\"phases\":[{body}]")
+        };
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"n\":{},\"m\":{},\"shards\":{},",
                 "\"rounds\":{},\"messages\":{},\"elapsed_s\":{:.6},",
                 "\"rounds_per_s\":{:.1},\"messages_per_s\":{:.1},",
-                "\"stats_fingerprint\":\"{:#018x}\",\"speedup_vs_1shard\":{:.3}}}"
+                "\"stats_fingerprint\":\"{:#018x}\",\"speedup_vs_1shard\":{:.3}{}}}"
             ),
             self.name,
             self.n,
@@ -103,6 +128,7 @@ impl Measurement {
             self.messages as f64 / self.elapsed_s,
             self.stats_fingerprint,
             self.speedup_vs_1shard,
+            phases,
         )
     }
 }
@@ -129,7 +155,9 @@ fn bench_flood(g: &Graph, shards: usize) -> Measurement {
 fn bench_multi_bfs(g: &Graph, instances: usize, shards: usize) -> Measurement {
     let spec = multi_bfs_spec(g.n(), instances);
     let t = Instant::now();
-    let out = run_multi_bfs(g, spec, &cfg_with(shards, 10_000_000)).expect("multi_bfs");
+    let out = Session::new(g, cfg_with(shards, 10_000_000))
+        .run(MultiBfs::new(spec))
+        .expect("multi_bfs");
     Measurement::from_stats(
         "multi_bfs",
         g,
@@ -140,7 +168,9 @@ fn bench_multi_bfs(g: &Graph, instances: usize, shards: usize) -> Measurement {
 }
 
 fn bench_multi_aggregate(g: &Graph, instances: usize, shards: usize) -> Measurement {
-    let bfs = distributed_bfs(g, 0, &SimConfig::default()).expect("bfs tree");
+    let bfs = Session::new(g, SimConfig::default())
+        .run(Bfs::new(0))
+        .expect("bfs tree");
     let parts: Vec<Vec<Participation>> = (0..g.n())
         .map(|v| {
             (0..instances as u32)
@@ -154,7 +184,8 @@ fn bench_multi_aggregate(g: &Graph, instances: usize, shards: usize) -> Measurem
         })
         .collect();
     let t = Instant::now();
-    let out = run_multi_aggregate(g, parts, AggOp::Sum, true, &cfg_with(shards, 10_000_000))
+    let out = Session::new(g, cfg_with(shards, 10_000_000))
+        .run(MultiAggregate::new(parts, AggOp::Sum, true))
         .expect("multi_aggregate");
     Measurement::from_stats(
         "multi_aggregate",
@@ -163,6 +194,36 @@ fn bench_multi_aggregate(g: &Graph, instances: usize, shards: usize) -> Measurem
         &out.stats,
         t.elapsed().as_secs_f64(),
     )
+}
+
+/// Composed-session workload: a sequential bfs → aggregate pipeline
+/// through ONE engine (single pool spawn), reporting the cumulative
+/// stats plus the per-phase breakdown. Its fingerprint feeds the shard
+/// determinism gate, so *composition* — not just individual protocols —
+/// is covered by the CI `--shards 1,4` check.
+fn bench_session_pipeline(g: &Graph, shards: usize) -> Measurement {
+    let t = Instant::now();
+    let mut session = Session::new(g, cfg_with(shards, 10_000_000));
+    let bfs = session.run(Bfs::new(0)).expect("pipeline bfs");
+    let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
+    let values: Vec<u64> = (0..g.n() as u64).collect();
+    let (res, _) = session
+        .run(TreeAggregate::new(pos, &values, AggOp::Sum, true))
+        .expect("pipeline aggregate");
+    assert_eq!(res[0], Some((0..g.n() as u64).sum::<u64>()));
+    let mut m = Measurement::from_stats(
+        "session_pipeline",
+        g,
+        shards,
+        session.stats(),
+        t.elapsed().as_secs_f64(),
+    );
+    m.phases = session
+        .phases()
+        .iter()
+        .map(|p| (p.label.clone(), p.rounds, p.messages, p.fingerprint()))
+        .collect();
+    m
 }
 
 /// Never sends, never halts: isolates the engine's fixed per-node-round
@@ -202,6 +263,7 @@ fn bench_idle(g: &Graph, rounds: u64, shards: usize) -> Measurement {
         elapsed_s: secs,
         stats_fingerprint: 0,
         speedup_vs_1shard: 1.0,
+        phases: Vec::new(),
     }
 }
 
@@ -276,6 +338,7 @@ fn main() {
             bench_flood(&g, k),
             bench_multi_bfs(&g, instances, k),
             bench_multi_aggregate(&g, instances / 2, k),
+            bench_session_pipeline(&g, k),
         ] {
             eprintln!(
                 "{:>16}  n={} rounds={} messages={} elapsed={:.3}s  ({:.0} rounds/s, {:.0} msgs/s)",
@@ -323,6 +386,14 @@ fn main() {
                 "DETERMINISM VIOLATION: {} stats fingerprint {:#018x} at {} shards \
                  != {:#018x} at 1 shard",
                 m.name, m.stats_fingerprint, m.shards, base.stats_fingerprint
+            );
+        }
+        if m.phases != base.phases {
+            diverged = true;
+            eprintln!(
+                "DETERMINISM VIOLATION: {} per-phase breakdown at {} shards \
+                 differs from the 1-shard run",
+                m.name, m.shards
             );
         }
     }

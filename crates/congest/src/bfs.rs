@@ -8,7 +8,10 @@
 
 use crate::message::Message;
 use crate::node::{NodeAlgorithm, RoundCtx};
-use crate::sim::{run, RunOutcome, SimConfig};
+use crate::protocol::Protocol;
+use crate::session::Session;
+use crate::sim::SimConfig;
+use crate::stats::RunStats;
 use crate::SimError;
 use lcs_graph::{Graph, NodeId};
 
@@ -109,7 +112,7 @@ impl NodeAlgorithm for BfsNode {
     }
 }
 
-/// Result of [`distributed_bfs`].
+/// Result of the [`Bfs`] protocol.
 #[derive(Debug, Clone)]
 pub struct DistBfsOutcome {
     /// Per-node distance (None when unreached).
@@ -129,31 +132,78 @@ impl DistBfsOutcome {
     }
 }
 
+/// Single-source BFS tree construction as a composable [`Protocol`]:
+/// run it through a [`Session`], alone or joined with other protocols.
+///
+/// ```
+/// use lcs_congest::{Bfs, Session, SimConfig};
+///
+/// let g = lcs_graph::generators::grid(3, 3);
+/// let out = Session::new(&g, SimConfig::default()).run(Bfs::new(0)).unwrap();
+/// assert_eq!(out.dist[8], Some(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bfs {
+    root: NodeId,
+}
+
+impl Bfs {
+    /// BFS rooted at `root`.
+    pub fn new(root: NodeId) -> Self {
+        Bfs { root }
+    }
+}
+
+impl Protocol for Bfs {
+    type Msg = BfsMsg;
+    type State = BfsNode;
+    type Output = DistBfsOutcome;
+
+    fn label(&self) -> &str {
+        "bfs"
+    }
+
+    fn init(&mut self, graph: &Graph) -> Vec<BfsNode> {
+        (0..graph.n() as u32)
+            .map(|v| BfsNode::new(v == self.root))
+            .collect()
+    }
+
+    fn round(&self, state: &mut BfsNode, ctx: &mut RoundCtx<'_, BfsMsg>) {
+        NodeAlgorithm::round(state, ctx);
+    }
+
+    fn halted(&self, state: &BfsNode) -> bool {
+        NodeAlgorithm::halted(state)
+    }
+
+    fn finish(self, _graph: &Graph, nodes: Vec<BfsNode>, stats: &RunStats) -> DistBfsOutcome {
+        let mut children: Vec<Vec<NodeId>> = nodes.iter().map(|s| s.children.clone()).collect();
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        DistBfsOutcome {
+            dist: nodes.iter().map(|s| s.dist).collect(),
+            parent: nodes.iter().map(|s| s.parent).collect(),
+            children,
+            stats: stats.clone(),
+        }
+    }
+}
+
 /// Runs the BFS protocol from `root` on `graph`.
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine (the protocol itself is
 /// model-compliant; errors indicate a round-limit that is too small).
+#[deprecated(note = "run the `Bfs` protocol through a `Session` instead")]
 pub fn distributed_bfs(
     graph: &Graph,
     root: NodeId,
     cfg: &SimConfig,
 ) -> Result<DistBfsOutcome, SimError> {
-    let nodes: Vec<BfsNode> = (0..graph.n() as u32)
-        .map(|v| BfsNode::new(v == root))
-        .collect();
-    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
-    let mut children: Vec<Vec<NodeId>> = nodes.iter().map(|s| s.children.clone()).collect();
-    for c in &mut children {
-        c.sort_unstable();
-    }
-    Ok(DistBfsOutcome {
-        dist: nodes.iter().map(|s| s.dist).collect(),
-        parent: nodes.iter().map(|s| s.parent).collect(),
-        children,
-        stats,
-    })
+    Session::new(graph, cfg.clone()).run(Bfs::new(root))
 }
 
 #[cfg(test)]
@@ -161,10 +211,15 @@ mod tests {
     use super::*;
     use lcs_graph::bfs_distances;
 
+    /// All protocol tests go through the first-class `Session` API.
+    fn run_bfs(g: &Graph, root: NodeId, cfg: &SimConfig) -> DistBfsOutcome {
+        Session::new(g, cfg.clone()).run(Bfs::new(root)).unwrap()
+    }
+
     #[test]
     fn bfs_tree_matches_centralized_distances() {
         let g = lcs_graph::generators::grid(4, 5);
-        let out = distributed_bfs(&g, 7, &SimConfig::default()).unwrap();
+        let out = run_bfs(&g, 7, &SimConfig::default());
         let exact = bfs_distances(&g, 7);
         for v in g.nodes() {
             assert_eq!(out.dist[v as usize], Some(exact[v as usize]), "node {v}");
@@ -182,7 +237,7 @@ mod tests {
             0.1,
             &mut <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(11),
         );
-        let out = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let out = run_bfs(&g, 0, &SimConfig::default());
         for v in g.nodes() {
             if let Some(p) = out.parent[v as usize] {
                 assert!(
@@ -198,7 +253,7 @@ mod tests {
     #[test]
     fn disconnected_nodes_stay_unreached() {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
-        let out = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let out = run_bfs(&g, 0, &SimConfig::default());
         assert_eq!(out.dist[2], None);
         assert_eq!(out.dist[3], None);
         assert_eq!(out.dist[1], Some(1));
@@ -209,14 +264,14 @@ mod tests {
         // Diamond: 0-1, 0-2, 1-3, 2-3. Node 3 hears from 1 and 2
         // simultaneously; must pick 1.
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
-        let out = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let out = run_bfs(&g, 0, &SimConfig::default());
         assert_eq!(out.parent[3], Some(1));
     }
 
     #[test]
     fn message_complexity_is_linear_in_edges() {
         let g = lcs_graph::generators::complete(12);
-        let out = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let out = run_bfs(&g, 0, &SimConfig::default());
         // Each edge carries at most 2 tokens + acks.
         assert!(out.stats.messages <= 3 * g.m() as u64);
     }

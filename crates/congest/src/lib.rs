@@ -23,14 +23,24 @@
 //! * [`multi_aggregate`] — partwise aggregation over many overlapping
 //!   trees (the primitive consumed by MST / min-cut / verification).
 //!
+//! Every protocol is a first-class [`Protocol`] value, run through a
+//! [`Session`] — one engine instance (worker pool, reverse-arc tables,
+//! cumulative statistics) hosting any number of phases, sequentially
+//! ([`Session::run`]) or concurrently in shared rounds
+//! ([`Session::join`]).
+//!
 //! ## Example
 //!
 //! ```
-//! use lcs_congest::{distributed_bfs, SimConfig};
+//! use lcs_congest::{Bfs, Session, SimConfig};
 //!
 //! let g = lcs_graph::generators::grid(3, 3);
-//! let out = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+//! let mut session = Session::new(&g, SimConfig::default());
+//! let out = session.run(Bfs::new(0)).unwrap();
 //! assert_eq!(out.dist[8], Some(4));
+//! // The session keeps cumulative + per-phase statistics.
+//! assert_eq!(session.stats().rounds, out.stats.rounds);
+//! assert_eq!(session.phases()[0].label, "bfs");
 //! ```
 
 #![warn(missing_docs)]
@@ -43,26 +53,38 @@ pub mod multi_aggregate;
 pub mod multi_bfs;
 pub mod node;
 pub mod pool;
+pub mod protocol;
+pub mod session;
 pub mod sim;
 pub mod stats;
 pub mod tree;
 
 pub use accounting::{ceil_log2, ExecutionMode, ScheduleCost};
-pub use bfs::{distributed_bfs, BfsMsg, BfsNode, DistBfsOutcome};
+#[allow(deprecated)]
+pub use bfs::distributed_bfs;
+pub use bfs::{Bfs, BfsMsg, BfsNode, DistBfsOutcome};
 pub use error::SimError;
 pub use message::{Message, DEFAULT_BANDWIDTH_WORDS};
+#[allow(deprecated)]
+pub use multi_aggregate::run_multi_aggregate;
 pub use multi_aggregate::{
-    run_multi_aggregate, MultiAggMsg, MultiAggNode, MultiAggOutcome, Participation,
+    MultiAggMsg, MultiAggNode, MultiAggOutcome, MultiAggregate, Participation,
 };
+#[allow(deprecated)]
+pub use multi_bfs::run_multi_bfs;
 pub use multi_bfs::{
-    run_multi_bfs, MembershipFn, MultiBfsInstance, MultiBfsMsg, MultiBfsNode, MultiBfsOutcome,
+    MembershipFn, MultiBfs, MultiBfsInstance, MultiBfsMsg, MultiBfsNode, MultiBfsOutcome,
     MultiBfsSpec, Reached,
 };
 pub use node::{NodeAlgorithm, RoundCtx};
-pub use pool::Control;
+pub use pool::{Control, Pool};
+pub use protocol::{Join, JoinMsg, Protocol};
+pub use session::Session;
 pub use sim::{run, RunOutcome, SimConfig};
 pub use stats::RunStats;
 pub use tree::{
-    positions_from_tree, prefix_number, tree_aggregate, AggOp, ConvergecastNode, PrefixNumberNode,
+    positions_from_tree, AggOp, ConvergecastNode, PrefixNumber, PrefixNumberNode, TreeAggregate,
     TreeMsg, TreePosition,
 };
+#[allow(deprecated)]
+pub use tree::{prefix_number, tree_aggregate};

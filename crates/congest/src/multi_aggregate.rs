@@ -11,7 +11,10 @@
 
 use crate::message::Message;
 use crate::node::{NodeAlgorithm, RoundCtx};
-use crate::sim::{run, RunOutcome, SimConfig};
+use crate::protocol::Protocol;
+use crate::session::Session;
+use crate::sim::SimConfig;
+use crate::stats::RunStats;
 use crate::tree::AggOp;
 use crate::SimError;
 use lcs_graph::{Graph, NodeId};
@@ -201,7 +204,7 @@ impl NodeAlgorithm for MultiAggNode {
     }
 }
 
-/// Result of [`run_multi_aggregate`].
+/// Result of the [`MultiAggregate`] protocol.
 #[derive(Debug)]
 pub struct MultiAggOutcome {
     /// `results[v]` maps instance id to the aggregate known at `v`
@@ -220,6 +223,72 @@ impl MultiAggOutcome {
     }
 }
 
+/// Partwise aggregation over many overlapping trees as a composable
+/// [`Protocol`] — the primitive the paper's applications are built on.
+/// Run it through a [`Session`], alone or joined with other protocols.
+#[derive(Debug, Clone)]
+pub struct MultiAggregate {
+    participations: Vec<Vec<Participation>>,
+    op: AggOp,
+    broadcast: bool,
+}
+
+impl MultiAggregate {
+    /// A bundle of per-instance convergecasts (plus broadcast when
+    /// requested) described by each node's participations.
+    pub fn new(participations: Vec<Vec<Participation>>, op: AggOp, broadcast: bool) -> Self {
+        MultiAggregate {
+            participations,
+            op,
+            broadcast,
+        }
+    }
+}
+
+impl Protocol for MultiAggregate {
+    type Msg = MultiAggMsg;
+    type State = MultiAggNode;
+    type Output = MultiAggOutcome;
+
+    fn label(&self) -> &str {
+        "multi_aggregate"
+    }
+
+    fn init(&mut self, graph: &Graph) -> Vec<MultiAggNode> {
+        assert_eq!(self.participations.len(), graph.n());
+        std::mem::take(&mut self.participations)
+            .into_iter()
+            .map(|p| MultiAggNode::new(p, self.op, self.broadcast))
+            .collect()
+    }
+
+    fn round(&self, state: &mut MultiAggNode, ctx: &mut RoundCtx<'_, MultiAggMsg>) {
+        NodeAlgorithm::round(state, ctx);
+    }
+
+    fn halted(&self, state: &MultiAggNode) -> bool {
+        NodeAlgorithm::halted(state)
+    }
+
+    fn finish(self, _graph: &Graph, nodes: Vec<MultiAggNode>, stats: &RunStats) -> MultiAggOutcome {
+        let max_queue = nodes.iter().map(|s| s.max_queue).max().unwrap_or(0);
+        let results = nodes
+            .into_iter()
+            .map(|s| {
+                s.insts
+                    .into_iter()
+                    .map(|(i, st)| (i, st.result))
+                    .collect::<HashMap<_, _>>()
+            })
+            .collect();
+        MultiAggOutcome {
+            results,
+            max_queue,
+            stats: stats.clone(),
+        }
+    }
+}
+
 /// Runs the bundle of per-instance convergecasts (plus broadcast when
 /// requested) to quiescence.
 ///
@@ -231,6 +300,7 @@ impl MultiAggOutcome {
 /// # Panics
 ///
 /// Panics if `participations.len() != graph.n()`.
+#[deprecated(note = "run the `MultiAggregate` protocol through a `Session` instead")]
 pub fn run_multi_aggregate(
     graph: &Graph,
     participations: Vec<Vec<Participation>>,
@@ -238,33 +308,25 @@ pub fn run_multi_aggregate(
     broadcast: bool,
     cfg: &SimConfig,
 ) -> Result<MultiAggOutcome, SimError> {
-    assert_eq!(participations.len(), graph.n());
-    let nodes: Vec<MultiAggNode> = participations
-        .into_iter()
-        .map(|p| MultiAggNode::new(p, op, broadcast))
-        .collect();
-    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
-    let max_queue = nodes.iter().map(|s| s.max_queue).max().unwrap_or(0);
-    let results = nodes
-        .into_iter()
-        .map(|s| {
-            s.insts
-                .into_iter()
-                .map(|(i, st)| (i, st.result))
-                .collect::<HashMap<_, _>>()
-        })
-        .collect();
-    Ok(MultiAggOutcome {
-        results,
-        max_queue,
-        stats,
-    })
+    Session::new(graph, cfg.clone()).run(MultiAggregate::new(participations, op, broadcast))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bfs::distributed_bfs;
+    use crate::bfs::Bfs;
+
+    /// All protocol tests go through the first-class `Session` API.
+    fn aggregate(
+        g: &Graph,
+        parts: Vec<Vec<Participation>>,
+        op: AggOp,
+        broadcast: bool,
+    ) -> MultiAggOutcome {
+        Session::new(g, SimConfig::default())
+            .run(MultiAggregate::new(parts, op, broadcast))
+            .unwrap()
+    }
 
     /// Builds participations for a single instance from a BFS tree.
     fn single_tree_participation(
@@ -272,7 +334,9 @@ mod tests {
         root: NodeId,
         values: &[u64],
     ) -> Vec<Vec<Participation>> {
-        let bfs = distributed_bfs(g, root, &SimConfig::default()).unwrap();
+        let bfs = Session::new(g, SimConfig::default())
+            .run(Bfs::new(root))
+            .unwrap();
         (0..g.n())
             .map(|v| {
                 if bfs.dist[v].is_none() {
@@ -293,7 +357,7 @@ mod tests {
         let g = lcs_graph::generators::grid(4, 4);
         let values: Vec<u64> = (0..16u64).collect();
         let parts = single_tree_participation(&g, 0, &values);
-        let out = run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let out = aggregate(&g, parts, AggOp::Sum, true);
         let expected: u64 = (0..16u64).sum();
         for v in g.nodes() {
             assert_eq!(out.result_at(v, 0), Some(expected), "node {v}");
@@ -305,7 +369,7 @@ mod tests {
         let g = lcs_graph::generators::path(6);
         let values = vec![9, 4, 7, 2, 8, 6];
         let parts = single_tree_participation(&g, 0, &values);
-        let out = run_multi_aggregate(&g, parts, AggOp::Min, false, &SimConfig::default()).unwrap();
+        let out = aggregate(&g, parts, AggOp::Min, false);
         assert_eq!(out.result_at(0, 0), Some(2));
         assert_eq!(out.result_at(3, 0), None);
     }
@@ -342,7 +406,7 @@ mod tests {
                 });
             }
         }
-        let out = run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let out = aggregate(&g, parts, AggOp::Sum, true);
         for (i, &r) in leaves.iter().take(6).enumerate() {
             let inst = i as u32;
             let others_sum: u64 = leaves
@@ -365,7 +429,7 @@ mod tests {
     fn empty_participation_is_inert() {
         let g = lcs_graph::generators::path(3);
         let parts = vec![Vec::new(), Vec::new(), Vec::new()];
-        let out = run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let out = aggregate(&g, parts, AggOp::Sum, true);
         assert_eq!(out.stats.messages, 0);
         assert!(out.results.iter().all(|m| m.is_empty()));
     }

@@ -26,7 +26,10 @@
 
 use crate::message::Message;
 use crate::node::{NodeAlgorithm, RoundCtx};
-use crate::sim::{run, RunOutcome, SimConfig};
+use crate::protocol::Protocol;
+use crate::session::Session;
+use crate::sim::SimConfig;
+use crate::stats::RunStats;
 use crate::SimError;
 use lcs_graph::{Graph, NodeId};
 use std::collections::VecDeque;
@@ -274,7 +277,7 @@ impl NodeAlgorithm for MultiBfsNode {
     }
 }
 
-/// Result of [`run_multi_bfs`].
+/// Result of the [`MultiBfs`] protocol.
 ///
 /// Instance ids are dense (`0..spec.instances.len()`), so per-node
 /// per-instance data is stored in flat vectors indexed by instance id —
@@ -320,45 +323,85 @@ impl MultiBfsOutcome {
     }
 }
 
+/// A bundle of scheduled BFS instances as a composable [`Protocol`]
+/// (the executable form of the paper's random-delay scheduler): run it
+/// through a [`Session`], alone or joined with other protocols.
+#[derive(Debug, Clone)]
+pub struct MultiBfs {
+    spec: Arc<MultiBfsSpec>,
+}
+
+impl MultiBfs {
+    /// A multi-BFS bundle over `spec`'s instances.
+    pub fn new(spec: Arc<MultiBfsSpec>) -> Self {
+        MultiBfs { spec }
+    }
+}
+
+impl Protocol for MultiBfs {
+    type Msg = MultiBfsMsg;
+    type State = MultiBfsNode;
+    type Output = MultiBfsOutcome;
+
+    fn label(&self) -> &str {
+        "multi_bfs"
+    }
+
+    fn init(&mut self, graph: &Graph) -> Vec<MultiBfsNode> {
+        let mut roots_of: Vec<Vec<u32>> = vec![Vec::new(); graph.n()];
+        for (i, inst) in self.spec.instances.iter().enumerate() {
+            roots_of[inst.root as usize].push(i as u32);
+        }
+        roots_of
+            .into_iter()
+            .map(|r| MultiBfsNode::new(Arc::clone(&self.spec), r))
+            .collect()
+    }
+
+    fn round(&self, state: &mut MultiBfsNode, ctx: &mut RoundCtx<'_, MultiBfsMsg>) {
+        NodeAlgorithm::round(state, ctx);
+    }
+
+    fn halted(&self, state: &MultiBfsNode) -> bool {
+        NodeAlgorithm::halted(state)
+    }
+
+    fn finish(self, _graph: &Graph, nodes: Vec<MultiBfsNode>, stats: &RunStats) -> MultiBfsOutcome {
+        let max_queue = nodes.iter().map(|s| s.max_queue).max().unwrap_or(0);
+        let overflowed = nodes.iter().any(|s| s.overflowed);
+        let mut reached = Vec::with_capacity(nodes.len());
+        let mut children = Vec::with_capacity(nodes.len());
+        for s in nodes {
+            reached.push(s.reached);
+            let mut c = s.children;
+            for list in &mut c {
+                list.sort_unstable();
+            }
+            children.push(c);
+        }
+        MultiBfsOutcome {
+            reached,
+            children,
+            max_queue,
+            overflowed,
+            stats: stats.clone(),
+        }
+    }
+}
+
 /// Runs a bundle of BFS instances to quiescence.
 ///
 /// # Errors
 ///
 /// Propagates engine errors ([`SimError::RoundLimitExceeded`] when the
 /// bundle cannot finish within `cfg.max_rounds`).
+#[deprecated(note = "run the `MultiBfs` protocol through a `Session` instead")]
 pub fn run_multi_bfs(
     graph: &Graph,
     spec: Arc<MultiBfsSpec>,
     cfg: &SimConfig,
 ) -> Result<MultiBfsOutcome, SimError> {
-    let mut roots_of: Vec<Vec<u32>> = vec![Vec::new(); graph.n()];
-    for (i, inst) in spec.instances.iter().enumerate() {
-        roots_of[inst.root as usize].push(i as u32);
-    }
-    let nodes: Vec<MultiBfsNode> = roots_of
-        .into_iter()
-        .map(|r| MultiBfsNode::new(Arc::clone(&spec), r))
-        .collect();
-    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
-    let max_queue = nodes.iter().map(|s| s.max_queue).max().unwrap_or(0);
-    let overflowed = nodes.iter().any(|s| s.overflowed);
-    let mut reached = Vec::with_capacity(nodes.len());
-    let mut children = Vec::with_capacity(nodes.len());
-    for s in nodes {
-        reached.push(s.reached);
-        let mut c = s.children;
-        for list in &mut c {
-            list.sort_unstable();
-        }
-        children.push(c);
-    }
-    Ok(MultiBfsOutcome {
-        reached,
-        children,
-        max_queue,
-        overflowed,
-        stats,
-    })
+    Session::new(graph, cfg.clone()).run(MultiBfs::new(spec))
 }
 
 #[cfg(test)]
@@ -368,6 +411,13 @@ mod tests {
 
     fn full_membership() -> MembershipFn {
         Arc::new(|_, _, _| true)
+    }
+
+    /// All protocol tests go through the first-class `Session` API.
+    fn run_bundle(g: &Graph, spec: Arc<MultiBfsSpec>) -> MultiBfsOutcome {
+        Session::new(g, SimConfig::default())
+            .run(MultiBfs::new(spec))
+            .unwrap()
     }
 
     #[test]
@@ -382,7 +432,7 @@ mod tests {
             membership: full_membership(),
             queue_cap: 0,
         });
-        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        let out = run_bundle(&g, spec);
         let exact = bfs_distances(&g, 0);
         for v in g.nodes() {
             assert_eq!(
@@ -406,7 +456,7 @@ mod tests {
             membership: full_membership(),
             queue_cap: 0,
         });
-        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        let out = run_bundle(&g, spec);
         assert_eq!(out.instance_depth(0), 4);
         assert_eq!(out.instance_nodes(0).len(), 5);
         assert!(out.reached[5][0].is_none());
@@ -440,7 +490,7 @@ mod tests {
             membership,
             queue_cap: 0,
         });
-        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        let out = run_bundle(&g, spec);
         assert_eq!(out.instance_nodes(0).len(), 5);
         assert_eq!(out.instance_nodes(1).len(), 5);
         assert_eq!(out.reached[4][0].unwrap().dist, 4);
@@ -465,7 +515,7 @@ mod tests {
             membership: full_membership(),
             queue_cap: 0,
         });
-        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        let out = run_bundle(&g, spec);
         for i in 0..10u32 {
             assert_eq!(out.instance_nodes(i).len(), 20, "instance {i} spans");
         }
@@ -492,8 +542,8 @@ mod tests {
                 queue_cap: 0,
             })
         };
-        let bunched = run_multi_bfs(&g, mk(false), &SimConfig::default()).unwrap();
-        let spread = run_multi_bfs(&g, mk(true), &SimConfig::default()).unwrap();
+        let bunched = run_bundle(&g, mk(false));
+        let spread = run_bundle(&g, mk(true));
         assert!(
             spread.max_queue < bunched.max_queue,
             "delays {} should beat bunched {}",
@@ -517,7 +567,7 @@ mod tests {
             membership: full_membership(),
             queue_cap: 2,
         });
-        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        let out = run_bundle(&g, spec);
         assert!(out.overflowed);
         // Some instance failed to span.
         let spanned = (0..8u32)
@@ -538,7 +588,7 @@ mod tests {
             membership: full_membership(),
             queue_cap: 0,
         });
-        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        let out = run_bundle(&g, spec);
         for v in g.nodes() {
             if let Some(r) = out.reached[v as usize][0] {
                 if let Some(p) = r.parent {

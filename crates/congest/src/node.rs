@@ -170,7 +170,7 @@ impl<'a, M: Message> RoundCtx<'a, M> {
     /// Queues a message to a neighbor. Model compliance (adjacency, one
     /// message per edge direction per round, bandwidth) is checked at
     /// send time; the first violation aborts the run with a
-    /// [`SimError`](crate::SimError) when the round ends.
+    /// [`SimError`] when the round ends.
     #[inline]
     pub fn send(&mut self, to: NodeId, msg: M) {
         match self.neighbor_index(to) {
@@ -245,5 +245,171 @@ impl<'a, M: Message> RoundCtx<'a, M> {
     #[inline]
     pub fn shared_randomness(&self) -> &'a [u64] {
         self.shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run, SimConfig};
+    use crate::SimError;
+
+    /// Probes `neighbor_index` / `tree_indices` from inside a real
+    /// round and records what it saw (these helpers were previously
+    /// only exercised indirectly through the tree protocols).
+    #[derive(Debug, Default)]
+    struct Probe {
+        /// `(query, answer)` pairs from `neighbor_index`.
+        lookups: Vec<(NodeId, Option<usize>)>,
+        /// Result of a `tree_indices` call, when configured.
+        tree: Option<(Option<usize>, Vec<usize>)>,
+        /// Inputs for the `tree_indices` call.
+        parent: Option<NodeId>,
+        children: Vec<NodeId>,
+        probe_tree: bool,
+    }
+
+    impl NodeAlgorithm for Probe {
+        type Msg = u32;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+            if ctx.round() > 0 {
+                return;
+            }
+            // Query every node in the graph plus one out-of-range id.
+            for w in 0..ctx.n() as NodeId {
+                self.lookups.push((w, ctx.neighbor_index(w)));
+            }
+            let ghost = ctx.n() as NodeId + 7;
+            self.lookups.push((ghost, ctx.neighbor_index(ghost)));
+            if self.probe_tree {
+                self.tree = Some(ctx.tree_indices(self.parent, &self.children));
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+    }
+
+    fn probe_graph(g: &lcs_graph::Graph, configure: impl Fn(usize, &mut Probe)) -> Vec<Probe> {
+        let nodes = (0..g.n())
+            .map(|v| {
+                let mut p = Probe::default();
+                configure(v, &mut p);
+                p
+            })
+            .collect();
+        run(g, nodes, &SimConfig::default()).unwrap().nodes
+    }
+
+    #[test]
+    fn neighbor_index_on_leaf_root_and_nonexistent_neighbor() {
+        // Path 0-1-2: node 0 and 2 are leaves, 1 is internal.
+        let g = lcs_graph::generators::path(3);
+        let out = probe_graph(&g, |_, _| {});
+        // Leaf 0: only neighbor is 1, at index 0; itself and 2 are not
+        // neighbors; out-of-range ids resolve to None, never panic.
+        assert_eq!(
+            out[0].lookups,
+            vec![(0, None), (1, Some(0)), (2, None), (10, None)]
+        );
+        // Internal node 1: sorted adjacency [0, 2].
+        assert_eq!(
+            out[1].lookups,
+            vec![(0, Some(0)), (1, None), (2, Some(1)), (10, None)]
+        );
+        // Leaf 2 mirrors leaf 0.
+        assert_eq!(
+            out[2].lookups,
+            vec![(0, None), (1, Some(0)), (2, None), (10, None)]
+        );
+    }
+
+    #[test]
+    fn neighbor_index_is_duplicate_free_and_consistent_on_high_degree() {
+        // Star hub has degree 16 > 8, exercising the binary-search arm;
+        // the leaves exercise the linear-scan arm.
+        let g = lcs_graph::generators::star(17);
+        let out = probe_graph(&g, |_, _| {});
+        let hub = &out[0];
+        let hits: Vec<usize> = hub.lookups.iter().filter_map(|&(_, i)| i).collect();
+        // Every neighbor resolves, indices are exactly 0..degree with
+        // no duplicates (sorted adjacency), self/ghost miss.
+        assert_eq!(hits, (0..16).collect::<Vec<_>>());
+        assert_eq!(hub.lookups[0], (0, None), "self is not a neighbor");
+        assert_eq!(hub.lookups.last().unwrap().1, None, "ghost id misses");
+        for leaf in &out[1..] {
+            let hits: Vec<(NodeId, usize)> = leaf
+                .lookups
+                .iter()
+                .filter_map(|&(w, i)| i.map(|i| (w, i)))
+                .collect();
+            assert_eq!(hits, vec![(0, 0)], "leaves see only the hub");
+        }
+    }
+
+    #[test]
+    fn tree_indices_on_root_internal_and_leaf_positions() {
+        // Path 0-1-2-3 as a tree rooted at 0.
+        let g = lcs_graph::generators::path(4);
+        let out = probe_graph(&g, |v, p| {
+            p.probe_tree = true;
+            p.parent = (v > 0).then(|| v as NodeId - 1);
+            p.children = if v < 3 { vec![v as NodeId + 1] } else { vec![] };
+        });
+        // Root: no parent, child 1 at neighbor index 0.
+        assert_eq!(out[0].tree, Some((None, vec![0])));
+        // Internal: parent 0 at index 0, child 2 at index 1.
+        assert_eq!(out[1].tree, Some((Some(0), vec![1])));
+        // Leaf: parent at index 0, no children.
+        assert_eq!(out[3].tree, Some((Some(0), vec![])));
+    }
+
+    #[test]
+    fn tree_indices_with_no_position_is_empty() {
+        let g = lcs_graph::generators::path(2);
+        let out = probe_graph(&g, |_, p| p.probe_tree = true);
+        assert_eq!(out[0].tree, Some((None, vec![])));
+    }
+
+    #[test]
+    fn tree_indices_nonexistent_child_aborts_with_invalid_destination() {
+        let g = lcs_graph::generators::path(3);
+        let nodes = (0..3)
+            .map(|v| Probe {
+                probe_tree: v == 0,
+                children: if v == 0 { vec![2] } else { vec![] }, // 2 is not adjacent to 0
+                ..Probe::default()
+            })
+            .collect();
+        let err = run(&g, nodes, &SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidDestination {
+                from: 0,
+                to: 2,
+                round: 0
+            }
+        );
+    }
+
+    #[test]
+    fn tree_indices_nonexistent_parent_aborts_with_invalid_destination() {
+        let g = lcs_graph::generators::path(3);
+        let nodes = (0..3)
+            .map(|v| Probe {
+                probe_tree: v == 2,
+                parent: (v == 2).then_some(0), // 0 is not adjacent to 2
+                ..Probe::default()
+            })
+            .collect();
+        let err = run(&g, nodes, &SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidDestination {
+                from: 2,
+                to: 0,
+                round: 0
+            }
+        );
     }
 }

@@ -1,29 +1,50 @@
 //! Persistent, barrier-synchronized worker pool for round-based
 //! execution.
 //!
-//! [`run_rounds`] spawns one scoped thread per worker state **once**,
-//! then drives all of them through synchronous rounds with a reusable
-//! two-phase barrier — replacing the engine's previous per-round
-//! [`std::thread::scope`] spawn, whose thread create/join cost dominated
-//! sharded rounds at simulator scale (~1.2× at 4 shards where the work
-//! itself parallelizes cleanly).
+//! A [`Pool`] spawns one thread per worker **once** and then drives any
+//! number of *phases* over them — each phase being a round-synchronous
+//! computation in the style of [`run_rounds`]. Phases are type-erased:
+//! the pool's threads outlive any single phase's state type, which is
+//! what lets a [`Session`](crate::Session) run a multi-protocol
+//! pipeline (BFS, then aggregation, then multi-BFS, …) with exactly one
+//! pool spawn. The free function [`run_rounds`] remains as the
+//! single-phase convenience (spawn, run, tear down).
 //!
 //! # Round protocol
 //!
 //! Each round is two barrier phases:
 //!
 //! 1. **Send phase** — the coordinator publishes the round number and
-//!    releases the *start* barrier; every worker runs `step` on its own
-//!    state and posts a report, then arrives at the *done* barrier.
+//!    releases the *start* barrier; every worker runs the installed job
+//!    on its own state and posts a report, then arrives at the *done*
+//!    barrier.
 //! 2. **Deliver phase** — crossing the *done* barrier makes all of the
 //!    round's effects (mailbox writes, reports) visible to the
 //!    coordinator, which aggregates the reports and decides via
 //!    `control` whether to run another round. Workers park at the
 //!    *start* barrier until that decision.
 //!
-//! The two `std::sync::Barrier`s are reused for every round, so the
-//! steady-state cost of a round is two barrier crossings per thread —
-//! no thread creation, no channel allocation.
+//! The two [`std::sync::Barrier`]s are reused for every round of every
+//! phase, so the steady-state cost of a round is two barrier crossings
+//! per thread — no thread creation, no channel allocation, and across
+//! phases not even a spawn.
+//!
+//! # Phase erasure and soundness
+//!
+//! A phase's per-worker job (step closure, state pointers, report
+//! slots) lives on the coordinator's stack for the duration of
+//! [`Pool::run_rounds`]; the pool stores only a lifetime-erased
+//! `(data pointer, call thunk)` pair. Soundness rests on the phase
+//! protocol:
+//!
+//! * the job is installed before the first *start* release of the phase
+//!   and cleared before `run_rounds` returns (a drop guard clears it on
+//!   unwind too);
+//! * workers dereference the job only between the *start* and *done*
+//!   barriers, and `run_rounds` does not return (or unwind past its
+//!   frame) until every released worker has re-parked at *start*;
+//! * workers check the shutdown flag **before** touching the job slot,
+//!   so a pool drop never dereferences a stale phase.
 //!
 //! # Panic safety
 //!
@@ -36,134 +57,256 @@
 //! (e.g. the simulator lets a model violation in a lower shard win over
 //! a panic in a higher one, because the sequential engine would have
 //! hit the violation first and never run the panicking node).
-//! Returning [`Control::Abort`] shuts the pool down and re-raises the
-//! payload on the calling thread. A panicking `control` closure
-//! likewise shuts the pool down before propagating.
+//! Returning [`Control::Abort`] ends the phase and re-raises the
+//! payload on the calling thread; the pool itself stays healthy and can
+//! run further phases. A panicking `control` closure likewise
+//! propagates after the phase is cleaned up.
 //!
 //! # Determinism
 //!
 //! Results are handed to `control` in worker-index order regardless of
-//! thread scheduling, and `step` receives disjoint `&mut` state, so any
-//! reduction over the results that is order-independent — or that
-//! explicitly resolves ties by worker index, as the simulator's
+//! thread scheduling, and each worker's job accesses disjoint `&mut`
+//! state, so any reduction over the results that is order-independent —
+//! or that explicitly resolves ties by worker index, as the simulator's
 //! violation handling does — is bit-identical to a sequential
 //! execution.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread::JoinHandle;
 
 /// The coordinator's per-round decision, returned by the `control`
-/// closure of [`run_rounds`].
+/// closure of [`Pool::run_rounds`].
 pub enum Control<T> {
     /// Run another round (subject to the round limit).
     Continue,
-    /// Stop the pool and make [`run_rounds`] return `Some(T)`.
+    /// Stop the phase and make [`Pool::run_rounds`] return `Some(T)`.
     Stop(T),
-    /// Stop the pool and re-raise this panic payload on the calling
+    /// Stop the phase and re-raise this panic payload on the calling
     /// thread (the usual disposition for a worker's `Err` result).
     Abort(Box<dyn std::any::Any + Send>),
 }
 
+/// A lifetime-erased per-round job: `call(data, worker, round)` runs
+/// one worker's share of one round. The pointee is a closure owned by
+/// the coordinator's `run_rounds` frame; see the module docs for the
+/// protocol that keeps the pointer valid whenever it is dereferenced.
+#[derive(Clone, Copy)]
+struct RawJob {
+    data: *const (),
+    call: unsafe fn(*const (), usize, u64),
+}
+
+// SAFETY: `RawJob` is two plain words; the *use* of the pointer is
+// governed by the phase protocol (module docs), not by these impls.
+unsafe impl Send for RawJob {}
+unsafe impl Sync for RawJob {}
+
+unsafe fn call_thunk<F: Fn(usize, u64) + Sync>(data: *const (), worker: usize, round: u64) {
+    (*data.cast::<F>())(worker, round)
+}
+
+/// Erases a phase job closure to a [`RawJob`] (the only place the
+/// closure's concrete type is known).
+fn raw_job_of<F: Fn(usize, u64) + Sync>(f: &F) -> RawJob {
+    RawJob {
+        data: (f as *const F).cast(),
+        call: call_thunk::<F>,
+    }
+}
+
 /// Shared coordinator/worker rendezvous state.
-struct RoundSync {
+struct Shared {
     /// Released by the coordinator to start a round (or to shut down).
     start: Barrier,
-    /// Crossed by everyone once a round's `step`s have completed.
+    /// Crossed by everyone once a round's jobs have completed.
     done: Barrier,
-    /// Round number for the phase being started. Relaxed accesses are
+    /// Round number for the round being started. Relaxed accesses are
     /// sufficient: every load/store is separated by a barrier crossing,
     /// which provides the happens-before edge.
     round: AtomicU64,
-    /// Shutdown flag, read by workers right after the start barrier.
+    /// Shutdown flag, read by workers right after the start barrier and
+    /// **before** the job slot.
     stop: AtomicBool,
+    /// The current phase's erased job: a pointer to a [`RawJob`] living
+    /// in the coordinator's `run_rounds` frame, or null between phases.
+    /// Published before the start barrier and read after it, so (like
+    /// `round`) relaxed accesses are ordered by the barrier crossing —
+    /// workers never touch a lock on the per-round hot path.
+    job: AtomicPtr<RawJob>,
 }
 
-/// Runs up to `max_rounds` synchronous rounds over `states`, one
-/// persistent worker thread per state (none at all for a single state —
-/// the sequential fast path executes inline with identical semantics,
-/// where a panicking `step` simply propagates).
+/// A persistent pool of `workers` round-synchronized threads.
 ///
-/// Per round, every worker executes `step(worker_index, &mut state,
-/// round)` concurrently; the per-worker results — `Ok(report)` or
-/// `Err(panic_payload)` — are then passed, in worker order, to
-/// `control(round, results)`, which decides whether to continue. A
-/// worker whose `step` panicked keeps participating in later rounds
-/// (its state may be logically inconsistent; callers that cannot
-/// tolerate that should return [`Control::Abort`], as the simulator
-/// does).
-///
-/// Returns the final states plus `Some(value)` from [`Control::Stop`],
-/// or `None` if `max_rounds` elapsed without a stop.
-///
-/// # Panics
-///
-/// Re-raises the payload of [`Control::Abort`], or a panic of `control`
-/// itself, after shutting down the pool — never deadlocks on a
-/// panicking round.
-pub fn run_rounds<S, R, T, Step, Ctl>(
-    mut states: Vec<S>,
-    max_rounds: u64,
-    step: Step,
-    mut control: Ctl,
-) -> (Vec<S>, Option<T>)
-where
-    S: Send,
-    R: Send,
-    Step: Fn(usize, &mut S, u64) -> R + Sync,
-    Ctl: FnMut(u64, Vec<std::thread::Result<R>>) -> Control<T>,
-{
-    assert!(!states.is_empty(), "pool needs at least one worker state");
-    if states.len() == 1 {
-        // Sequential fast path: no threads, no barriers, same protocol.
-        for round in 0..max_rounds {
-            let report = step(0, &mut states[0], round);
-            match control(round, vec![Ok(report)]) {
-                Control::Continue => {}
-                Control::Stop(t) => return (states, Some(t)),
-                Control::Abort(payload) => resume_unwind(payload),
-            }
+/// Construct once (e.g. per [`Session`](crate::Session)), then call
+/// [`Pool::run_rounds`] any number of times — each call is one phase,
+/// possibly with a completely different state type. A pool of one
+/// worker spawns no threads at all: every phase executes inline on the
+/// calling thread with identical semantics (a panicking `step` simply
+/// propagates).
+pub struct Pool {
+    workers: usize,
+    shared: Option<Arc<Shared>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Clears the job slot when a phase ends, including by unwind, so the
+/// pool never retains a pointer into a dead stack frame.
+struct JobGuard<'a>(&'a Shared);
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        self.0.job.store(std::ptr::null_mut(), Ordering::Relaxed);
+    }
+}
+
+impl Pool {
+    /// Creates a pool of `workers` threads (none for `workers <= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        if workers == 1 {
+            return Pool {
+                workers,
+                shared: None,
+                handles: Vec::new(),
+            };
         }
-        return (states, None);
+        let shared = Arc::new(Shared {
+            start: Barrier::new(workers + 1),
+            done: Barrier::new(workers + 1),
+            round: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            job: AtomicPtr::new(std::ptr::null_mut()),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    shared.start.wait();
+                    if shared.stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let round = shared.round.load(Ordering::Relaxed);
+                    // SAFETY: the job pointer was published before the
+                    // start barrier released this worker (non-null for
+                    // any released, non-stopped round) and the
+                    // coordinator keeps the phase frame alive until
+                    // after the done barrier (module docs).
+                    let job = unsafe { &*shared.job.load(Ordering::Relaxed) };
+                    unsafe { (job.call)(job.data, index, round) };
+                    shared.done.wait();
+                })
+            })
+            .collect();
+        Pool {
+            workers,
+            shared: Some(shared),
+            handles,
+        }
     }
 
-    let workers = states.len();
-    let sync = RoundSync {
-        start: Barrier::new(workers + 1),
-        done: Barrier::new(workers + 1),
-        round: AtomicU64::new(0),
-        stop: AtomicBool::new(false),
-    };
-    // One report slot per worker; uncontended Mutexes (each slot is
-    // touched by exactly one worker and the coordinator, in different
-    // phases).
-    let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
-        (0..workers).map(|_| Mutex::new(None)).collect();
+    /// Number of workers (= threads for `workers > 1`).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for (index, mut state) in states.drain(..).enumerate() {
-            let sync = &sync;
-            let step = &step;
-            let slot = &slots[index];
-            handles.push(scope.spawn(move || loop {
-                sync.start.wait();
-                if sync.stop.load(Ordering::Relaxed) {
-                    return state;
+    /// Runs one phase: up to `max_rounds` synchronous rounds over
+    /// `states`, one worker per state.
+    ///
+    /// Per round, every worker executes `step(worker_index, &mut state,
+    /// round)` concurrently; the per-worker results — `Ok(report)` or
+    /// `Err(panic_payload)` — are then passed, in worker order, to
+    /// `control(round, results)`, which decides whether to continue. A
+    /// worker whose `step` panicked keeps participating in later rounds
+    /// (its state may be logically inconsistent; callers that cannot
+    /// tolerate that should return [`Control::Abort`], as the simulator
+    /// does).
+    ///
+    /// Returns the final states plus `Some(value)` from
+    /// [`Control::Stop`], or `None` if `max_rounds` elapsed without a
+    /// stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != self.workers()`. Re-raises the
+    /// payload of [`Control::Abort`], or a panic of `control` itself,
+    /// after parking the workers — never deadlocks on a panicking
+    /// round, and the pool remains usable for further phases.
+    pub fn run_rounds<S, R, T, Step, Ctl>(
+        &mut self,
+        mut states: Vec<S>,
+        max_rounds: u64,
+        step: Step,
+        mut control: Ctl,
+    ) -> (Vec<S>, Option<T>)
+    where
+        S: Send,
+        R: Send,
+        Step: Fn(usize, &mut S, u64) -> R + Sync,
+        Ctl: FnMut(u64, Vec<std::thread::Result<R>>) -> Control<T>,
+    {
+        assert_eq!(
+            states.len(),
+            self.workers,
+            "one state per pool worker required"
+        );
+        let Some(shared) = &self.shared else {
+            // Sequential fast path: no threads, no barriers, same
+            // protocol.
+            for round in 0..max_rounds {
+                let report = step(0, &mut states[0], round);
+                match control(round, vec![Ok(report)]) {
+                    Control::Continue => {}
+                    Control::Stop(t) => return (states, Some(t)),
+                    Control::Abort(payload) => resume_unwind(payload),
                 }
-                let round = sync.round.load(Ordering::Relaxed);
-                let report = catch_unwind(AssertUnwindSafe(|| step(index, &mut state, round)));
-                *slot.lock().expect("report slot") = Some(report);
-                sync.done.wait();
-            }));
-        }
+            }
+            return (states, None);
+        };
+
+        let workers = self.workers;
+        // One report slot per worker; uncontended Mutexes (each slot is
+        // touched by exactly one worker and the coordinator, in
+        // different barrier phases).
+        let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        // Disjoint-index access: worker `w` touches only `states[w]`.
+        let states_ptr = SendPtr(states.as_mut_ptr());
+        let slots = &slots;
+        let step = &step;
+        let job = move |worker: usize, round: u64| {
+            // SAFETY: each worker index is used by exactly one thread
+            // per round, and the coordinator does not touch `states`
+            // between the start and done barriers.
+            let state = unsafe { &mut *states_ptr.add(worker) };
+            let report = catch_unwind(AssertUnwindSafe(|| step(worker, state, round)));
+            *slots[worker].lock().expect("report slot") = Some(report);
+        };
+        let raw = raw_job_of(&job);
+        shared
+            .job
+            .store(&raw as *const RawJob as *mut RawJob, Ordering::Relaxed);
+        let _guard = JobGuard(shared);
 
         let mut outcome: Option<T> = None;
         let mut fatal: Option<Box<dyn std::any::Any + Send>> = None;
-        'rounds: for round in 0..max_rounds {
-            sync.round.store(round, Ordering::Relaxed);
-            sync.start.wait(); // send phase begins
-            sync.done.wait(); // all steps done, all effects visible
+        for round in 0..max_rounds {
+            shared.round.store(round, Ordering::Relaxed);
+            shared.start.wait(); // send phase begins
+            shared.done.wait(); // all jobs done, all effects visible
             let results: Vec<std::thread::Result<R>> = slots
                 .iter()
                 .map(|slot| {
@@ -177,31 +320,82 @@ where
                 Ok(Control::Continue) => {}
                 Ok(Control::Stop(t)) => {
                     outcome = Some(t);
-                    break 'rounds;
+                    break;
                 }
                 Ok(Control::Abort(payload)) | Err(payload) => {
                     fatal = Some(payload);
-                    break 'rounds;
+                    break;
                 }
             }
         }
-
-        // Shutdown: release the workers one last time with the stop
-        // flag raised, collect their states back in worker order.
-        sync.stop.store(true, Ordering::Relaxed);
-        sync.start.wait();
-        let final_states: Vec<S> = handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(state) => state,
-                Err(payload) => resume_unwind(payload),
-            })
-            .collect();
+        // Workers are parked at the start barrier; the phase frame
+        // (job, slots, states) may now be reclaimed.
+        drop(_guard);
         if let Some(payload) = fatal {
             resume_unwind(payload);
         }
-        (final_states, outcome)
-    })
+        (states, outcome)
+    }
+}
+
+/// A raw pointer that may be shared across the pool's threads (the
+/// disjoint-index protocol in [`Pool::run_rounds`] is what makes the
+/// sharing sound).
+#[derive(Clone, Copy)]
+struct SendPtr<S>(*mut S);
+unsafe impl<S: Send> Send for SendPtr<S> {}
+unsafe impl<S: Send> Sync for SendPtr<S> {}
+
+impl<S> SendPtr<S> {
+    /// Offset accessor; going through `&self` (rather than field `.0`)
+    /// keeps closures capturing the whole `SendPtr`, preserving its
+    /// `Sync` impl under edition-2021 disjoint field capture.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`std::ptr::mut_ptr::add`] plus the pool's
+    /// disjoint-index protocol.
+    unsafe fn add(&self, i: usize) -> *mut S {
+        self.0.add(i)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.stop.store(true, Ordering::Relaxed);
+            shared.start.wait();
+            for handle in self.handles.drain(..) {
+                // Workers never unwind out of their loop (jobs catch
+                // panics), so join errors are impossible in practice;
+                // swallow rather than double-panic in drop.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Single-phase convenience: spawns a throwaway [`Pool`] sized to
+/// `states`, runs one phase, and tears the pool down. Semantics are
+/// exactly [`Pool::run_rounds`].
+///
+/// # Panics
+///
+/// Panics if `states` is empty; otherwise as [`Pool::run_rounds`].
+pub fn run_rounds<S, R, T, Step, Ctl>(
+    states: Vec<S>,
+    max_rounds: u64,
+    step: Step,
+    control: Ctl,
+) -> (Vec<S>, Option<T>)
+where
+    S: Send,
+    R: Send,
+    Step: Fn(usize, &mut S, u64) -> R + Sync,
+    Ctl: FnMut(u64, Vec<std::thread::Result<R>>) -> Control<T>,
+{
+    assert!(!states.is_empty(), "pool needs at least one worker state");
+    Pool::new(states.len()).run_rounds(states, max_rounds, step, control)
 }
 
 #[cfg(test)]
@@ -401,5 +595,70 @@ mod tests {
             )
         });
         assert!(result.is_err());
+    }
+
+    /// The persistent-pool property the engine's `Session` relies on:
+    /// one spawn, many phases, including phases of different state
+    /// types and phases after an aborted (panicked) phase.
+    #[test]
+    fn one_pool_runs_many_phases_of_different_types() {
+        let mut pool = Pool::new(3);
+        // Phase 1: u64 accumulators.
+        let (s1, out1) = pool.run_rounds(
+            vec![0u64; 3],
+            5,
+            |i, s, r| {
+                *s += i as u64 + r;
+                *s
+            },
+            |round, results| {
+                if round == 4 {
+                    Control::Stop(oks(results))
+                } else {
+                    Control::Continue
+                }
+            },
+        );
+        assert_eq!(s1, vec![10, 15, 20]);
+        assert_eq!(out1, Some(vec![10, 15, 20]));
+        // Phase 2 (different state type): string builders.
+        let (s2, out2) = pool.run_rounds(
+            vec![String::new(); 3],
+            3,
+            |i, s, _r| {
+                s.push((b'a' + i as u8) as char);
+                s.len()
+            },
+            |_round, _results| Control::<()>::Continue,
+        );
+        assert_eq!(s2, vec!["aaa", "bbb", "ccc"]);
+        assert_eq!(out2, None);
+        // Phase 3: a panicking phase must not poison the pool...
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_rounds(
+                vec![(); 3],
+                10,
+                |i, _s, _r| {
+                    if i == 1 {
+                        panic!("phase 3 worker panic");
+                    }
+                },
+                |_round, results| match reports_or_abort::<(), ()>(results) {
+                    Ok(_) => Control::Continue,
+                    Err(abort) => abort,
+                },
+            )
+        }));
+        assert!(panicked.is_err());
+        // ...phase 4 still runs on the same threads.
+        let (s4, _) = pool.run_rounds(
+            vec![1u32; 3],
+            4,
+            |_i, s, _r| {
+                *s *= 2;
+            },
+            |_round, _results: Vec<std::thread::Result<()>>| Control::<()>::Continue,
+        );
+        assert_eq!(s4, vec![16, 16, 16]);
     }
 }

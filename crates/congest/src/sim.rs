@@ -45,7 +45,7 @@
 //! ## Safety protocol of the shared mailboxes
 //!
 //! The mailbox buffers are shared across workers through interior
-//! mutability ([`Slot`]). Soundness rests on three invariants, enforced
+//! mutability (`Slot`). Soundness rests on three invariants, enforced
 //! structurally and ordered by the pool's barriers:
 //!
 //! 1. During a round's send phase, slot `a` of the **write** buffer is
@@ -73,14 +73,15 @@
 //! and the shard-sweep determinism check in the `sim_throughput` bench.
 
 use crate::error::SimError;
-use crate::message::DEFAULT_BANDWIDTH_WORDS;
+use crate::message::{Message, DEFAULT_BANDWIDTH_WORDS};
 use crate::node::{NodeAlgorithm, RoundCtx, TxState};
-use crate::pool::{self, Control};
+use crate::pool::{Control, Pool};
 use crate::stats::RunStats;
 use lcs_graph::{ArcId, Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cell::UnsafeCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration of a simulator run.
@@ -96,9 +97,12 @@ pub struct SimConfig {
     /// Number of shared-randomness words exposed to every node.
     pub shared_randomness_words: usize,
     /// Number of contiguous node shards executed by the persistent
-    /// worker pool ([`crate::pool`]), one thread per shard for the whole
-    /// run. `1` (the default) runs fully sequentially on the calling
-    /// thread; any value produces bit-identical outcomes.
+    /// worker pool ([`crate::pool`]), one thread per shard. `0` (the
+    /// default) resolves to [`std::thread::available_parallelism`]
+    /// clamped to the node count, so multi-core hardware is used out of
+    /// the box; `1` runs fully sequentially on the calling thread. Any
+    /// value produces bit-identical outcomes (see the module docs'
+    /// determinism contract), so the choice is purely about wall-clock.
     pub shards: usize,
 }
 
@@ -109,7 +113,34 @@ impl Default for SimConfig {
             max_rounds: 1_000_000,
             seed: 0xC0FFEE,
             shared_randomness_words: 64,
-            shards: 1,
+            shards: 0,
+        }
+    }
+}
+
+/// Minimum nodes per shard for auto-sizing (`shards = 0`): below this,
+/// a shard's per-round work (~ns per idle node) cannot amortize the
+/// two barrier crossings a pooled round costs, so small graphs run
+/// sequentially rather than paying thread overhead for nothing.
+/// Explicit shard counts are honored regardless (clamped to `n` only).
+const AUTO_MIN_NODES_PER_SHARD: usize = 4096;
+
+impl SimConfig {
+    /// The effective shard count for an `n`-node run: `0` resolves to
+    /// the machine's available parallelism, clamped so every shard gets
+    /// at least `AUTO_MIN_NODES_PER_SHARD` (4096) nodes — tiny graphs
+    /// run sequentially, where barrier crossings would dominate. Any
+    /// explicit value is clamped to `[1, max(n, 1)]` (more shards than
+    /// nodes would only idle).
+    pub fn resolved_shards(&self, n: usize) -> usize {
+        if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(n / AUTO_MIN_NODES_PER_SHARD)
+                .max(1)
+        } else {
+            self.shards.clamp(1, n.max(1))
         }
     }
 }
@@ -181,10 +212,10 @@ struct Shard<M> {
 }
 
 /// A pool worker's state: its shard bookkeeping plus disjoint mutable
-/// views of the node and RNG arrays.
-struct ShardWorker<'a, A: NodeAlgorithm> {
-    sh: Shard<A::Msg>,
-    nodes: &'a mut [A],
+/// views of the node-state and RNG arrays.
+struct ShardWorker<'a, D: Driver> {
+    sh: Shard<D::Msg>,
+    nodes: &'a mut [D::State],
     rngs: &'a mut [ChaCha8Rng],
 }
 
@@ -193,6 +224,65 @@ struct StepReport {
     all_halted: bool,
     violation: Option<SimError>,
     in_flight: u64,
+}
+
+/// The engine's per-node dispatch abstraction: how one node executes a
+/// round and reports quiescence. Implemented for plain
+/// [`NodeAlgorithm`] vectors (state *is* behavior) and for
+/// [`Protocol`](crate::Protocol) runs (one shared protocol value drives
+/// per-node states), so both APIs share one engine.
+pub(crate) trait Driver: Sync {
+    /// The wire message type.
+    type Msg: Message + Send + Sync;
+    /// Per-node state.
+    type State: Send;
+    /// One synchronous round for `state`'s node.
+    fn node_round(&self, state: &mut Self::State, ctx: &mut RoundCtx<'_, Self::Msg>);
+    /// Whether `state`'s node has (tentatively) halted.
+    fn node_halted(&self, state: &Self::State) -> bool;
+}
+
+/// Driver for a vector of [`NodeAlgorithm`] values. `PhantomData` over
+/// `fn() -> A` keeps the driver `Sync` without requiring `A: Sync` —
+/// node states are only ever touched through disjoint `&mut`.
+struct PlainDriver<A>(PhantomData<fn() -> A>);
+
+impl<A> Driver for PlainDriver<A>
+where
+    A: NodeAlgorithm + Send,
+    A::Msg: Send + Sync,
+{
+    type Msg = A::Msg;
+    type State = A;
+    #[inline]
+    fn node_round(&self, state: &mut A, ctx: &mut RoundCtx<'_, A::Msg>) {
+        state.round(ctx);
+    }
+    #[inline]
+    fn node_halted(&self, state: &A) -> bool {
+        state.halted()
+    }
+}
+
+/// The per-[`Session`](crate::Session) persistent half of the engine:
+/// the worker pool (spawned once) and the graph's reverse-arc table
+/// (computed once). Everything message-typed — mailbox buffers, mail
+/// flags, inboxes — is allocated per phase, since phases may use
+/// different message types.
+pub(crate) struct EngineHost {
+    pub(crate) pool: Pool,
+    rev: Vec<u32>,
+}
+
+impl EngineHost {
+    /// Builds a host for `graph` with an already-resolved shard count
+    /// (see [`SimConfig::resolved_shards`]).
+    pub(crate) fn new(graph: &Graph, shards: usize) -> Self {
+        EngineHost {
+            pool: Pool::new(shards.clamp(1, graph.n().max(1))),
+            rev: build_rev_arcs(graph),
+        }
+    }
 }
 
 /// `rev[a]` is the opposite-direction arc of the same undirected edge.
@@ -217,13 +307,14 @@ fn build_rev_arcs(g: &Graph) -> Vec<u32> {
 /// inbox from `cur`, runs the node, and applies its sends into the
 /// shard's own span of `nxt`. Returns `(all_halted, first_violation)`.
 #[allow(clippy::too_many_arguments)]
-fn run_shard<A: NodeAlgorithm>(
+fn run_shard<D: Driver>(
     graph: &Graph,
-    sh: &mut Shard<A::Msg>,
-    nodes: &mut [A],
+    driver: &D,
+    sh: &mut Shard<D::Msg>,
+    nodes: &mut [D::State],
     rngs: &mut [ChaCha8Rng],
-    cur: &[Slot<A::Msg>],
-    nxt: &[Slot<A::Msg>],
+    cur: &[Slot<D::Msg>],
+    nxt: &[Slot<D::Msg>],
     mail_cur: &[AtomicBool],
     mail_nxt: &[AtomicBool],
     rev: &[u32],
@@ -285,12 +376,12 @@ fn run_shard<A: NodeAlgorithm>(
                     bandwidth,
                 },
             };
-            nodes[v - sh.node_lo].round(&mut ctx);
+            driver.node_round(&mut nodes[v - sh.node_lo], &mut ctx);
         }
         if violation.is_some() {
             return (all_halted, violation);
         }
-        all_halted &= nodes[v - sh.node_lo].halted();
+        all_halted &= driver.node_halted(&nodes[v - sh.node_lo]);
     }
     (all_halted, violation)
 }
@@ -323,18 +414,36 @@ fn run_shard<A: NodeAlgorithm>(
 /// shuts down (it never deadlocks the barrier).
 pub fn run<A: NodeAlgorithm + Send>(
     graph: &Graph,
-    mut nodes: Vec<A>,
+    nodes: Vec<A>,
     cfg: &SimConfig,
 ) -> Result<RunOutcome<A>, SimError>
 where
     A::Msg: Send + Sync,
 {
+    let mut host = EngineHost::new(graph, cfg.resolved_shards(graph.n()));
+    let (nodes, stats) = run_phase(graph, &mut host, &PlainDriver::<A>(PhantomData), nodes, cfg)?;
+    Ok(RunOutcome { nodes, stats })
+}
+
+/// One engine phase: runs `states` (one per node) to quiescence on the
+/// host's persistent pool, driven by `driver`. This is the shared core
+/// of [`run`] (one-shot) and [`Session`](crate::Session) (many phases,
+/// one pool spawn). `cfg.shards` is ignored here — the host's pool was
+/// sized when it was built.
+pub(crate) fn run_phase<D: Driver>(
+    graph: &Graph,
+    host: &mut EngineHost,
+    driver: &D,
+    mut nodes: Vec<D::State>,
+    cfg: &SimConfig,
+) -> Result<(Vec<D::State>, RunStats), SimError> {
     assert_eq!(
         nodes.len(),
         graph.n(),
         "need exactly one algorithm instance per node"
     );
     let n = graph.n();
+    let EngineHost { pool, rev } = host;
     let mut stats = RunStats::new(graph);
 
     // Deterministic per-node RNGs and shared randomness.
@@ -351,10 +460,9 @@ where
         .collect();
 
     let num_arcs = graph.num_arcs();
-    let rev = build_rev_arcs(graph);
     // Parity mailbox buffers and mail flags: buffer `r % 2` is read in
     // round `r`, buffer `(r + 1) % 2` written.
-    let bufs: [Vec<Slot<A::Msg>>; 2] = [
+    let bufs: [Vec<Slot<D::Msg>>; 2] = [
         (0..num_arcs).map(|_| Slot::new()).collect(),
         (0..num_arcs).map(|_| Slot::new()).collect(),
     ];
@@ -363,8 +471,8 @@ where
         (0..n).map(|_| AtomicBool::new(false)).collect(),
     ];
 
-    let shard_count = cfg.shards.clamp(1, n.max(1));
-    let shards: Vec<Shard<A::Msg>> = (0..shard_count)
+    let shard_count = pool.workers();
+    let shards: Vec<Shard<D::Msg>> = (0..shard_count)
         .map(|s| {
             let node_lo = s * n / shard_count;
             let node_hi = (s + 1) * n / shard_count;
@@ -397,9 +505,9 @@ where
 
     // Worker states: each owns its shard bookkeeping plus disjoint
     // mutable slices of the node and RNG arrays.
-    let mut workers: Vec<ShardWorker<'_, A>> = Vec::with_capacity(shard_count);
+    let mut workers: Vec<ShardWorker<'_, D>> = Vec::with_capacity(shard_count);
     {
-        let mut nodes_rest: &mut [A] = &mut nodes;
+        let mut nodes_rest: &mut [D::State] = &mut nodes;
         let mut rngs_rest: &mut [ChaCha8Rng] = &mut node_rngs;
         for sh in shards {
             let span = sh.node_hi - sh.node_lo;
@@ -417,13 +525,14 @@ where
 
     let bufs = &bufs;
     let mails = &mails;
-    let rev_ref: &[u32] = &rev;
+    let rev_ref: &[u32] = rev;
     let shared_ref: &[u64] = &shared;
     let bandwidth = cfg.bandwidth_words;
-    let step = move |_w: usize, st: &mut ShardWorker<'_, A>, round: u64| -> StepReport {
+    let step = move |_w: usize, st: &mut ShardWorker<'_, D>, round: u64| -> StepReport {
         let parity = (round % 2) as usize;
         let (all_halted, violation) = run_shard(
             graph,
+            driver,
             &mut st.sh,
             st.nodes,
             st.rngs,
@@ -479,7 +588,7 @@ where
         }
     };
 
-    let (workers, outcome) = pool::run_rounds(workers, cfg.max_rounds, step, control);
+    let (workers, outcome) = pool.run_rounds(workers, cfg.max_rounds, step, control);
     match outcome {
         Some(Ok(())) => {
             for w in &workers {
@@ -493,7 +602,7 @@ where
                 }
             }
             drop(workers);
-            Ok(RunOutcome { nodes, stats })
+            Ok((nodes, stats))
         }
         Some(Err(e)) => Err(e),
         None => Err(SimError::RoundLimitExceeded {

@@ -12,6 +12,12 @@ use lcs_graph::EdgeId;
 /// [`crate::sim`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunStats {
+    /// Phase label (set by [`Session`](crate::Session) from
+    /// [`Protocol::label`](crate::Protocol::label), or via
+    /// [`RunStats::labeled`]; empty for raw engine runs). Purely
+    /// descriptive: excluded from [`RunStats::fingerprint`] so the
+    /// shard-determinism gates compare numbers, not naming.
+    pub label: String,
     /// Number of synchronous rounds executed (including quiescent final
     /// sweep).
     pub rounds: u64,
@@ -23,7 +29,7 @@ pub struct RunStats {
     /// Total message volume in `⌈log₂ n⌉`-bit words.
     pub words: u64,
     /// Cumulative message count per undirected edge, indexed by
-    /// [`EdgeId`].
+    /// [`EdgeId`](lcs_graph::EdgeId).
     pub per_edge_messages: Vec<u64>,
 }
 
@@ -32,12 +38,21 @@ impl RunStats {
     /// can accumulate multi-phase protocols with [`RunStats::absorb`]).
     pub fn new(g: &Graph) -> Self {
         RunStats {
+            label: String::new(),
             rounds: 0,
             delivered_rounds: 0,
             messages: 0,
             words: 0,
             per_edge_messages: vec![0; g.m()],
         }
+    }
+
+    /// Relabels these statistics (builder-style), e.g. with the phase
+    /// name of the [`Session`](crate::Session) phase that produced
+    /// them.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 
     /// Largest cumulative message count over any single edge — a proxy
@@ -54,11 +69,13 @@ impl RunStats {
         self.messages as f64 / self.per_edge_messages.len() as f64
     }
 
-    /// Stable 64-bit fingerprint over every field (FNV-1a), including
-    /// the full per-edge histogram. Two runs have equal fingerprints
-    /// iff their statistics are byte-equal (modulo hash collisions), so
-    /// the shard-sweep determinism check in the `sim_throughput` bench
-    /// can compare sharded against sequential runs with one number.
+    /// Stable 64-bit fingerprint over every *numeric* field (FNV-1a),
+    /// including the full per-edge histogram — the descriptive
+    /// [`RunStats::label`] is deliberately excluded. Two runs have
+    /// equal fingerprints iff their statistics are byte-equal (modulo
+    /// hash collisions), so the shard-sweep determinism check in the
+    /// `sim_throughput` bench can compare sharded against sequential
+    /// runs with one number.
     pub fn fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -81,10 +98,10 @@ impl RunStats {
     }
 
     /// Accumulates another run's statistics (for multi-phase protocols
-    /// executed as successive simulator runs). Every field — including
-    /// [`RunStats::delivered_rounds`] — is summed, so absorbing the
-    /// stats of phases 1 and 2 yields exactly the component-wise totals
-    /// of the two runs.
+    /// executed as successive simulator runs). Every numeric field —
+    /// including [`RunStats::delivered_rounds`] — is summed, so
+    /// absorbing the stats of phases 1 and 2 yields exactly the
+    /// component-wise totals of the two runs. `self`'s label is kept.
     ///
     /// # Panics
     ///
@@ -120,9 +137,17 @@ impl RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bfs::distributed_bfs;
+    use crate::bfs::Bfs;
+    use crate::session::Session;
     use crate::sim::SimConfig;
     use lcs_graph::Graph;
+
+    fn bfs_stats(g: &Graph, root: u32, cfg: &SimConfig) -> RunStats {
+        Session::new(g, cfg.clone())
+            .run(Bfs::new(root))
+            .unwrap()
+            .stats
+    }
 
     #[test]
     fn absorb_accumulates() {
@@ -168,13 +193,13 @@ mod tests {
     #[test]
     fn fingerprint_is_shard_invariant_on_a_real_run() {
         let g = lcs_graph::generators::grid(5, 5);
-        let base = distributed_bfs(&g, 0, &SimConfig::default()).unwrap().stats;
+        let base = bfs_stats(&g, 0, &SimConfig::default());
         for shards in [2usize, 5, 25] {
             let cfg = SimConfig {
                 shards,
                 ..SimConfig::default()
             };
-            let st = distributed_bfs(&g, 0, &cfg).unwrap().stats;
+            let st = bfs_stats(&g, 0, &cfg);
             assert_eq!(st.fingerprint(), base.fingerprint(), "shards={shards}");
         }
     }
@@ -194,8 +219,8 @@ mod tests {
     fn absorb_round_trips_a_two_phase_run() {
         let g = lcs_graph::generators::grid(4, 4);
         let cfg = SimConfig::default();
-        let phase1 = distributed_bfs(&g, 0, &cfg).unwrap().stats;
-        let phase2 = distributed_bfs(&g, 15, &cfg).unwrap().stats;
+        let phase1 = bfs_stats(&g, 0, &cfg);
+        let phase2 = bfs_stats(&g, 15, &cfg);
         let mut total = RunStats::new(&g);
         total.absorb(&phase1);
         total.absorb(&phase2);

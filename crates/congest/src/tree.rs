@@ -10,7 +10,10 @@
 
 use crate::message::Message;
 use crate::node::{NodeAlgorithm, RoundCtx};
-use crate::sim::{run, RunOutcome, SimConfig};
+use crate::protocol::Protocol;
+use crate::session::Session;
+use crate::sim::SimConfig;
+use crate::stats::RunStats;
 use crate::SimError;
 use lcs_graph::{Graph, NodeId};
 
@@ -164,6 +167,75 @@ impl NodeAlgorithm for ConvergecastNode {
     }
 }
 
+/// Tree convergecast (optionally with result broadcast) as a
+/// composable [`Protocol`]: aggregates one `u64` per node up the tree
+/// described by its [`TreePosition`]s. Its output is
+/// `(per-node results, phase stats)`, matching the classic
+/// free-function shape.
+///
+/// Joining several `TreeAggregate`s in one [`Session`] phase
+/// ([`Session::join`](crate::Session::join)) runs the convergecasts in
+/// **shared rounds** — the composable form of the paper's concurrent
+/// part-wise aggregation.
+#[derive(Debug, Clone)]
+pub struct TreeAggregate {
+    positions: Vec<TreePosition>,
+    values: Vec<u64>,
+    op: AggOp,
+    broadcast: bool,
+}
+
+impl TreeAggregate {
+    /// Aggregation of `values` (one per node) over the tree described
+    /// by `positions`, with operator `op`; `broadcast` sends the root's
+    /// result back down.
+    pub fn new(positions: Vec<TreePosition>, values: &[u64], op: AggOp, broadcast: bool) -> Self {
+        TreeAggregate {
+            positions,
+            values: values.to_vec(),
+            op,
+            broadcast,
+        }
+    }
+}
+
+impl Protocol for TreeAggregate {
+    type Msg = TreeMsg;
+    type State = ConvergecastNode;
+    type Output = (Vec<Option<u64>>, RunStats);
+
+    fn label(&self) -> &str {
+        "tree_aggregate"
+    }
+
+    fn init(&mut self, graph: &Graph) -> Vec<ConvergecastNode> {
+        assert_eq!(self.positions.len(), graph.n());
+        assert_eq!(self.values.len(), graph.n());
+        std::mem::take(&mut self.positions)
+            .into_iter()
+            .zip(self.values.iter())
+            .map(|(pos, &v)| ConvergecastNode::new(pos, self.op, v, self.broadcast))
+            .collect()
+    }
+
+    fn round(&self, state: &mut ConvergecastNode, ctx: &mut RoundCtx<'_, TreeMsg>) {
+        NodeAlgorithm::round(state, ctx);
+    }
+
+    fn halted(&self, state: &ConvergecastNode) -> bool {
+        NodeAlgorithm::halted(state)
+    }
+
+    fn finish(
+        self,
+        _graph: &Graph,
+        nodes: Vec<ConvergecastNode>,
+        stats: &RunStats,
+    ) -> Self::Output {
+        (nodes.into_iter().map(|s| s.result).collect(), stats.clone())
+    }
+}
+
 /// Runs a convergecast (optionally with result broadcast) over the tree
 /// described by `positions`, with per-node `values`.
 ///
@@ -174,6 +246,7 @@ impl NodeAlgorithm for ConvergecastNode {
 /// # Panics
 ///
 /// Panics if input lengths differ from `graph.n()`.
+#[deprecated(note = "run the `TreeAggregate` protocol through a `Session` instead")]
 pub fn tree_aggregate(
     graph: &Graph,
     positions: Vec<TreePosition>,
@@ -182,15 +255,7 @@ pub fn tree_aggregate(
     broadcast: bool,
     cfg: &SimConfig,
 ) -> Result<(Vec<Option<u64>>, crate::stats::RunStats), SimError> {
-    assert_eq!(positions.len(), graph.n());
-    assert_eq!(values.len(), graph.n());
-    let nodes: Vec<ConvergecastNode> = positions
-        .into_iter()
-        .zip(values.iter())
-        .map(|(pos, &v)| ConvergecastNode::new(pos, op, v, broadcast))
-        .collect();
-    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
-    Ok((nodes.into_iter().map(|s| s.result).collect(), stats))
+    Session::new(graph, cfg.clone()).run(TreeAggregate::new(positions, values, op, broadcast))
 }
 
 /// Prefix numbering: every *marked* node learns its rank (0-based) in a
@@ -302,6 +367,72 @@ impl NodeAlgorithm for PrefixNumberNode {
     }
 }
 
+/// Prefix numbering of marked nodes as a composable [`Protocol`] (the
+/// paper's `O(D)`-round dense ranking of the large parts). Output is
+/// `(per-node ranks, total marked, phase stats)`.
+#[derive(Debug, Clone)]
+pub struct PrefixNumber {
+    positions: Vec<TreePosition>,
+    marked: Vec<bool>,
+    /// Root node index, resolved in `init` for `finish`.
+    root: Option<usize>,
+}
+
+impl PrefixNumber {
+    /// Prefix numbering of `marked` nodes over the tree described by
+    /// `positions`.
+    pub fn new(positions: Vec<TreePosition>, marked: &[bool]) -> Self {
+        PrefixNumber {
+            positions,
+            marked: marked.to_vec(),
+            root: None,
+        }
+    }
+}
+
+impl Protocol for PrefixNumber {
+    type Msg = TreeMsg;
+    type State = PrefixNumberNode;
+    type Output = (Vec<Option<u64>>, u64, RunStats);
+
+    fn label(&self) -> &str {
+        "prefix_number"
+    }
+
+    fn init(&mut self, graph: &Graph) -> Vec<PrefixNumberNode> {
+        assert_eq!(self.positions.len(), graph.n());
+        assert_eq!(self.marked.len(), graph.n());
+        self.root = self.positions.iter().position(|p| p.is_root);
+        std::mem::take(&mut self.positions)
+            .into_iter()
+            .zip(self.marked.iter())
+            .map(|(pos, &m)| PrefixNumberNode::new(pos, m))
+            .collect()
+    }
+
+    fn round(&self, state: &mut PrefixNumberNode, ctx: &mut RoundCtx<'_, TreeMsg>) {
+        NodeAlgorithm::round(state, ctx);
+    }
+
+    fn halted(&self, state: &PrefixNumberNode) -> bool {
+        NodeAlgorithm::halted(state)
+    }
+
+    fn finish(
+        self,
+        _graph: &Graph,
+        nodes: Vec<PrefixNumberNode>,
+        stats: &RunStats,
+    ) -> Self::Output {
+        let total = self.root.and_then(|r| nodes[r].total).unwrap_or(0);
+        (
+            nodes.into_iter().map(|s| s.rank).collect(),
+            total,
+            stats.clone(),
+        )
+    }
+}
+
 /// Runs prefix numbering of `marked` nodes over the given tree. Returns
 /// per-node ranks (Some only for marked nodes) and the total count.
 ///
@@ -312,23 +443,14 @@ impl NodeAlgorithm for PrefixNumberNode {
 /// # Panics
 ///
 /// Panics if input lengths differ from `graph.n()`.
+#[deprecated(note = "run the `PrefixNumber` protocol through a `Session` instead")]
 pub fn prefix_number(
     graph: &Graph,
     positions: Vec<TreePosition>,
     marked: &[bool],
     cfg: &SimConfig,
 ) -> Result<(Vec<Option<u64>>, u64, crate::stats::RunStats), SimError> {
-    assert_eq!(positions.len(), graph.n());
-    assert_eq!(marked.len(), graph.n());
-    let root = positions.iter().position(|p| p.is_root);
-    let nodes: Vec<PrefixNumberNode> = positions
-        .into_iter()
-        .zip(marked.iter())
-        .map(|(pos, &m)| PrefixNumberNode::new(pos, m))
-        .collect();
-    let RunOutcome { nodes, stats } = run(graph, nodes, cfg)?;
-    let total = root.and_then(|r| nodes[r].total).unwrap_or(0);
-    Ok((nodes.into_iter().map(|s| s.rank).collect(), total, stats))
+    Session::new(graph, cfg.clone()).run(PrefixNumber::new(positions, marked))
 }
 
 /// Builds [`TreePosition`]s from parallel parent/children arrays (such as
@@ -358,7 +480,7 @@ pub fn positions_from_tree(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bfs::distributed_bfs;
+    use crate::bfs::Bfs;
 
     fn tree_fixture(n: usize, seed: u64) -> (Graph, Vec<TreePosition>) {
         let g = lcs_graph::generators::gnp_connected(
@@ -366,17 +488,38 @@ mod tests {
             0.08,
             &mut <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed),
         );
-        let bfs = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let bfs = Session::new(&g, SimConfig::default())
+            .run(Bfs::new(0))
+            .unwrap();
         let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
         (g, pos)
+    }
+
+    fn aggregate(
+        g: &Graph,
+        pos: Vec<TreePosition>,
+        values: &[u64],
+        op: AggOp,
+        broadcast: bool,
+    ) -> Result<(Vec<Option<u64>>, RunStats), SimError> {
+        Session::new(g, SimConfig::default()).run(TreeAggregate::new(pos, values, op, broadcast))
+    }
+
+    fn number(
+        g: &Graph,
+        pos: Vec<TreePosition>,
+        marked: &[bool],
+    ) -> (Vec<Option<u64>>, u64, RunStats) {
+        Session::new(g, SimConfig::default())
+            .run(PrefixNumber::new(pos, marked))
+            .unwrap()
     }
 
     #[test]
     fn sum_convergecast_counts_nodes() {
         let (g, pos) = tree_fixture(30, 5);
         let values = vec![1u64; g.n()];
-        let (results, stats) =
-            tree_aggregate(&g, pos, &values, AggOp::Sum, false, &SimConfig::default()).unwrap();
+        let (results, stats) = aggregate(&g, pos, &values, AggOp::Sum, false).unwrap();
         assert_eq!(results[0], Some(30));
         assert!(stats.rounds < 40);
     }
@@ -386,8 +529,7 @@ mod tests {
         let (g, pos) = tree_fixture(25, 6);
         let mut values: Vec<u64> = (0..g.n() as u64).map(|v| 100 + v).collect();
         values[17] = 3;
-        let (results, _) =
-            tree_aggregate(&g, pos, &values, AggOp::Min, true, &SimConfig::default()).unwrap();
+        let (results, _) = aggregate(&g, pos, &values, AggOp::Min, true).unwrap();
         for v in g.nodes() {
             assert_eq!(results[v as usize], Some(3), "node {v}");
         }
@@ -397,8 +539,7 @@ mod tests {
     fn max_convergecast() {
         let (g, pos) = tree_fixture(20, 7);
         let values: Vec<u64> = (0..g.n() as u64).collect();
-        let (results, _) =
-            tree_aggregate(&g, pos, &values, AggOp::Max, false, &SimConfig::default()).unwrap();
+        let (results, _) = aggregate(&g, pos, &values, AggOp::Max, false).unwrap();
         assert_eq!(results[0], Some(19));
     }
 
@@ -406,7 +547,7 @@ mod tests {
     fn prefix_numbering_assigns_distinct_dense_ranks() {
         let (g, pos) = tree_fixture(40, 8);
         let marked: Vec<bool> = (0..g.n()).map(|v| v % 3 == 0).collect();
-        let (ranks, total, _) = prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
+        let (ranks, total, _) = number(&g, pos, &marked);
         let expected: u64 = marked.iter().filter(|&&m| m).count() as u64;
         assert_eq!(total, expected);
         let mut seen: Vec<u64> = ranks.iter().flatten().copied().collect();
@@ -421,7 +562,7 @@ mod tests {
     fn prefix_numbering_none_marked() {
         let (g, pos) = tree_fixture(10, 9);
         let marked = vec![false; g.n()];
-        let (ranks, total, _) = prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
+        let (ranks, total, _) = number(&g, pos, &marked);
         assert_eq!(total, 0);
         assert!(ranks.iter().all(|r| r.is_none()));
     }
@@ -448,8 +589,7 @@ mod tests {
             mk(vec![]),
             mk(vec![]),
         ];
-        let err = tree_aggregate(&g, pos, &[1, 1, 1], AggOp::Sum, true, &SimConfig::default())
-            .unwrap_err();
+        let err = aggregate(&g, pos, &[1, 1, 1], AggOp::Sum, true).unwrap_err();
         assert!(
             matches!(err, SimError::InvalidDestination { from: 0, to: 2, .. }),
             "{err:?}"
@@ -465,8 +605,7 @@ mod tests {
             in_tree: true,
             is_root: true,
         }];
-        let (results, _) =
-            tree_aggregate(&g, pos, &[42], AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let (results, _) = aggregate(&g, pos, &[42], AggOp::Sum, true).unwrap();
         assert_eq!(results[0], Some(42));
     }
 }

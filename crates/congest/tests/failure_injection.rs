@@ -3,8 +3,8 @@
 //! bug in a simulator whose purpose is enforcing a model.
 
 use lcs_congest::{
-    run, run_multi_aggregate, run_multi_bfs, AggOp, Message, MultiBfsInstance, MultiBfsSpec,
-    NodeAlgorithm, Participation, RoundCtx, SimConfig, SimError,
+    run, AggOp, Message, MultiAggregate, MultiBfs, MultiBfsInstance, MultiBfsSpec, NodeAlgorithm,
+    Participation, RoundCtx, Session, SimConfig, SimError,
 };
 use lcs_graph::generators::{path, star};
 use std::sync::Arc;
@@ -220,7 +220,9 @@ fn malformed_aggregation_tree_yields_no_result_not_a_hang() {
         max_rounds: 50,
         ..SimConfig::default()
     };
-    let out = run_multi_aggregate(&g, parts, AggOp::Sum, false, &cfg).unwrap();
+    let out = Session::new(&g, cfg.clone())
+        .run(MultiAggregate::new(parts, AggOp::Sum, false))
+        .unwrap();
     assert_eq!(out.result_at(0, 0), None, "stuck root must have no result");
     assert!(out.stats.rounds < 50, "quiesces well before the limit");
 }
@@ -252,7 +254,9 @@ fn cyclic_parent_pointers_yield_no_results() {
         max_rounds: 30,
         ..SimConfig::default()
     };
-    let out = run_multi_aggregate(&g, parts, AggOp::Sum, false, &cfg).unwrap();
+    let out = Session::new(&g, cfg.clone())
+        .run(MultiAggregate::new(parts, AggOp::Sum, false))
+        .unwrap();
     assert_eq!(out.result_at(0, 0), None);
     assert_eq!(out.result_at(1, 0), None);
 }
@@ -278,7 +282,9 @@ fn tiny_queue_cap_degrades_gracefully_not_fatally() {
         membership: Arc::new(|_, _, _| true),
         queue_cap: 1,
     });
-    let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+    let out = Session::new(&g, SimConfig::default())
+        .run(MultiBfs::new(spec))
+        .unwrap();
     assert!(out.overflowed, "cap 1 must drop tokens");
     let spanned = (0..12u32)
         .filter(|&i| out.instance_nodes(i).len() == 16)

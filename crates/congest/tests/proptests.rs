@@ -2,10 +2,10 @@
 //! references, on random graphs.
 
 use lcs_congest::{
-    distributed_bfs, positions_from_tree, prefix_number, run_multi_aggregate, run_multi_bfs,
-    tree_aggregate, AggOp, MultiBfsInstance, MultiBfsSpec, Participation, SimConfig,
+    positions_from_tree, AggOp, Bfs, DistBfsOutcome, MultiAggregate, MultiBfs, MultiBfsInstance,
+    MultiBfsOutcome, MultiBfsSpec, Participation, PrefixNumber, Session, SimConfig, TreeAggregate,
 };
-use lcs_graph::{bfs_distances, gnp_connected, NodeId, UNREACHABLE};
+use lcs_graph::{bfs_distances, gnp_connected, Graph, NodeId, UNREACHABLE};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -14,6 +14,18 @@ use std::sync::Arc;
 fn random_graph(seed: u64, n: usize) -> lcs_graph::Graph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     gnp_connected(n, 0.1, &mut rng)
+}
+
+fn run_bfs(g: &Graph, root: NodeId) -> DistBfsOutcome {
+    Session::new(g, SimConfig::default())
+        .run(Bfs::new(root))
+        .unwrap()
+}
+
+fn run_bundle(g: &Graph, spec: std::sync::Arc<MultiBfsSpec>, cfg: &SimConfig) -> MultiBfsOutcome {
+    Session::new(g, cfg.clone())
+        .run(MultiBfs::new(spec))
+        .unwrap()
 }
 
 proptest! {
@@ -26,7 +38,7 @@ proptest! {
     fn distributed_bfs_equals_centralized(seed in any::<u64>(), n in 5usize..60, root_pick in any::<u32>()) {
         let g = random_graph(seed, n);
         let root = root_pick % n as u32;
-        let out = distributed_bfs(&g, root, &SimConfig::default()).unwrap();
+        let out = run_bfs(&g, root);
         let exact = bfs_distances(&g, root);
         for v in g.nodes() {
             let expect = (exact[v as usize] != UNREACHABLE).then_some(exact[v as usize]);
@@ -58,7 +70,7 @@ proptest! {
             membership: Arc::new(|_, _, _| true),
             queue_cap: 0,
         });
-        let out = run_multi_bfs(&g, spec, &SimConfig::default()).unwrap();
+        let out = run_bundle(&g, spec, &SimConfig::default());
         for (i, &r) in roots.iter().enumerate() {
             let exact = bfs_distances(&g, r);
             for v in g.nodes() {
@@ -88,13 +100,14 @@ proptest! {
     #[test]
     fn convergecast_matches_fold(seed in any::<u64>(), n in 3usize..50) {
         let g = random_graph(seed, n);
-        let bfs = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let bfs = run_bfs(&g, 0);
         let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
         let values: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..1000u64)).collect();
         for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
-            let (res, _) =
-                tree_aggregate(&g, pos.clone(), &values, op, false, &SimConfig::default()).unwrap();
+            let (res, _) = Session::new(&g, SimConfig::default())
+                .run(TreeAggregate::new(pos.clone(), &values, op, false))
+                .unwrap();
             let expect = values.iter().fold(op.identity(), |a, &b| op.apply(a, b));
             prop_assert_eq!(res[0], Some(expect));
         }
@@ -106,10 +119,12 @@ proptest! {
     #[test]
     fn prefix_numbering_is_a_bijection(seed in any::<u64>(), n in 3usize..50, mask in any::<u64>()) {
         let g = random_graph(seed, n);
-        let bfs = distributed_bfs(&g, 0, &SimConfig::default()).unwrap();
+        let bfs = run_bfs(&g, 0);
         let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
         let marked: Vec<bool> = (0..n).map(|v| mask >> (v % 64) & 1 == 1).collect();
-        let (ranks, total, _) = prefix_number(&g, pos, &marked, &SimConfig::default()).unwrap();
+        let (ranks, total, _) = Session::new(&g, SimConfig::default())
+            .run(PrefixNumber::new(pos, &marked))
+            .unwrap();
         let expected = marked.iter().filter(|&&m| m).count() as u64;
         prop_assert_eq!(total, expected);
         let mut seen: Vec<u64> = ranks.iter().flatten().copied().collect();
@@ -129,7 +144,7 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 2);
         let values: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..100u64)).collect();
         for (i, &r) in roots.iter().enumerate() {
-            let bfs = distributed_bfs(&g, r, &SimConfig::default()).unwrap();
+            let bfs = run_bfs(&g, r);
             for v in 0..n {
                 if bfs.dist[v].is_none() {
                     continue;
@@ -142,7 +157,9 @@ proptest! {
                 });
             }
         }
-        let out = run_multi_aggregate(&g, parts, AggOp::Sum, true, &SimConfig::default()).unwrap();
+        let out = Session::new(&g, SimConfig::default())
+            .run(MultiAggregate::new(parts, AggOp::Sum, true))
+            .unwrap();
         let expect: u64 = values.iter().sum();
         for (i, &r) in roots.iter().enumerate() {
             prop_assert_eq!(out.result_at(r, i as u32), Some(expect));
@@ -192,9 +209,9 @@ proptest! {
             membership: Arc::new(|_, _, _| true),
             queue_cap: 0,
         });
-        let base = run_multi_bfs(&g, spec(()), &cfg_for(1)).unwrap();
+        let base = run_bundle(&g, spec(()), &cfg_for(1));
         for shards in [2usize, 7] {
-            let out = run_multi_bfs(&g, spec(()), &cfg_for(shards)).unwrap();
+            let out = run_bundle(&g, spec(()), &cfg_for(shards));
             prop_assert_eq!(&out.reached, &base.reached, "reached, shards={}", shards);
             prop_assert_eq!(&out.children, &base.children, "children, shards={}", shards);
             prop_assert_eq!(out.max_queue, base.max_queue);

@@ -2,14 +2,16 @@
 //! protocol the construction uses — bfs, tree aggregation / prefix
 //! numbering, multi-BFS, multi-aggregate — must produce **byte-equal
 //! outcomes and `RunStats`** for `shards ∈ {1, 2, 3, 8}` on a fixed
-//! seed set. Unlike the tier-2 proptests this runs on every `cargo
-//! test`, so a pool regression fails fast without `--features
-//! slow-tests`.
+//! seed set, and so must *composed* [`Session`] pipelines (sequential
+//! phase chains sharing one pool, and concurrent [`Session::join`]
+//! phases). Unlike the tier-2 proptests this runs on every `cargo
+//! test`, so a pool or session regression fails fast without
+//! `--features slow-tests`.
 
 use lcs_congest::{
-    distributed_bfs, positions_from_tree, prefix_number, run, run_multi_aggregate, run_multi_bfs,
-    tree_aggregate, AggOp, MultiBfsInstance, MultiBfsSpec, NodeAlgorithm, Participation, RoundCtx,
-    SimConfig,
+    positions_from_tree, run, AggOp, Bfs, DistBfsOutcome, MultiAggOutcome, MultiAggregate,
+    MultiBfs, MultiBfsInstance, MultiBfsOutcome, MultiBfsSpec, NodeAlgorithm, Participation,
+    PrefixNumber, RoundCtx, RunStats, Session, SimConfig, TreeAggregate,
 };
 use lcs_graph::{gnp_connected, Graph, NodeId};
 use rand::SeedableRng;
@@ -41,14 +43,22 @@ fn cfg(seed: u64, shards: usize) -> SimConfig {
     }
 }
 
+fn session(g: &Graph, seed: u64, shards: usize) -> Session<'_> {
+    Session::new(g, cfg(seed, shards))
+}
+
+fn bfs(g: &Graph, root: NodeId, seed: u64, shards: usize) -> DistBfsOutcome {
+    session(g, seed, shards).run(Bfs::new(root)).unwrap()
+}
+
 #[test]
 fn bfs_outcomes_and_stats_are_byte_equal_across_shard_counts() {
     for seed in SEEDS {
         for g in fixtures(seed) {
             let root = (seed % g.n() as u64) as NodeId;
-            let base = distributed_bfs(&g, root, &cfg(seed, 1)).unwrap();
+            let base = bfs(&g, root, seed, 1);
             for shards in SHARDS {
-                let out = distributed_bfs(&g, root, &cfg(seed, shards)).unwrap();
+                let out = bfs(&g, root, seed, shards);
                 assert_eq!(out.dist, base.dist, "dist, seed={seed}, shards={shards}");
                 assert_eq!(
                     out.parent, base.parent,
@@ -69,17 +79,18 @@ fn tree_protocols_are_byte_equal_across_shard_counts() {
     for seed in SEEDS {
         for g in fixtures(seed) {
             let n = g.n();
-            let bfs = distributed_bfs(&g, 0, &cfg(seed, 1)).unwrap();
-            let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
+            let b = bfs(&g, 0, seed, 1);
+            let pos = positions_from_tree(0, &b.parent, &b.children);
             let values: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(seed) % 997).collect();
             let marked: Vec<bool> = (0..n).map(|v| (seed >> (v % 64)) & 1 == 1).collect();
             for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
-                let (base_res, base_stats) =
-                    tree_aggregate(&g, pos.clone(), &values, op, true, &cfg(seed, 1)).unwrap();
+                let (base_res, base_stats) = session(&g, seed, 1)
+                    .run(TreeAggregate::new(pos.clone(), &values, op, true))
+                    .unwrap();
                 for shards in SHARDS {
-                    let (res, stats) =
-                        tree_aggregate(&g, pos.clone(), &values, op, true, &cfg(seed, shards))
-                            .unwrap();
+                    let (res, stats) = session(&g, seed, shards)
+                        .run(TreeAggregate::new(pos.clone(), &values, op, true))
+                        .unwrap();
                     assert_eq!(res, base_res, "agg {op:?}, seed={seed}, shards={shards}");
                     assert_eq!(
                         stats, base_stats,
@@ -87,11 +98,13 @@ fn tree_protocols_are_byte_equal_across_shard_counts() {
                     );
                 }
             }
-            let (base_ranks, base_total, base_stats) =
-                prefix_number(&g, pos.clone(), &marked, &cfg(seed, 1)).unwrap();
+            let (base_ranks, base_total, base_stats) = session(&g, seed, 1)
+                .run(PrefixNumber::new(pos.clone(), &marked))
+                .unwrap();
             for shards in SHARDS {
-                let (ranks, total, stats) =
-                    prefix_number(&g, pos.clone(), &marked, &cfg(seed, shards)).unwrap();
+                let (ranks, total, stats) = session(&g, seed, shards)
+                    .run(PrefixNumber::new(pos.clone(), &marked))
+                    .unwrap();
                 assert_eq!(ranks, base_ranks, "ranks, seed={seed}, shards={shards}");
                 assert_eq!(total, base_total, "total, seed={seed}, shards={shards}");
                 assert_eq!(
@@ -103,27 +116,33 @@ fn tree_protocols_are_byte_equal_across_shard_counts() {
     }
 }
 
+fn multi_bfs_spec(g: &Graph, seed: u64) -> Arc<MultiBfsSpec> {
+    let n = g.n();
+    Arc::new(MultiBfsSpec {
+        instances: (0..4u32)
+            .map(|i| MultiBfsInstance {
+                root: (i * 7 + seed as u32) % n as u32,
+                start_round: (u64::from(i) * 3) % 5,
+                depth_limit: u32::MAX,
+            })
+            .collect(),
+        membership: Arc::new(|_, _, _| true),
+        queue_cap: 3,
+    })
+}
+
 #[test]
 fn multi_bfs_outcomes_are_byte_equal_across_shard_counts() {
     for seed in SEEDS {
         for g in fixtures(seed) {
-            let n = g.n();
-            let spec = || {
-                Arc::new(MultiBfsSpec {
-                    instances: (0..4u32)
-                        .map(|i| MultiBfsInstance {
-                            root: (i * 7 + seed as u32) % n as u32,
-                            start_round: (u64::from(i) * 3) % 5,
-                            depth_limit: u32::MAX,
-                        })
-                        .collect(),
-                    membership: Arc::new(|_, _, _| true),
-                    queue_cap: 3,
-                })
+            let run_one = |shards: usize| -> MultiBfsOutcome {
+                session(&g, seed, shards)
+                    .run(MultiBfs::new(multi_bfs_spec(&g, seed)))
+                    .unwrap()
             };
-            let base = run_multi_bfs(&g, spec(), &cfg(seed, 1)).unwrap();
+            let base = run_one(1);
             for shards in SHARDS {
-                let out = run_multi_bfs(&g, spec(), &cfg(seed, shards)).unwrap();
+                let out = run_one(shards);
                 assert_eq!(
                     out.reached, base.reached,
                     "reached, seed={seed}, shards={shards}"
@@ -140,35 +159,43 @@ fn multi_bfs_outcomes_are_byte_equal_across_shard_counts() {
     }
 }
 
+fn two_tree_participations(g: &Graph, seed: u64) -> Vec<Vec<Participation>> {
+    let n = g.n();
+    let roots = [0 as NodeId, (n - 1) as NodeId];
+    let mut parts: Vec<Vec<Participation>> = vec![Vec::new(); n];
+    for (i, &r) in roots.iter().enumerate() {
+        let b = bfs(g, r, seed, 1);
+        for (v, part) in parts.iter_mut().enumerate() {
+            if b.dist[v].is_none() {
+                continue;
+            }
+            part.push(Participation {
+                inst: i as u32,
+                parent: b.parent[v],
+                children: b.children[v].clone(),
+                value: (v as u64).wrapping_mul(seed) % 101,
+            });
+        }
+    }
+    parts
+}
+
 #[test]
 fn multi_aggregate_outcomes_are_byte_equal_across_shard_counts() {
     for seed in SEEDS {
         for g in fixtures(seed) {
             let n = g.n();
-            let roots = [0 as NodeId, (n - 1) as NodeId];
-            let mut parts: Vec<Vec<Participation>> = vec![Vec::new(); n];
-            for (i, &r) in roots.iter().enumerate() {
-                let bfs = distributed_bfs(&g, r, &cfg(seed, 1)).unwrap();
-                for (v, part) in parts.iter_mut().enumerate() {
-                    if bfs.dist[v].is_none() {
-                        continue;
-                    }
-                    part.push(Participation {
-                        inst: i as u32,
-                        parent: bfs.parent[v],
-                        children: bfs.children[v].clone(),
-                        value: (v as u64).wrapping_mul(seed) % 101,
-                    });
-                }
-            }
-            let base =
-                run_multi_aggregate(&g, parts.clone(), AggOp::Sum, true, &cfg(seed, 1)).unwrap();
+            let parts = two_tree_participations(&g, seed);
+            let run_one = |shards: usize| -> MultiAggOutcome {
+                session(&g, seed, shards)
+                    .run(MultiAggregate::new(parts.clone(), AggOp::Sum, true))
+                    .unwrap()
+            };
+            let base = run_one(1);
             for shards in SHARDS {
-                let out =
-                    run_multi_aggregate(&g, parts.clone(), AggOp::Sum, true, &cfg(seed, shards))
-                        .unwrap();
+                let out = run_one(shards);
                 for v in 0..n as u32 {
-                    for inst in 0..roots.len() as u32 {
+                    for inst in 0..2u32 {
                         assert_eq!(
                             out.result_at(v, inst),
                             base.result_at(v, inst),
@@ -229,6 +256,98 @@ fn rng_streams_and_delivered_rounds_are_byte_equal_across_shard_counts() {
                     "delivered_rounds, seed={seed}, shards={shards}"
                 );
                 assert_eq!(out.stats, base.stats, "stats, seed={seed}, shards={shards}");
+            }
+        }
+    }
+}
+
+/// Runs a representative composed pipeline — bfs, then two tree
+/// aggregations **joined in shared rounds**, then prefix numbering,
+/// then a multi-BFS bundle, then a multi-aggregate — through ONE
+/// session (one pool spawn, one cumulative budget), and returns every
+/// per-phase stat plus the cumulative stats and a digest of outcomes.
+#[allow(clippy::type_complexity)]
+fn composed_pipeline(
+    g: &Graph,
+    seed: u64,
+    shards: usize,
+) -> (Vec<RunStats>, RunStats, Vec<u64>, Vec<Vec<u64>>) {
+    let mut session = session(g, seed, shards).with_round_budget(100_000);
+    let b = session.run(Bfs::new(0)).unwrap();
+    let pos = positions_from_tree(0, &b.parent, &b.children);
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| v ^ seed).collect();
+    let ((sum, _), (max, _)) = session
+        .join(
+            TreeAggregate::new(pos.clone(), &values, AggOp::Sum, true),
+            TreeAggregate::new(pos.clone(), &values, AggOp::Max, true),
+        )
+        .unwrap();
+    let marked: Vec<bool> = (0..g.n()).map(|v| v % 3 == 0).collect();
+    let (ranks, total, _) = session.run(PrefixNumber::new(pos, &marked)).unwrap();
+    let mb = session
+        .run_configured("mb", MultiBfs::new(multi_bfs_spec(g, seed)), |c| {
+            c.seed ^= 0x51_1E
+        })
+        .unwrap();
+    let ma = session
+        .run(MultiAggregate::new(
+            two_tree_participations(g, seed),
+            AggOp::Min,
+            true,
+        ))
+        .unwrap();
+    // Digest: every protocol-visible outcome folded to comparable vecs.
+    let digest = vec![
+        sum[0].unwrap_or(0),
+        max[0].unwrap_or(0),
+        total,
+        ranks.iter().flatten().sum::<u64>(),
+        mb.reached
+            .iter()
+            .flat_map(|r| r.iter().flatten())
+            .map(|r| u64::from(r.dist) + r.round)
+            .sum::<u64>(),
+        ma.results
+            .iter()
+            .flat_map(|m| m.values().flatten())
+            .sum::<u64>(),
+    ];
+    // Per-node RNG visibility is already covered by GossipXor; here we
+    // keep the per-phase round/message shape.
+    let phase_shape: Vec<Vec<u64>> = session
+        .phases()
+        .iter()
+        .map(|p| vec![p.rounds, p.delivered_rounds, p.messages, p.words])
+        .collect();
+    (
+        session.phases().to_vec(),
+        session.stats().clone(),
+        digest,
+        phase_shape,
+    )
+}
+
+/// The tentpole acceptance test: a full composed session — sequential
+/// phases AND a joined phase, all on one pool — is byte-equal across
+/// shard counts, per phase and cumulatively.
+#[test]
+fn composed_sessions_are_byte_equal_across_shard_counts() {
+    for seed in SEEDS {
+        for g in fixtures(seed) {
+            let (base_phases, base_total, base_digest, base_shape) = composed_pipeline(&g, seed, 1);
+            assert_eq!(base_phases.len(), 5);
+            assert_eq!(base_phases[1].label, "tree_aggregate+tree_aggregate");
+            for shards in SHARDS {
+                let (phases, total, digest, shape) = composed_pipeline(&g, seed, shards);
+                assert_eq!(phases, base_phases, "phases, seed={seed}, shards={shards}");
+                assert_eq!(total, base_total, "total, seed={seed}, shards={shards}");
+                assert_eq!(
+                    total.fingerprint(),
+                    base_total.fingerprint(),
+                    "fingerprint, seed={seed}, shards={shards}"
+                );
+                assert_eq!(digest, base_digest, "digest, seed={seed}, shards={shards}");
+                assert_eq!(shape, base_shape, "shape, seed={seed}, shards={shards}");
             }
         }
     }

@@ -38,9 +38,9 @@ use crate::odd::shared_delay;
 use crate::params::{guess_ladder, KpParams, ParamError};
 use crate::sampling::SampleOracle;
 use lcs_congest::{
-    ceil_log2, distributed_bfs, positions_from_tree, prefix_number, run_multi_aggregate,
-    run_multi_bfs, tree_aggregate, AggOp, MultiBfsInstance, MultiBfsSpec, Participation, RunStats,
-    SimConfig, SimError, TreePosition,
+    ceil_log2, positions_from_tree, AggOp, Bfs, MultiAggregate, MultiBfs, MultiBfsInstance,
+    MultiBfsSpec, Participation, PrefixNumber, RunStats, Session, SimConfig, SimError,
+    TreeAggregate, TreePosition,
 };
 use lcs_graph::{is_connected, EdgeId, Graph, NodeId};
 use lcs_shortcut::{Partition, ShortcutSet};
@@ -60,11 +60,11 @@ pub struct DistributedConfig {
     /// Queue capacity multiplier over `congestion_bound` (congestion
     /// enforcement; 0 disables the cap).
     pub queue_cap_factor: f64,
-    /// Engine shards ([`SimConfig::shards`]) used for every simulator
-    /// phase. Each phase's run is executed by the engine's persistent
-    /// barrier-synchronized worker pool ([`lcs_congest::pool`]), one
-    /// thread per shard for the duration of that run; any value is
-    /// bit-identical to `1`.
+    /// Engine shards ([`SimConfig::shards`]) of the pipeline's
+    /// [`Session`]: its persistent barrier-synchronized worker pool
+    /// ([`lcs_congest::pool`]) is spawned once, with one thread per
+    /// shard, and every phase reuses it. `0` (the default) auto-sizes
+    /// to the machine; any value is bit-identical to `1`.
     pub shards: usize,
 }
 
@@ -75,7 +75,7 @@ impl Default for DistributedConfig {
             prob_constant: 1.0,
             known_diameter: None,
             queue_cap_factor: 1.0,
-            shards: 1,
+            shards: 0,
         }
     }
 }
@@ -162,9 +162,22 @@ pub struct DistributedOutcome {
     pub guesses: Vec<GuessReport>,
     /// Aggregated engine statistics.
     pub stats: RunStats,
+    /// Per-phase engine statistics (labeled), straight from the
+    /// [`Session`] that executed the pipeline.
+    pub phase_stats: Vec<RunStats>,
 }
 
 /// Runs the full distributed construction.
+///
+/// The whole multi-phase pipeline — global BFS, the `n`/`ecc`
+/// convergecasts (executed **concurrently in shared rounds** via
+/// [`Session::join`]), and every per-guess sub-protocol — executes
+/// through **one** [`Session`]: a single engine instance whose worker
+/// pool is spawned once, whose statistics accumulate into one
+/// cumulative [`RunStats`] with a per-phase breakdown
+/// ([`DistributedOutcome::phase_stats`]), and whose rounds draw on one
+/// cumulative budget. Outcomes are bit-identical to running each phase
+/// in a fresh engine, and to any shard count.
 ///
 /// # Errors
 ///
@@ -184,39 +197,35 @@ pub fn distributed_shortcuts(
         shards: cfg.shards,
         ..SimConfig::default()
     };
-    let mut stats = RunStats::new(graph);
-    let mut total_rounds = 0u64;
+    // One engine for the whole pipeline. The cumulative budget is a
+    // generous runaway cap (real pipelines use a few thousand rounds);
+    // per-phase limits below stay the binding constraint.
+    let mut session = Session::new(graph, sim_cfg).with_round_budget(32_000_000);
+    // Rounds charged by accounting arguments rather than executed in
+    // the simulator (shared-randomness dissemination, neighbor
+    // bookkeeping, in-tree rank broadcasts).
+    let mut accounted_rounds = 0u64;
 
     // ---- Phase A: global BFS; learn n and ecc(root). -----------------
     let root: NodeId = 0;
-    let bfs_out = distributed_bfs(graph, root, &sim_cfg)?;
-    stats.absorb(&bfs_out.stats);
-    total_rounds += bfs_out.stats.rounds;
+    let bfs_out = session.run_labeled("A.bfs", Bfs::new(root))?;
     let global_pos = positions_from_tree(root, &bfs_out.parent, &bfs_out.children);
     let ecc = bfs_out.depth();
-    // Convergecast n (Sum of 1) and ecc (Max of depth), both broadcast.
+    // Convergecast n (Sum of 1) and ecc (Max of depth), both broadcast —
+    // two independent aggregations over the same tree, so they share
+    // rounds in one joined phase.
     {
         let ones = vec![1u64; n];
-        let (res, st) =
-            tree_aggregate(graph, global_pos.clone(), &ones, AggOp::Sum, true, &sim_cfg)?;
-        stats.absorb(&st);
-        total_rounds += st.rounds;
-        debug_assert_eq!(res[root as usize], Some(n as u64));
         let depths: Vec<u64> = bfs_out.dist.iter().map(|d| d.unwrap_or(0) as u64).collect();
-        let (res2, st2) = tree_aggregate(
-            graph,
-            global_pos.clone(),
-            &depths,
-            AggOp::Max,
-            true,
-            &sim_cfg,
+        let ((res, _), (res2, _)) = session.join(
+            TreeAggregate::new(global_pos.clone(), &ones, AggOp::Sum, true),
+            TreeAggregate::new(global_pos.clone(), &depths, AggOp::Max, true),
         )?;
-        stats.absorb(&st2);
-        total_rounds += st2.rounds;
+        debug_assert_eq!(res[root as usize], Some(n as u64));
         debug_assert_eq!(res2[root as usize], Some(ecc as u64));
     }
     // Shared-randomness dissemination cost: O(D + log n) (Ghaffari'15).
-    total_rounds += ecc as u64 + ceil_log2(n) as u64;
+    accounted_rounds += ecc as u64 + ceil_log2(n) as u64;
     let shared_word = crate::sampling::splitmix64(cfg.seed ^ 0x5EED);
 
     // ---- Phase B: the guess ladder. -----------------------------------
@@ -227,11 +236,11 @@ pub fn distributed_shortcuts(
     let mut guesses: Vec<GuessReport> = Vec::new();
     for &guess in &ladder {
         let params = KpParams::new(n, guess, cfg.prob_constant)?;
-        let before_rounds = total_rounds;
-        let before_msgs = stats.messages;
+        let before_rounds = session.rounds_used() + accounted_rounds;
+        let before_msgs = session.stats().messages;
 
         // B0: one round of neighbor bookkeeping (part-leader exchange).
-        total_rounds += 1;
+        accounted_rounds += 1;
 
         // B1: truncated per-part BFS (parts disjoint: zero congestion).
         let part_arc = Arc::clone(&partition);
@@ -249,12 +258,10 @@ pub fn distributed_shortcuts(
             membership: membership_parts,
             queue_cap: 0,
         });
-        let b1 = run_multi_bfs(graph, b1_spec, &sim_cfg)?;
-        stats.absorb(&b1.stats);
-        total_rounds += b1.stats.rounds;
+        let b1 = session.run_labeled(format!("B1.parts@{guess}"), MultiBfs::new(b1_spec))?;
         // Reach-bit exchange (1 round) + convergecast over truncated
         // trees (≤ k_ceil rounds) + rank broadcast later: counted below.
-        total_rounds += 1;
+        accounted_rounds += 1;
         let is_large: Vec<bool> = (0..partition.num_parts())
             .map(|i| {
                 partition
@@ -273,9 +280,10 @@ pub fn distributed_shortcuts(
                         && b1.reached[v as usize][inst as usize].is_none(),
                 )
             });
-            let agg = run_multi_aggregate(graph, parts_b1, AggOp::Max, true, &sim_cfg)?;
-            stats.absorb(&agg.stats);
-            total_rounds += agg.stats.rounds;
+            session.run_labeled(
+                format!("B1.largeness@{guess}"),
+                MultiAggregate::new(parts_b1, AggOp::Max, true),
+            )?;
         }
 
         // B2: prefix-number the large-part leaders over the global tree.
@@ -286,12 +294,13 @@ pub fn distributed_shortcuts(
                 })
             })
             .collect();
-        let (ranks, total_large, st) = prefix_number(graph, global_pos.clone(), &marked, &sim_cfg)?;
-        stats.absorb(&st);
-        total_rounds += st.rounds;
+        let (ranks, total_large, _) = session.run_labeled(
+            format!("B2.ranks@{guess}"),
+            PrefixNumber::new(global_pos.clone(), &marked),
+        )?;
         let num_large = total_large as usize;
         // Rank broadcast within truncated part trees: ≤ k_ceil + 1.
-        total_rounds += params.k_ceil as u64 + 1;
+        accounted_rounds += params.k_ceil as u64 + 1;
 
         // rank -> part index map (engine-side view of leader knowledge).
         let mut rank_part: Vec<usize> = vec![usize::MAX; num_large];
@@ -336,32 +345,34 @@ pub fn distributed_shortcuts(
             membership: membership_aug,
             queue_cap,
         });
-        let b3_cfg = SimConfig {
-            seed: cfg.seed ^ guess as u64,
-            max_rounds: (params.round_budget() * 8).max(10_000),
-            shards: cfg.shards,
-            ..SimConfig::default()
-        };
-        let b3 = match run_multi_bfs(graph, b3_spec, &b3_cfg) {
+        let b3_seed = cfg.seed ^ guess as u64;
+        let b3_max_rounds = (params.round_budget() * 8).max(10_000);
+        let b3 = match session.run_configured(
+            format!("B3.parallel_bfs@{guess}"),
+            MultiBfs::new(b3_spec),
+            |c| {
+                c.seed = b3_seed;
+                c.max_rounds = b3_max_rounds;
+            },
+        ) {
             Ok(out) => out,
             Err(SimError::RoundLimitExceeded { .. }) => {
                 // Budget exhausted: the guess fails; try the next one.
+                // The session charged the aborted phase at its cap, so
+                // `rounds_used` already reflects it.
                 guesses.push(GuessReport {
                     guess,
                     accepted: false,
                     overflowed: true,
-                    rounds: total_rounds - before_rounds + b3_cfg.max_rounds,
-                    messages: stats.messages - before_msgs,
+                    rounds: session.rounds_used() + accounted_rounds - before_rounds,
+                    messages: session.stats().messages - before_msgs,
                     num_large,
                     max_queue: 0,
                 });
-                total_rounds += b3_cfg.max_rounds;
                 continue;
             }
             Err(e) => return Err(e.into()),
         };
-        stats.absorb(&b3.stats);
-        total_rounds += b3.stats.rounds;
 
         // B4: verification. satisfied(u) = not in a part, or part
         // small, or reached by the instance rooted at u's leader.
@@ -382,23 +393,17 @@ pub fn distributed_shortcuts(
         // Global AND convergecast + broadcast of the decision.
         {
             let values: Vec<u64> = (0..n as u32).map(|v| u64::from(satisfied(v))).collect();
-            let (_, st) = tree_aggregate(
-                graph,
-                global_pos.clone(),
-                &values,
-                AggOp::Min,
-                true,
-                &sim_cfg,
+            session.run_labeled(
+                format!("B4.verify@{guess}"),
+                TreeAggregate::new(global_pos.clone(), &values, AggOp::Min, true),
             )?;
-            stats.absorb(&st);
-            total_rounds += st.rounds;
         }
         guesses.push(GuessReport {
             guess,
             accepted: all_ok,
             overflowed: b3.overflowed,
-            rounds: total_rounds - before_rounds,
-            messages: stats.messages - before_msgs,
+            rounds: session.rounds_used() + accounted_rounds - before_rounds,
+            messages: session.stats().messages - before_msgs,
             num_large,
             max_queue: b3.max_queue,
         });
@@ -425,10 +430,11 @@ pub fn distributed_shortcuts(
             is_large,
             accepted_guess: guess,
             params,
-            total_rounds,
-            total_messages: stats.messages,
+            total_rounds: session.rounds_used() + accounted_rounds,
+            total_messages: session.stats().messages,
             guesses,
-            stats,
+            stats: session.stats().clone(),
+            phase_stats: session.phases().to_vec(),
         });
     }
     Err(DistributedError::NoGuessAccepted { tried: ladder })
@@ -466,7 +472,7 @@ pub fn global_tree_positions(
     root: NodeId,
     sim_cfg: &SimConfig,
 ) -> Result<(Vec<TreePosition>, RunStats), SimError> {
-    let out = distributed_bfs(graph, root, sim_cfg)?;
+    let out = Session::new(graph, sim_cfg.clone()).run(Bfs::new(root))?;
     Ok((
         positions_from_tree(root, &out.parent, &out.children),
         out.stats,
@@ -636,11 +642,19 @@ mod tests {
             ..DistributedConfig::default()
         };
         let seq = distributed_shortcuts(&g, &p, &mk(1)).unwrap();
-        for shards in [2, 5, 8] {
+        assert!(
+            seq.phase_stats.len() >= 5,
+            "the pipeline reports its phases"
+        );
+        for shards in [2, 3, 5, 8] {
             let par = distributed_shortcuts(&g, &p, &mk(shards)).unwrap();
             assert_eq!(par.shortcuts, seq.shortcuts, "shards={shards}");
             assert_eq!(par.total_rounds, seq.total_rounds);
             assert_eq!(par.stats, seq.stats);
+            // The per-phase session breakdown — labels, rounds,
+            // messages, per-edge histograms — must match too, not just
+            // the cumulative totals.
+            assert_eq!(par.phase_stats, seq.phase_stats, "shards={shards}");
             assert_eq!(
                 par.stats.fingerprint(),
                 seq.stats.fingerprint(),

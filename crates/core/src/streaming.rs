@@ -13,7 +13,8 @@
 //! * **dilation**: estimated on a random sample of large parts, each of
 //!   whose `H_i` is materialized alone via membership queries.
 //!
-//! The same coins as [`OracleMode::PerArc`] are drawn, so streamed
+//! The same coins as [`OracleMode::PerArc`](crate::OracleMode) are
+//! drawn, so streamed
 //! congestion equals the materialized measurement exactly (tested).
 
 use crate::centralized::{classify_large, LargenessRule};

@@ -18,7 +18,8 @@
 use crate::partition::Partition;
 use crate::shortcut::ShortcutSet;
 use lcs_congest::{
-    run_multi_aggregate, AggOp, MultiAggOutcome, Participation, ScheduleCost, SimConfig, SimError,
+    AggOp, MultiAggOutcome, MultiAggregate, Participation, ScheduleCost, Session, SimConfig,
+    SimError,
 };
 use lcs_graph::{bfs, BfsOptions, Graph, NodeId, UNREACHABLE};
 use std::collections::HashMap;
@@ -172,9 +173,36 @@ impl AggregationSetup {
             .collect()
     }
 
-    /// Runs the aggregation through the CONGEST simulator. Returns the
-    /// per-part results (as seen at each part root) plus the raw
-    /// outcome (per-node results when `broadcast`, queueing stats).
+    /// Runs the aggregation as one phase of an existing [`Session`] —
+    /// the composable form: a multi-phase application (e.g. Boruvka)
+    /// creates one session up front and every aggregation sweep reuses
+    /// its engine (pool, buffers) and accumulates into its cumulative
+    /// statistics. Returns the per-part results (as seen at each part
+    /// root) plus the raw outcome (per-node results when `broadcast`,
+    /// queueing stats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn aggregate_in_session(
+        &self,
+        session: &mut Session<'_>,
+        op: AggOp,
+        value: &dyn Fn(NodeId, usize) -> u64,
+        broadcast: bool,
+    ) -> Result<(Vec<Option<u64>>, MultiAggOutcome), SimError> {
+        let parts = self.participations(session.graph().n(), value);
+        let outcome = session.run(MultiAggregate::new(parts, op, broadcast))?;
+        let results = self
+            .trees
+            .iter()
+            .map(|t| outcome.result_at(t.root, t.part as u32))
+            .collect();
+        Ok((results, outcome))
+    }
+
+    /// One-shot convenience over [`AggregationSetup::aggregate_in_session`]:
+    /// spins up a throwaway [`Session`] for a single aggregation.
     ///
     /// # Errors
     ///
@@ -187,14 +215,7 @@ impl AggregationSetup {
         broadcast: bool,
         cfg: &SimConfig,
     ) -> Result<(Vec<Option<u64>>, MultiAggOutcome), SimError> {
-        let parts = self.participations(graph.n(), value);
-        let outcome = run_multi_aggregate(graph, parts, op, broadcast, cfg)?;
-        let results = self
-            .trees
-            .iter()
-            .map(|t| outcome.result_at(t.root, t.part as u32))
-            .collect();
-        Ok((results, outcome))
+        self.aggregate_in_session(&mut Session::new(graph, cfg.clone()), op, value, broadcast)
     }
 }
 

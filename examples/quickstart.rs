@@ -51,7 +51,10 @@ fn main() {
     );
     let pruned = prune_to_trees(g, &parts, &raw.shortcuts, params.depth_limit());
 
-    // 5. Full CONGEST execution (diameter guessing included).
+    // 5. Full CONGEST execution (diameter guessing included). The whole
+    //    multi-phase pipeline runs through ONE engine session — a
+    //    single worker-pool spawn, one cumulative budget, per-phase
+    //    statistics.
     let dist = distributed_shortcuts(
         g,
         &parts,
@@ -62,8 +65,41 @@ fn main() {
     )
     .expect("construction verifies");
     println!(
-        "distributed: accepted D''={} in {} rounds, {} messages",
-        dist.accepted_guess, dist.total_rounds, dist.total_messages
+        "distributed: accepted D''={} in {} rounds, {} messages, {} engine phases",
+        dist.accepted_guess,
+        dist.total_rounds,
+        dist.total_messages,
+        dist.phase_stats.len()
+    );
+    for phase in &dist.phase_stats {
+        println!(
+            "    phase {:>22}: {:>5} rounds {:>7} messages",
+            phase.label, phase.rounds, phase.messages
+        );
+    }
+
+    // 5b. The same composability is available directly: protocols are
+    //     first-class values run through a `Session`, sequentially or
+    //     concurrently (`join` = shared rounds, the paper's concurrent
+    //     part-wise aggregation).
+    let mut session = Session::new(g, SimConfig::default());
+    let bfs = session.run(Bfs::new(0)).expect("bfs");
+    let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
+    let ones = vec![1u64; g.n()];
+    let depths: Vec<u64> = bfs.dist.iter().map(|d| u64::from(d.unwrap_or(0))).collect();
+    let ((n_res, _), (ecc_res, _)) = session
+        .join(
+            TreeAggregate::new(pos.clone(), &ones, AggOp::Sum, true),
+            TreeAggregate::new(pos, &depths, AggOp::Max, true),
+        )
+        .expect("joined aggregations");
+    println!(
+        "session: n={} ecc={} learned in {} shared rounds ({} phases, {} total rounds)",
+        n_res[0].unwrap(),
+        ecc_res[0].unwrap(),
+        session.phases()[1].rounds,
+        session.phases().len(),
+        session.stats().rounds,
     );
 
     // 6. Quality comparison.

@@ -8,7 +8,9 @@
 //!   centralized reference algorithms;
 //! * [`congest`] (`lcs-congest`) — a synchronous CONGEST-model simulator
 //!   with bandwidth enforcement and the distributed primitives
-//!   (BFS, tree aggregation, random-delay multi-BFS);
+//!   (BFS, tree aggregation, random-delay multi-BFS), all expressed as
+//!   composable [`Protocol`](congest::Protocol)s run through a
+//!   [`Session`](congest::Session);
 //! * [`shortcut`] (`lcs-shortcut`) — the shortcut framework: partitions,
 //!   quality measurement, verification, baselines, partwise aggregation;
 //! * [`core`] (`lcs-core`) — the paper's construction: centralized,
@@ -36,6 +38,47 @@
 //! assert!((q.dilation as u64) <= params.dilation_bound());
 //! assert!((q.congestion as u64) <= params.congestion_bound());
 //! ```
+//!
+//! ## Running CONGEST protocols: `Session` + `Protocol`
+//!
+//! Every distributed primitive is a first-class
+//! [`Protocol`](congest::Protocol) value. A [`Session`](congest::Session)
+//! owns one engine instance — graph tables, the persistent worker pool,
+//! cumulative statistics — and composes protocols **sequentially**
+//! (phases share the engine and one round budget, with a per-phase
+//! stats breakdown) or **concurrently** (`join` multiplexes two
+//! protocols into the *same* rounds, the way the paper runs many
+//! part-wise aggregations at once):
+//!
+//! ```
+//! use low_congestion_shortcuts::prelude::*;
+//!
+//! let g = lcs_graph::generators::grid(4, 4);
+//! let mut session = Session::new(&g, SimConfig::default());
+//!
+//! // Phase 1: a BFS tree from node 0.
+//! let bfs = session.run(Bfs::new(0)).unwrap();
+//! let pos = positions_from_tree(0, &bfs.parent, &bfs.children);
+//!
+//! // Phases 2 ∥ 3: two aggregations over that tree in SHARED rounds.
+//! let ones = vec![1u64; g.n()];
+//! let ids: Vec<u64> = (0..g.n() as u64).collect();
+//! let ((count, _), (max, _)) = session
+//!     .join(
+//!         TreeAggregate::new(pos.clone(), &ones, AggOp::Sum, true),
+//!         TreeAggregate::new(pos, &ids, AggOp::Max, true),
+//!     )
+//!     .unwrap();
+//! assert_eq!(count[0], Some(16));
+//! assert_eq!(max[0], Some(15));
+//!
+//! // One engine, two phases, cumulative + per-phase accounting.
+//! assert_eq!(session.phases().len(), 2);
+//! assert_eq!(
+//!     session.stats().rounds,
+//!     session.phases().iter().map(|p| p.rounds).sum::<u64>(),
+//! );
+//! ```
 
 pub use lcs_apps as apps;
 pub use lcs_congest as congest;
@@ -49,7 +92,10 @@ pub mod prelude {
         approximate_min_cut, mst_via_shortcuts, shortcut_sssp, two_ecss, MinCutConfig, MstConfig,
         ShortcutStrategy,
     };
-    pub use lcs_congest::{distributed_bfs, ExecutionMode, SimConfig};
+    pub use lcs_congest::{
+        positions_from_tree, AggOp, Bfs, ExecutionMode, Join, MultiAggregate, MultiBfs,
+        PrefixNumber, Protocol, Session, SimConfig, TreeAggregate,
+    };
     pub use lcs_core::{
         centralized_shortcuts, distributed_shortcuts, k_d, prune_to_trees, DistributedConfig,
         KpParams, LargenessRule, OracleMode, SampleOracle, ShortcutTree,
