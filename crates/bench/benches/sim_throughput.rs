@@ -60,37 +60,47 @@ fn bench_sharded_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-/// Shard-sweep of pure per-round overhead: an idle protocol that never
-/// sends isolates what a pooled round costs — two barrier crossings per
-/// worker — against the sequential engine's bare node loop. This is the
-/// quantity the persistent pool was built to shrink (the per-round
-/// `thread::scope` spawn it replaced dominated here).
+/// Shard-sweep of pure idle-round cost under the event-driven active
+/// set: every node but one quiesces after round 0 and a single clock
+/// node stays awake 100 rounds. An idle round runs O(1) work — and at
+/// shards > 1 runs inline on the coordinator (no barrier crossing), so
+/// the trace should be flat across shard counts. (The full-scan engine
+/// this replaced paid O(n) node calls plus the barrier per round here.)
 fn bench_pool_round_overhead(c: &mut Criterion) {
-    #[derive(Debug)]
-    struct Idle;
-    impl lcs_congest::NodeAlgorithm for Idle {
-        type Msg = u32;
-        fn round(&mut self, _ctx: &mut lcs_congest::RoundCtx<'_, u32>) {}
-        fn halted(&self) -> bool {
-            false
-        }
-    }
+    use lcs_bench::sim_workloads::Clock;
     let g = generators::grid(40, 40);
     let mut group = c.benchmark_group("sim_pool_idle_rounds");
     for &shards in &[1usize, 2, 4, 8] {
         let cfg = SimConfig {
             shards,
-            max_rounds: 100,
             ..SimConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(shards), &cfg, |b, cfg| {
             b.iter(|| {
-                let err = lcs_congest::run(&g, (0..g.n()).map(|_| Idle).collect::<Vec<_>>(), cfg)
-                    .unwrap_err();
-                assert!(matches!(
-                    err,
-                    lcs_congest::SimError::RoundLimitExceeded { .. }
-                ));
+                let nodes = (0..g.n())
+                    .map(|v| Clock::new(if v == 0 { 100 } else { 0 }))
+                    .collect::<Vec<_>>();
+                let out = lcs_congest::run(&g, nodes, cfg).unwrap();
+                assert_eq!(out.stats.rounds, 100);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sparse-frontier BFS down a long path: 1–2 active nodes per round for
+/// n rounds. The event-driven engine's rounds cost O(active), so this
+/// completes in O(n) total; the full-scan engine paid O(n) per round.
+fn bench_sparse_path_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_sparse_bfs");
+    for &n in &[1_000usize, 4_000] {
+        let g = generators::path(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let out = Session::new(g, SimConfig::default())
+                    .run(lcs_congest::Bfs::new(0))
+                    .unwrap();
+                assert_eq!(out.depth() as usize, n - 1);
             })
         });
     }
@@ -102,6 +112,7 @@ criterion_group!(
     bench_engine_message_path,
     bench_multi_bfs_throughput,
     bench_sharded_rounds,
-    bench_pool_round_overhead
+    bench_pool_round_overhead,
+    bench_sparse_path_bfs
 );
 criterion_main!(benches);

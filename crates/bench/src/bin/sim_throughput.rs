@@ -1,7 +1,8 @@
 //! Simulator throughput benchmark: rounds/sec and messages/sec of the
-//! CONGEST engine on standard workloads (flood, multi-BFS, partwise
-//! aggregation), emitted as `BENCH_sim.json` so the engine's perf
-//! trajectory is tracked per-PR.
+//! CONGEST engine on standard workloads (idle rounds, saturated
+//! message path, flood, sparse long-path BFS, multi-BFS, partwise
+//! aggregation, a composed session pipeline), emitted as
+//! `BENCH_sim.json` so the engine's perf trajectory is tracked per-PR.
 //!
 //! Usage: `sim_throughput [--quick] [--shards K[,K2,...]] [--out PATH]`
 //!
@@ -12,9 +13,12 @@
 //! relative to the 1-shard baseline, and **exits nonzero if any sharded
 //! run's statistics diverge from the sequential run's** — CI runs
 //! `--quick --shards 1,4` and relies on that exit code as the shard
-//! determinism gate.
+//! determinism gate (the gate covers the event-driven active-set
+//! engine's sparsest workloads — `idle` and `sparse_bfs` — alongside
+//! the dense ones, so an active-set scheduling divergence fails the
+//! build).
 
-use lcs_bench::sim_workloads::{multi_bfs_spec, Saturate};
+use lcs_bench::sim_workloads::{multi_bfs_spec, Clock, Saturate};
 use lcs_congest::{
     positions_from_tree, run, AggOp, Bfs, MultiAggregate, MultiBfs, NodeAlgorithm, Participation,
     RoundCtx, RunStats, Session, SimConfig, TreeAggregate,
@@ -61,9 +65,8 @@ struct Measurement {
     rounds: u64,
     messages: u64,
     elapsed_s: f64,
-    /// [`RunStats::fingerprint`] of the run (0 for the idle workload,
-    /// which aborts at the round limit without stats by design; the
-    /// cumulative session fingerprint for composed workloads).
+    /// [`RunStats::fingerprint`] of the run (the cumulative session
+    /// fingerprint for composed workloads).
     stats_fingerprint: u64,
     /// Wall-clock speedup over the 1-shard run of the same workload
     /// (filled in after the sweep; 1.0 for the baseline itself).
@@ -226,45 +229,44 @@ fn bench_session_pipeline(g: &Graph, shards: usize) -> Measurement {
     m
 }
 
-/// Never sends, never halts: isolates the engine's fixed per-node-round
-/// overhead — under the pool, two barrier crossings plus the node calls
-/// (run hits the round limit by design).
-#[derive(Debug)]
-struct Idle;
-
-impl NodeAlgorithm for Idle {
-    type Msg = u32;
-    fn round(&mut self, _ctx: &mut RoundCtx<'_, u32>) {}
-    fn halted(&self) -> bool {
-        false
-    }
+/// Quiescent network + one awake clock node: the engine's pure
+/// idle-round cost. Every node but node 0 sleeps after round 0 (the
+/// event-driven active set never touches it again); node 0 stays awake
+/// `rounds` rounds via the explicit wake contract, then the run
+/// terminates normally. A round is O(1) — independent of `n`, and
+/// independent of the shard count because near-quiescent rounds run
+/// inline on the coordinator, skipping the worker barrier entirely.
+/// (The previous engine invoked all `n` nodes every round here and paid
+/// the barrier per round at shards > 1.)
+fn bench_idle(g: &Graph, rounds: u64, shards: usize) -> Measurement {
+    let t = Instant::now();
+    let nodes = (0..g.n())
+        .map(|v| Clock::new(if v == 0 { rounds } else { 0 }))
+        .collect();
+    let out = run(g, nodes, &cfg_with(shards, rounds + 10)).expect("idle");
+    assert_eq!(out.stats.rounds, rounds);
+    assert_eq!(out.stats.messages, 0);
+    Measurement::from_stats("idle", g, shards, &out.stats, t.elapsed().as_secs_f64())
 }
 
-fn bench_idle(g: &Graph, rounds: u64, shards: usize) -> Measurement {
-    let cfg = SimConfig {
-        max_rounds: rounds,
-        shards,
-        ..SimConfig::default()
-    };
+/// Sparse-frontier workload: BFS down a long path. The frontier is 1–2
+/// nodes for `n` rounds, so the run isolates the O(active + messages)
+/// round cost — the previous full-scan engine paid O(n) per round,
+/// an O(n²) total that dwarfed the O(n) of useful work.
+fn bench_sparse_bfs(n: usize, shards: usize) -> Measurement {
+    let g = generators::path(n);
     let t = Instant::now();
-    let err = run(g, (0..g.n()).map(|_| Idle).collect(), &cfg).unwrap_err();
-    assert!(matches!(
-        err,
-        lcs_congest::SimError::RoundLimitExceeded { .. }
-    ));
-    let secs = t.elapsed().as_secs_f64();
-    Measurement {
-        name: "idle".to_string(),
-        n: g.n(),
-        m: g.m(),
+    let out = Session::new(&g, cfg_with(shards, 10_000_000))
+        .run(Bfs::new(0))
+        .expect("sparse_bfs");
+    assert_eq!(out.depth() as usize, n - 1);
+    Measurement::from_stats(
+        "sparse_bfs",
+        &g,
         shards,
-        rounds,
-        messages: 0,
-        elapsed_s: secs,
-        stats_fingerprint: 0,
-        speedup_vs_1shard: 1.0,
-        phases: Vec::new(),
-    }
+        &out.stats,
+        t.elapsed().as_secs_f64(),
+    )
 }
 
 fn bench_saturate(g: &Graph, rounds: u64, shards: usize) -> Measurement {
@@ -336,6 +338,7 @@ fn main() {
             bench_idle(&g, if quick { 200 } else { 1000 }, k),
             bench_saturate(&g, if quick { 50 } else { 200 }, k),
             bench_flood(&g, k),
+            bench_sparse_bfs(if quick { 2_000 } else { 10_000 }, k),
             bench_multi_bfs(&g, instances, k),
             bench_multi_aggregate(&g, instances / 2, k),
             bench_session_pipeline(&g, k),

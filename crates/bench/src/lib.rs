@@ -183,9 +183,48 @@ pub fn covered_nodes(partition: &Partition) -> Vec<NodeId> {
 /// `sim_throughput` criterion bench — one definition, so the two
 /// trend lines measure the same thing.
 pub mod sim_workloads {
-    use lcs_congest::{MultiBfsInstance, MultiBfsSpec, NodeAlgorithm, RoundCtx};
+    use lcs_congest::{MultiBfsInstance, MultiBfsSpec, NodeAlgorithm, RoundCtx, Wake};
     use lcs_graph::NodeId;
     use std::sync::Arc;
+
+    /// A node that stays awake (explicit [`Wake`] contract — it gets no
+    /// mail) for a fixed number of rounds, then sleeps. With one clock
+    /// node and `n - 1` immediately-quiescent peers this is the
+    /// engine's pure **idle-round** workload: under event-driven active
+    /// sets each round costs O(1) — independent of `n`, and of the
+    /// shard count too, because near-quiescent rounds run inline on the
+    /// coordinator instead of crossing the worker barrier.
+    #[derive(Debug)]
+    pub struct Clock {
+        ticks: u64,
+    }
+
+    impl Clock {
+        /// A node that stays scheduled for `ticks` rounds (0 = sleep
+        /// after round 0).
+        pub fn new(ticks: u64) -> Self {
+            Clock { ticks }
+        }
+    }
+
+    impl NodeAlgorithm for Clock {
+        type Msg = u32;
+        fn round(&mut self, _ctx: &mut RoundCtx<'_, u32>) {
+            if self.ticks > 0 {
+                self.ticks -= 1;
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+        fn wake(&self) -> Wake {
+            if self.ticks > 0 {
+                Wake::Stay
+            } else {
+                Wake::Sleep
+            }
+        }
+    }
 
     /// Saturates every arc every round: the raw engine message path
     /// (send → slot → gather) with a trivial node program.

@@ -1,0 +1,223 @@
+//! Size-class slab arena recycling the engine's per-phase typed
+//! allocations.
+//!
+//! The mailbox buffers of a [`Session`](crate::Session) phase are typed
+//! by the phase's message type (`Vec<Slot<M>>`, one slot per directed
+//! arc), so they cannot simply be stored in the persistent
+//! [`EngineHost`](crate::sim::EngineHost) across phases of different
+//! protocols. Reallocating them per phase costs two `num_arcs`-sized
+//! allocations every phase — megabytes on the benchmark graphs, paid
+//! once per pipeline stage.
+//!
+//! This arena recycles the raw allocations by **size class**: when a
+//! phase ends, its buffers are cleared (dropping any residual messages)
+//! and their allocations parked as untyped slabs keyed by `(element
+//! size, element alignment)`; the next phase whose slot type has the
+//! same size class adopts a parked slab instead of allocating. Phases
+//! over the same graph always need the same element *count*, so in the
+//! steady state a pipeline reuses two slabs per size class and
+//! allocates nothing.
+//!
+//! # Soundness
+//!
+//! Rust's allocator contract requires deallocating with the same
+//! [`Layout`] the memory was allocated with. A `Vec<T>` of capacity `c`
+//! uses `Layout::array::<T>(c)` = `(size_of::<T>() * c,
+//! align_of::<T>())`. The arena therefore:
+//!
+//! * records `(element size, alignment, capacity)` for every parked
+//!   slab, verbatim from the donating `Vec`;
+//! * hands a slab out **only** to a `Vec<U>` whose `U` has exactly the
+//!   recorded element size and alignment, reconstructing it with the
+//!   recorded capacity — so the eventual deallocation layout is
+//!   byte-identical to the original allocation's;
+//! * parks slabs only after `Vec::clear`, so no live `T` values cross
+//!   the type boundary — the recipient sees spare capacity, never data;
+//! * deallocates leftover slabs on drop with the recorded layout.
+
+use std::alloc::Layout;
+use std::mem::{align_of, size_of, ManuallyDrop};
+
+/// One parked allocation: a raw buffer plus the exact parameters of the
+/// `Vec` that donated it.
+struct RawSlab {
+    ptr: *mut u8,
+    elem_size: usize,
+    elem_align: usize,
+    /// Capacity in elements (of the donating type).
+    capacity: usize,
+}
+
+// SAFETY: a parked slab is plain owned memory with no live values; the
+// arena is the unique owner until the slab is re-adopted or freed.
+unsafe impl Send for RawSlab {}
+
+impl RawSlab {
+    fn layout(&self) -> Layout {
+        // Infallible: this layout was already used for the original
+        // allocation.
+        Layout::from_size_align(self.elem_size * self.capacity, self.elem_align)
+            .expect("layout of a live allocation")
+    }
+}
+
+/// A pool of parked allocations, keyed by size class. See the
+/// [module docs](self).
+#[derive(Default)]
+pub(crate) struct SlabArena {
+    slabs: Vec<RawSlab>,
+}
+
+impl std::fmt::Debug for SlabArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlabArena")
+            .field("slabs", &self.slabs.len())
+            .finish()
+    }
+}
+
+impl SlabArena {
+    /// Takes an empty `Vec<T>` with capacity for at least `len`
+    /// elements, adopting a parked slab of `T`'s size class when one
+    /// fits and allocating fresh otherwise.
+    pub(crate) fn take<T>(&mut self, len: usize) -> Vec<T> {
+        let (size, align) = (size_of::<T>(), align_of::<T>());
+        let found = self
+            .slabs
+            .iter()
+            .position(|s| s.elem_size == size && s.elem_align == align && s.capacity >= len);
+        match found {
+            Some(i) => {
+                let slab = self.slabs.swap_remove(i);
+                // SAFETY: the slab's allocation was made by a Vec whose
+                // element type had exactly this size and alignment and
+                // exactly this capacity, so `Layout::array::<T>(capacity)`
+                // equals the original allocation layout; the buffer holds
+                // no live values (parked post-`clear`), and the arena
+                // uniquely owned it until this call.
+                unsafe { Vec::from_raw_parts(slab.ptr.cast::<T>(), 0, slab.capacity) }
+            }
+            None => Vec::with_capacity(len),
+        }
+    }
+
+    /// Parks `v`'s allocation for reuse by a later `take` of the same
+    /// size class. Residual elements are dropped first; zero-capacity
+    /// vectors are discarded (nothing to recycle).
+    pub(crate) fn put<T>(&mut self, mut v: Vec<T>) {
+        v.clear();
+        // Zero-sized elements never allocate: their Vec reports
+        // capacity usize::MAX over a dangling pointer, which must not
+        // be parked (deallocating it would be UB) — there is nothing
+        // to recycle anyway.
+        if size_of::<T>() == 0 || v.capacity() == 0 {
+            return;
+        }
+        let mut v = ManuallyDrop::new(v);
+        self.slabs.push(RawSlab {
+            ptr: v.as_mut_ptr().cast::<u8>(),
+            elem_size: size_of::<T>(),
+            elem_align: align_of::<T>(),
+            capacity: v.capacity(),
+        });
+    }
+}
+
+impl Drop for SlabArena {
+    fn drop(&mut self) {
+        for slab in &self.slabs {
+            // SAFETY: parked slabs hold no live values and the recorded
+            // layout is exactly the allocation's (module docs).
+            unsafe { std::alloc::dealloc(slab.ptr, slab.layout()) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_size_class_reuses_the_allocation() {
+        let mut arena = SlabArena::default();
+        let mut a: Vec<u64> = arena.take(100);
+        a.extend(0..100u64);
+        let ptr = a.as_ptr() as usize;
+        arena.put(a);
+        // u64, i64, and (on 64-bit) usize share a size class.
+        let b: Vec<i64> = arena.take(80);
+        assert_eq!(b.as_ptr() as usize, ptr, "slab must be adopted");
+        assert!(b.is_empty() && b.capacity() >= 80);
+        arena.put(b);
+        let c: Vec<f64> = arena.take(100);
+        assert_eq!(c.as_ptr() as usize, ptr);
+        arena.put(c);
+    }
+
+    #[test]
+    fn different_size_classes_do_not_mix() {
+        let mut arena = SlabArena::default();
+        let a: Vec<u64> = arena.take(64);
+        let ptr = a.as_ptr() as usize;
+        arena.put(a);
+        // Same size, smaller alignment: must NOT adopt the u64 slab.
+        let b: Vec<[u8; 8]> = arena.take(64);
+        assert_ne!(b.as_ptr() as usize, ptr, "alignment classes must not mix");
+        arena.put(b);
+        // Different size entirely.
+        let c: Vec<u16> = arena.take(64);
+        assert_ne!(c.as_ptr() as usize, ptr);
+        arena.put(c);
+        // The original class still finds its slab afterwards.
+        let d: Vec<u64> = arena.take(64);
+        assert_eq!(d.as_ptr() as usize, ptr);
+        arena.put(d);
+    }
+
+    #[test]
+    fn undersized_slabs_are_skipped_and_residual_values_dropped() {
+        use std::rc::Rc;
+        let mut arena = SlabArena::default();
+        let small: Vec<u64> = arena.take(8);
+        arena.put(small);
+        let big: Vec<u64> = arena.take(1024);
+        assert!(big.capacity() >= 1024);
+        arena.put(big);
+
+        // Parking a vec with live elements drops them (observable via
+        // refcount).
+        let rc = Rc::new(());
+        let mut v: Vec<Rc<()>> = Vec::with_capacity(4);
+        v.push(Rc::clone(&rc));
+        v.push(Rc::clone(&rc));
+        assert_eq!(Rc::strong_count(&rc), 3);
+        arena.put(v);
+        assert_eq!(Rc::strong_count(&rc), 1, "put must drop residual values");
+    }
+
+    #[test]
+    fn zero_capacity_and_zero_len_requests_are_fine() {
+        let mut arena = SlabArena::default();
+        let v: Vec<u32> = Vec::new();
+        arena.put(v); // capacity 0: discarded
+        let w: Vec<u32> = arena.take(0);
+        assert!(w.is_empty());
+        arena.put(w);
+    }
+
+    #[test]
+    fn zero_sized_element_types_are_never_parked() {
+        // A ZST Vec reports capacity usize::MAX over a dangling
+        // pointer; parking it (and deallocating on drop) would be UB.
+        #[derive(Debug)]
+        struct Zst;
+        let mut arena = SlabArena::default();
+        let mut v: Vec<Zst> = arena.take(16);
+        v.push(Zst);
+        assert_eq!(v.capacity(), usize::MAX);
+        arena.put(v);
+        assert!(arena.slabs.is_empty(), "ZST allocations must be discarded");
+        // Dropping the arena after a ZST put must not dealloc anything
+        // (covered by running this test at all under the allocator).
+    }
+}

@@ -173,6 +173,10 @@ impl Protocol for Bfs {
         NodeAlgorithm::round(state, ctx);
     }
 
+    // The default halted-derived `wake` signal is exact: an unreached
+    // or fired (halted) node is a no-op without mail — tokens and child
+    // acks re-activate it — and only a reached-but-unfired node needs
+    // the next round.
     fn halted(&self, state: &BfsNode) -> bool {
         NodeAlgorithm::halted(state)
     }

@@ -266,6 +266,12 @@ impl Protocol for MultiAggregate {
         NodeAlgorithm::round(state, ctx);
     }
 
+    // The default halted-derived `wake` signal is exact: a node stays
+    // awake exactly while queued messages remain to drain (= !halted);
+    // instance progression is otherwise driven by Up/Down arrivals, so
+    // on the partwise workloads most nodes are asleep most rounds —
+    // the active-frontier cost model this protocol was the motivating
+    // case for.
     fn halted(&self, state: &MultiAggNode) -> bool {
         NodeAlgorithm::halted(state)
     }
@@ -295,7 +301,8 @@ impl Protocol for MultiAggregate {
 /// # Errors
 ///
 /// Propagates engine errors. A malformed tree (cyclic parents, missing
-/// children) manifests as [`SimError::RoundLimitExceeded`].
+/// children) quiesces with missing results rather than erroring —
+/// callers must treat an absent aggregate as failure.
 ///
 /// # Panics
 ///

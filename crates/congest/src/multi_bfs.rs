@@ -362,6 +362,12 @@ impl Protocol for MultiBfs {
         NodeAlgorithm::round(state, ctx);
     }
 
+    // The default halted-derived `wake` signal is exact: both kinds of
+    // time-driven work that must keep a node awake without mail — a
+    // root instance whose random start delay has not fired yet, and
+    // queued tokens still draining at one per neighbor per round — are
+    // captured by `halted`; everything else (token arrival, child
+    // acks) is mail-driven and sleeps.
     fn halted(&self, state: &MultiBfsNode) -> bool {
         NodeAlgorithm::halted(state)
     }

@@ -1,10 +1,35 @@
-//! Node-program interface: the [`NodeAlgorithm`] trait and the per-round
-//! context handed to it.
+//! Node-program interface: the [`NodeAlgorithm`] trait, the [`Wake`]
+//! quiescence signal, and the per-round context handed to node programs.
 
 use crate::error::SimError;
 use crate::message::Message;
+use crate::sim::WakeCell;
 use lcs_graph::{Graph, NodeId};
 use rand_chacha::ChaCha8Rng;
+
+/// A node's scheduling request for the next round, reported by
+/// [`NodeAlgorithm::wake`] / [`Protocol::wake`](crate::Protocol::wake)
+/// after each executed round.
+///
+/// The engine is **event-driven**: a node's `round` hook runs only when
+/// the node is *active* — the phase just started (round 0), mail
+/// arrived this round, or the node requested [`Wake::Stay`] after its
+/// previous round. A [`Wake::Sleep`] node is quiescent: it is not
+/// invoked again until a message arrives (which re-activates it), so a
+/// round costs `O(active nodes + delivered messages)` rather than
+/// `O(n)`, and the run ends when no node stays awake and no messages
+/// are in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Run this node next round even if no mail arrives (the node has
+    /// pending time-driven work: queued sends, a scheduled activation,
+    /// a countdown).
+    Stay,
+    /// Do not invoke this node again until a message arrives. Sleeping
+    /// is a promise: invoking the hook with an empty inbox would have
+    /// been a no-op (no state change, no sends, no RNG draws).
+    Sleep,
+}
 
 /// A distributed algorithm, as seen by one node.
 ///
@@ -19,14 +44,96 @@ pub trait NodeAlgorithm {
 
     /// Executes one synchronous round. At round 0 the inbox is empty;
     /// from round `r ≥ 1` the inbox holds exactly the messages sent to
-    /// this node at round `r − 1`.
+    /// this node at round `r − 1`. The engine only invokes this hook
+    /// while the node is active (see [`Wake`]): round 0, rounds with
+    /// incoming mail, and rounds following a [`Wake::Stay`] request.
     fn round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>);
 
     /// Whether this node has (tentatively) finished. The run ends when
-    /// every node is halted **and** no messages are in flight; a halted
-    /// node is still invoked each round and may un-halt when messages
+    /// every node is quiescent **and** no messages are in flight; a
+    /// quiescent node is re-activated (and may un-halt) when messages
     /// arrive.
     fn halted(&self) -> bool;
+
+    /// The quiescence contract: after each executed round the engine
+    /// asks whether to keep the node scheduled ([`Wake::Stay`]) or let
+    /// it sleep until mail arrives ([`Wake::Sleep`]).
+    ///
+    /// The default derives the signal from [`NodeAlgorithm::halted`]:
+    /// a halted node sleeps, a non-halted node stays awake. That is
+    /// correct for every protocol whose `round` hook is a no-op when
+    /// the node is halted and the inbox is empty — which the old
+    /// poll-every-round engine already required for termination.
+    /// Override it only when halting and scheduling diverge (e.g. a
+    /// node that is "done" but must act again at a known later round
+    /// must `Stay`, because a sleeping node is *not* invoked again
+    /// without mail).
+    fn wake(&self) -> Wake {
+        if self.halted() {
+            Wake::Sleep
+        } else {
+            Wake::Stay
+        }
+    }
+}
+
+/// The engine-side effects of a *wire* send: the receiver's mail flag
+/// plus its activation for the next round's active set — either a
+/// direct push into the sending shard's own next-active list or a
+/// cross-shard wake enqueued for the destination shard to drain.
+/// Capture contexts (the [`Join`](crate::Join) combinator) omit this:
+/// their sends land in local queues and only touch the wire — and thus
+/// the schedule — when really sent later.
+pub(crate) struct WireFx<'a> {
+    /// Per-node "has mail next round" flags (shared across shards; a
+    /// relaxed store is enough, the round barrier orders it).
+    pub(crate) mail: &'a [std::sync::atomic::AtomicBool],
+    /// The sending shard's next-round active list.
+    pub(crate) next_active: &'a mut Vec<u32>,
+    /// Membership bitmap for `next_active`, indexed by
+    /// `node - node_lo` (dedups insertions).
+    pub(crate) in_set: &'a mut [bool],
+    /// The sending shard's own node span.
+    pub(crate) node_lo: u32,
+    /// One past the sending shard's own node span.
+    pub(crate) node_hi: u32,
+    /// Shard start boundaries (one per shard), mapping a remote
+    /// destination node to its shard.
+    pub(crate) bounds: &'a [u32],
+    /// This shard's row of cross-shard wake queues for the current
+    /// round's parity, indexed by destination shard.
+    pub(crate) wake_row: &'a [WakeCell],
+}
+
+impl WireFx<'_> {
+    /// Records that `to` has mail next round and must therefore run:
+    /// sets its mail flag and activates it (locally for an own-shard
+    /// destination, via the parity wake queue for a remote one).
+    #[inline]
+    pub(crate) fn notify(&mut self, to: NodeId) {
+        let flag = &self.mail[to as usize];
+        if flag.load(std::sync::atomic::Ordering::Relaxed) {
+            // Somebody already notified `to` this round, so a wake for
+            // it is already enqueued (flags are consumed by the woken
+            // node, so a set flag can only mean an earlier send of this
+            // same round). Saturated senders hit this early exit on
+            // every repeat target. Two shards racing on a first notify
+            // may both enqueue; the drain dedups.
+            return;
+        }
+        flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        if to >= self.node_lo && to < self.node_hi {
+            crate::sim::activate(self.next_active, self.in_set, self.node_lo, to);
+        } else {
+            let dest = self.bounds.partition_point(|&lo| lo <= to) - 1;
+            // SAFETY: queue `(parity, sender, dest)` is written only by
+            // the sending shard during send phases of this parity, and
+            // read (drained) only by the destination shard during send
+            // phases of the opposite parity; the pool's barriers order
+            // the phases (see the engine module docs).
+            unsafe { (*self.wake_row[dest].0.get()).push(to) };
+        }
+    }
 }
 
 /// The send-side of a [`RoundCtx`]: this node's outgoing arc-indexed
@@ -41,9 +148,9 @@ pub(crate) struct TxState<'a, M> {
     pub(crate) heads: &'a [NodeId],
     /// Global arc index of `slots[0]`.
     pub(crate) arc_base: u32,
-    /// Per-node "has mail next round" flags (shared across shards; a
-    /// relaxed store is enough, the round barrier orders it).
-    pub(crate) mail: &'a [std::sync::atomic::AtomicBool],
+    /// Wire effects of a send (mail flag + receiver activation); `None`
+    /// for capture contexts, whose sends are queued, not wired.
+    pub(crate) wire: Option<WireFx<'a>>,
     /// Global indices of slots written this round (the in-flight list).
     pub(crate) dirty: &'a mut Vec<u32>,
     /// Shard-accumulated message count.
@@ -223,7 +330,9 @@ impl<'a, M: Message> RoundCtx<'a, M> {
             return;
         }
         *slot = Some(msg);
-        self.tx.mail[to as usize].store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(wire) = &mut self.tx.wire {
+            wire.notify(to);
+        }
         self.tx.dirty.push(self.tx.arc_base + i as u32);
         *self.tx.messages += 1;
         *self.tx.words += u64::from(words);

@@ -81,6 +81,16 @@ use std::thread::JoinHandle;
 pub enum Control<T> {
     /// Run another round (subject to the round limit).
     Continue,
+    /// Run another round **inline on the coordinator thread**: every
+    /// worker's step executes sequentially (in worker order) on the
+    /// calling thread, without releasing the barrier. Semantically
+    /// identical to [`Control::Continue`] — steps access disjoint state
+    /// and the coordinator has exclusive access to all of it between
+    /// barrier crossings — but a round whose total work is tiny skips
+    /// the two barrier crossings entirely, so near-idle rounds cost
+    /// `O(work)` instead of `O(threads)`. On a one-worker pool this is
+    /// the same as [`Control::Continue`].
+    ContinueInline,
     /// Stop the phase and make [`Pool::run_rounds`] return `Some(T)`.
     Stop(T),
     /// Stop the phase and re-raise this panic payload on the calling
@@ -265,11 +275,11 @@ impl Pool {
         );
         let Some(shared) = &self.shared else {
             // Sequential fast path: no threads, no barriers, same
-            // protocol.
+            // protocol (inline and barrier rounds coincide).
             for round in 0..max_rounds {
                 let report = step(0, &mut states[0], round);
                 match control(round, vec![Ok(report)]) {
-                    Control::Continue => {}
+                    Control::Continue | Control::ContinueInline => {}
                     Control::Stop(t) => return (states, Some(t)),
                     Control::Abort(payload) => resume_unwind(payload),
                 }
@@ -303,10 +313,24 @@ impl Pool {
 
         let mut outcome: Option<T> = None;
         let mut fatal: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut inline = false;
         for round in 0..max_rounds {
-            shared.round.store(round, Ordering::Relaxed);
-            shared.start.wait(); // send phase begins
-            shared.done.wait(); // all jobs done, all effects visible
+            if inline {
+                // Inline round: the workers stay parked at the start
+                // barrier while the coordinator — which has exclusive
+                // access to all phase state between barrier crossings —
+                // runs every worker's job itself, in worker order. The
+                // next barrier release (of a later non-inline round or
+                // the pool's shutdown) orders these writes for the
+                // workers.
+                for worker in 0..workers {
+                    job(worker, round);
+                }
+            } else {
+                shared.round.store(round, Ordering::Relaxed);
+                shared.start.wait(); // send phase begins
+                shared.done.wait(); // all jobs done, all effects visible
+            }
             let results: Vec<std::thread::Result<R>> = slots
                 .iter()
                 .map(|slot| {
@@ -317,7 +341,8 @@ impl Pool {
                 })
                 .collect();
             match catch_unwind(AssertUnwindSafe(|| control(round, results))) {
-                Ok(Control::Continue) => {}
+                Ok(Control::Continue) => inline = false,
+                Ok(Control::ContinueInline) => inline = true,
                 Ok(Control::Stop(t)) => {
                     outcome = Some(t);
                     break;
@@ -660,5 +685,83 @@ mod tests {
             |_round, _results: Vec<std::thread::Result<()>>| Control::<()>::Continue,
         );
         assert_eq!(s4, vec![16, 16, 16]);
+    }
+
+    /// `ContinueInline` rounds run every worker's step on the
+    /// coordinator thread (no barrier), interleave freely with barrier
+    /// rounds, and leave per-worker state exactly as barrier rounds
+    /// would.
+    #[test]
+    fn inline_rounds_run_on_the_coordinator_and_compose_with_barrier_rounds() {
+        let main_thread = std::thread::current().id();
+        // State: (accumulator, thread id of each observed round).
+        let states: Vec<(u64, Vec<std::thread::ThreadId>)> = vec![(0, Vec::new()); 3];
+        let (states, out) = run_rounds(
+            states,
+            8,
+            |i, st, round| {
+                st.0 += (i as u64 + 1) * (round + 1);
+                st.1.push(std::thread::current().id());
+                st.0
+            },
+            |round, results| {
+                let reports = oks(results);
+                assert_eq!(reports.len(), 3);
+                if round == 7 {
+                    Control::Stop(reports[0])
+                } else if round % 2 == 0 {
+                    Control::ContinueInline // odd rounds run inline
+                } else {
+                    Control::Continue
+                }
+            },
+        );
+        assert_eq!(out, Some((1..=8u64).sum::<u64>()));
+        for (i, (acc, threads)) in states.iter().enumerate() {
+            assert_eq!(*acc, (i as u64 + 1) * (1..=8u64).sum::<u64>());
+            assert_eq!(threads.len(), 8);
+            for (round, id) in threads.iter().enumerate() {
+                // Rounds 1, 3, 5, 7 followed an even-round
+                // ContinueInline decision: coordinator thread.
+                if round % 2 == 1 {
+                    assert_eq!(*id, main_thread, "round {round} must be inline");
+                } else if round > 0 {
+                    assert_ne!(*id, main_thread, "round {round} must be pooled");
+                }
+            }
+        }
+    }
+
+    /// A panic inside an inline round propagates exactly like a worker
+    /// panic (caught, reported in worker order, pool stays healthy).
+    #[test]
+    fn inline_round_panics_propagate_and_do_not_poison_the_pool() {
+        let mut pool = Pool::new(2);
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_rounds(
+                vec![(); 2],
+                10,
+                |i, _s, round| {
+                    if round == 1 && i == 1 {
+                        panic!("inline panic");
+                    }
+                },
+                |_round, results| match reports_or_abort::<(), ()>(results) {
+                    Ok(_) => Control::ContinueInline,
+                    Err(abort) => abort,
+                },
+            )
+        }));
+        assert!(panicked.is_err());
+        // The pool still runs a clean phase afterwards.
+        let (s, _) = pool.run_rounds(
+            vec![0u32; 2],
+            3,
+            |_i, s, _r| {
+                *s += 1;
+            },
+            |_round, _results: Vec<std::thread::Result<()>>| Control::<()>::ContinueInline,
+        );
+        assert_eq!(s, vec![3, 3]);
     }
 }

@@ -10,10 +10,10 @@
 //! low-level interface ([`NodeAlgorithm`](crate::NodeAlgorithm) +
 //! [`run`](crate::run)) expresses one protocol per engine invocation;
 //! [`Protocol`] packages the full lifecycle — building per-node states
-//! ([`Protocol::init`]), executing rounds ([`Protocol::round`] /
-//! [`Protocol::halted`]), and extracting a typed result
-//! ([`Protocol::finish`]) — so protocols can be handed to a
-//! [`Session`](crate::Session) and composed:
+//! ([`Protocol::init`]), executing rounds ([`Protocol::round`], with
+//! quiescence declared via [`Protocol::halted`] / [`Protocol::wake`]),
+//! and extracting a typed result ([`Protocol::finish`]) — so protocols
+//! can be handed to a [`Session`](crate::Session) and composed:
 //!
 //! * **sequentially** — `session.run(p1)?` then `session.run(p2)?`
 //!   share one engine (worker pool, reverse-arc tables) and accumulate
@@ -85,7 +85,7 @@
 //! ```
 
 use crate::message::Message;
-use crate::node::{RoundCtx, TxState};
+use crate::node::{RoundCtx, TxState, Wake};
 use crate::stats::RunStats;
 use lcs_graph::{Graph, NodeId};
 use std::collections::VecDeque;
@@ -97,6 +97,29 @@ use std::collections::VecDeque;
 /// Run protocols through a [`Session`](crate::Session) — sequentially
 /// ([`Session::run`](crate::Session::run)) or concurrently
 /// ([`Session::join`](crate::Session::join)).
+///
+/// # The quiescence contract
+///
+/// The engine is **event-driven** (see [`Wake`]): a node's
+/// [`Protocol::round`] hook runs only at round 0, on rounds where the
+/// node has incoming mail, and on rounds following a [`Wake::Stay`]
+/// request from [`Protocol::wake`]. A sleeping node's hook is *not*
+/// polled — so a node whose `wake` answers [`Wake::Sleep`] promises
+/// that invoking its hook with an empty inbox would have been a no-op
+/// (no state change, no sends, no RNG draws).
+///
+/// ## Migrating from the `halted` scan
+///
+/// Older protocols only implemented [`Protocol::halted`], under an
+/// engine that invoked every node every round. [`Protocol::wake`]
+/// defaults to deriving the signal from `halted` (halted ⇒ sleep), so
+/// such protocols keep working unchanged **iff** they already satisfied
+/// the no-op promise above — which the termination rule (run ends when
+/// all nodes are halted with nothing in flight) effectively required.
+/// A protocol whose halted nodes still did time-driven work (e.g.
+/// waiting for a specific round number without traffic) must override
+/// `wake` to return [`Wake::Stay`] until that work is done; sleeping
+/// would skip it.
 pub trait Protocol: Sized {
     /// The message type exchanged on the wire.
     type Msg: Message + Send + Sync;
@@ -119,14 +142,30 @@ pub trait Protocol: Sized {
     /// the inbox is empty; from round `r ≥ 1` the inbox holds exactly
     /// the messages sent to this node at round `r − 1`. Takes `&self`
     /// so protocol-wide data is shared read-only across the engine's
-    /// worker shards.
+    /// worker shards. Invoked only while the node is active (see the
+    /// [quiescence contract](Protocol#the-quiescence-contract)).
     fn round(&self, state: &mut Self::State, ctx: &mut RoundCtx<'_, Self::Msg>);
 
     /// Whether `state`'s node has (tentatively) finished. The run ends
-    /// when every node is halted **and** no messages are in flight; a
-    /// halted node is still invoked each round and may un-halt when
-    /// messages arrive.
+    /// when every node is quiescent **and** no messages are in flight;
+    /// a quiescent node is re-activated (and may un-halt) when messages
+    /// arrive.
     fn halted(&self, state: &Self::State) -> bool;
+
+    /// The quiescence contract: asked after each executed round whether
+    /// the node must run again next round even without mail
+    /// ([`Wake::Stay`]) or may sleep until a message arrives
+    /// ([`Wake::Sleep`]). Defaults to deriving the signal from
+    /// [`Protocol::halted`]; see the
+    /// [migration notes](Protocol#migrating-from-the-halted-scan) for
+    /// when an override is required.
+    fn wake(&self, state: &Self::State) -> Wake {
+        if self.halted(state) {
+            Wake::Sleep
+        } else {
+            Wake::Stay
+        }
+    }
 
     /// Consumes the final per-node states into the protocol's output.
     /// `stats` is this phase's statistics (protocols that report
@@ -273,34 +312,45 @@ impl<P1: Protocol, P2: Protocol> Protocol for Join<P1, P2> {
                 JoinMsg::B(m) => st.inbox_b.push((from, m.clone())),
             }
         }
-        // 2. Run both sides against capture contexts (sends land in
-        //    `slots_*`, then move into the queues). The first side
-        //    draws from the node's RNG before the second — a fixed,
-        //    documented order that keeps joint runs deterministic.
-        if run_captured(
-            &self.a,
-            &mut st.a,
-            &st.inbox_a,
-            &mut st.slots_a,
-            &mut st.qa,
-            &mut st.dirty,
-            &mut st.per_arc,
-            &mut st.pending,
-            ctx,
-        ) {
+        // 2. Run each side against a capture context (sends land in
+        //    `slots_*`, then move into the queues) — but only when that
+        //    side has traffic or asked to stay awake: the join extends
+        //    the engine's event-driven scheduling *through* itself, so
+        //    a quiescent side costs nothing even while the other side
+        //    keeps the node active. Skipping is outcome-neutral by the
+        //    quiescence contract (a sleeping side's hook would have
+        //    been a no-op, drawing no RNG), which also preserves the
+        //    documented RNG order: A draws before B within a round.
+        let run_a = ctx.round() == 0 || !st.inbox_a.is_empty() || self.a.wake(&st.a) == Wake::Stay;
+        if run_a
+            && run_captured(
+                &self.a,
+                &mut st.a,
+                &st.inbox_a,
+                &mut st.slots_a,
+                &mut st.qa,
+                &mut st.dirty,
+                &mut st.per_arc,
+                &mut st.pending,
+                ctx,
+            )
+        {
             return; // violation recorded; the run is aborting
         }
-        if run_captured(
-            &self.b,
-            &mut st.b,
-            &st.inbox_b,
-            &mut st.slots_b,
-            &mut st.qb,
-            &mut st.dirty,
-            &mut st.per_arc,
-            &mut st.pending,
-            ctx,
-        ) {
+        let run_b = ctx.round() == 0 || !st.inbox_b.is_empty() || self.b.wake(&st.b) == Wake::Stay;
+        if run_b
+            && run_captured(
+                &self.b,
+                &mut st.b,
+                &st.inbox_b,
+                &mut st.slots_b,
+                &mut st.qb,
+                &mut st.dirty,
+                &mut st.per_arc,
+                &mut st.pending,
+                ctx,
+            )
+        {
             return;
         }
         // 3. Drain at most one message per neighbor, round-robin: even
@@ -327,6 +377,17 @@ impl<P1: Protocol, P2: Protocol> Protocol for Join<P1, P2> {
 
     fn halted(&self, st: &Self::State) -> bool {
         st.pending == 0 && self.a.halted(&st.a) && self.b.halted(&st.b)
+    }
+
+    fn wake(&self, st: &Self::State) -> Wake {
+        // The joined node stays awake while either side does (a side
+        // with time-driven work must keep running even without mail) or
+        // while queued messages remain to drain.
+        if st.pending > 0 || self.a.wake(&st.a) == Wake::Stay || self.b.wake(&st.b) == Wake::Stay {
+            Wake::Stay
+        } else {
+            Wake::Sleep
+        }
     }
 
     fn finish(self, graph: &Graph, states: Vec<Self::State>, stats: &RunStats) -> Self::Output {
@@ -375,10 +436,12 @@ fn run_captured<P: Protocol, W: Message>(
                 slots,
                 heads: ctx.tx.heads,
                 arc_base: 0,
-                // Reusing the real mail flags is harmless: a spurious
-                // `true` only makes the target walk an empty arc range
-                // next round, identically at any shard count.
-                mail: ctx.tx.mail,
+                // No wire effects: a captured send is queued, not sent.
+                // Mail flags and receiver activation happen when the
+                // drain step really sends it (via the outer context),
+                // so the engine's active sets see exactly the wire
+                // traffic at any shard count.
+                wire: None,
                 dirty,
                 messages: &mut messages,
                 words: &mut words,

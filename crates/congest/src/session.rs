@@ -60,7 +60,7 @@
 //! ```
 
 use crate::error::SimError;
-use crate::node::RoundCtx;
+use crate::node::{RoundCtx, Wake};
 use crate::protocol::{Join, Protocol};
 use crate::sim::{run_phase, Driver, EngineHost, SimConfig};
 use crate::stats::RunStats;
@@ -77,8 +77,8 @@ impl<P: Protocol + Sync> Driver for ProtocolDriver<'_, P> {
         self.0.round(state, ctx);
     }
     #[inline]
-    fn node_halted(&self, state: &P::State) -> bool {
-        self.0.halted(state)
+    fn node_wake(&self, state: &P::State) -> Wake {
+        self.0.wake(state)
     }
 }
 

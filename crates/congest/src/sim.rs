@@ -21,26 +21,54 @@
 //!
 //! Two buffers alternate roles by round parity: buffer `r mod 2` is
 //! read (current round's deliveries) while buffer `(r + 1) mod 2` is
-//! written (next round's deliveries). The buffers never move — unlike
-//! the previous engine's `mem::swap` — so the persistent workers below
-//! can hold their views for the whole run. A slot written in round `r`
-//! is read in round `r + 1` and wiped by its owning shard at the start
-//! of round `r + 2`, just before that buffer becomes the write target
-//! again; only dirty slots are ever touched, so quiet rounds cost
-//! `O(n)` node calls and nothing per arc.
+//! written (next round's deliveries). The buffers never move, so the
+//! persistent workers below can hold their views for the whole run. A
+//! slot written in round `r` is read in round `r + 1` and wiped by its
+//! owning shard at the start of round `r + 2`, just before that buffer
+//! becomes the write target again; only dirty slots are ever touched.
+//!
+//! # Event-driven active sets
+//!
+//! Rounds are **event-driven**: a node's `round` hook runs only while
+//! the node is *active* — the phase just started (round 0), mail
+//! arrived this round, or the node's previous round requested
+//! [`Wake::Stay`] (see [`crate::Wake`]; the default derives the signal
+//! from `halted`, so a halted node sleeps until mail arrives). Each
+//! shard keeps a sorted active list plus a membership bitmap:
+//!
+//! * a **stay** decision re-enqueues the node locally;
+//! * a **send** marks the receiver's mail flag and enqueues a wake —
+//!   directly into the local active list when the receiver is in the
+//!   sending shard, or into a per-`(sender, receiver)`-shard **wake
+//!   queue** otherwise, which the receiving shard drains at the start
+//!   of its next round. Wake queues alternate by round parity exactly
+//!   like the mailbox buffers, so the writer (sender shard) and the
+//!   reader (receiver shard) never touch the same queue in the same
+//!   phase.
+//!
+//! A round therefore costs `O(active nodes + delivered messages)` —
+//! independent of `n` — and the run ends when no shard has a stay or a
+//! message in flight. When the upcoming round's total work (active
+//! nodes + in-flight messages) is tiny, the coordinator runs it
+//! **inline** ([`Control::ContinueInline`]) instead of releasing the
+//! worker barrier, so an all-but-quiescent round costs `O(1)` at every
+//! shard count — thin-frontier protocols no longer pay two barrier
+//! crossings per round for idle workers.
 //!
 //! # Persistent sharded rounds
 //!
 //! Nodes are split into contiguous shards ([`SimConfig::shards`]). The
 //! shards are executed by a **persistent worker pool**
-//! ([`crate::pool`]): one thread per shard, spawned once per run and
-//! synchronized by a reusable two-phase barrier — a *send phase* (every
-//! worker runs its shard's nodes and applies their sends) and a
-//! *deliver phase* (the coordinator aggregates the shard reports,
-//! advances the round, and decides termination). The previous engine
-//! spawned fresh [`std::thread::scope`] threads every round; at
-//! simulator round granularity that spawn/join cost dominated, capping
-//! multi-thread scaling at ~1.2× regardless of core count.
+//! ([`crate::pool`]): one thread per shard, spawned once per engine
+//! host (= per [`Session`](crate::Session)) and synchronized
+//! by a reusable two-phase barrier — a *send phase* (every worker runs
+//! its shard's active nodes and applies their sends) and a *deliver
+//! phase* (the coordinator aggregates the shard reports, advances the
+//! round, and decides termination). The host also keeps every untyped
+//! per-run structure — mail flags, wake queues, per-shard cores (active
+//! lists, dirty lists, per-arc counters) — across phases, and recycles
+//! the message-typed mailbox buffers through a size-class slab arena,
+//! so a steady-state pipeline phase allocates almost nothing.
 //!
 //! ## Safety protocol of the shared mailboxes
 //!
@@ -58,23 +86,38 @@
 //! 3. The barrier crossings between phases provide the happens-before
 //!    edges that make writes of one phase visible to the next.
 //!
+//! The cross-shard wake queues obey the same discipline with parity in
+//! place of buffer role: queue `(p, t, s)` is **written** only by shard
+//! `t` during send phases of parity `p` and **drained** (read + cleared)
+//! only by shard `s` during send phases of parity `1 − p`, with the
+//! barriers ordering the phases. Inline rounds run every shard's step
+//! on the coordinator between barrier crossings — a superset of each
+//! worker's exclusive access, ordered against the workers by the next
+//! barrier crossing.
+//!
 //! # Determinism contract
 //!
-//! A node's sends land in its own arc range, shard write regions are
-//! disjoint, per-shard statistics are merged in shard order, and every
-//! per-run quantity is an order-independent integer sum — so the
-//! outcome (node states, per-node RNG streams, and [`RunStats`],
-//! including [`RunStats::per_edge_messages`] and
-//! [`RunStats::delivered_rounds`]) is **bit-identical to the sequential
-//! engine for any shard count**. Model violations abort with exactly
-//! the error the sequential engine would have reported first (lowest
-//! shard, then lowest node). This contract is enforced by the tier-1
-//! differential suite (`tests/shard_equivalence.rs`), tier-2 proptests,
-//! and the shard-sweep determinism check in the `sim_throughput` bench.
+//! Active lists are sorted before execution, so nodes run in ascending
+//! id order — the sequential engine's order — regardless of the order
+//! wakes arrived; a node's sends land in its own arc range, shard write
+//! regions are disjoint, per-shard statistics are merged in shard
+//! order, and every per-run quantity is an order-independent integer
+//! sum. The outcome (node states, per-node RNG streams, and
+//! [`RunStats`], including [`RunStats::per_edge_messages`] and
+//! [`RunStats::delivered_rounds`]) is therefore **bit-identical to the
+//! sequential engine for any shard count**, and — for protocols obeying
+//! the [`Wake`] quiescence contract — bit-identical to the
+//! retired full-scan engine, which invoked every node every round.
+//! Model violations abort with exactly the error the sequential engine
+//! would have reported first (lowest shard, then lowest node). This
+//! contract is enforced by the tier-1 differential suite
+//! (`tests/shard_equivalence.rs`), tier-2 proptests, and the
+//! shard-sweep determinism check in the `sim_throughput` bench.
 
+use crate::arena::SlabArena;
 use crate::error::SimError;
 use crate::message::{Message, DEFAULT_BANDWIDTH_WORDS};
-use crate::node::{NodeAlgorithm, RoundCtx, TxState};
+use crate::node::{NodeAlgorithm, RoundCtx, TxState, Wake, WireFx};
 use crate::pool::{Control, Pool};
 use crate::stats::RunStats;
 use lcs_graph::{ArcId, Graph, NodeId};
@@ -119,11 +162,20 @@ impl Default for SimConfig {
 }
 
 /// Minimum nodes per shard for auto-sizing (`shards = 0`): below this,
-/// a shard's per-round work (~ns per idle node) cannot amortize the
+/// a shard's per-round work (~ns per active node) cannot amortize the
 /// two barrier crossings a pooled round costs, so small graphs run
 /// sequentially rather than paying thread overhead for nothing.
 /// Explicit shard counts are honored regardless (clamped to `n` only).
 const AUTO_MIN_NODES_PER_SHARD: usize = 4096;
+
+/// When the upcoming round's total work (active nodes + in-flight
+/// messages) is at most this, the coordinator executes the round inline
+/// — all shard steps on its own thread — instead of releasing the
+/// worker barrier. Running a handful of nodes costs well under the two
+/// barrier crossings a pooled round pays, and keeping sparse rounds off
+/// the barrier is what makes a quiescent network's rounds `O(1)` at
+/// every shard count.
+const INLINE_WORK_MAX: u64 = 64;
 
 impl SimConfig {
     /// The effective shard count for an `n`-node run: `0` resolves to
@@ -173,6 +225,63 @@ impl<M> Slot<M> {
 // pool's barriers order the phases.
 unsafe impl<M: Send + Sync> Sync for Slot<M> {}
 
+/// One cross-shard wake queue: destinations of messages a shard sent
+/// into another shard's node span this round, drained by the owning
+/// shard next round. Interior-mutable under the same parity protocol as
+/// the mailbox slots (module docs).
+pub(crate) struct WakeCell(pub(crate) UnsafeCell<Vec<u32>>);
+
+// SAFETY: queue `(parity, sender, dest)` is written only by the sender
+// shard in send phases of its parity and drained only by the dest shard
+// in send phases of the opposite parity; barriers order the phases.
+unsafe impl Sync for WakeCell {}
+
+/// The full set of cross-shard wake queues: for each round parity, one
+/// queue per `(sender shard, destination shard)` pair.
+struct WakeMatrix {
+    shards: usize,
+    /// `bufs[parity][sender * shards + dest]`.
+    bufs: [Vec<WakeCell>; 2],
+}
+
+impl WakeMatrix {
+    fn new(shards: usize) -> Self {
+        let mk = || {
+            (0..shards * shards)
+                .map(|_| WakeCell(UnsafeCell::new(Vec::new())))
+                .collect()
+        };
+        WakeMatrix {
+            shards,
+            bufs: [mk(), mk()],
+        }
+    }
+
+    /// Empties every queue (phase-start reset; queue capacity is kept).
+    fn clear(&mut self) {
+        for buf in &mut self.bufs {
+            for cell in buf {
+                cell.0.get_mut().clear();
+            }
+        }
+    }
+}
+
+/// Inserts `v` into a shard's next-round active list iff absent,
+/// maintaining the membership bitmap (indexed `v - node_lo`). Every
+/// activation path — local wire sends ([`WireFx`]), cross-shard wake
+/// drains, and [`Wake::Stay`] re-enqueues — goes through here: it is
+/// the single owner of the duplicate-free invariant that the
+/// dense-round fast path's list regeneration relies on.
+#[inline]
+pub(crate) fn activate(next_active: &mut Vec<u32>, in_set: &mut [bool], node_lo: u32, v: u32) {
+    let off = (v - node_lo) as usize;
+    if !in_set[off] {
+        in_set[off] = true;
+        next_active.push(v);
+    }
+}
+
 /// Reborrows a shard's own contiguous arc span as plain mutable
 /// option slots (the form [`TxState`] consumes).
 ///
@@ -189,14 +298,14 @@ unsafe fn own_span_mut<M>(slots: &[Slot<M>]) -> &mut [Option<M>] {
     std::slice::from_raw_parts_mut(slots.as_ptr() as *mut Option<M>, slots.len())
 }
 
-/// Per-shard engine state: the shard's node/arc spans, its accumulated
-/// statistics, its dirty-slot lists, and a reusable inbox buffer.
-struct Shard<M> {
+/// The untyped (message-independent) per-shard engine state, persisted
+/// across a session's phases by the [`EngineHost`]: the shard's
+/// node/arc spans, its active-set bookkeeping, its dirty-slot lists,
+/// and its per-arc statistics.
+struct ShardCore {
     node_lo: usize,
     node_hi: usize,
     arc_lo: usize,
-    messages: u64,
-    words: u64,
     /// Per-arc message counts for the shard's own arc span (folded into
     /// per-edge counts once at the end of the run — a sequential store
     /// per send instead of a random per-edge access).
@@ -208,6 +317,59 @@ struct Shard<M> {
     /// Own-span slots written this round; its length is the shard's
     /// contribution to the in-flight count.
     dirty_out: Vec<u32>,
+    /// Nodes executing this round, sorted ascending.
+    cur_active: Vec<u32>,
+    /// Nodes scheduled for the next round: stays plus own-shard mail
+    /// wakes (cross-shard wakes arrive through the wake queues).
+    next_active: Vec<u32>,
+    /// Membership bitmap for `next_active`, indexed by
+    /// `node - node_lo`.
+    in_set: Vec<bool>,
+}
+
+/// Builds the per-shard cores for `graph` split into `shards`
+/// contiguous node ranges.
+fn build_cores(graph: &Graph, shards: usize) -> Vec<ShardCore> {
+    let n = graph.n();
+    (0..shards)
+        .map(|s| {
+            let node_lo = s * n / shards;
+            let node_hi = (s + 1) * n / shards;
+            let arc_lo = if node_lo >= n {
+                graph.num_arcs() // empty trailing shard (n = 0 only)
+            } else {
+                graph.arc_range(node_lo as NodeId).start
+            };
+            let arc_hi = if node_hi == node_lo {
+                arc_lo
+            } else {
+                graph.arc_range((node_hi - 1) as NodeId).end
+            };
+            let span = node_hi - node_lo;
+            ShardCore {
+                node_lo,
+                node_hi,
+                arc_lo,
+                per_arc: vec![0; arc_hi - arc_lo],
+                // A shard can have at most one in-flight message per
+                // owned arc; reserving that up front keeps the dirty
+                // lists realloc-free for the whole run.
+                dirty_in: Vec::with_capacity(arc_hi - arc_lo),
+                dirty_out: Vec::with_capacity(arc_hi - arc_lo),
+                cur_active: Vec::with_capacity(span),
+                next_active: Vec::with_capacity(span),
+                in_set: vec![false; span],
+            }
+        })
+        .collect()
+}
+
+/// Per-phase shard state: the persistent core plus the phase's typed
+/// inbox buffer and statistics accumulators.
+struct Shard<M> {
+    core: ShardCore,
+    messages: u64,
+    words: u64,
     inbox: Vec<(NodeId, M)>,
 }
 
@@ -221,9 +383,12 @@ struct ShardWorker<'a, D: Driver> {
 
 /// What a shard reports to the coordinator after each send phase.
 struct StepReport {
-    all_halted: bool,
     violation: Option<SimError>,
     in_flight: u64,
+    /// Nodes this shard has scheduled for the next round (stays plus
+    /// own-shard mail wakes; cross-shard wakes are bounded by
+    /// `in_flight`).
+    next_active: u64,
 }
 
 /// The engine's per-node dispatch abstraction: how one node executes a
@@ -238,8 +403,9 @@ pub(crate) trait Driver: Sync {
     type State: Send;
     /// One synchronous round for `state`'s node.
     fn node_round(&self, state: &mut Self::State, ctx: &mut RoundCtx<'_, Self::Msg>);
-    /// Whether `state`'s node has (tentatively) halted.
-    fn node_halted(&self, state: &Self::State) -> bool;
+    /// The node's scheduling request after a round (the quiescence
+    /// contract; see [`crate::Wake`]).
+    fn node_wake(&self, state: &Self::State) -> Wake;
 }
 
 /// Driver for a vector of [`NodeAlgorithm`] values. `PhantomData` over
@@ -259,28 +425,77 @@ where
         state.round(ctx);
     }
     #[inline]
-    fn node_halted(&self, state: &A) -> bool {
-        state.halted()
+    fn node_wake(&self, state: &A) -> Wake {
+        state.wake()
     }
 }
 
 /// The per-[`Session`](crate::Session) persistent half of the engine:
-/// the worker pool (spawned once) and the graph's reverse-arc table
-/// (computed once). Everything message-typed — mailbox buffers, mail
-/// flags, inboxes — is allocated per phase, since phases may use
-/// different message types.
+/// the worker pool (spawned once), the graph's reverse-arc table
+/// (computed once), and every untyped per-run structure — mail flags,
+/// cross-shard wake queues, per-shard cores — reset and reused each
+/// phase. The message-typed mailbox buffers are recycled across phases
+/// through a size-class [`SlabArena`].
 pub(crate) struct EngineHost {
     pub(crate) pool: Pool,
     rev: Vec<u32>,
+    /// Shard start boundaries (node span lower bounds, one per shard),
+    /// for mapping a destination node to its shard.
+    bounds: Vec<u32>,
+    /// Parity mail flags (persistent; reset at phase start).
+    mails: [Vec<AtomicBool>; 2],
+    /// Cross-shard wake queues (persistent; reset at phase start).
+    wakes: WakeMatrix,
+    /// Per-shard cores (persistent; reset at phase start). Emptied when
+    /// a phase panics — `reset_for_phase` rebuilds them.
+    cores: Vec<ShardCore>,
+    /// Recycled storage for the message-typed mailbox buffers.
+    arena: SlabArena,
 }
 
 impl EngineHost {
     /// Builds a host for `graph` with an already-resolved shard count
     /// (see [`SimConfig::resolved_shards`]).
     pub(crate) fn new(graph: &Graph, shards: usize) -> Self {
+        let shards = shards.clamp(1, graph.n().max(1));
+        let n = graph.n();
+        let mk_flags = || (0..n).map(|_| AtomicBool::new(false)).collect();
         EngineHost {
-            pool: Pool::new(shards.clamp(1, graph.n().max(1))),
+            pool: Pool::new(shards),
             rev: build_rev_arcs(graph),
+            bounds: (0..shards).map(|s| (s * n / shards) as u32).collect(),
+            mails: [mk_flags(), mk_flags()],
+            wakes: WakeMatrix::new(shards),
+            cores: build_cores(graph, shards),
+            arena: SlabArena::default(),
+        }
+    }
+
+    /// Restores every persistent structure to its phase-start state:
+    /// mail flags and wake queues empty, per-arc counters zero, and
+    /// every shard's next-round active list seeded with its full node
+    /// span (round 0 runs every node — protocols initialize there).
+    fn reset_for_phase(&mut self, graph: &Graph) {
+        for flags in &mut self.mails {
+            for f in flags.iter_mut() {
+                *f.get_mut() = false;
+            }
+        }
+        self.wakes.clear();
+        if self.cores.len() != self.pool.workers() {
+            // A panicking phase unwound with the cores in flight;
+            // rebuild them.
+            self.cores = build_cores(graph, self.pool.workers());
+        }
+        for core in &mut self.cores {
+            core.per_arc.fill(0);
+            core.dirty_in.clear();
+            core.dirty_out.clear();
+            core.cur_active.clear();
+            core.in_set.fill(false);
+            core.next_active.clear();
+            core.next_active
+                .extend(core.node_lo as u32..core.node_hi as u32);
         }
     }
 }
@@ -303,9 +518,12 @@ fn build_rev_arcs(g: &Graph) -> Vec<u32> {
 }
 
 /// Executes one send phase for one shard: wipes the slots it delivered
-/// last round (deferred deliver-phase cleanup), gathers each node's
-/// inbox from `cur`, runs the node, and applies its sends into the
-/// shard's own span of `nxt`. Returns `(all_halted, first_violation)`.
+/// last round (deferred deliver-phase cleanup), finalizes this round's
+/// active list (stays + local wakes from last round, plus cross-shard
+/// wakes drained from the parity queues), then runs each active node in
+/// ascending id order — gathering its inbox from `cur`, applying its
+/// sends into the shard's own span of `nxt`, and re-enqueuing it when
+/// it asks to stay awake. Returns `(next_active_len, first_violation)`.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<D: Driver>(
     graph: &Graph,
@@ -321,34 +539,84 @@ fn run_shard<D: Driver>(
     shared: &[u64],
     round: u64,
     bandwidth: u32,
-) -> (bool, Option<SimError>) {
+    me: usize,
+    wakes: &WakeMatrix,
+    bounds: &[u32],
+) -> (u64, Option<SimError>) {
+    let Shard {
+        core,
+        messages,
+        words,
+        inbox,
+    } = sh;
+    let node_lo = core.node_lo;
     // Deferred cleanup: the slots this shard's messages were read from
     // last round live in its own span of what is now the write buffer;
     // wipe them before any send can find a stale occupant, then rotate
     // the dirty lists so `dirty_in` names this round's inbound slots.
     // SAFETY: own-span slots of the write buffer (invariant 1).
-    for &a in &sh.dirty_in {
+    for &a in &core.dirty_in {
         unsafe { *nxt[a as usize].0.get() = None };
     }
-    sh.dirty_in.clear();
-    std::mem::swap(&mut sh.dirty_in, &mut sh.dirty_out);
+    core.dirty_in.clear();
+    std::mem::swap(&mut core.dirty_in, &mut core.dirty_out);
 
-    let mut all_halted = true;
+    // Drain the wake queues other shards filled for us last round (the
+    // opposite parity; our own-shard wakes went straight into
+    // `next_active` at send time).
+    let drain_parity = ((round + 1) % 2) as usize;
+    for t in 0..wakes.shards {
+        if t == me {
+            continue;
+        }
+        // SAFETY: queue `(parity, t, me)` is drained only by shard `me`
+        // in send phases of the parity opposite to its writes (module
+        // docs); the barrier crossing ordered shard `t`'s last-round
+        // pushes before this read.
+        let queue = unsafe { &mut *wakes.bufs[drain_parity][t * wakes.shards + me].0.get() };
+        for &v in queue.iter() {
+            activate(&mut core.next_active, &mut core.in_set, node_lo as u32, v);
+        }
+        queue.clear();
+    }
+
+    // Finalize this round's active list: sorted ascending, so execution
+    // order (and thus violation precedence and inbox-order effects)
+    // matches the sequential engine regardless of wake arrival order.
+    std::mem::swap(&mut core.cur_active, &mut core.next_active);
+    core.next_active.clear();
+    if core.cur_active.len() == core.node_hi - node_lo {
+        // Dense round: the dedup invariant makes the list a permutation
+        // of the whole span — regenerate it in order instead of paying
+        // an O(span log span) sort (this keeps saturated rounds on the
+        // raw message path).
+        core.in_set.fill(false);
+        core.cur_active.clear();
+        core.cur_active.extend(node_lo as u32..core.node_hi as u32);
+    } else {
+        for &v in &core.cur_active {
+            core.in_set[v as usize - node_lo] = false;
+        }
+        core.cur_active.sort_unstable();
+    }
+
+    let wake_row = &wakes.bufs[(round % 2) as usize][me * wakes.shards..(me + 1) * wakes.shards];
     let mut violation: Option<SimError> = None;
-    for v in sh.node_lo..sh.node_hi {
+    for idx in 0..core.cur_active.len() {
+        let v = core.cur_active[idx] as usize;
         let range = graph.arc_range(v as NodeId);
-        sh.inbox.clear();
-        // The mail flag makes quiet rounds cheap: only nodes somebody
-        // actually addressed walk their arc range. (Relaxed is enough —
-        // the flag was set before the previous round's barrier
-        // crossing, which is a happens-before edge.)
+        inbox.clear();
+        // The mail flag gates the arc-range walk: only nodes somebody
+        // actually addressed gather an inbox. (Relaxed is enough — the
+        // flag was set before the previous round's barrier crossing,
+        // which is a happens-before edge.)
         if mail_cur[v].load(Ordering::Relaxed) {
             mail_cur[v].store(false, Ordering::Relaxed);
             for b in range.clone() {
                 // SAFETY: read buffer, slot `rev[b]` is read only by the
                 // owner of arc `b` (invariant 2).
                 if let Some(m) = unsafe { (*cur[rev[b] as usize].0.get()).as_ref() } {
-                    sh.inbox.push((graph.arc_head(ArcId(b as u32)), m.clone()));
+                    inbox.push((graph.arc_head(ArcId(b as u32)), m.clone()));
                 }
             }
         }
@@ -360,39 +628,57 @@ fn run_shard<D: Driver>(
                 node: v as NodeId,
                 round,
                 graph,
-                inbox: &sh.inbox,
-                rng: &mut rngs[v - sh.node_lo],
+                inbox,
+                rng: &mut rngs[v - node_lo],
                 shared,
                 tx: TxState {
                     slots: own,
                     heads: graph.neighbors(v as NodeId),
                     arc_base: range.start as u32,
-                    mail: mail_nxt,
-                    dirty: &mut sh.dirty_out,
-                    messages: &mut sh.messages,
-                    words: &mut sh.words,
-                    per_arc: &mut sh.per_arc[range.start - sh.arc_lo..range.end - sh.arc_lo],
+                    wire: Some(WireFx {
+                        mail: mail_nxt,
+                        next_active: &mut core.next_active,
+                        in_set: &mut core.in_set,
+                        node_lo: node_lo as u32,
+                        node_hi: core.node_hi as u32,
+                        bounds,
+                        wake_row,
+                    }),
+                    dirty: &mut core.dirty_out,
+                    messages,
+                    words,
+                    per_arc: &mut core.per_arc[range.start - core.arc_lo..range.end - core.arc_lo],
                     violation: &mut violation,
                     bandwidth,
                 },
             };
-            driver.node_round(&mut nodes[v - sh.node_lo], &mut ctx);
+            driver.node_round(&mut nodes[v - node_lo], &mut ctx);
         }
         if violation.is_some() {
-            return (all_halted, violation);
+            return (core.next_active.len() as u64, violation);
         }
-        all_halted &= driver.node_halted(&nodes[v - sh.node_lo]);
+        if let Wake::Stay = driver.node_wake(&nodes[v - node_lo]) {
+            activate(
+                &mut core.next_active,
+                &mut core.in_set,
+                node_lo as u32,
+                v as u32,
+            );
+        }
     }
-    (all_halted, violation)
+    (core.next_active.len() as u64, violation)
 }
 
 /// Runs `nodes` (one [`NodeAlgorithm`] value per node of `graph`) to
-/// quiescence: every node halted and no messages in flight.
+/// quiescence: no node awake and no messages in flight.
 ///
 /// Rounds are fully synchronous: messages sent at round `r` are delivered
 /// at round `r + 1`. The engine enforces the CONGEST discipline — a node
 /// may send at most one message per neighbor per round, each at most
-/// `cfg.bandwidth_words` words, and only to adjacent nodes.
+/// `cfg.bandwidth_words` words, and only to adjacent nodes. Scheduling
+/// is event-driven (see the module docs and [`crate::Wake`]): a node's
+/// `round` hook runs at round 0, on rounds with incoming mail, and on
+/// rounds following a [`Wake::Stay`] request.
 ///
 /// With `cfg.shards > 1` the rounds are executed by a persistent pool
 /// of that many worker threads over contiguous node ranges (see
@@ -443,7 +729,7 @@ pub(crate) fn run_phase<D: Driver>(
         "need exactly one algorithm instance per node"
     );
     let n = graph.n();
-    let EngineHost { pool, rev } = host;
+    host.reset_for_phase(graph);
     let mut stats = RunStats::new(graph);
 
     // Deterministic per-node RNGs and shared randomness.
@@ -460,95 +746,83 @@ pub(crate) fn run_phase<D: Driver>(
         .collect();
 
     let num_arcs = graph.num_arcs();
-    // Parity mailbox buffers and mail flags: buffer `r % 2` is read in
-    // round `r`, buffer `(r + 1) % 2` written.
-    let bufs: [Vec<Slot<D::Msg>>; 2] = [
-        (0..num_arcs).map(|_| Slot::new()).collect(),
-        (0..num_arcs).map(|_| Slot::new()).collect(),
-    ];
-    let mails: [Vec<AtomicBool>; 2] = [
-        (0..n).map(|_| AtomicBool::new(false)).collect(),
-        (0..n).map(|_| AtomicBool::new(false)).collect(),
-    ];
+    // Parity mailbox buffers (recycled through the host's size-class
+    // arena) and mail flags: buffer `r % 2` is read in round `r`,
+    // buffer `(r + 1) % 2` written.
+    let bufs: [Vec<Slot<D::Msg>>; 2] = [0, 1].map(|_| {
+        let mut buf: Vec<Slot<D::Msg>> = host.arena.take(num_arcs);
+        buf.resize_with(num_arcs, Slot::new);
+        buf
+    });
 
+    let EngineHost {
+        pool,
+        rev,
+        bounds,
+        mails,
+        wakes,
+        cores,
+        arena,
+    } = host;
     let shard_count = pool.workers();
-    let shards: Vec<Shard<D::Msg>> = (0..shard_count)
-        .map(|s| {
-            let node_lo = s * n / shard_count;
-            let node_hi = (s + 1) * n / shard_count;
-            let arc_lo = if node_lo >= n {
-                graph.num_arcs() // empty trailing shard (n = 0 only)
-            } else {
-                graph.arc_range(node_lo as NodeId).start
-            };
-            let arc_hi = if node_hi == node_lo {
-                arc_lo
-            } else {
-                graph.arc_range((node_hi - 1) as NodeId).end
-            };
-            Shard {
-                node_lo,
-                node_hi,
-                arc_lo,
-                messages: 0,
-                words: 0,
-                per_arc: vec![0; arc_hi - arc_lo],
-                // A shard can have at most one in-flight message per
-                // owned arc; reserving that up front keeps the dirty
-                // lists realloc-free for the whole run.
-                dirty_in: Vec::with_capacity(arc_hi - arc_lo),
-                dirty_out: Vec::with_capacity(arc_hi - arc_lo),
-                inbox: Vec::new(),
-            }
-        })
-        .collect();
 
     // Worker states: each owns its shard bookkeeping plus disjoint
-    // mutable slices of the node and RNG arrays.
+    // mutable slices of the node and RNG arrays. The cores move out of
+    // the host for the duration of the phase and return at the end.
     let mut workers: Vec<ShardWorker<'_, D>> = Vec::with_capacity(shard_count);
     {
         let mut nodes_rest: &mut [D::State] = &mut nodes;
         let mut rngs_rest: &mut [ChaCha8Rng] = &mut node_rngs;
-        for sh in shards {
-            let span = sh.node_hi - sh.node_lo;
+        for core in std::mem::take(cores) {
+            let span = core.node_hi - core.node_lo;
             let (node_chunk, rest) = nodes_rest.split_at_mut(span);
             nodes_rest = rest;
             let (rng_chunk, rest) = rngs_rest.split_at_mut(span);
             rngs_rest = rest;
             workers.push(ShardWorker {
-                sh,
+                sh: Shard {
+                    core,
+                    messages: 0,
+                    words: 0,
+                    inbox: Vec::new(),
+                },
                 nodes: node_chunk,
                 rngs: rng_chunk,
             });
         }
     }
 
-    let bufs = &bufs;
-    let mails = &mails;
+    let bufs_ref = &bufs;
+    let mails_ref: &[Vec<AtomicBool>; 2] = mails;
+    let wakes_ref: &WakeMatrix = wakes;
+    let bounds_ref: &[u32] = bounds;
     let rev_ref: &[u32] = rev;
     let shared_ref: &[u64] = &shared;
     let bandwidth = cfg.bandwidth_words;
-    let step = move |_w: usize, st: &mut ShardWorker<'_, D>, round: u64| -> StepReport {
+    let step = move |w: usize, st: &mut ShardWorker<'_, D>, round: u64| -> StepReport {
         let parity = (round % 2) as usize;
-        let (all_halted, violation) = run_shard(
+        let (next_active, violation) = run_shard(
             graph,
             driver,
             &mut st.sh,
             st.nodes,
             st.rngs,
-            &bufs[parity],
-            &bufs[1 - parity],
-            &mails[parity],
-            &mails[1 - parity],
+            &bufs_ref[parity],
+            &bufs_ref[1 - parity],
+            &mails_ref[parity],
+            &mails_ref[1 - parity],
             rev_ref,
             shared_ref,
             round,
             bandwidth,
+            w,
+            wakes_ref,
+            bounds_ref,
         );
         StepReport {
-            all_halted,
             violation,
-            in_flight: st.sh.dirty_out.len() as u64,
+            in_flight: st.sh.core.dirty_out.len() as u64,
+            next_active,
         }
     };
 
@@ -566,7 +840,7 @@ pub(crate) fn run_phase<D: Driver>(
         // protocol panic) is exactly the one the sequential engine
         // would have hit first: a violation in a lower shard outranks a
         // panic in a higher one, and vice versa.
-        let mut all_halted = true;
+        let mut next_active = 0u64;
         let mut in_flight = 0u64;
         for result in results {
             match result {
@@ -574,36 +848,45 @@ pub(crate) fn run_phase<D: Driver>(
                     if let Some(e) = report.violation {
                         return Control::Stop(Err(e));
                     }
-                    all_halted &= report.all_halted;
+                    next_active += report.next_active;
                     in_flight += report.in_flight;
                 }
                 Err(payload) => return Control::Abort(payload),
             }
         }
         prev_in_flight = in_flight;
-        if in_flight == 0 && all_halted {
+        if in_flight == 0 && next_active == 0 {
+            // Quiescence: no node awake, nothing on the wire.
             Control::Stop(Ok(()))
+        } else if next_active + in_flight <= INLINE_WORK_MAX {
+            // A near-quiescent round: run it on the coordinator instead
+            // of paying the barrier for idle workers.
+            Control::ContinueInline
         } else {
             Control::Continue
         }
     };
 
     let (workers, outcome) = pool.run_rounds(workers, cfg.max_rounds, step, control);
-    match outcome {
-        Some(Ok(())) => {
-            for w in &workers {
-                stats.messages += w.sh.messages;
-                stats.words += w.sh.words;
-                for (j, &x) in w.sh.per_arc.iter().enumerate() {
-                    if x > 0 {
-                        let e = graph.arc_edge(ArcId((w.sh.arc_lo + j) as u32));
-                        stats.per_edge_messages[e.index()] += x;
-                    }
+    let fold_stats = matches!(outcome, Some(Ok(())));
+    for w in workers {
+        if fold_stats {
+            stats.messages += w.sh.messages;
+            stats.words += w.sh.words;
+            for (j, &x) in w.sh.core.per_arc.iter().enumerate() {
+                if x > 0 {
+                    let e = graph.arc_edge(ArcId((w.sh.core.arc_lo + j) as u32));
+                    stats.per_edge_messages[e.index()] += x;
                 }
             }
-            drop(workers);
-            Ok((nodes, stats))
         }
+        cores.push(w.sh.core);
+    }
+    let [b0, b1] = bufs;
+    arena.put(b0);
+    arena.put(b1);
+    match outcome {
+        Some(Ok(())) => Ok((nodes, stats)),
         Some(Err(e)) => Err(e),
         None => Err(SimError::RoundLimitExceeded {
             limit: cfg.max_rounds,
@@ -715,6 +998,200 @@ mod tests {
             // Forward wave rounds 1..=7, plus node 7's own flood echo at
             // round 8.
             assert_eq!(out.stats.delivered_rounds, 8, "shards={shards}");
+        }
+    }
+
+    /// Pure mail-driven relay with an invocation log: the event-driven
+    /// scheduler must invoke a node ONLY at round 0 and on rounds with
+    /// incoming mail — never in between.
+    #[derive(Debug, Default, Clone, PartialEq, Eq)]
+    struct Relay {
+        invoked_at: Vec<u64>,
+    }
+
+    impl NodeAlgorithm for Relay {
+        type Msg = u32;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+            self.invoked_at.push(ctx.round());
+            let fire = (ctx.round() == 0 && ctx.node() == 0)
+                || ctx.inbox().iter().any(|&(from, _)| from < ctx.node());
+            if fire {
+                if let Some(i) = ctx.neighbor_index(ctx.node() + 1) {
+                    ctx.send_nth(i, 1);
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            true // activity is purely mail-driven
+        }
+    }
+
+    #[test]
+    fn rounds_cost_active_nodes_not_n() {
+        let g = lcs_graph::generators::path(5);
+        let out = run(
+            &g,
+            (0..5).map(|_| Relay::default()).collect(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        // Node 0 runs only at phase start; node k > 0 additionally runs
+        // exactly when the token reaches it (round k) and when its
+        // forward neighbor's... nothing else: the hook must NOT run on
+        // quiescent rounds.
+        assert_eq!(out.nodes[0].invoked_at, vec![0]);
+        for k in 1..5u64 {
+            assert_eq!(
+                out.nodes[k as usize].invoked_at,
+                vec![0, k],
+                "node {k} must wake only on mail"
+            );
+        }
+        // Token hops rounds 1..=4, then quiescence.
+        assert_eq!(out.stats.rounds, 5);
+        assert_eq!(out.stats.delivered_rounds, 4);
+        assert_eq!(out.stats.messages, 4);
+    }
+
+    /// The relay crosses every shard boundary when each node is its own
+    /// shard: cross-shard wakes must deliver activation exactly like
+    /// the sequential engine, including the invocation logs.
+    #[test]
+    fn cross_shard_wakes_match_sequential_invocations() {
+        let g = lcs_graph::generators::path(8);
+        let mk = || (0..8).map(|_| Relay::default()).collect::<Vec<_>>();
+        let base = run(&g, mk(), &SimConfig::default()).unwrap();
+        for shards in [2usize, 4, 8] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            let out = run(&g, mk(), &cfg).unwrap();
+            assert_eq!(out.nodes, base.nodes, "shards={shards}");
+            assert_eq!(out.stats, base.stats, "shards={shards}");
+        }
+    }
+
+    /// A node that overrides `wake` to stay scheduled WITHOUT mail (the
+    /// explicit quiescence contract): a ticking clock. Everyone else
+    /// sleeps after round 0, so rounds are O(1) regardless of n.
+    #[derive(Debug)]
+    struct Clock {
+        ticks: u64,
+        invocations: u64,
+    }
+
+    impl NodeAlgorithm for Clock {
+        type Msg = ();
+        fn round(&mut self, _ctx: &mut RoundCtx<'_, ()>) {
+            self.invocations += 1;
+            if self.ticks > 0 {
+                self.ticks -= 1;
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+        fn wake(&self) -> Wake {
+            if self.ticks > 0 {
+                Wake::Stay
+            } else {
+                Wake::Sleep
+            }
+        }
+    }
+
+    #[test]
+    fn wake_stay_keeps_a_mailless_node_scheduled() {
+        let g = lcs_graph::generators::path(50);
+        for shards in [1usize, 4] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            let nodes = (0..50)
+                .map(|v| Clock {
+                    ticks: if v == 0 { 10 } else { 0 },
+                    invocations: 0,
+                })
+                .collect();
+            let out = run(&g, nodes, &cfg).unwrap();
+            assert_eq!(out.stats.rounds, 10, "shards={shards}");
+            assert_eq!(out.nodes[0].invocations, 10, "shards={shards}");
+            for v in 1..50 {
+                assert_eq!(
+                    out.nodes[v].invocations, 1,
+                    "sleeping node {v} must run only at phase start (shards={shards})"
+                );
+            }
+            assert_eq!(out.stats.messages, 0);
+            assert_eq!(out.stats.delivered_rounds, 0);
+        }
+    }
+
+    /// Un-halt after quiescence: a node that slept for several rounds is
+    /// re-activated by late mail and acts again — across a shard
+    /// boundary.
+    #[derive(Debug)]
+    struct LateCaller {
+        fire_at: u64,
+        countdown: u64,
+        echoed: bool,
+        got_echo_at: Option<u64>,
+    }
+
+    impl NodeAlgorithm for LateCaller {
+        type Msg = u32;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+            if ctx.node() == 0 {
+                if ctx.round() == self.fire_at {
+                    ctx.send(1, 7);
+                }
+                if let Some(&(_, m)) = ctx.inbox().first() {
+                    self.got_echo_at = Some(ctx.round());
+                    assert_eq!(m, 8);
+                }
+                if self.countdown > 0 {
+                    self.countdown -= 1;
+                }
+            } else if let Some(&(_, m)) = ctx.inbox().first() {
+                // Asleep since round 0; woken by the late message.
+                self.echoed = true;
+                ctx.send(0, m + 1);
+            }
+        }
+        fn halted(&self) -> bool {
+            true
+        }
+        fn wake(&self) -> Wake {
+            if self.countdown > 0 {
+                Wake::Stay
+            } else {
+                Wake::Sleep
+            }
+        }
+    }
+
+    #[test]
+    fn late_mail_reactivates_a_quiescent_node_identically_across_shards() {
+        let g = lcs_graph::generators::path(2);
+        for shards in [1usize, 2] {
+            let cfg = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            let mk = |v: u32| LateCaller {
+                fire_at: 5,
+                countdown: if v == 0 { 6 } else { 0 },
+                echoed: false,
+                got_echo_at: None,
+            };
+            let out = run(&g, vec![mk(0), mk(1)], &cfg).unwrap();
+            assert!(out.nodes[1].echoed, "shards={shards}");
+            // Sent at 5, echoed at 6, received at 7.
+            assert_eq!(out.nodes[0].got_echo_at, Some(7), "shards={shards}");
+            assert_eq!(out.stats.rounds, 8, "shards={shards}");
+            assert_eq!(out.stats.delivered_rounds, 2, "shards={shards}");
         }
     }
 

@@ -9,7 +9,7 @@
 //! global verification AND).
 
 use crate::message::Message;
-use crate::node::{NodeAlgorithm, RoundCtx};
+use crate::node::{NodeAlgorithm, RoundCtx, Wake};
 use crate::protocol::Protocol;
 use crate::session::Session;
 use crate::sim::SimConfig;
@@ -226,6 +226,20 @@ impl Protocol for TreeAggregate {
         NodeAlgorithm::halted(state)
     }
 
+    fn wake(&self, _state: &ConvergecastNode) -> Wake {
+        // Convergecast is purely mail-driven after round 0: a node acts
+        // exactly when a child's Up (or the parent's Down) arrives, and
+        // sends in the same invocation. Even a node still *waiting* for
+        // children sleeps — it has nothing to do until mail comes — so
+        // a deep tree's rounds cost O(frontier), not O(unfinished
+        // subtree). Consequence for malformed trees (a claimed child
+        // that never reports): the phase quiesces with `None` results
+        // instead of spinning to the round limit, matching
+        // [`MultiAggregate`](crate::MultiAggregate)'s no-result-not-a-
+        // hang behavior.
+        Wake::Sleep
+    }
+
     fn finish(
         self,
         _graph: &Graph,
@@ -416,6 +430,13 @@ impl Protocol for PrefixNumber {
 
     fn halted(&self, state: &PrefixNumberNode) -> bool {
         NodeAlgorithm::halted(state)
+    }
+
+    fn wake(&self, _state: &PrefixNumberNode) -> Wake {
+        // Mail-driven exactly like [`TreeAggregate`]: count convergecast
+        // up, offsets broadcast down, every send triggered by an
+        // arrival (or round 0); waiting nodes sleep.
+        Wake::Sleep
     }
 
     fn finish(

@@ -4,18 +4,23 @@
 
 use lcs_congest::{
     run, AggOp, Message, MultiAggregate, MultiBfs, MultiBfsInstance, MultiBfsSpec, NodeAlgorithm,
-    Participation, RoundCtx, Session, SimConfig, SimError,
+    Participation, RoundCtx, Session, SimConfig, SimError, Wake,
 };
 use lcs_graph::generators::{path, star};
 use std::sync::Arc;
 
 /// A node that violates the model in a configurable round, after
 /// behaving correctly for a while (violations must be caught late, not
-/// just at round 0).
+/// just at round 0). Time-driven misbehavior under the event-driven
+/// engine requires the explicit quiescence contract: the node overrides
+/// `wake` to stay scheduled until its planned round has passed —
+/// sleeping via the derived `halted` signal would mean never being
+/// invoked again and never misbehaving.
 #[derive(Debug)]
 struct LateViolator {
     mode: u8,
     at_round: u64,
+    done: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -30,6 +35,9 @@ impl Message for BigMsg {
 impl NodeAlgorithm for LateViolator {
     type Msg = BigMsg;
     fn round(&mut self, ctx: &mut RoundCtx<'_, BigMsg>) {
+        if ctx.round() >= self.at_round {
+            self.done = true;
+        }
         if ctx.node() != 0 {
             return;
         }
@@ -52,6 +60,13 @@ impl NodeAlgorithm for LateViolator {
     fn halted(&self) -> bool {
         true
     }
+    fn wake(&self) -> Wake {
+        if self.done {
+            Wake::Sleep
+        } else {
+            Wake::Stay
+        }
+    }
 }
 
 #[cfg_attr(
@@ -62,7 +77,13 @@ impl NodeAlgorithm for LateViolator {
 fn late_violations_are_caught_at_the_right_round() {
     let g = path(3);
     for (mode, expect_kind) in [(0u8, "dest"), (1, "overflow"), (2, "size")] {
-        let nodes = (0..3).map(|_| LateViolator { mode, at_round: 5 }).collect();
+        let nodes = (0..3)
+            .map(|_| LateViolator {
+                mode,
+                at_round: 5,
+                done: false,
+            })
+            .collect();
         let err = run(&g, nodes, &SimConfig::default()).unwrap_err();
         match (expect_kind, &err) {
             ("dest", SimError::InvalidDestination { round, .. })
@@ -85,7 +106,15 @@ fn late_violations_are_identical_under_the_worker_pool() {
     // engine reports, at the same round, for every shard count.
     let g = path(3);
     for mode in [0u8, 1, 2] {
-        let mk = || (0..3).map(|_| LateViolator { mode, at_round: 5 }).collect();
+        let mk = || {
+            (0..3)
+                .map(|_| LateViolator {
+                    mode,
+                    at_round: 5,
+                    done: false,
+                })
+                .collect()
+        };
         let base = run(&g, mk(), &SimConfig::default()).unwrap_err();
         for shards in [2usize, 3] {
             let cfg = SimConfig {
@@ -99,16 +128,32 @@ fn late_violations_are_identical_under_the_worker_pool() {
 }
 
 /// Behaves correctly for a few rounds, then panics outright — the
-/// harshest protocol failure a worker shard can inject.
+/// harshest protocol failure a worker shard can inject. Stays awake
+/// (explicit `wake` override) until its planned round, since a
+/// sleeping node is never invoked to panic.
 #[derive(Debug)]
 struct PanicsAt {
     node: u32,
     at_round: u64,
+    done: bool,
+}
+
+impl PanicsAt {
+    fn new(node: u32, at_round: u64) -> Self {
+        PanicsAt {
+            node,
+            at_round,
+            done: false,
+        }
+    }
 }
 
 impl NodeAlgorithm for PanicsAt {
     type Msg = u32;
     fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+        if ctx.round() >= self.at_round {
+            self.done = true;
+        }
         if ctx.node() == 0 && ctx.round() < 10 {
             ctx.send(1, 1); // keep the run alive past the panic round
         }
@@ -118,6 +163,13 @@ impl NodeAlgorithm for PanicsAt {
     }
     fn halted(&self) -> bool {
         true
+    }
+    fn wake(&self) -> Wake {
+        if self.done {
+            Wake::Sleep
+        } else {
+            Wake::Stay
+        }
     }
 }
 
@@ -137,12 +189,7 @@ fn panicking_protocol_in_a_worker_shard_propagates_instead_of_deadlocking() {
             shards,
             ..SimConfig::default()
         };
-        let nodes: Vec<PanicsAt> = (0..12)
-            .map(|_| PanicsAt {
-                node: 11,
-                at_round: 3,
-            })
-            .collect();
+        let nodes: Vec<PanicsAt> = (0..12).map(|_| PanicsAt::new(11, 3)).collect();
         let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = run(&g, nodes, &cfg);
         }))
@@ -173,12 +220,7 @@ fn simultaneous_worker_panics_surface_the_lowest_shard() {
             shards,
             ..SimConfig::default()
         };
-        let nodes: Vec<PanicsAt> = (0..8)
-            .map(|v| PanicsAt {
-                node: v,
-                at_round: 0,
-            })
-            .collect();
+        let nodes: Vec<PanicsAt> = (0..8).map(|v| PanicsAt::new(v, 0)).collect();
         let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = run(&g, nodes, &cfg);
         }))
@@ -290,6 +332,100 @@ fn tiny_queue_cap_degrades_gracefully_not_fatally() {
         .filter(|&i| out.instance_nodes(i).len() == 16)
         .count();
     assert!(spanned < 12, "some instance must be incomplete");
+}
+
+/// Forwards a token along the path; the last node misbehaves the moment
+/// it is woken. Every intermediate hop sleeps after its forward (halted
+/// = true, derived wake), so the failure originates in a node — and at
+/// high shard counts a whole shard — that had been fully quiescent
+/// since round 0 and is re-activated by a (possibly cross-shard,
+/// possibly inline-executed) delivery.
+#[derive(Debug)]
+struct TripMine {
+    /// What the last node does on wake: `false` = panic, `true` = send
+    /// to a non-neighbor (model violation).
+    violate: bool,
+}
+
+impl NodeAlgorithm for TripMine {
+    type Msg = u32;
+    fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+        let last = ctx.n() as u32 - 1;
+        let fire = (ctx.round() == 0 && ctx.node() == 0)
+            || ctx.inbox().iter().any(|&(from, _)| from < ctx.node());
+        if !fire {
+            return;
+        }
+        if ctx.node() == last {
+            if self.violate {
+                ctx.send(0, 1); // non-neighbor on a path: violation
+            } else {
+                panic!("woken node {last} panicked");
+            }
+        } else {
+            ctx.send(ctx.node() + 1, 1);
+        }
+    }
+    fn halted(&self) -> bool {
+        true
+    }
+}
+
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
+#[test]
+fn panic_on_wake_in_a_quiescent_shard_propagates_identically() {
+    // At shards = 12 the panicking node is alone in a shard that was
+    // quiescent for 11 rounds — and with ~1 active node per round the
+    // engine runs those rounds inline on the coordinator. The panic
+    // must surface with the same payload for every layout.
+    let g = path(12);
+    for shards in [1usize, 2, 4, 12] {
+        let cfg = SimConfig {
+            shards,
+            ..SimConfig::default()
+        };
+        let nodes: Vec<TripMine> = (0..12).map(|_| TripMine { violate: false }).collect();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = run(&g, nodes, &cfg);
+        }))
+        .expect_err("the wake-round panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(
+            msg, "woken node 11 panicked",
+            "shards {shards}: wrong or missing panic"
+        );
+    }
+}
+
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
+#[test]
+fn violation_on_wake_after_quiescence_is_reported_at_the_wake_round() {
+    // The violating node slept from round 0 until the token reached it
+    // at round n-1; the error must carry THAT round, identically at
+    // every shard count.
+    let g = path(7);
+    let expect = SimError::InvalidDestination {
+        from: 6,
+        to: 0,
+        round: 6,
+    };
+    for shards in [1usize, 3, 7] {
+        let cfg = SimConfig {
+            shards,
+            ..SimConfig::default()
+        };
+        let nodes: Vec<TripMine> = (0..7).map(|_| TripMine { violate: true }).collect();
+        assert_eq!(run(&g, nodes, &cfg).unwrap_err(), expect, "shards {shards}");
+    }
 }
 
 #[cfg_attr(

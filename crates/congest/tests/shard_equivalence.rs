@@ -11,7 +11,7 @@
 use lcs_congest::{
     positions_from_tree, run, AggOp, Bfs, DistBfsOutcome, MultiAggOutcome, MultiAggregate,
     MultiBfs, MultiBfsInstance, MultiBfsOutcome, MultiBfsSpec, NodeAlgorithm, Participation,
-    PrefixNumber, RoundCtx, RunStats, Session, SimConfig, TreeAggregate,
+    PrefixNumber, Protocol, RoundCtx, RunStats, Session, SimConfig, TreeAggregate, Wake,
 };
 use lcs_graph::{gnp_connected, Graph, NodeId};
 use rand::SeedableRng;
@@ -325,6 +325,128 @@ fn composed_pipeline(
         digest,
         phase_shape,
     )
+}
+
+/// Active-set stress protocol: node 0 emits a pulse every `gap` rounds
+/// (staying awake via an explicit [`Protocol::wake`] override — it gets
+/// no mail between pulses); every other node sleeps, is woken by each
+/// pulse, forwards it one hop, and goes back to sleep. Exercises the
+/// three active-set transitions the event-driven engine adds — stay
+/// without mail, un-halt after quiescence, cross-shard wake on delivery
+/// — through genuinely idle gaps (no messages in flight between a
+/// pulse dying out and the next one firing).
+struct PulseChain {
+    pulses: u64,
+    gap: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PulseState {
+    /// Pulses still to emit (driver node only).
+    to_emit: u64,
+    /// `(round, pulse id)` log of everything heard.
+    heard: Vec<(u64, u32)>,
+}
+
+impl Protocol for PulseChain {
+    type Msg = u32;
+    type State = PulseState;
+    type Output = Vec<PulseState>;
+
+    fn label(&self) -> &str {
+        "pulse_chain"
+    }
+
+    fn init(&mut self, graph: &Graph) -> Vec<PulseState> {
+        (0..graph.n())
+            .map(|v| PulseState {
+                to_emit: if v == 0 { self.pulses } else { 0 },
+                heard: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn round(&self, st: &mut PulseState, ctx: &mut RoundCtx<'_, u32>) {
+        if ctx.node() == 0 {
+            if st.to_emit > 0 && ctx.round() % self.gap == 0 {
+                let id = (self.pulses - st.to_emit) as u32;
+                st.to_emit -= 1;
+                ctx.send(1, id);
+            }
+            return;
+        }
+        for &(from, id) in ctx.inbox() {
+            st.heard.push((ctx.round(), id));
+            if from < ctx.node() && (ctx.node() as usize) < ctx.n() - 1 {
+                ctx.send(ctx.node() + 1, id);
+            }
+        }
+    }
+
+    fn halted(&self, st: &PulseState) -> bool {
+        st.to_emit == 0
+    }
+
+    fn wake(&self, st: &PulseState) -> Wake {
+        // The driver must stay scheduled across mail-less gap rounds;
+        // everyone else is purely mail-driven.
+        if st.to_emit > 0 {
+            Wake::Stay
+        } else {
+            Wake::Sleep
+        }
+    }
+
+    fn finish(self, _: &Graph, st: Vec<PulseState>, _: &RunStats) -> Vec<PulseState> {
+        st
+    }
+}
+
+/// Un-halt after quiescence + cross-shard wakes, byte-equal across
+/// shard counts: every pulse finds the whole chain asleep and must
+/// re-activate it hop by hop, across every shard boundary (at 8 shards
+/// on 24 nodes each hop is usually a different shard than the last).
+#[test]
+fn pulse_chain_with_idle_gaps_is_byte_equal_across_shard_counts() {
+    let n = 24;
+    let g = lcs_graph::generators::path(n);
+    let run_one = |shards: usize| {
+        let mut s = session(&g, 7, shards);
+        let states = s.run(PulseChain { pulses: 3, gap: 40 }).unwrap();
+        (states, s.stats().clone())
+    };
+    let (base_states, base_stats) = run_one(1);
+    // Pulses fire at rounds 0, 40, 80; the last one's n-1 hops end at
+    // round 80 + (n-1), and `rounds` counts one past the final index.
+    assert_eq!(base_stats.rounds, 80 + n as u64);
+    // Idle gaps really were idle: only hop deliveries count.
+    assert_eq!(base_stats.delivered_rounds, 3 * (n as u64 - 1));
+    assert_eq!(base_stats.messages, 3 * (n as u64 - 1));
+    let last = &base_states[n - 1];
+    assert_eq!(last.heard.len(), 3, "all pulses must arrive");
+    for shards in SHARDS {
+        let (states, stats) = run_one(shards);
+        assert_eq!(states, base_states, "states, shards={shards}");
+        assert_eq!(stats, base_stats, "stats, shards={shards}");
+    }
+}
+
+/// The sparse-frontier workload of the O(active) cost model: BFS down a
+/// long path has a 1–2 node frontier for hundreds of rounds. Outcomes
+/// and statistics must stay byte-equal across shard counts while the
+/// engine runs almost every round inline (below the barrier threshold).
+#[test]
+fn long_path_bfs_is_byte_equal_across_shard_counts() {
+    let g = lcs_graph::generators::path(97);
+    let base = bfs(&g, 0, 0xFACE, 1);
+    assert_eq!(base.depth(), 96);
+    for shards in SHARDS {
+        let out = bfs(&g, 0, 0xFACE, shards);
+        assert_eq!(out.dist, base.dist, "shards={shards}");
+        assert_eq!(out.parent, base.parent, "shards={shards}");
+        assert_eq!(out.children, base.children, "shards={shards}");
+        assert_eq!(out.stats, base.stats, "shards={shards}");
+    }
 }
 
 /// The tentpole acceptance test: a full composed session — sequential

@@ -94,7 +94,7 @@ pub mod prelude {
     };
     pub use lcs_congest::{
         positions_from_tree, AggOp, Bfs, ExecutionMode, Join, MultiAggregate, MultiBfs,
-        PrefixNumber, Protocol, Session, SimConfig, TreeAggregate,
+        PrefixNumber, Protocol, Session, SimConfig, TreeAggregate, Wake,
     };
     pub use lcs_core::{
         centralized_shortcuts, distributed_shortcuts, k_d, prune_to_trees, DistributedConfig,
