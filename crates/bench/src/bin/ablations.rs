@@ -121,7 +121,7 @@ fn main() {
         let part = Arc::new(partition.clone());
         let lead = Arc::new(leaders.clone());
         let reps = params.reps;
-        let membership: lcs_congest::MembershipFn = Arc::new(move |u, v, inst| {
+        let membership = lcs_congest::Membership::func(move |u, v, inst| {
             let pi = inst;
             if part.part_of(u) == Some(pi) || part.part_of(v) == Some(pi) {
                 return true;
@@ -143,7 +143,7 @@ fn main() {
                 .collect();
             let spec = Arc::new(MultiBfsSpec {
                 instances,
-                membership: Arc::clone(&membership),
+                membership: membership.clone(),
                 queue_cap: 0,
             });
             let out = Session::new(g, SimConfig::default())

@@ -4,19 +4,30 @@
 //! aggregation, a composed session pipeline), emitted as
 //! `BENCH_sim.json` so the engine's perf trajectory is tracked per-PR.
 //!
-//! Usage: `sim_throughput [--quick] [--shards K[,K2,...]] [--out PATH]`
+//! Usage: `sim_throughput [--quick] [--shards K[,K2,...]] [--reps N]
+//! [--out PATH]`
 //!
 //! `--quick` shrinks the workloads to CI scale. `--shards` takes a
 //! comma-separated sweep of shard counts (e.g. `--shards 1,2,4,8`);
-//! shard count 1 is always measured first as the baseline. For every
-//! workload the run records a [`RunStats::fingerprint`] and a speedup
-//! relative to the 1-shard baseline, and **exits nonzero if any sharded
-//! run's statistics diverge from the sequential run's** — CI runs
-//! `--quick --shards 1,4` and relies on that exit code as the shard
-//! determinism gate (the gate covers the event-driven active-set
-//! engine's sparsest workloads — `idle` and `sparse_bfs` — alongside
-//! the dense ones, so an active-set scheduling divergence fails the
-//! build).
+//! shard count 1 is always measured first as the baseline. `--reps N`
+//! repeats every workload `N` times and records the median elapsed
+//! time (recommended: `--reps 3` when regenerating `BENCH_sim.json`,
+//! so a scheduler hiccup on the bench host cannot masquerade as a
+//! regression); statistics must be identical across repetitions or the
+//! run aborts. For every workload the run records a
+//! [`RunStats::fingerprint`] and a speedup relative to the 1-shard
+//! baseline, and **exits nonzero if any sharded run's statistics
+//! diverge from the sequential run's** — CI runs `--quick --shards
+//! 1,4` and relies on that exit code as the shard determinism gate
+//! (the gate covers the event-driven active-set engine's sparsest
+//! workloads — `idle` and `sparse_bfs` — alongside the dense ones, so
+//! an active-set scheduling divergence fails the build).
+//!
+//! Two workloads run at **large scale** — `large_bfs` and
+//! `large_flood` on a 10⁶-node grid (40 000 nodes under `--quick`, so
+//! the CI determinism gate exercises the same code path at CI cost) —
+//! covering the memory-lean u32/CSR representations at the graph sizes
+//! the shortcut-quality experiments need.
 
 use lcs_bench::sim_workloads::{multi_bfs_spec, Clock, Saturate};
 use lcs_congest::{
@@ -144,7 +155,7 @@ fn cfg_with(shards: usize, max_rounds: u64) -> SimConfig {
     }
 }
 
-fn bench_flood(g: &Graph, shards: usize) -> Measurement {
+fn bench_flood(name: &str, g: &Graph, shards: usize) -> Measurement {
     let t = Instant::now();
     let out = run(
         g,
@@ -152,7 +163,27 @@ fn bench_flood(g: &Graph, shards: usize) -> Measurement {
         &cfg_with(shards, 1_000_000),
     )
     .expect("flood");
-    Measurement::from_stats("flood", g, shards, &out.stats, t.elapsed().as_secs_f64())
+    Measurement::from_stats(name, g, shards, &out.stats, t.elapsed().as_secs_f64())
+}
+
+/// Single-source BFS on the large grid: the scale workload. Frontier
+/// waves cross a graph whose slot/occupancy/adjacency arrays are far
+/// bigger than the last-level cache, so this measures the engine's
+/// memory behaviour (and the u32-id CSR layout) rather than its
+/// per-round bookkeeping.
+fn bench_large_bfs(g: &Graph, side: usize, shards: usize) -> Measurement {
+    let t = Instant::now();
+    let out = Session::new(g, cfg_with(shards, 10_000_000))
+        .run(Bfs::new(0))
+        .expect("large_bfs");
+    assert_eq!(out.depth() as usize, 2 * (side - 1), "grid BFS depth");
+    Measurement::from_stats(
+        "large_bfs",
+        g,
+        shards,
+        &out.stats,
+        t.elapsed().as_secs_f64(),
+    )
 }
 
 fn bench_multi_bfs(g: &Graph, instances: usize, shards: usize) -> Measurement {
@@ -311,6 +342,23 @@ fn parse_shard_sweep(args: &[String]) -> Vec<usize> {
     sweep
 }
 
+/// Runs `f` `reps` times and keeps the median-elapsed measurement.
+/// Statistics must be identical across repetitions — the workloads are
+/// deterministic, so a mismatch means the harness (not the host) is
+/// broken and the numbers would be meaningless.
+fn median_of(reps: usize, f: impl Fn() -> Measurement) -> Measurement {
+    let mut runs: Vec<Measurement> = (0..reps.max(1)).map(|_| f()).collect();
+    for r in &runs[1..] {
+        assert_eq!(
+            r.stats_fingerprint, runs[0].stats_fingerprint,
+            "workload {} not deterministic across repetitions",
+            runs[0].name
+        );
+    }
+    runs.sort_by(|a, b| a.elapsed_s.total_cmp(&b.elapsed_s));
+    runs.swap_remove(runs.len() / 2)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -321,8 +369,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1usize);
 
     let side = if quick { 40 } else { 100 };
+    // 10⁶ nodes at full scale; still well past any cache under --quick.
+    let big_side = if quick { 200 } else { 1000 };
     let instances = args
         .iter()
         .position(|a| a == "--instances")
@@ -330,18 +386,23 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 8 } else { 32 });
     let g = generators::grid(side, side);
+    let big = generators::grid(big_side, big_side);
 
     let mut all: Vec<Measurement> = Vec::new();
     for &k in &shard_sweep {
         eprintln!("== shards = {k} ==");
         for m in [
-            bench_idle(&g, if quick { 200 } else { 1000 }, k),
-            bench_saturate(&g, if quick { 50 } else { 200 }, k),
-            bench_flood(&g, k),
-            bench_sparse_bfs(if quick { 2_000 } else { 10_000 }, k),
-            bench_multi_bfs(&g, instances, k),
-            bench_multi_aggregate(&g, instances / 2, k),
-            bench_session_pipeline(&g, k),
+            median_of(reps, || bench_idle(&g, if quick { 200 } else { 1000 }, k)),
+            median_of(reps, || bench_saturate(&g, if quick { 50 } else { 200 }, k)),
+            median_of(reps, || bench_flood("flood", &g, k)),
+            median_of(reps, || {
+                bench_sparse_bfs(if quick { 2_000 } else { 10_000 }, k)
+            }),
+            median_of(reps, || bench_multi_bfs(&g, instances, k)),
+            median_of(reps, || bench_multi_aggregate(&g, instances / 2, k)),
+            median_of(reps, || bench_session_pipeline(&g, k)),
+            median_of(reps, || bench_large_bfs(&big, big_side, k)),
+            median_of(reps, || bench_flood("large_flood", &big, k)),
         ] {
             eprintln!(
                 "{:>16}  n={} rounds={} messages={} elapsed={:.3}s  ({:.0} rounds/s, {:.0} msgs/s)",

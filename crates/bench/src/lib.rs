@@ -276,7 +276,7 @@ pub mod sim_workloads {
                     depth_limit: u32::MAX,
                 })
                 .collect(),
-            membership: Arc::new(|_, _, _| true),
+            membership: lcs_congest::Membership::All,
             queue_cap: 0,
         })
     }

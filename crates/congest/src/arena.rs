@@ -196,6 +196,81 @@ mod tests {
     }
 
     #[test]
+    fn capacity_boundary_is_inclusive() {
+        let mut arena = SlabArena::default();
+        let v: Vec<u64> = arena.take(128);
+        let cap = v.capacity();
+        let ptr = v.as_ptr() as usize;
+        arena.put(v);
+        // A request for exactly the parked capacity adopts the slab…
+        let w: Vec<u64> = arena.take(cap);
+        assert_eq!(w.as_ptr() as usize, ptr, "len == capacity must adopt");
+        arena.put(w);
+        // …one element more must not: the slab is too small.
+        let x: Vec<u64> = arena.take(cap + 1);
+        assert_ne!(
+            x.as_ptr() as usize,
+            ptr,
+            "len > capacity must allocate fresh"
+        );
+        assert!(x.capacity() > cap);
+        arena.put(x);
+        // The undersized slab stays parked and is still adoptable at
+        // its own boundary afterwards.
+        let y: Vec<u64> = arena.take(cap);
+        assert_eq!(y.as_ptr() as usize, ptr);
+        arena.put(y);
+    }
+
+    #[test]
+    fn element_size_must_match_exactly() {
+        // 7- and 8-byte elements with identical (byte) alignment:
+        // adjacent size classes must not blur even though the 8-byte
+        // slab could physically hold the smaller elements — the
+        // deallocation layout would no longer match the allocation's.
+        let mut arena = SlabArena::default();
+        let v: Vec<[u8; 8]> = arena.take(64);
+        let ptr = v.as_ptr() as usize;
+        arena.put(v);
+        let w: Vec<[u8; 7]> = arena.take(64);
+        assert_ne!(
+            w.as_ptr() as usize,
+            ptr,
+            "size classes differ byte-for-byte"
+        );
+        arena.put(w);
+    }
+
+    #[test]
+    fn double_buffer_phase_cycle_reaches_steady_state() {
+        // The engine's per-phase pattern: take two parity buffers at
+        // phase start, park both at phase end. After the first phase
+        // every later same-class phase must be served entirely from the
+        // same two allocations — the arena never grows.
+        let mut arena = SlabArena::default();
+        let (a, b): (Vec<u64>, Vec<u64>) = (arena.take(256), arena.take(256));
+        let ptrs = [a.as_ptr() as usize, b.as_ptr() as usize];
+        arena.put(a);
+        arena.put(b);
+        for _ in 0..4 {
+            let a: Vec<u64> = arena.take(256);
+            let b: Vec<u64> = arena.take(256);
+            assert!(
+                ptrs.contains(&(a.as_ptr() as usize)),
+                "phase must adopt a parked slab"
+            );
+            assert!(
+                ptrs.contains(&(b.as_ptr() as usize)),
+                "phase must adopt a parked slab"
+            );
+            assert_ne!(a.as_ptr(), b.as_ptr(), "parity buffers must be distinct");
+            arena.put(a);
+            arena.put(b);
+        }
+        assert_eq!(arena.slabs.len(), 2, "steady state holds exactly two slabs");
+    }
+
+    #[test]
     fn zero_capacity_and_zero_len_requests_are_fine() {
         let mut arena = SlabArena::default();
         let v: Vec<u32> = Vec::new();

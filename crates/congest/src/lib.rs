@@ -78,8 +78,8 @@ pub use multi_aggregate::{
 #[allow(deprecated)]
 pub use multi_bfs::run_multi_bfs;
 pub use multi_bfs::{
-    MembershipFn, MultiBfs, MultiBfsInstance, MultiBfsMsg, MultiBfsNode, MultiBfsOutcome,
-    MultiBfsSpec, Reached,
+    Membership, MembershipFn, MultiBfs, MultiBfsInstance, MultiBfsMsg, MultiBfsNode,
+    MultiBfsOutcome, MultiBfsSpec, Reached,
 };
 pub use node::{NodeAlgorithm, RoundCtx, Wake};
 pub use pool::{Control, Pool};

@@ -10,11 +10,13 @@
 //! start offsets (chosen by the caller from shared randomness) spread the
 //! load so that, w.h.p., queues stay short.
 //!
-//! Instance subgraph membership is supplied as a predicate evaluated at
-//! the *sending* endpoint (`may a token of instance i traverse u → v?`)
-//! — exactly the local knowledge nodes have after the sampling step
-//! (each node knows which of its incident edges it sampled into which
-//! `H_i`).
+//! Instance subgraph membership is supplied as a [`Membership`] oracle
+//! evaluated at the *sending* endpoint (`may a token of instance i
+//! traverse u → v?`) — exactly the local knowledge nodes have after the
+//! sampling step (each node knows which of its incident edges it
+//! sampled into which `H_i`). The whole-graph case ([`Membership::All`])
+//! is recognised statically so the fan-out hot loop skips the dynamic
+//! predicate call entirely.
 //!
 //! **Distance semantics.** Tokens are forwarded as fast as queues allow
 //! (the Leighton–Maggs–Richa packet view of the schedule) and a node
@@ -51,13 +53,53 @@ pub struct MultiBfsInstance {
 /// and `(v, u)`.
 pub type MembershipFn = Arc<dyn Fn(NodeId, NodeId, u32) -> bool + Send + Sync>;
 
+/// Edge-membership oracle of a multi-BFS bundle.
+///
+/// The common whole-graph case gets its own variant so the token
+/// fan-out hot path pays a predictable enum branch instead of a dynamic
+/// call per (token, neighbor) pair; arbitrary predicates use
+/// [`Membership::Fn`] (or the [`Membership::func`] helper).
+#[derive(Clone)]
+pub enum Membership {
+    /// Every edge belongs to every instance.
+    All,
+    /// Arbitrary symmetric predicate (see [`MembershipFn`]).
+    Fn(MembershipFn),
+}
+
+impl Membership {
+    /// Wraps a predicate closure (see [`MembershipFn`] for the
+    /// symmetry requirement).
+    pub fn func(f: impl Fn(NodeId, NodeId, u32) -> bool + Send + Sync + 'static) -> Self {
+        Membership::Fn(Arc::new(f))
+    }
+
+    /// May a token of instance `inst` traverse the edge `u → v`?
+    #[inline]
+    pub fn allows(&self, u: NodeId, v: NodeId, inst: u32) -> bool {
+        match self {
+            Membership::All => true,
+            Membership::Fn(f) => f(u, v, inst),
+        }
+    }
+}
+
+impl std::fmt::Debug for Membership {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Membership::All => f.write_str("Membership::All"),
+            Membership::Fn(_) => f.write_str("Membership::Fn(..)"),
+        }
+    }
+}
+
 /// Shared specification of a multi-BFS bundle.
 #[derive(Clone)]
 pub struct MultiBfsSpec {
     /// The instances; index = instance id.
     pub instances: Vec<MultiBfsInstance>,
     /// Edge membership oracle.
-    pub membership: MembershipFn,
+    pub membership: Membership,
     /// Per-neighbor queue capacity; tokens beyond it are dropped and the
     /// node records an overflow (0 = unbounded). Mirrors the paper's
     /// congestion enforcement: an overloaded guess produces incomplete
@@ -75,7 +117,7 @@ impl std::fmt::Debug for MultiBfsSpec {
 }
 
 /// Messages of the multi-BFS protocol.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MultiBfsMsg {
     /// BFS token: "you are at distance `dist` in instance `inst`, whose
     /// root is `root`". Carrying the root id mirrors the paper, where
@@ -123,22 +165,75 @@ pub struct Reached {
 ///
 /// Instance ids are dense (`0..instances.len()`), so per-instance state
 /// is kept in flat vectors — token arrival is an index, not a hash.
+///
+/// The layout is split by temperature. The fields below are everything
+/// the common per-round paths touch — token rejection reads
+/// `reached_lo`, acceptance appends to `accepted`, the direct send
+/// path reads `sent_lo`/`queued` — and `repr(C)` pins them into the
+/// struct's first 64 bytes, so a typical active round costs one cache
+/// line of node state. Queue machinery, root lists and diagnostics
+/// live behind the `MultiBfsCold` box and are only dereferenced on
+/// the slow paths that need them.
 #[derive(Debug)]
+#[repr(C)]
 pub struct MultiBfsNode {
     spec: Arc<MultiBfsSpec>,
+    /// Reached bits for instances `0..64` (bit `i` mirrors "instance
+    /// `i` reached this node"). Token rejection — the common case
+    /// under contention — tests this word, which lives in the node
+    /// struct the engine already touched, instead of a per-instance
+    /// heap block.
+    reached_lo: u64,
+    /// Neighbors `0..64` already sent to this round via the direct
+    /// path (bit = neighbor index). The first message bound for an
+    /// idle neighbor goes straight to the wire — it *is* the FIFO
+    /// front the drain would pick — skipping the queue round-trip
+    /// entirely; later same-round messages queue behind it. Reset at
+    /// the end of every round.
+    sent_lo: u64,
+    /// Total queued messages across all neighbors.
+    queued: u32,
+    /// Instances rooted here whose start has not fired yet.
+    pending_roots: u32,
+    /// Reach records in arrival order, as `(instance, info)` pairs;
+    /// scattered into an instance-indexed table at `finish`. During
+    /// the run this is append-only — each accepted token touches the
+    /// hot tail of one contiguous buffer instead of a cold
+    /// instance-indexed slot in a `k × 24`-byte-per-node table (10 MB
+    /// of scattered write traffic for the benchmark bundle). The
+    /// reached bitmaps answer all mid-run queries.
+    accepted: Vec<(u32, Reached)>,
+    /// Rarely-touched state (queue machinery, roots, diagnostics).
+    cold: Box<MultiBfsCold>,
+}
+
+/// The cold half of [`MultiBfsNode`]: state the hot per-round paths
+/// never touch, boxed so it does not dilute the node's hot cache line.
+#[derive(Debug, Default)]
+struct MultiBfsCold {
+    /// Children discovered, as `(instance, child)` pairs in arrival
+    /// order; distributed into per-instance sorted lists at `finish`.
+    /// One flat vector per node beats a `Vec<Vec<NodeId>>` — a child
+    /// ack appends to one contiguous buffer instead of chasing a
+    /// per-instance pointer.
+    children: Vec<(u32, NodeId)>,
+    /// Per-neighbor outgoing FIFO queues (indexed in neighbor order).
+    /// Allocated on first use: with the direct send path, a node whose
+    /// traffic never collides skips the allocation entirely.
+    queues: Vec<VecDeque<MultiBfsMsg>>,
+    /// Neighbor indices with a non-empty queue (unordered). Lets the
+    /// drain loop touch only neighbors with traffic instead of
+    /// scanning every queue each round.
+    busy: Vec<u32>,
     /// Instance ids rooted at this node.
     roots_here: Vec<u32>,
-    /// Reach info, indexed by instance id.
-    pub reached: Vec<Option<Reached>>,
-    /// Children discovered, indexed by instance id.
-    pub children: Vec<Vec<NodeId>>,
-    /// Per-neighbor outgoing FIFO queues (indexed in neighbor order).
-    queues: Vec<VecDeque<MultiBfsMsg>>,
+    /// Reached bits for instances `≥ 64`, one word per 64 instances
+    /// (empty for bundles of at most 64 instances).
+    reached_hi: Vec<u64>,
     /// Longest queue ever observed (scheduling-quality diagnostic).
-    pub max_queue: usize,
+    max_queue: usize,
     /// Whether any token was dropped due to `queue_cap`.
-    pub overflowed: bool,
-    initialized: bool,
+    overflowed: bool,
 }
 
 impl MultiBfsNode {
@@ -146,59 +241,124 @@ impl MultiBfsNode {
     /// ids whose root is this node.
     pub fn new(spec: Arc<MultiBfsSpec>, roots_here: Vec<u32>) -> Self {
         let k = spec.instances.len();
+        let pending_roots = roots_here.len() as u32;
         MultiBfsNode {
             spec,
-            roots_here,
-            reached: vec![None; k],
-            children: vec![Vec::new(); k],
-            queues: Vec::new(),
-            max_queue: 0,
-            overflowed: false,
-            initialized: false,
+            reached_lo: 0,
+            sent_lo: 0,
+            queued: 0,
+            pending_roots,
+            accepted: Vec::new(),
+            cold: Box::new(MultiBfsCold {
+                reached_hi: vec![0; k.saturating_sub(64).div_ceil(64)],
+                roots_here,
+                ..MultiBfsCold::default()
+            }),
         }
     }
 
-    fn enqueue(&mut self, neighbor_idx: usize, msg: MultiBfsMsg) {
-        let cap = self.spec.queue_cap;
-        let q = &mut self.queues[neighbor_idx];
-        if cap > 0 && q.len() >= cap {
-            self.overflowed = true;
+    /// Longest per-neighbor queue ever observed at this node.
+    pub fn max_queue(&self) -> usize {
+        self.cold.max_queue
+    }
+
+    /// Whether this node dropped tokens due to `queue_cap`.
+    pub fn overflowed(&self) -> bool {
+        self.cold.overflowed
+    }
+
+    #[inline]
+    fn is_reached(&self, inst: u32) -> bool {
+        if inst < 64 {
+            self.reached_lo >> inst & 1 != 0
+        } else {
+            self.cold.reached_hi[(inst as usize - 64) >> 6] >> (inst & 63) & 1 != 0
+        }
+    }
+
+    #[inline]
+    fn mark_reached(&mut self, inst: u32) {
+        if inst < 64 {
+            self.reached_lo |= 1 << inst;
+        } else {
+            self.cold.reached_hi[(inst as usize - 64) >> 6] |= 1 << (inst & 63);
+        }
+    }
+
+    /// Sends `msg` to neighbor `idx` this round if its FIFO is empty
+    /// and nothing was sent to it yet (the message *is* the front the
+    /// drain would pick, so the wire effect is identical); otherwise
+    /// queues it. Only the first 64 neighbors are eligible for the
+    /// direct path — higher indices always queue and drain normally.
+    ///
+    /// `deg` is the node's degree, used to size the lazily-allocated
+    /// queue table on first collision. `queued == 0` proves every
+    /// queue is empty, so the common direct path never dereferences
+    /// the cold box at all.
+    #[inline]
+    fn send_or_enqueue(
+        &mut self,
+        ctx: &mut RoundCtx<'_, MultiBfsMsg>,
+        deg: usize,
+        idx: usize,
+        msg: MultiBfsMsg,
+    ) {
+        if idx < 64
+            && self.sent_lo >> idx & 1 == 0
+            && (self.queued == 0 || self.cold.queues[idx].is_empty())
+        {
+            self.sent_lo |= 1 << idx;
+            ctx.send_nth(idx, msg);
             return;
         }
+        self.enqueue(deg, idx, msg);
+    }
+
+    /// The queueing slow path of [`Self::send_or_enqueue`].
+    fn enqueue(&mut self, deg: usize, idx: usize, msg: MultiBfsMsg) {
+        let cap = self.spec.queue_cap;
+        let cold = &mut *self.cold;
+        if cold.queues.is_empty() {
+            cold.queues.resize_with(deg, VecDeque::new);
+        }
+        let q = &mut cold.queues[idx];
+        if cap > 0 && q.len() >= cap {
+            cold.overflowed = true;
+            return;
+        }
+        if q.is_empty() {
+            cold.busy.push(idx as u32);
+        }
         q.push_back(msg);
-        self.max_queue = self.max_queue.max(q.len());
+        self.queued += 1;
+        cold.max_queue = cold.max_queue.max(q.len());
     }
 
     fn fan_out(
         &mut self,
-        me: NodeId,
-        neighbors: &[NodeId],
+        ctx: &mut RoundCtx<'_, MultiBfsMsg>,
         inst: u32,
         root: NodeId,
         dist: u32,
         skip: Option<NodeId>,
     ) {
+        let me = ctx.node();
+        let neighbors = ctx.neighbors();
         let limit = self.spec.instances[inst as usize].depth_limit;
         if dist >= limit {
             return;
         }
-        let cap = self.spec.queue_cap;
+        let token = MultiBfsMsg::Token {
+            inst,
+            root,
+            dist: dist + 1,
+        };
         for (idx, &w) in neighbors.iter().enumerate() {
             if Some(w) == skip {
                 continue;
             }
-            if (self.spec.membership)(me, w, inst) {
-                let q = &mut self.queues[idx];
-                if cap > 0 && q.len() >= cap {
-                    self.overflowed = true;
-                    continue;
-                }
-                q.push_back(MultiBfsMsg::Token {
-                    inst,
-                    root,
-                    dist: dist + 1,
-                });
-                self.max_queue = self.max_queue.max(q.len());
+            if self.spec.membership.allows(me, w, inst) {
+                self.send_or_enqueue(ctx, neighbors.len(), idx, token);
             }
         }
     }
@@ -210,70 +370,109 @@ impl NodeAlgorithm for MultiBfsNode {
     fn round(&mut self, ctx: &mut RoundCtx<'_, MultiBfsMsg>) {
         let me = ctx.node();
         let neighbors = ctx.neighbors();
-        if !self.initialized {
-            self.initialized = true;
-            self.queues = vec![VecDeque::new(); neighbors.len()];
-        }
         // Root activations scheduled for this round (indexed loop: no
-        // per-round allocation).
-        for r in 0..self.roots_here.len() {
-            let inst = self.roots_here[r];
-            if self.spec.instances[inst as usize].start_round != ctx.round()
-                || self.reached[inst as usize].is_some()
-            {
-                continue;
+        // per-round allocation; skipped entirely once every local root
+        // has fired).
+        if self.pending_roots > 0 {
+            for r in 0..self.cold.roots_here.len() {
+                let inst = self.cold.roots_here[r];
+                if self.spec.instances[inst as usize].start_round != ctx.round()
+                    || self.is_reached(inst)
+                {
+                    continue;
+                }
+                self.pending_roots -= 1;
+                self.mark_reached(inst);
+                self.accepted.push((
+                    inst,
+                    Reached {
+                        dist: 0,
+                        parent: None,
+                        round: ctx.round(),
+                        root: me,
+                    },
+                ));
+                self.fan_out(ctx, inst, me, 0, None);
             }
-            self.reached[inst as usize] = Some(Reached {
-                dist: 0,
-                parent: None,
-                round: ctx.round(),
-                root: me,
-            });
-            self.fan_out(me, neighbors, inst, me, 0, None);
         }
         // Process arrivals (no inbox copy — the slice outlives the ctx
-        // borrow).
-        for &(from, ref msg) in ctx.inbox() {
+        // borrow, so sends can interleave with iteration).
+        let inbox = ctx.inbox();
+        for &(from, ref msg) in inbox {
             match *msg {
                 MultiBfsMsg::Token { inst, root, dist } => {
-                    // Already-reached is by far the common rejection:
-                    // test it before touching the shared spec.
-                    if self.reached[inst as usize].is_some()
+                    // Already-reached is by far the common rejection
+                    // under contention: test the in-struct bit word
+                    // before touching the shared spec or the reach
+                    // records.
+                    if self.is_reached(inst)
                         || dist > self.spec.instances[inst as usize].depth_limit
                     {
                         continue;
                     }
-                    self.reached[inst as usize] = Some(Reached {
-                        dist,
-                        parent: Some(from),
-                        round: ctx.round(),
-                        root,
-                    });
+                    self.mark_reached(inst);
+                    self.accepted.push((
+                        inst,
+                        Reached {
+                            dist,
+                            parent: Some(from),
+                            round: ctx.round(),
+                            root,
+                        },
+                    ));
                     let from_idx = ctx.neighbor_index(from).expect("sender is a neighbor");
-                    self.enqueue(from_idx, MultiBfsMsg::Child { inst });
-                    self.fan_out(me, neighbors, inst, root, dist, Some(from));
+                    self.send_or_enqueue(
+                        ctx,
+                        neighbors.len(),
+                        from_idx,
+                        MultiBfsMsg::Child { inst },
+                    );
+                    self.fan_out(ctx, inst, root, dist, Some(from));
                 }
                 MultiBfsMsg::Child { inst } => {
-                    self.children[inst as usize].push(from);
+                    self.cold.children.push((inst, from));
                 }
             }
         }
-        // Drain: one message per neighbor per round, via the zero-lookup
-        // arc-slot fast path.
-        for idx in 0..self.queues.len() {
-            if let Some(msg) = self.queues[idx].pop_front() {
+        // Drain the queued leftovers: one message per neighbor per
+        // round, skipping neighbors the direct path already served.
+        // Only busy neighbors are visited; the busy list is unordered,
+        // but each send targets a distinct arc slot and the receiver
+        // gathers in its own fixed arc order, so the iteration order
+        // cannot affect outcomes. `queued == 0` skips the cold box
+        // entirely — the common case with the direct path in play.
+        if self.queued > 0 {
+            let cold = &mut *self.cold;
+            let mut i = 0;
+            while i < cold.busy.len() {
+                let idx = cold.busy[i] as usize;
+                if idx < 64 && self.sent_lo >> idx & 1 != 0 {
+                    // Sent to this neighbor directly this round; its
+                    // queue waits for the next one.
+                    i += 1;
+                    continue;
+                }
+                let msg = cold.queues[idx]
+                    .pop_front()
+                    .expect("busy list tracks non-empty queues");
+                self.queued -= 1;
                 ctx.send_nth(idx, msg);
+                if cold.queues[idx].is_empty() {
+                    cold.busy.swap_remove(i);
+                } else {
+                    i += 1;
+                }
             }
         }
+        self.sent_lo = 0;
     }
 
     fn halted(&self) -> bool {
         // A root with a pending delayed start must keep the run alive
-        // even when no messages are in flight yet.
-        self.roots_here
-            .iter()
-            .all(|&i| self.reached[i as usize].is_some())
-            && self.queues.iter().all(|q| q.is_empty())
+        // even when no messages are in flight yet. Both counters are
+        // maintained incrementally, so this is O(1) — it runs for every
+        // node after every active round.
+        self.pending_roots == 0 && self.queued == 0
     }
 }
 
@@ -373,13 +572,29 @@ impl Protocol for MultiBfs {
     }
 
     fn finish(self, _graph: &Graph, nodes: Vec<MultiBfsNode>, stats: &RunStats) -> MultiBfsOutcome {
-        let max_queue = nodes.iter().map(|s| s.max_queue).max().unwrap_or(0);
-        let overflowed = nodes.iter().any(|s| s.overflowed);
+        let k = self.spec.instances.len();
+        let max_queue = nodes.iter().map(|s| s.max_queue()).max().unwrap_or(0);
+        let overflowed = nodes.iter().any(|s| s.overflowed());
         let mut reached = Vec::with_capacity(nodes.len());
         let mut children = Vec::with_capacity(nodes.len());
         for s in nodes {
-            reached.push(s.reached);
-            let mut c = s.children;
+            // Scatter the node's append-only reach log into the
+            // instance-indexed table. Each instance appears at most
+            // once (the reached bitmaps guard every push), so the
+            // arrival order cannot matter.
+            let mut m: Vec<Option<Reached>> = vec![None; k];
+            for (inst, r) in s.accepted {
+                m[inst as usize] = Some(r);
+            }
+            reached.push(m);
+            // Distribute the node's flat (instance, child) log into
+            // per-instance sorted lists; sorting erases the arrival
+            // order, so the flat log yields the same output the old
+            // per-instance accumulation did.
+            let mut c: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+            for (inst, child) in s.cold.children {
+                c[inst as usize].push(child);
+            }
             for list in &mut c {
                 list.sort_unstable();
             }
@@ -415,8 +630,8 @@ mod tests {
     use super::*;
     use lcs_graph::bfs_distances;
 
-    fn full_membership() -> MembershipFn {
-        Arc::new(|_, _, _| true)
+    fn full_membership() -> Membership {
+        Membership::All
     }
 
     /// All protocol tests go through the first-class `Session` API.
@@ -473,7 +688,7 @@ mod tests {
         // Two paths sharing no edges, as instances over node-partitioned
         // membership.
         let g = lcs_graph::generators::path(10);
-        let membership: MembershipFn = Arc::new(|u, v, i| {
+        let membership = Membership::func(|u, v, i| {
             if i == 0 {
                 u < 5 && v < 5
             } else {

@@ -138,12 +138,18 @@ impl WireFx<'_> {
 
 /// The send-side of a [`RoundCtx`]: this node's outgoing arc-indexed
 /// mailbox slots plus the statistics and violation sinks the engine
-/// threads through. A send is a direct slot write; occupancy of the slot
-/// *is* the one-message-per-neighbor-per-round discipline.
+/// threads through. A send is a direct slot write; the parallel
+/// occupancy byte *is* the one-message-per-neighbor-per-round
+/// discipline. Payloads are stored flat (`MaybeUninit<M>`, no `Option`
+/// discriminant), so a mailbox buffer is exactly `num_arcs *
+/// size_of::<M>()` bytes and a send never rewrites a discriminant.
 pub(crate) struct TxState<'a, M> {
-    /// This node's slots in the next-round mailbox array, one per
-    /// neighbor, in neighbor (arc) order.
-    pub(crate) slots: &'a mut [Option<M>],
+    /// This node's payload slots in the next-round mailbox array, one
+    /// per neighbor, in neighbor (arc) order. A slot holds a live `M`
+    /// iff the matching `occ` byte is set.
+    pub(crate) slots: &'a mut [std::mem::MaybeUninit<M>],
+    /// Occupancy bytes parallel to `slots`.
+    pub(crate) occ: &'a mut [bool],
     /// Sorted neighbor list, parallel to `slots`.
     pub(crate) heads: &'a [NodeId],
     /// Global arc index of `slots[0]`.
@@ -159,7 +165,7 @@ pub(crate) struct TxState<'a, M> {
     pub(crate) words: &'a mut u64,
     /// This node's per-arc message counts (parallel to `slots`; folded
     /// into per-edge stats at the end of the run).
-    pub(crate) per_arc: &'a mut [u64],
+    pub(crate) per_arc: &'a mut [u32],
     /// First model violation observed this round, if any.
     pub(crate) violation: &'a mut Option<SimError>,
     /// Per-message size cap in words.
@@ -320,23 +326,38 @@ impl<'a, M: Message> RoundCtx<'a, M> {
             });
             return;
         }
-        let slot = &mut self.tx.slots[i];
-        if slot.is_some() {
-            *self.tx.violation = Some(SimError::ChannelOverflow {
-                from: self.node,
-                to,
-                round: self.round,
-            });
-            return;
+        // `slots`, `occ`, and `per_arc` are all views of this node's arc
+        // range, the same length as `heads` — the successful `heads[i]`
+        // index above already proved `i` in bounds for all of them.
+        debug_assert_eq!(self.tx.slots.len(), self.tx.heads.len());
+        debug_assert_eq!(self.tx.occ.len(), self.tx.heads.len());
+        debug_assert_eq!(self.tx.per_arc.len(), self.tx.heads.len());
+        // SAFETY: `i < heads.len()` (checked above) and the parallel
+        // views share that length.
+        unsafe {
+            let occ = self.tx.occ.get_unchecked_mut(i);
+            if *occ {
+                *self.tx.violation = Some(SimError::ChannelOverflow {
+                    from: self.node,
+                    to,
+                    round: self.round,
+                });
+                return;
+            }
+            *occ = true;
+            self.tx.slots.get_unchecked_mut(i).write(msg);
         }
-        *slot = Some(msg);
         if let Some(wire) = &mut self.tx.wire {
             wire.notify(to);
         }
         self.tx.dirty.push(self.tx.arc_base + i as u32);
         *self.tx.messages += 1;
         *self.tx.words += u64::from(words);
-        self.tx.per_arc[i] += 1;
+        // SAFETY: same length argument as above.
+        unsafe {
+            let c = self.tx.per_arc.get_unchecked_mut(i);
+            *c = c.saturating_add(1);
+        };
     }
 
     /// This node's private RNG (deterministically seeded from the run

@@ -208,15 +208,18 @@ pub struct JoinState<P1: Protocol, P2: Protocol> {
     /// Untagged inbox views handed to the sub-protocols.
     inbox_a: Vec<(NodeId, P1::Msg)>,
     inbox_b: Vec<(NodeId, P2::Msg)>,
-    /// Capture mailboxes: the sub-protocols' sends land here (one slot
-    /// per neighbor) and are moved into the queues.
-    slots_a: Vec<Option<P1::Msg>>,
-    slots_b: Vec<Option<P2::Msg>>,
+    /// Capture mailboxes: the sub-protocols' sends land here (one flat
+    /// slot per neighbor, occupancy tracked in `occ_*`, mirroring the
+    /// engine's wire mailboxes) and are moved into the queues.
+    slots_a: Vec<std::mem::MaybeUninit<P1::Msg>>,
+    slots_b: Vec<std::mem::MaybeUninit<P2::Msg>>,
+    occ_a: Vec<bool>,
+    occ_b: Vec<bool>,
     /// Scratch sinks for the capture contexts (indices of written
     /// slots; per-arc counters). Real statistics are recorded when the
     /// queued message is actually sent.
     dirty: Vec<u32>,
-    per_arc: Vec<u64>,
+    per_arc: Vec<u32>,
     /// Total queued messages across both sides (kept in sync by the
     /// capture and drain paths so `halted` is O(1), not a per-round
     /// scan of every per-neighbor queue).
@@ -285,6 +288,8 @@ impl<P1: Protocol, P2: Protocol> Protocol for Join<P1, P2> {
                 inbox_b: Vec::new(),
                 slots_a: Vec::new(),
                 slots_b: Vec::new(),
+                occ_a: Vec::new(),
+                occ_b: Vec::new(),
                 dirty: Vec::new(),
                 per_arc: Vec::new(),
                 pending: 0,
@@ -299,8 +304,14 @@ impl<P1: Protocol, P2: Protocol> Protocol for Join<P1, P2> {
             st.initialized = true;
             st.qa = (0..degree).map(|_| VecDeque::new()).collect();
             st.qb = (0..degree).map(|_| VecDeque::new()).collect();
-            st.slots_a = (0..degree).map(|_| None).collect();
-            st.slots_b = (0..degree).map(|_| None).collect();
+            st.slots_a = (0..degree)
+                .map(|_| std::mem::MaybeUninit::uninit())
+                .collect();
+            st.slots_b = (0..degree)
+                .map(|_| std::mem::MaybeUninit::uninit())
+                .collect();
+            st.occ_a = vec![false; degree];
+            st.occ_b = vec![false; degree];
             st.per_arc = vec![0; degree];
         }
         // 1. Split the tagged inbox into per-side untagged views.
@@ -328,6 +339,7 @@ impl<P1: Protocol, P2: Protocol> Protocol for Join<P1, P2> {
                 &mut st.a,
                 &st.inbox_a,
                 &mut st.slots_a,
+                &mut st.occ_a,
                 &mut st.qa,
                 &mut st.dirty,
                 &mut st.per_arc,
@@ -344,6 +356,7 @@ impl<P1: Protocol, P2: Protocol> Protocol for Join<P1, P2> {
                 &mut st.b,
                 &st.inbox_b,
                 &mut st.slots_b,
+                &mut st.occ_b,
                 &mut st.qb,
                 &mut st.dirty,
                 &mut st.per_arc,
@@ -415,10 +428,11 @@ fn run_captured<P: Protocol, W: Message>(
     proto: &P,
     state: &mut P::State,
     inbox: &[(NodeId, P::Msg)],
-    slots: &mut [Option<P::Msg>],
+    slots: &mut [std::mem::MaybeUninit<P::Msg>],
+    occ: &mut [bool],
     queues: &mut [VecDeque<P::Msg>],
     dirty: &mut Vec<u32>,
-    per_arc: &mut [u64],
+    per_arc: &mut [u32],
     pending: &mut usize,
     ctx: &mut RoundCtx<'_, W>,
 ) -> bool {
@@ -434,6 +448,7 @@ fn run_captured<P: Protocol, W: Message>(
             shared: ctx.shared,
             tx: TxState {
                 slots,
+                occ,
                 heads: ctx.tx.heads,
                 arc_base: 0,
                 // No wire effects: a captured send is queued, not sent.
@@ -453,12 +468,20 @@ fn run_captured<P: Protocol, W: Message>(
         proto.round(state, &mut capture);
     }
     // Move captured sends into the queues (dirty holds neighbor
-    // indices, since the capture context's arc base is 0).
+    // indices, since the capture context's arc base is 0). A dirty
+    // entry's occupancy byte is always set — sends are the only writer
+    // and the overflow check rules out duplicates — so every listed
+    // slot holds a live payload to move out.
     for &i in dirty.iter() {
-        if let Some(m) = slots[i as usize].take() {
-            queues[i as usize].push_back(m);
-            *pending += 1;
-        }
+        let i = i as usize;
+        debug_assert!(occ[i]);
+        occ[i] = false;
+        // SAFETY: `occ[i]` was set by a captured send, so `slots[i]`
+        // holds an initialized message; clearing the byte first makes
+        // the move-out unique.
+        let m = unsafe { slots[i].assume_init_read() };
+        queues[i].push_back(m);
+        *pending += 1;
     }
     dirty.clear();
     if let Some(v) = violation {

@@ -2,14 +2,16 @@
 //!
 //! # Mailbox layout
 //!
-//! Delivery is **arc-indexed**: the engine preallocates one
-//! `Option<Msg>` slot per directed arc of the graph, in CSR order. A
+//! Delivery is **arc-indexed**: the engine preallocates one flat
+//! payload slot (`MaybeUninit<Msg>` — no `Option` discriminant, so a
+//! buffer is exactly `num_arcs · size_of::<Msg>()` bytes) per directed
+//! arc of the graph, in CSR order, plus one occupancy byte per arc. A
 //! message sent over arc `a = (u → v)` is written into slot `a` — the
 //! slot owned by the *sender's* adjacency range — so
 //!
-//! * delivery is a single slot write,
-//! * the CONGEST one-message-per-neighbor-per-round discipline is a
-//!   `slot.is_some()` check (no stamp array, no hash set),
+//! * delivery is a single slot write plus an occupancy-byte store,
+//! * the CONGEST one-message-per-neighbor-per-round discipline is an
+//!   occupancy-byte check (no stamp array, no hash set),
 //! * the undirected [`EdgeId`](lcs_graph::EdgeId) for stats is
 //!   `arc_edges[a]` (no `edge_between` binary search per message), and
 //! * the in-flight count is the length of the per-shard dirty lists
@@ -54,6 +56,28 @@
 //! worker barrier, so an all-but-quiescent round costs `O(1)` at every
 //! shard count — thin-frontier protocols no longer pay two barrier
 //! crossings per round for idle workers.
+//!
+//! # All-active (dense) rounds
+//!
+//! The opposite extreme is a **saturated** round: when the previous
+//! round put a message on *every* arc (`in_flight == num_arcs`) and no
+//! node is isolated, every node is guaranteed to have mail, so the
+//! active set is the full node span by construction. The coordinator
+//! then switches the next round into **dense mode**: shards iterate
+//! their whole span directly and skip all event bookkeeping — no wake
+//! notifications per send, no active-list maintenance, no mail-flag
+//! reads, no occupancy checks on gather (every reverse slot is
+//! occupied). This restores the pre-event-driving raw message path for
+//! workloads like `saturate` while producing bit-identical outcomes:
+//! the set and order of executed nodes, their inboxes, and all
+//! statistics match the normal path exactly. Leaving dense mode with
+//! messages still in flight inserts one **resync** round that
+//! reconstructs the mail flags and activations the skipped
+//! notifications would have left (an `O(own arcs)` occupancy scan per
+//! shard), after which normal event-driven scheduling resumes. The
+//! mode decision is made once per round by the coordinator from the
+//! global in-flight count, so it is identical at every shard count and
+//! the determinism contract below is unaffected.
 //!
 //! # Persistent sharded rounds
 //!
@@ -206,24 +230,29 @@ pub struct RunOutcome<A> {
     pub stats: RunStats,
 }
 
-/// One arc-indexed mailbox slot, interior-mutable so the two parity
-/// buffers can alternate read/write roles across the persistent workers
-/// without re-borrowing each round. See the module docs for the
-/// ownership protocol that makes the `Sync` impl sound.
+/// One arc-indexed mailbox payload slot, interior-mutable so the two
+/// parity buffers can alternate read/write roles across the persistent
+/// workers without re-borrowing each round. The payload is stored flat
+/// (`MaybeUninit`, no `Option` discriminant); whether it is live is
+/// tracked by the matching [`OccCell`] occupancy byte. See the module
+/// docs for the ownership protocol that makes the `Sync` impl sound.
 #[repr(transparent)]
-struct Slot<M>(UnsafeCell<Option<M>>);
-
-impl<M> Slot<M> {
-    fn new() -> Self {
-        Slot(UnsafeCell::new(None))
-    }
-}
+struct Slot<M>(UnsafeCell<std::mem::MaybeUninit<M>>);
 
 // SAFETY: slots are accessed under the engine's round protocol (module
 // docs): per phase, each slot has at most one accessor — the owner of
 // its arc for writes, the owner of the reverse arc for reads — and the
 // pool's barriers order the phases.
 unsafe impl<M: Send + Sync> Sync for Slot<M> {}
+
+/// One arc-indexed occupancy byte, parallel to a [`Slot`]. A full byte
+/// per arc rather than a bitset: a bitset word could straddle two
+/// shards' arc ranges and turn the disjoint-span write protocol into a
+/// data race, while bytes are distinct memory locations.
+pub(crate) struct OccCell(UnsafeCell<bool>);
+
+// SAFETY: same access protocol as the payload slot it describes.
+unsafe impl Sync for OccCell {}
 
 /// One cross-shard wake queue: destinations of messages a shard sent
 /// into another shard's node span this round, drained by the owning
@@ -282,8 +311,8 @@ pub(crate) fn activate(next_active: &mut Vec<u32>, in_set: &mut [bool], node_lo:
     }
 }
 
-/// Reborrows a shard's own contiguous arc span as plain mutable
-/// option slots (the form [`TxState`] consumes).
+/// Reborrows a shard's own contiguous arc span as plain mutable flat
+/// slots (the form [`TxState`] consumes).
 ///
 /// # Safety
 ///
@@ -291,12 +320,55 @@ pub(crate) fn activate(next_active: &mut Vec<u32>, in_set: &mut [bool], node_lo:
 /// the duration of the borrow — guaranteed by the engine protocol for a
 /// shard's own arc span of the write buffer during its send phase.
 /// Layout: `Slot<M>` is `repr(transparent)` over
-/// `UnsafeCell<Option<M>>`, which has the representation of
-/// `Option<M>`.
+/// `UnsafeCell<MaybeUninit<M>>`, which has the representation of `M`.
 #[allow(clippy::mut_from_ref)]
-unsafe fn own_span_mut<M>(slots: &[Slot<M>]) -> &mut [Option<M>] {
-    std::slice::from_raw_parts_mut(slots.as_ptr() as *mut Option<M>, slots.len())
+unsafe fn own_slots_mut<M>(slots: &[Slot<M>]) -> &mut [std::mem::MaybeUninit<M>] {
+    std::slice::from_raw_parts_mut(slots.as_ptr() as *mut std::mem::MaybeUninit<M>, slots.len())
 }
+
+/// Reborrows a shard's own contiguous arc span of occupancy bytes as a
+/// plain mutable slice.
+///
+/// # Safety
+///
+/// Same exclusive-access requirement as [`own_slots_mut`], for the
+/// matching occupancy array.
+#[allow(clippy::mut_from_ref)]
+unsafe fn own_occ_mut(occ: &[OccCell]) -> &mut [bool] {
+    std::slice::from_raw_parts_mut(occ.as_ptr() as *mut bool, occ.len())
+}
+
+/// Requests an early cache fill of the line holding `p`. Purely a
+/// performance hint — a no-op on architectures without a stable
+/// prefetch intrinsic.
+#[inline(always)]
+fn prefetch_read<T>(p: &T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no memory effects; any address is allowed.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(
+            std::ptr::from_ref(p).cast::<i8>(),
+            core::arch::x86_64::_MM_HINT_T0,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+// Round execution modes, decided by the coordinator once per round
+// from the global in-flight count (see the module docs' dense-rounds
+// section). Workers read the mode through a relaxed atomic; the pool's
+// barrier crossings provide the ordering.
+
+/// Event-driven scheduling: only the active set runs.
+const MODE_NORMAL: u8 = 0;
+/// Every arc carried a message last round: run the full node span and
+/// skip all event bookkeeping.
+const MODE_DENSE: u8 = 1;
+/// First round after leaving dense mode with messages still in flight:
+/// reconstruct mail flags and activations from mailbox occupancy, then
+/// proceed normally.
+const MODE_RESYNC: u8 = 2;
 
 /// The untyped (message-independent) per-shard engine state, persisted
 /// across a session's phases by the [`EngineHost`]: the shard's
@@ -308,8 +380,11 @@ struct ShardCore {
     arc_lo: usize,
     /// Per-arc message counts for the shard's own arc span (folded into
     /// per-edge counts once at the end of the run — a sequential store
-    /// per send instead of a random per-edge access).
-    per_arc: Vec<u64>,
+    /// per send instead of a random per-edge access). `u32` halves the
+    /// array the send path does scattered read-modify-writes into; the
+    /// count saturates rather than wraps in the (days-long) runs that
+    /// would pass 2³² messages on one arc, keeping the fold sound.
+    per_arc: Vec<u32>,
     /// Own-span slots delivered (read) this round; wiped at the start
     /// of the next round, when their buffer becomes the write target
     /// again.
@@ -444,6 +519,13 @@ pub(crate) struct EngineHost {
     bounds: Vec<u32>,
     /// Parity mail flags (persistent; reset at phase start).
     mails: [Vec<AtomicBool>; 2],
+    /// Parity mailbox occupancy bytes, one per arc (persistent —
+    /// untyped, unlike the payload buffers; reset at phase start).
+    occs: [Vec<OccCell>; 2],
+    /// Whether dense (all-active) rounds are sound for this graph:
+    /// `in_flight == num_arcs` implies *every* node has mail only when
+    /// no node is isolated.
+    dense_eligible: bool,
     /// Cross-shard wake queues (persistent; reset at phase start).
     wakes: WakeMatrix,
     /// Per-shard cores (persistent; reset at phase start). Emptied when
@@ -460,11 +542,18 @@ impl EngineHost {
         let shards = shards.clamp(1, graph.n().max(1));
         let n = graph.n();
         let mk_flags = || (0..n).map(|_| AtomicBool::new(false)).collect();
+        let mk_occ = || {
+            (0..graph.num_arcs())
+                .map(|_| OccCell(UnsafeCell::new(false)))
+                .collect()
+        };
         EngineHost {
             pool: Pool::new(shards),
             rev: build_rev_arcs(graph),
             bounds: (0..shards).map(|s| (s * n / shards) as u32).collect(),
             mails: [mk_flags(), mk_flags()],
+            occs: [mk_occ(), mk_occ()],
+            dense_eligible: graph.num_arcs() > 0 && (0..n as NodeId).all(|v| graph.degree(v) > 0),
             wakes: WakeMatrix::new(shards),
             cores: build_cores(graph, shards),
             arena: SlabArena::default(),
@@ -479,6 +568,11 @@ impl EngineHost {
         for flags in &mut self.mails {
             for f in flags.iter_mut() {
                 *f.get_mut() = false;
+            }
+        }
+        for occ in &mut self.occs {
+            for c in occ.iter_mut() {
+                *c.0.get_mut() = false;
             }
         }
         self.wakes.clear();
@@ -523,7 +617,11 @@ fn build_rev_arcs(g: &Graph) -> Vec<u32> {
 /// wakes drained from the parity queues), then runs each active node in
 /// ascending id order — gathering its inbox from `cur`, applying its
 /// sends into the shard's own span of `nxt`, and re-enqueuing it when
-/// it asks to stay awake. Returns `(next_active_len, first_violation)`.
+/// it asks to stay awake. In [`MODE_DENSE`] the active set is the full
+/// node span by construction and all event bookkeeping is skipped; in
+/// [`MODE_RESYNC`] the mail flags and activations the dense rounds
+/// skipped are first rebuilt from mailbox occupancy (module docs).
+/// Returns `(next_active_len, first_violation)`.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<D: Driver>(
     graph: &Graph,
@@ -533,6 +631,8 @@ fn run_shard<D: Driver>(
     rngs: &mut [ChaCha8Rng],
     cur: &[Slot<D::Msg>],
     nxt: &[Slot<D::Msg>],
+    occ_cur: &[OccCell],
+    occ_nxt: &[OccCell],
     mail_cur: &[AtomicBool],
     mail_nxt: &[AtomicBool],
     rev: &[u32],
@@ -542,6 +642,7 @@ fn run_shard<D: Driver>(
     me: usize,
     wakes: &WakeMatrix,
     bounds: &[u32],
+    mode: u8,
 ) -> (u64, Option<SimError>) {
     let Shard {
         core,
@@ -554,12 +655,55 @@ fn run_shard<D: Driver>(
     // last round live in its own span of what is now the write buffer;
     // wipe them before any send can find a stale occupant, then rotate
     // the dirty lists so `dirty_in` names this round's inbound slots.
-    // SAFETY: own-span slots of the write buffer (invariant 1).
+    // Every dirty slot is occupied (sends are the only writer and the
+    // overflow check rules out duplicates), so payload drops are exact.
+    // SAFETY: own-span slots of the write buffer (invariant 1);
+    // `occ_nxt[a]` was set by the send that initialized `nxt[a]`, and
+    // dirty entries are own-range arc ids, so `a < num_arcs`.
     for &a in &core.dirty_in {
-        unsafe { *nxt[a as usize].0.get() = None };
+        let a = a as usize;
+        debug_assert!(a < occ_nxt.len());
+        unsafe {
+            *occ_nxt.get_unchecked(a).0.get() = false;
+            if std::mem::needs_drop::<D::Msg>() {
+                (*nxt.get_unchecked(a).0.get()).assume_init_drop();
+            }
+        }
     }
     core.dirty_in.clear();
     std::mem::swap(&mut core.dirty_in, &mut core.dirty_out);
+
+    if mode == MODE_DENSE {
+        return run_shard_dense(
+            graph, driver, core, messages, words, inbox, nodes, rngs, cur, nxt, occ_cur, occ_nxt,
+            mail_cur, rev, shared, round, bandwidth, me, wakes,
+        );
+    }
+
+    if mode == MODE_RESYNC {
+        // The previous rounds ran dense with wire effects skipped:
+        // no mail flags were set and no wakes enqueued for this round.
+        // Rebuild both from mailbox occupancy — a node has mail iff any
+        // of its reverse slots is occupied. One O(own arcs) scan, paid
+        // once per dense exit.
+        #[allow(clippy::needless_range_loop)] // v indexes three parallel structures
+        for v in node_lo..core.node_hi {
+            for b in graph.arc_range(v as NodeId) {
+                // SAFETY: read-buffer occupancy of slot `rev[b]`, read
+                // only by the owner of arc `b` (invariant 2).
+                if unsafe { *occ_cur[rev[b] as usize].0.get() } {
+                    mail_cur[v].store(true, Ordering::Relaxed);
+                    activate(
+                        &mut core.next_active,
+                        &mut core.in_set,
+                        node_lo as u32,
+                        v as u32,
+                    );
+                    break;
+                }
+            }
+        }
+    }
 
     // Drain the wake queues other shards filled for us last round (the
     // opposite parity; our own-shard wakes went straight into
@@ -585,7 +729,8 @@ fn run_shard<D: Driver>(
     // matches the sequential engine regardless of wake arrival order.
     std::mem::swap(&mut core.cur_active, &mut core.next_active);
     core.next_active.clear();
-    if core.cur_active.len() == core.node_hi - node_lo {
+    let span = core.node_hi - node_lo;
+    if core.cur_active.len() == span {
         // Dense round: the dedup invariant makes the list a permutation
         // of the whole span — regenerate it in order instead of paying
         // an O(span log span) sort (this keeps saturated rounds on the
@@ -593,6 +738,19 @@ fn run_shard<D: Driver>(
         core.in_set.fill(false);
         core.cur_active.clear();
         core.cur_active.extend(node_lo as u32..core.node_hi as u32);
+    } else if core.cur_active.len() >= (span / 8).max(1) {
+        // Wide (but not full) frontier: rebuilding the sorted list by
+        // scanning the membership bitmap is O(span) — cheaper than the
+        // O(len log len) sort once len is a noticeable fraction of the
+        // span — and yields the same ascending order (the bitmap *is*
+        // the set).
+        core.cur_active.clear();
+        for (off, flag) in core.in_set.iter_mut().enumerate() {
+            if *flag {
+                *flag = false;
+                core.cur_active.push(node_lo as u32 + off as u32);
+            }
+        }
     } else {
         for &v in &core.cur_active {
             core.in_set[v as usize - node_lo] = false;
@@ -605,6 +763,22 @@ fn run_shard<D: Driver>(
     for idx in 0..core.cur_active.len() {
         let v = core.cur_active[idx] as usize;
         let range = graph.arc_range(v as NodeId);
+        // Hide memory latency behind the current node's work: the
+        // active list names the next node long before it is needed, so
+        // start pulling its state, mail flag, and arc-table lines
+        // while this node runs. The sparse activity pattern makes
+        // these scattered (cache-cold) accesses; without the hint each
+        // one stalls the round loop front-to-back.
+        if let Some(&nv) = core.cur_active.get(idx + 1) {
+            let nv = nv as usize;
+            let nrange = graph.arc_range(nv as NodeId);
+            prefetch_read(&nodes[nv - node_lo]);
+            prefetch_read(&mail_cur[nv]);
+            if nrange.start < nrange.end {
+                prefetch_read(&rev[nrange.start]);
+                prefetch_read(&occ_cur[nrange.start]);
+            }
+        }
         inbox.clear();
         // The mail flag gates the arc-range walk: only nodes somebody
         // actually addressed gather an inbox. (Relaxed is enough — the
@@ -612,18 +786,32 @@ fn run_shard<D: Driver>(
         // which is a happens-before edge.)
         if mail_cur[v].load(Ordering::Relaxed) {
             mail_cur[v].store(false, Ordering::Relaxed);
-            for b in range.clone() {
-                // SAFETY: read buffer, slot `rev[b]` is read only by the
-                // owner of arc `b` (invariant 2).
-                if let Some(m) = unsafe { (*cur[rev[b] as usize].0.get()).as_ref() } {
-                    inbox.push((graph.arc_head(ArcId(b as u32)), m.clone()));
+            // Walk the node's reverse arcs alongside its neighbor list
+            // (both parallel to the arc range — no per-arc bounds
+            // checks or `arc_head` lookups).
+            let heads = graph.neighbors(v as NodeId);
+            let rev_span = &rev[range.clone()];
+            inbox.extend(heads.iter().zip(rev_span).filter_map(|(&h, &ra)| {
+                let ra = ra as usize;
+                // SAFETY: read buffer, slot `rev[b]` is read only by
+                // the owner of arc `b` (invariant 2); `ra < num_arcs`
+                // by the reverse-arc table's construction; the
+                // occupancy byte guards slot initialization.
+                unsafe {
+                    if *occ_cur.get_unchecked(ra).0.get() {
+                        let m = (*cur.get_unchecked(ra).0.get()).assume_init_ref().clone();
+                        Some((h, m))
+                    } else {
+                        None
+                    }
                 }
-            }
+            }));
         }
         {
             // SAFETY: this shard's own arc span of the write buffer
             // (invariant 1); the borrow ends with `ctx`.
-            let own = unsafe { own_span_mut(&nxt[range.start..range.end]) };
+            let own = unsafe { own_slots_mut(&nxt[range.start..range.end]) };
+            let occ = unsafe { own_occ_mut(&occ_nxt[range.start..range.end]) };
             let mut ctx = RoundCtx {
                 node: v as NodeId,
                 round,
@@ -633,6 +821,7 @@ fn run_shard<D: Driver>(
                 shared,
                 tx: TxState {
                     slots: own,
+                    occ,
                     heads: graph.neighbors(v as NodeId),
                     arc_base: range.start as u32,
                     wire: Some(WireFx {
@@ -644,6 +833,125 @@ fn run_shard<D: Driver>(
                         bounds,
                         wake_row,
                     }),
+                    dirty: &mut core.dirty_out,
+                    messages,
+                    words,
+                    per_arc: &mut core.per_arc[range.start - core.arc_lo..range.end - core.arc_lo],
+                    violation: &mut violation,
+                    bandwidth,
+                },
+            };
+            driver.node_round(&mut nodes[v - node_lo], &mut ctx);
+        }
+        if violation.is_some() {
+            return (core.next_active.len() as u64, violation);
+        }
+        if let Wake::Stay = driver.node_wake(&nodes[v - node_lo]) {
+            activate(
+                &mut core.next_active,
+                &mut core.in_set,
+                node_lo as u32,
+                v as u32,
+            );
+        }
+    }
+    (core.next_active.len() as u64, violation)
+}
+
+/// The [`MODE_DENSE`] send phase: every node in the span runs, so all
+/// event bookkeeping is skipped — pending wakes and activations are
+/// discarded (subsumed by the full sweep), mail flags are cleared
+/// unconditionally (so a later notify's early-exit cannot observe a
+/// stale flag), the inbox gather reads every reverse slot without an
+/// occupancy check (`in_flight == num_arcs` guarantees occupancy), and
+/// sends carry no [`WireFx`]. Statistics and [`Wake::Stay`] handling
+/// are identical to the normal path, so outcomes are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_dense<D: Driver>(
+    graph: &Graph,
+    driver: &D,
+    core: &mut ShardCore,
+    messages: &mut u64,
+    words: &mut u64,
+    inbox: &mut Vec<(NodeId, D::Msg)>,
+    nodes: &mut [D::State],
+    rngs: &mut [ChaCha8Rng],
+    cur: &[Slot<D::Msg>],
+    nxt: &[Slot<D::Msg>],
+    occ_cur: &[OccCell],
+    occ_nxt: &[OccCell],
+    mail_cur: &[AtomicBool],
+    rev: &[u32],
+    shared: &[u64],
+    round: u64,
+    bandwidth: u32,
+    me: usize,
+    wakes: &WakeMatrix,
+) -> (u64, Option<SimError>) {
+    let _ = occ_cur; // release builds compile the debug assertion away
+    let node_lo = core.node_lo;
+    // The wake queues other shards filled for us last round are
+    // subsumed by the full sweep, but must still be emptied to keep the
+    // parity protocol's "clean before reuse" invariant.
+    let drain_parity = ((round + 1) % 2) as usize;
+    for t in 0..wakes.shards {
+        if t != me {
+            // SAFETY: same drain-side access as the normal path.
+            unsafe { (*wakes.bufs[drain_parity][t * wakes.shards + me].0.get()).clear() };
+        }
+    }
+    // Pending activations are likewise subsumed; drop them (clearing
+    // their bitmap bits preserves the dedup invariant for the stays
+    // recorded below).
+    for &v in &core.next_active {
+        core.in_set[v as usize - node_lo] = false;
+    }
+    core.next_active.clear();
+
+    let mut violation: Option<SimError> = None;
+    for v in node_lo..core.node_hi {
+        let range = graph.arc_range(v as NodeId);
+        // Unconditional clear: entering the first dense round every
+        // flag in this parity is set (the previous normal round's
+        // notifies), in dense-to-dense rounds they are all clear — both
+        // are handled without a read.
+        mail_cur[v].store(false, Ordering::Relaxed);
+        inbox.clear();
+        // Gather every reverse slot without occupancy checks —
+        // `in_flight == num_arcs` last round guarantees each is
+        // occupied — walking the neighbor list and reverse-arc span in
+        // lockstep (both parallel to the arc range).
+        let heads = graph.neighbors(v as NodeId);
+        let rev_span = &rev[range.clone()];
+        inbox.extend(heads.iter().zip(rev_span).map(|(&h, &ra)| {
+            let ra = ra as usize;
+            // SAFETY: read buffer (invariant 2); `ra < num_arcs` by the
+            // reverse-arc table's construction; occupancy guaranteed as
+            // above.
+            unsafe {
+                debug_assert!(*occ_cur.get_unchecked(ra).0.get());
+                let m = (*cur.get_unchecked(ra).0.get()).assume_init_ref().clone();
+                (h, m)
+            }
+        }));
+        {
+            // SAFETY: this shard's own arc span of the write buffer
+            // (invariant 1); the borrow ends with `ctx`.
+            let own = unsafe { own_slots_mut(&nxt[range.start..range.end]) };
+            let occ = unsafe { own_occ_mut(&occ_nxt[range.start..range.end]) };
+            let mut ctx = RoundCtx {
+                node: v as NodeId,
+                round,
+                graph,
+                inbox,
+                rng: &mut rngs[v - node_lo],
+                shared,
+                tx: TxState {
+                    slots: own,
+                    occ,
+                    heads: graph.neighbors(v as NodeId),
+                    arc_base: range.start as u32,
+                    wire: None,
                     dirty: &mut core.dirty_out,
                     messages,
                     words,
@@ -748,21 +1056,29 @@ pub(crate) fn run_phase<D: Driver>(
     let num_arcs = graph.num_arcs();
     // Parity mailbox buffers (recycled through the host's size-class
     // arena) and mail flags: buffer `r % 2` is read in round `r`,
-    // buffer `(r + 1) % 2` written.
+    // buffer `(r + 1) % 2` written. The payloads are `MaybeUninit`, so
+    // adopting a recycled slab is a length bump — no per-slot
+    // initialization; liveness is tracked by the host's occupancy
+    // bytes, which `reset_for_phase` cleared.
     let bufs: [Vec<Slot<D::Msg>>; 2] = [0, 1].map(|_| {
         let mut buf: Vec<Slot<D::Msg>> = host.arena.take(num_arcs);
-        buf.resize_with(num_arcs, Slot::new);
+        // SAFETY: the arena guarantees `capacity >= num_arcs`, and a
+        // `Slot` wraps `MaybeUninit`, for which any contents are valid.
+        unsafe { buf.set_len(num_arcs) };
         buf
     });
+    let dense_eligible = host.dense_eligible;
 
     let EngineHost {
         pool,
         rev,
         bounds,
         mails,
+        occs,
         wakes,
         cores,
         arena,
+        ..
     } = host;
     let shard_count = pool.workers();
 
@@ -794,11 +1110,18 @@ pub(crate) fn run_phase<D: Driver>(
 
     let bufs_ref = &bufs;
     let mails_ref: &[Vec<AtomicBool>; 2] = mails;
+    let occs_ref: &[Vec<OccCell>; 2] = occs;
     let wakes_ref: &WakeMatrix = wakes;
     let bounds_ref: &[u32] = bounds;
     let rev_ref: &[u32] = rev;
     let shared_ref: &[u64] = &shared;
     let bandwidth = cfg.bandwidth_words;
+    // Round mode, written by the coordinator (in `control`) and read by
+    // the workers at the start of the next round's step; the pool's
+    // barrier crossings provide the happens-before edge, so relaxed
+    // atomics suffice.
+    let mode = std::sync::atomic::AtomicU8::new(MODE_NORMAL);
+    let mode_ref = &mode;
     let step = move |w: usize, st: &mut ShardWorker<'_, D>, round: u64| -> StepReport {
         let parity = (round % 2) as usize;
         let (next_active, violation) = run_shard(
@@ -809,6 +1132,8 @@ pub(crate) fn run_phase<D: Driver>(
             st.rngs,
             &bufs_ref[parity],
             &bufs_ref[1 - parity],
+            &occs_ref[parity],
+            &occs_ref[1 - parity],
             &mails_ref[parity],
             &mails_ref[1 - parity],
             rev_ref,
@@ -818,6 +1143,7 @@ pub(crate) fn run_phase<D: Driver>(
             w,
             wakes_ref,
             bounds_ref,
+            mode_ref.load(Ordering::Relaxed),
         );
         StepReport {
             violation,
@@ -827,6 +1153,10 @@ pub(crate) fn run_phase<D: Driver>(
     };
 
     let mut prev_in_flight = 0u64;
+    // Coordinator-side mirror of the mode the round just executed under
+    // (the atomic already holds the *next* round's mode once stored).
+    let mut mode_used = MODE_NORMAL;
+    let num_arcs_u64 = num_arcs as u64;
     let stats_ref = &mut stats;
     let control = move |round: u64,
                         results: Vec<std::thread::Result<StepReport>>|
@@ -855,10 +1185,23 @@ pub(crate) fn run_phase<D: Driver>(
             }
         }
         prev_in_flight = in_flight;
+        // Decide the next round's mode (module docs, dense rounds): a
+        // message on every arc makes the full span active by
+        // construction; leaving dense mode with traffic still in flight
+        // takes one resync round to rebuild the skipped wire effects.
+        let next_mode = if dense_eligible && in_flight == num_arcs_u64 {
+            MODE_DENSE
+        } else if mode_used == MODE_DENSE && in_flight > 0 {
+            MODE_RESYNC
+        } else {
+            MODE_NORMAL
+        };
+        mode_ref.store(next_mode, Ordering::Relaxed);
+        mode_used = next_mode;
         if in_flight == 0 && next_active == 0 {
             // Quiescence: no node awake, nothing on the wire.
             Control::Stop(Ok(()))
-        } else if next_active + in_flight <= INLINE_WORK_MAX {
+        } else if next_mode == MODE_NORMAL && next_active + in_flight <= INLINE_WORK_MAX {
             // A near-quiescent round: run it on the coordinator instead
             // of paying the barrier for idle workers.
             Control::ContinueInline
@@ -868,6 +1211,30 @@ pub(crate) fn run_phase<D: Driver>(
     };
 
     let (workers, outcome) = pool.run_rounds(workers, cfg.max_rounds, step, control);
+    // Flat slots carry no discriminant, so payloads still parked in the
+    // mailboxes when the run stops (quiescence leaves last-delivered
+    // slots, a violation or round limit leaves in-flight ones) must be
+    // dropped here for non-trivial message types. At any stop point the
+    // occupied slots are exactly the union of every shard's `dirty_in`
+    // (slots read in the final round `R`, in buffer `R % 2`) and
+    // `dirty_out` (slots written in round `R`, in buffer `(R+1) % 2`).
+    // A panicking phase unwinds past this and leaks payloads, which is
+    // sound. POD messages skip the walk entirely.
+    if std::mem::needs_drop::<D::Msg>() && stats.rounds > 0 {
+        let last = stats.rounds - 1;
+        let buf_in = &bufs[(last % 2) as usize];
+        let buf_out = &bufs[((last + 1) % 2) as usize];
+        for w in &workers {
+            // SAFETY: the pool has stopped; this thread has exclusive
+            // access, and every dirty slot is occupied (wipe protocol).
+            for &a in &w.sh.core.dirty_in {
+                unsafe { (*buf_in[a as usize].0.get()).assume_init_drop() };
+            }
+            for &a in &w.sh.core.dirty_out {
+                unsafe { (*buf_out[a as usize].0.get()).assume_init_drop() };
+            }
+        }
+    }
     let fold_stats = matches!(outcome, Some(Ok(())));
     for w in workers {
         if fold_stats {
@@ -876,7 +1243,7 @@ pub(crate) fn run_phase<D: Driver>(
             for (j, &x) in w.sh.core.per_arc.iter().enumerate() {
                 if x > 0 {
                     let e = graph.arc_edge(ArcId((w.sh.core.arc_lo + j) as u32));
-                    stats.per_edge_messages[e.index()] += x;
+                    stats.per_edge_messages[e.index()] += u64::from(x);
                 }
             }
         }

@@ -1,0 +1,126 @@
+//! Differential tests for the deprecated free-function wrappers.
+//!
+//! The wrappers (`distributed_bfs`, `tree_aggregate`, `prefix_number`,
+//! `run_multi_bfs`, `run_multi_aggregate`) predate the `Protocol` +
+//! `Session` API and are kept for source compatibility. Nothing stops
+//! them from silently drifting from the first-class path — they are
+//! separate code — so this suite pins them: every wrapper must produce
+//! **byte-identical outputs and `RunStats`** to running the equivalent
+//! protocol through a fresh `Session`. A drift in either direction
+//! fails tier-1.
+
+#![allow(deprecated)]
+
+use lcs_congest::{
+    distributed_bfs, positions_from_tree, prefix_number, run_multi_aggregate, run_multi_bfs,
+    tree_aggregate, AggOp, Bfs, Membership, MultiAggregate, MultiBfs, MultiBfsInstance,
+    MultiBfsSpec, Participation, PrefixNumber, Session, SimConfig, TreeAggregate,
+};
+use lcs_graph::{generators, Graph, NodeId};
+use std::sync::Arc;
+
+fn cfg() -> SimConfig {
+    SimConfig::default()
+}
+
+/// The shared workload graph: a grid is dense enough to queue and
+/// sparse enough to leave some nodes idle per round.
+fn g() -> Graph {
+    generators::grid(6, 7)
+}
+
+#[test]
+fn distributed_bfs_matches_session_path() {
+    let g = g();
+    let a = distributed_bfs(&g, 3, &cfg()).expect("wrapper bfs");
+    let b = Session::new(&g, cfg())
+        .run(Bfs::new(3))
+        .expect("session bfs");
+    assert_eq!(a.dist, b.dist);
+    assert_eq!(a.parent, b.parent);
+    assert_eq!(a.children, b.children);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.stats.fingerprint(), b.stats.fingerprint());
+}
+
+#[test]
+fn tree_aggregate_matches_session_path() {
+    let g = g();
+    let tree = Session::new(&g, cfg()).run(Bfs::new(0)).expect("tree");
+    let pos = positions_from_tree(0, &tree.parent, &tree.children);
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| v * 7 + 1).collect();
+    let (res_a, stats_a) = tree_aggregate(&g, pos.clone(), &values, AggOp::Sum, true, &cfg())
+        .expect("wrapper aggregate");
+    let (res_b, stats_b) = Session::new(&g, cfg())
+        .run(TreeAggregate::new(pos, &values, AggOp::Sum, true))
+        .expect("session aggregate");
+    assert_eq!(res_a, res_b);
+    assert_eq!(stats_a, stats_b);
+}
+
+#[test]
+fn prefix_number_matches_session_path() {
+    let g = g();
+    let tree = Session::new(&g, cfg()).run(Bfs::new(0)).expect("tree");
+    let pos = positions_from_tree(0, &tree.parent, &tree.children);
+    let marked: Vec<bool> = (0..g.n()).map(|v| v % 3 == 0).collect();
+    let (ranks_a, total_a, stats_a) =
+        prefix_number(&g, pos.clone(), &marked, &cfg()).expect("wrapper prefix");
+    let (ranks_b, total_b, stats_b) = Session::new(&g, cfg())
+        .run(PrefixNumber::new(pos, &marked))
+        .expect("session prefix");
+    assert_eq!(ranks_a, ranks_b);
+    assert_eq!(total_a, total_b);
+    assert_eq!(stats_a, stats_b);
+}
+
+#[test]
+fn run_multi_bfs_matches_session_path() {
+    let g = g();
+    let spec = Arc::new(MultiBfsSpec {
+        instances: (0..5u32)
+            .map(|i| MultiBfsInstance {
+                root: (i * 7) % g.n() as NodeId,
+                start_round: u64::from(i % 3),
+                depth_limit: u32::MAX,
+            })
+            .collect(),
+        membership: Membership::All,
+        queue_cap: 0,
+    });
+    let a = run_multi_bfs(&g, Arc::clone(&spec), &cfg()).expect("wrapper bundle");
+    let b = Session::new(&g, cfg())
+        .run(MultiBfs::new(spec))
+        .expect("session bundle");
+    assert_eq!(a.reached, b.reached);
+    assert_eq!(a.children, b.children);
+    assert_eq!(a.max_queue, b.max_queue);
+    assert_eq!(a.overflowed, b.overflowed);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn run_multi_aggregate_matches_session_path() {
+    let g = g();
+    let tree = Session::new(&g, cfg()).run(Bfs::new(0)).expect("tree");
+    let parts: Vec<Vec<Participation>> = (0..g.n())
+        .map(|v| {
+            (0..3u32)
+                .map(|inst| Participation {
+                    inst,
+                    parent: tree.parent[v],
+                    children: tree.children[v].clone(),
+                    value: v as u64 + u64::from(inst) * 11,
+                })
+                .collect()
+        })
+        .collect();
+    let a = run_multi_aggregate(&g, parts.clone(), AggOp::Max, true, &cfg())
+        .expect("wrapper aggregate");
+    let b = Session::new(&g, cfg())
+        .run(MultiAggregate::new(parts, AggOp::Max, true))
+        .expect("session aggregate");
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.max_queue, b.max_queue);
+    assert_eq!(a.stats, b.stats);
+}

@@ -321,7 +321,7 @@ fn tiny_queue_cap_degrades_gracefully_not_fatally() {
         .collect();
     let spec = Arc::new(MultiBfsSpec {
         instances,
-        membership: Arc::new(|_, _, _| true),
+        membership: lcs_congest::Membership::All,
         queue_cap: 1,
     });
     let out = Session::new(&g, SimConfig::default())

@@ -67,7 +67,7 @@ proptest! {
                     depth_limit: u32::MAX,
                 })
                 .collect(),
-            membership: Arc::new(|_, _, _| true),
+            membership: lcs_congest::Membership::All,
             queue_cap: 0,
         });
         let out = run_bundle(&g, spec, &SimConfig::default());
@@ -206,7 +206,7 @@ proptest! {
                     depth_limit: u32::MAX,
                 })
                 .collect(),
-            membership: Arc::new(|_, _, _| true),
+            membership: lcs_congest::Membership::All,
             queue_cap: 0,
         });
         let base = run_bundle(&g, spec(()), &cfg_for(1));

@@ -126,7 +126,7 @@ fn multi_bfs_spec(g: &Graph, seed: u64) -> Arc<MultiBfsSpec> {
                 depth_limit: u32::MAX,
             })
             .collect(),
-        membership: Arc::new(|_, _, _| true),
+        membership: lcs_congest::Membership::All,
         queue_cap: 3,
     })
 }

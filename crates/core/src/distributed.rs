@@ -244,7 +244,7 @@ pub fn distributed_shortcuts(
 
         // B1: truncated per-part BFS (parts disjoint: zero congestion).
         let part_arc = Arc::clone(&partition);
-        let membership_parts: lcs_congest::MembershipFn = Arc::new(move |u, v, inst| {
+        let membership_parts = lcs_congest::Membership::func(move |u, v, inst| {
             part_arc.part_of(u) == Some(inst) && part_arc.part_of(v) == Some(inst)
         });
         let b1_spec = Arc::new(MultiBfsSpec {
@@ -327,7 +327,7 @@ pub fn distributed_shortcuts(
         let rank_part_arc = Arc::new(rank_part.clone());
         let rank_leader_arc = Arc::new(rank_leader.clone());
         let reps = params.reps;
-        let membership_aug: lcs_congest::MembershipFn = Arc::new(move |u, v, inst| {
+        let membership_aug = lcs_congest::Membership::func(move |u, v, inst| {
             let pi = rank_part_arc[inst as usize] as u32;
             if part_arc.part_of(u) == Some(pi) || part_arc.part_of(v) == Some(pi) {
                 return true; // Step 1 edges

@@ -345,15 +345,13 @@ impl Graph {
         };
         let lo = self.offsets[a as usize] as usize;
         let hi = self.offsets[a as usize + 1] as usize;
-        let slice = &self.neighbors[lo..hi];
-        if slice.len() <= 8 {
-            slice
-                .iter()
-                .position(|&w| w == b)
-                .map(|i| self.arc_edges[lo + i])
-        } else {
-            slice.binary_search(&b).ok().map(|i| self.arc_edges[lo + i])
-        }
+        // Unconditional binary search on the sorted neighbor list:
+        // O(log deg) even when both endpoints are hubs, where a linear
+        // scan turns all-pairs hub queries quadratic.
+        self.neighbors[lo..hi]
+            .binary_search(&b)
+            .ok()
+            .map(|i| self.arc_edges[lo + i])
     }
 
     /// Whether `{u, v}` is an edge.
@@ -634,6 +632,35 @@ mod tests {
             }
         }
         assert_eq!(covered, g.num_arcs());
+    }
+
+    #[test]
+    fn edge_between_two_hubs_regression() {
+        // Two hubs of degree ~500 joined by one edge. Before the
+        // unconditional binary search, querying between two hubs
+        // scanned the smaller (still huge) adjacency list — all-pairs
+        // hub queries were quadratic. The test pins the O(log deg)
+        // behaviour by exercising exactly that shape: hub–hub,
+        // hub–leaf, and absent leaf–leaf pairs.
+        let h0: NodeId = 0;
+        let h1: NodeId = 1;
+        let mut edges = vec![(h0, h1)];
+        // Leaves 2..502 on hub 0, 502..1002 on hub 1.
+        edges.extend((2..502).map(|v| (h0, v)));
+        edges.extend((502..1002).map(|v| (h1, v)));
+        let g = Graph::from_edges(1002, &edges).unwrap();
+        assert_eq!(g.degree(h0), 501);
+        assert_eq!(g.degree(h1), 501);
+        let hub_edge = g.edge_between(h0, h1).expect("hub-hub edge");
+        assert_eq!(g.edge_between(h1, h0), Some(hub_edge));
+        assert_eq!(g.edge_endpoints(hub_edge), (h0, h1));
+        for v in [2u32, 250, 501] {
+            let e = g.edge_between(h0, v).expect("hub0 leaf edge");
+            assert_eq!(g.edge_between(v, h0), Some(e));
+            assert_eq!(g.edge_between(h1, v), None, "leaf {v} not on hub 1");
+        }
+        assert_eq!(g.edge_between(2, 3), None);
+        assert_eq!(g.edge_between(2, 502), None);
     }
 
     #[test]
