@@ -23,9 +23,13 @@
 //! Fragment-merge bookkeeping (leader relabeling) is charged as one
 //! extra aggregation sweep per phase (see DESIGN.md substitutions).
 
-use lcs_congest::{AggOp, ExecutionMode, Session, SimConfig, SimError};
+use lcs_congest::{
+    positions_from_tree, AggOp, Bfs, ExecutionMode, FaultPlan, Reliable, Session, SimConfig,
+    SimError, TreeAggregate,
+};
 use lcs_core::{
-    centralized_shortcuts, prune_to_trees, KpParams, LargenessRule, OracleMode, ParamError,
+    centralized_shortcuts, prune_to_trees, DegradedOutcome, KpParams, LargenessRule, OracleMode,
+    ParamError,
 };
 use lcs_graph::{exact_diameter, kruskal, EdgeId, NodeId, UnionFind, WeightedGraph};
 use lcs_shortcut::{
@@ -74,6 +78,13 @@ pub struct MstConfig {
     /// `0` (the default) auto-sizes to the machine. Any value is
     /// bit-identical.
     pub shards: usize,
+    /// Fault plan for the network ([`SimConfig::faults`]). With a plan
+    /// attached, a detection phase (reliable BFS + census convergecast
+    /// on the faulty network) excises permanently crashed nodes and
+    /// anything they disconnect; Boruvka then computes the MST of the
+    /// **surviving component** and reports a
+    /// [`DegradedOutcome`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for MstConfig {
@@ -85,6 +96,7 @@ impl Default for MstConfig {
             diameter: None,
             prob_constant: 1.0,
             shards: 0,
+            faults: None,
         }
     }
 }
@@ -162,6 +174,10 @@ pub struct MstOutcome {
     pub phase_costs: Vec<PhaseCost>,
     /// Execution mode used.
     pub execution: ExecutionMode,
+    /// Present iff the run was configured with a
+    /// [`FaultPlan`](MstConfig::faults): what graceful degradation
+    /// excised and cost.
+    pub degraded: Option<DegradedOutcome>,
 }
 
 const EID_BITS: u32 = 26;
@@ -183,10 +199,24 @@ fn decode(word: u64) -> EdgeId {
 /// Computes the MST (or minimum spanning forest) of `wg` through the
 /// shortcut framework, with full round accounting.
 ///
+/// With a [`FaultPlan`](MstConfig::faults) attached, crash-stopped
+/// nodes are detected and excised first and the MST is computed on the
+/// surviving component (see [`MstConfig::faults`]).
+///
 /// # Errors
 ///
 /// See [`MstError`].
 pub fn mst_via_shortcuts(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutcome, MstError> {
+    if wg.graph().n() > 0 {
+        if let Some(plan) = &cfg.faults {
+            return degraded_mst(wg, cfg, &plan.clone());
+        }
+    }
+    mst_pipeline(wg, cfg)
+}
+
+/// The fault-free Boruvka pipeline.
+fn mst_pipeline(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutcome, MstError> {
     let g = wg.graph();
     let n = g.n();
     if n == 0 {
@@ -198,6 +228,7 @@ pub fn mst_via_shortcuts(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutco
             messages: 0,
             phase_costs: vec![],
             execution: cfg.execution,
+            degraded: None,
         });
     }
     let diameter = match cfg.diameter {
@@ -341,6 +372,143 @@ pub fn mst_via_shortcuts(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstOutco
         messages,
         phase_costs,
         execution: cfg.execution,
+        degraded: None,
+    })
+}
+
+/// Fault-tolerant wrapper: detect crash-stops on the faulty network
+/// (reliable BFS from node 0 + census convergecast over its tree),
+/// excise the dead and anything they disconnect, and run Boruvka on the
+/// surviving component. Detection rounds are charged as
+/// [`DegradedOutcome::extra_rounds`]; the remaining phases run over the
+/// reliable transport, whose outputs are byte-identical to fault-free
+/// runs, so they are simulated fault-free.
+fn degraded_mst(
+    wg: &WeightedGraph,
+    cfg: &MstConfig,
+    plan: &FaultPlan,
+) -> Result<MstOutcome, MstError> {
+    let g = wg.graph();
+    let n = g.n();
+    let crashed: Vec<NodeId> = plan
+        .crashes
+        .iter()
+        .filter(|c| c.recover_at.is_none())
+        .map(|c| c.node)
+        .collect();
+    if crashed.contains(&0) {
+        return Err(MstError::Sim(SimError::FaultConfig {
+            reason: "node 0 roots the detection convergecast; it may not crash permanently \
+                     — crash a different node or give node 0 a recovery round"
+                .to_string(),
+        }));
+    }
+
+    // ---- Detection, on the faulty network over reliable links. -------
+    let det_cfg = SimConfig {
+        seed: cfg.seed,
+        shards: cfg.shards,
+        max_rounds: 500_000, // retransmission slack
+        faults: Some(plan.clone()),
+        ..SimConfig::default()
+    };
+    let mut det = Session::new(g, det_cfg);
+    let bfs = det.run_labeled(
+        "F.detect_bfs",
+        Reliable::with_crashed(Bfs::new(0), &crashed),
+    )?;
+    {
+        let positions = positions_from_tree(0, &bfs.parent, &bfs.children);
+        let ones = vec![1u64; n];
+        let (census, _) = det.run_labeled(
+            "F.detect_census",
+            Reliable::with_crashed(
+                TreeAggregate::new(positions, &ones, AggOp::Sum, true),
+                &crashed,
+            ),
+        )?;
+        debug_assert_eq!(
+            census[0].unwrap_or(0),
+            bfs.dist.iter().flatten().count() as u64,
+            "census must count exactly the BFS-reached survivors"
+        );
+    }
+    let extra_rounds = det.rounds_used();
+    let excluded: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| bfs.dist[v as usize].is_none())
+        .collect();
+
+    if excluded.is_empty() {
+        // Nothing crash-stopped: the reliable layer absorbed the drops
+        // and delays; Boruvka runs on the whole graph.
+        let sub_cfg = MstConfig {
+            faults: None,
+            ..cfg.clone()
+        };
+        let mut out = mst_pipeline(wg, &sub_cfg)?;
+        out.total_rounds += extra_rounds;
+        out.messages += det.stats().messages;
+        out.degraded = Some(DegradedOutcome {
+            completed: true,
+            excluded_nodes: Vec::new(),
+            extra_rounds,
+        });
+        return Ok(out);
+    }
+
+    // ---- Excision: the MST of the surviving component. ---------------
+    let mut new_id: Vec<u32> = vec![u32::MAX; n];
+    let survivors: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| bfs.dist[v as usize].is_some())
+        .collect();
+    for (i, &v) in survivors.iter().enumerate() {
+        new_id[v as usize] = i as u32;
+    }
+    let sub_edges: Vec<(NodeId, NodeId, u64)> = g
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(a, b))| new_id[a as usize] != u32::MAX && new_id[b as usize] != u32::MAX)
+        .map(|(e, &(a, b))| {
+            (
+                new_id[a as usize],
+                new_id[b as usize],
+                wg.weight(EdgeId(e as u32)),
+            )
+        })
+        .collect();
+    let sub_wg = WeightedGraph::from_weighted_edges(survivors.len(), &sub_edges)
+        .expect("relabeled survivor edges are simple");
+    let sub_cfg = MstConfig {
+        faults: None,
+        ..cfg.clone()
+    };
+    let sub = mst_pipeline(&sub_wg, &sub_cfg)?;
+
+    // Map the tree back to original edge ids.
+    let mut edges: Vec<EdgeId> = sub
+        .edges
+        .iter()
+        .map(|&e| {
+            let (a, b) = sub_wg.graph().edge_endpoints(e);
+            g.edge_between(survivors[a as usize], survivors[b as usize])
+                .expect("surviving edge exists in the original graph")
+        })
+        .collect();
+    edges.sort_unstable();
+    Ok(MstOutcome {
+        edges,
+        weight: sub.weight,
+        phases: sub.phases,
+        total_rounds: sub.total_rounds + extra_rounds,
+        messages: sub.messages + det.stats().messages,
+        phase_costs: sub.phase_costs,
+        execution: cfg.execution,
+        degraded: Some(DegradedOutcome {
+            completed: true,
+            excluded_nodes: excluded,
+            extra_rounds,
+        }),
     })
 }
 
@@ -480,6 +648,163 @@ mod tests {
         let single = WeightedGraph::from_weighted_edges(1, &[]).unwrap();
         let out = mst_via_shortcuts(&single, &MstConfig::default()).unwrap();
         assert!(out.edges.is_empty());
+    }
+
+    #[test]
+    fn degraded_mst_excises_crashed_part_and_matches_kruskal_on_survivors() {
+        use lcs_congest::Crash;
+        // Highway graph: 3 paths hanging off a small core. Crash every
+        // node of one non-root path at round 0 — the whole part dies.
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 3,
+            path_len: 16,
+            diameter: 4,
+        })
+        .unwrap();
+        let parts = hw.path_parts();
+        let mut dead_part: Vec<NodeId> = parts[1].clone();
+        dead_part.sort_unstable();
+        assert!(!dead_part.contains(&0), "crash a non-root part");
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let wg = WeightedGraph::with_random_weights(hw.graph().clone(), 1000, &mut rng);
+        let cfg = MstConfig {
+            diameter: Some(4),
+            faults: Some(FaultPlan {
+                drop_rate: 0.05,
+                delay_rate: 0.05,
+                max_delay: 2,
+                crashes: dead_part
+                    .iter()
+                    .map(|&v| Crash {
+                        node: v,
+                        at_round: 0,
+                        recover_at: None,
+                    })
+                    .collect(),
+                fault_seed: 0xDEAD,
+            }),
+            ..MstConfig::default()
+        };
+        let out = mst_via_shortcuts(&wg, &cfg).unwrap();
+        let deg = out
+            .degraded
+            .as_ref()
+            .expect("faulty run reports degradation");
+        assert!(deg.completed);
+        assert_eq!(
+            deg.excluded_nodes, dead_part,
+            "excised exactly the dead part"
+        );
+        assert!(deg.extra_rounds > 0, "detection rounds are charged");
+        // Reference: Kruskal on the surviving subgraph.
+        let survivors: Vec<NodeId> = (0..wg.graph().n() as NodeId)
+            .filter(|v| !dead_part.contains(v))
+            .collect();
+        let mut new_id = vec![u32::MAX; wg.graph().n()];
+        for (i, &v) in survivors.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let sub_edges: Vec<(NodeId, NodeId, u64)> = wg
+            .graph()
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(a, b))| {
+                new_id[a as usize] != u32::MAX && new_id[b as usize] != u32::MAX
+            })
+            .map(|(e, &(a, b))| {
+                (
+                    new_id[a as usize],
+                    new_id[b as usize],
+                    wg.weight(EdgeId(e as u32)),
+                )
+            })
+            .collect();
+        let sub_wg = WeightedGraph::from_weighted_edges(survivors.len(), &sub_edges).unwrap();
+        let k = kruskal(&sub_wg);
+        assert_eq!(
+            out.weight, k.weight,
+            "MST weight on the surviving component"
+        );
+        assert_eq!(out.edges.len(), k.edges.len());
+        // Same edges, modulo relabeling.
+        let mapped: Vec<EdgeId> = {
+            let mut v: Vec<EdgeId> = k
+                .edges
+                .iter()
+                .map(|&e| {
+                    let (a, b) = sub_wg.graph().edge_endpoints(e);
+                    wg.graph()
+                        .edge_between(survivors[a as usize], survivors[b as usize])
+                        .unwrap()
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(out.edges, mapped);
+        // No MST edge touches a dead node.
+        for &e in &out.edges {
+            let (a, b) = wg.graph().edge_endpoints(e);
+            assert!(!dead_part.contains(&a) && !dead_part.contains(&b));
+        }
+    }
+
+    #[test]
+    fn degraded_mst_without_crashes_matches_fault_free() {
+        let wg = highway_weighted(4, 3, 16, 4);
+        let clean = mst_via_shortcuts(
+            &wg,
+            &MstConfig {
+                diameter: Some(4),
+                ..MstConfig::default()
+            },
+        )
+        .unwrap();
+        let cfg = MstConfig {
+            diameter: Some(4),
+            faults: Some(FaultPlan {
+                drop_rate: 0.10,
+                delay_rate: 0.10,
+                max_delay: 2,
+                crashes: vec![],
+                fault_seed: 5,
+            }),
+            ..MstConfig::default()
+        };
+        let out = mst_via_shortcuts(&wg, &cfg).unwrap();
+        assert_eq!(out.edges, clean.edges, "drops/delays never change the MST");
+        assert_eq!(out.weight, clean.weight);
+        let deg = out.degraded.unwrap();
+        assert!(deg.completed && deg.excluded_nodes.is_empty());
+        assert!(
+            out.total_rounds > clean.total_rounds,
+            "detection is charged"
+        );
+    }
+
+    #[test]
+    fn crashing_the_root_is_rejected() {
+        use lcs_congest::Crash;
+        let wg = highway_weighted(4, 3, 16, 4);
+        let cfg = MstConfig {
+            diameter: Some(4),
+            faults: Some(FaultPlan {
+                crashes: vec![Crash {
+                    node: 0,
+                    at_round: 0,
+                    recover_at: None,
+                }],
+                ..FaultPlan::default()
+            }),
+            ..MstConfig::default()
+        };
+        match mst_via_shortcuts(&wg, &cfg) {
+            Err(MstError::Sim(SimError::FaultConfig { reason })) => {
+                assert!(reason.contains("node 0"));
+            }
+            other => panic!("expected FaultConfig rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -300,6 +300,83 @@ fn bench_sparse_bfs(n: usize, shards: usize) -> Measurement {
     )
 }
 
+/// Chaos workload: a drop×delay×crash sweep through ONE session — raw
+/// BFS under a drop plan, a delay plan, and a mixed plan with mid-run
+/// crashes (one recovering), plus a [`Reliable`](lcs_congest::Reliable)-wrapped BFS under
+/// drops whose output must still be the exact fault-free tree. The
+/// cumulative session fingerprint folds the fault counters
+/// (dropped/delayed/crashed), so the CI `--shards 1,4` determinism gate
+/// asserts the entire fault layer — fate hashing, reorder buffers,
+/// crash windows, retransmission — is bit-identical across shard
+/// counts.
+fn bench_chaos(g: &Graph, side: usize, shards: usize) -> Measurement {
+    use lcs_congest::{Crash, FaultPlan, Reliable};
+    let n = g.n();
+    let t = Instant::now();
+    let mut session = Session::new(g, cfg_with(shards, 10_000_000));
+    let drop_plan = FaultPlan::drops(0.10, 0xC0FFEE);
+    let delay_plan = FaultPlan {
+        drop_rate: 0.0,
+        delay_rate: 0.20,
+        max_delay: 2,
+        crashes: vec![],
+        fault_seed: 0xC0FFEE,
+    };
+    let mix_plan = FaultPlan {
+        drop_rate: 0.05,
+        delay_rate: 0.10,
+        max_delay: 3,
+        crashes: vec![
+            Crash {
+                node: (n / 3) as u32,
+                at_round: 5,
+                recover_at: None,
+            },
+            Crash {
+                node: (n / 2) as u32,
+                at_round: 10,
+                recover_at: Some(64),
+            },
+            Crash {
+                node: (2 * n / 3) as u32,
+                at_round: 15,
+                recover_at: None,
+            },
+        ],
+        fault_seed: 0xBAD_F00D,
+    };
+    for (label, plan) in [
+        ("chaos.drop", drop_plan.clone()),
+        ("chaos.delay", delay_plan),
+        ("chaos.mix", mix_plan),
+    ] {
+        session
+            .run_configured(label, Bfs::new(0), |c| c.faults = Some(plan))
+            .expect("chaos bfs");
+    }
+    // The grid diameter is known, so cap the synchronizer's quiet wave
+    // at Θ(D) instead of the default Θ(n) termination tail.
+    let reliable = Reliable::new(Bfs::new(0)).with_quiet_bound(2 * (side as u32 - 1));
+    let out = session
+        .run_configured("chaos.reliable", reliable, |c| c.faults = Some(drop_plan))
+        .expect("chaos reliable bfs");
+    // Reliability under drops is exact: the tree has true grid depth.
+    assert_eq!(out.depth() as usize, 2 * (side - 1), "reliable BFS depth");
+    let mut m = Measurement::from_stats(
+        "chaos",
+        g,
+        shards,
+        session.stats(),
+        t.elapsed().as_secs_f64(),
+    );
+    m.phases = session
+        .phases()
+        .iter()
+        .map(|p| (p.label.clone(), p.rounds, p.messages, p.fingerprint()))
+        .collect();
+    m
+}
+
 fn bench_saturate(g: &Graph, rounds: u64, shards: usize) -> Measurement {
     let t = Instant::now();
     let out = run(
@@ -401,6 +478,7 @@ fn main() {
             median_of(reps, || bench_multi_bfs(&g, instances, k)),
             median_of(reps, || bench_multi_aggregate(&g, instances / 2, k)),
             median_of(reps, || bench_session_pipeline(&g, k)),
+            median_of(reps, || bench_chaos(&g, side, k)),
             median_of(reps, || bench_large_bfs(&big, big_side, k)),
             median_of(reps, || bench_flood("large_flood", &big, k)),
         ] {

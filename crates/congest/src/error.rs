@@ -40,6 +40,16 @@ pub enum SimError {
         /// The configured limit.
         limit: u64,
     },
+    /// The [`FaultPlan`](crate::FaultPlan) attached to the
+    /// configuration is inconsistent (rate outside `[0, 1]`, delay
+    /// bound at or past the round limit, crash scheduled beyond the
+    /// round budget, …). Detected **eagerly**, at
+    /// [`Session`](crate::Session) dispatch / [`run`](crate::run)
+    /// entry, before any round executes.
+    FaultConfig {
+        /// What is wrong and how to fix it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -62,6 +72,9 @@ impl fmt::Display for SimError {
             }
             SimError::RoundLimitExceeded { limit } => {
                 write!(f, "run did not terminate within {limit} rounds")
+            }
+            SimError::FaultConfig { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
         }
     }

@@ -59,6 +59,7 @@ pub mod multi_bfs;
 pub mod node;
 pub mod pool;
 pub mod protocol;
+pub mod reliable;
 pub mod session;
 pub mod sim;
 pub mod stats;
@@ -84,8 +85,9 @@ pub use multi_bfs::{
 pub use node::{NodeAlgorithm, RoundCtx, Wake};
 pub use pool::{Control, Pool};
 pub use protocol::{Join, JoinMsg, Protocol};
+pub use reliable::{Reliable, ReliableMsg};
 pub use session::Session;
-pub use sim::{run, RunOutcome, SimConfig};
+pub use sim::{run, Crash, FaultPlan, RunOutcome, SimConfig};
 pub use stats::RunStats;
 pub use tree::{
     positions_from_tree, AggOp, ConvergecastNode, PrefixNumber, PrefixNumberNode, TreeAggregate,

@@ -1,0 +1,778 @@
+//! The [`Reliable`] combinator: runs any [`Protocol`] **unchanged** over
+//! a lossy, reordering network and produces the exact fault-free output.
+//!
+//! # Mechanism
+//!
+//! `Reliable<P>` is an α-synchronizer with ARQ links. The inner protocol
+//! advances in **virtual rounds**: each link carries one framed message
+//! per virtual round (payload present or explicitly absent), tagged with
+//! a per-link sequence number, and a node executes inner round `t` only
+//! once it holds every live neighbor's frame for round `t − 1`. Frames
+//! are delivered reliably by per-link cumulative acks (piggybacked on
+//! data frames), an out-of-order stash, and timeout-driven
+//! retransmission with deterministic exponential backoff
+//! ([`RTO_BASE`] outer rounds, doubling to [`RTO_MAX`]). Retransmissions
+//! travel through the ordinary send path, so they respect the CONGEST
+//! bandwidth discipline and show up in [`RunStats`] — the measured
+//! overhead of reliability.
+//!
+//! Because every node executes the same inner rounds with the same
+//! inboxes in the same order as a fault-free synchronous run, the inner
+//! protocol's output is **byte-identical** to its fault-free output — a
+//! property the tier-1 tests in this module assert against the engine's
+//! [`FaultPlan`](crate::FaultPlan) for BFS and tree aggregation.
+//!
+//! # Termination
+//!
+//! A synchronizer must decide when to stop exchanging frames. Each frame
+//! carries a *quiet level*: `q = 0` on any virtual round where the node
+//! acted (sent an inner payload, or asked to stay awake), else
+//! `1 + min(own previous q, min over neighbors' previous q)`. When
+//! `q > n` the node **stops**: by induction, every node at distance `d`
+//! was inactive at virtual round `t − d`, and since (re)activation
+//! requires an inner payload from an active neighbor one round earlier,
+//! no inner activity can ever reach a node whose quiet cone covers the
+//! whole graph. A stopped node still acks and retransmits until its
+//! links drain, and *manufactures* empty frames on demand when a
+//! not-yet-stopped neighbor's sequence numbers show it needs one more —
+//! so nobody deadlocks waiting for a frame a stopped peer never
+//! produced.
+//!
+//! # Crash-stops
+//!
+//! Reliable delivery cannot outlast a dead receiver: a crashed node
+//! never acks, so its neighbors would retransmit forever. When the
+//! attached [`FaultPlan`](crate::FaultPlan) crash-stops nodes
+//! permanently, construct the combinator with [`Reliable::with_crashed`]
+//! (a perfect failure detector, the standard assumption): dead links are
+//! excised from the frame exchange and the inner protocol runs on the
+//! surviving subgraph.
+
+use crate::message::Message;
+use crate::node::{RoundCtx, TxState, Wake};
+use crate::protocol::Protocol;
+use crate::stats::RunStats;
+use lcs_graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Initial retransmission timeout, in outer engine rounds.
+pub const RTO_BASE: u64 = 4;
+/// Retransmission timeout cap (deterministic exponential backoff).
+pub const RTO_MAX: u64 = 64;
+
+/// Wire message of a [`Reliable`] run: a sequenced data frame with a
+/// piggybacked cumulative ack, or a standalone ack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReliableMsg<M> {
+    /// One virtual round's frame on one link.
+    Data {
+        /// Virtual round this frame belongs to (per-link sequence
+        /// number; frames are produced and consumed in order).
+        seq: u64,
+        /// Cumulative ack: the sender has received every frame of this
+        /// link below `ack`.
+        ack: u64,
+        /// The sender's quiet level at virtual round `seq` (see the
+        /// [module docs](self) on termination).
+        quiet: u32,
+        /// The inner message sent on this link at virtual round `seq`,
+        /// if any — `None` frames are what lets the receiver distinguish
+        /// "no message this round" from "message still in flight".
+        payload: Option<M>,
+    },
+    /// Standalone cumulative ack (sent when a frame arrives but no data
+    /// frame travels back the same round).
+    Ack {
+        /// Cumulative ack, as in [`ReliableMsg::Data`].
+        ack: u64,
+    },
+}
+
+impl<M: Message> Message for ReliableMsg<M> {
+    fn size_words(&self) -> u32 {
+        // The seq/ack/quiet header is absorbed into the word count
+        // (like `JoinMsg`'s side tag): a frame costs what its payload
+        // costs, with a one-word floor for empty frames and acks.
+        match self {
+            ReliableMsg::Data {
+                payload: Some(m), ..
+            } => m.size_words().max(1),
+            ReliableMsg::Data { payload: None, .. } | ReliableMsg::Ack { .. } => 1,
+        }
+    }
+}
+
+/// Per-link ARQ + synchronizer state (one per neighbor).
+struct Link<M> {
+    /// The neighbor crashed permanently (perfect failure detector):
+    /// nothing is sent on or expected from this link.
+    dead: bool,
+    /// Unacked frames, `(payload, quiet)`, covering seqs
+    /// `[acked, produced)`; the front is seq `acked`.
+    frames: VecDeque<(Option<M>, u32)>,
+    /// Frames below this seq are acked by the peer.
+    acked: u64,
+    /// Frames below this seq have been produced.
+    produced: u64,
+    /// Next seq to transmit for the first time
+    /// (`acked <= next_tx <= produced`).
+    next_tx: u64,
+    /// Earliest outer round at which the front unacked frame may be
+    /// retransmitted.
+    timer: u64,
+    /// Current retransmission timeout (deterministic backoff).
+    rto: u64,
+    /// Frames below this seq have been received from the peer
+    /// (contiguously).
+    recv: u64,
+    /// Received, not yet consumed frames in seq order (front is the
+    /// frame the next inner round will consume).
+    pending_in: VecDeque<(Option<M>, u32)>,
+    /// Out-of-order stash: frames received past the contiguous prefix
+    /// (delays reorder the wire), sorted by seq.
+    ooo: Vec<(u64, Option<M>, u32)>,
+    /// A frame arrived since the last ack we sent on this link.
+    ack_owed: bool,
+}
+
+impl<M> Link<M> {
+    fn new(dead: bool) -> Self {
+        Link {
+            dead,
+            frames: VecDeque::new(),
+            acked: 0,
+            produced: 0,
+            next_tx: 0,
+            timer: 0,
+            rto: RTO_BASE,
+            recv: 0,
+            pending_in: VecDeque::new(),
+            ooo: Vec::new(),
+            ack_owed: false,
+        }
+    }
+
+    /// Applies a cumulative ack from the peer: drops acked frames and
+    /// resets the retransmission backoff (progress restarts the clock).
+    fn advance_ack(&mut self, ack: u64, now: u64) {
+        if ack > self.acked {
+            for _ in 0..(ack - self.acked) {
+                self.frames.pop_front();
+            }
+            self.acked = ack;
+            self.next_tx = self.next_tx.max(ack);
+            self.rto = RTO_BASE;
+            self.timer = now + self.rto;
+        }
+    }
+
+    /// Accepts a data frame: advances the contiguous prefix (draining
+    /// the out-of-order stash), stashes frames past it, ignores
+    /// duplicates. Every arrival owes the peer an ack.
+    fn accept(&mut self, seq: u64, payload: Option<M>, quiet: u32) {
+        self.ack_owed = true;
+        match seq.cmp(&self.recv) {
+            std::cmp::Ordering::Less => {} // duplicate; re-ack only
+            std::cmp::Ordering::Equal => {
+                self.pending_in.push_back((payload, quiet));
+                self.recv += 1;
+                while let Some(pos) = self.ooo.iter().position(|&(s, ..)| s == self.recv) {
+                    let (_, p, q) = self.ooo.swap_remove(pos);
+                    self.pending_in.push_back((p, q));
+                    self.recv += 1;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                if !self.ooo.iter().any(|&(s, ..)| s == seq) {
+                    self.ooo.push((seq, payload, quiet));
+                }
+            }
+        }
+    }
+
+    /// Whether this link still has frames to send, frames awaiting ack,
+    /// or an ack to return — i.e. reasons to keep the node awake.
+    fn busy(&self) -> bool {
+        !self.dead && (self.acked < self.produced || self.ack_owed)
+    }
+}
+
+/// Per-node state of a [`Reliable`] run: the inner protocol's state plus
+/// the synchronizer/ARQ machinery and reusable capture scratch (the
+/// inner hook's sends land in flat per-neighbor slots, mirroring
+/// [`Join`](crate::Join)'s capture mechanism).
+pub struct ReliableState<P: Protocol> {
+    inner: P::State,
+    /// This node itself is crashed (it never participates; the engine's
+    /// fault layer silences it anyway).
+    dead: bool,
+    initialized: bool,
+    /// Next virtual (inner) round to execute.
+    vr: u64,
+    /// Quiet level after the last executed virtual round.
+    quiet: u32,
+    /// The node's quiet cone covers the graph: no further inner rounds
+    /// will be executed (see the module docs).
+    stopped: bool,
+    links: Vec<Link<P::Msg>>,
+    // Capture scratch for the inner hook.
+    inner_inbox: Vec<(NodeId, P::Msg)>,
+    slots: Vec<std::mem::MaybeUninit<P::Msg>>,
+    occ: Vec<bool>,
+    dirty: Vec<u32>,
+    per_arc: Vec<u32>,
+}
+
+/// Runs protocol `P` to its exact fault-free output over a lossy,
+/// reordering network (see the [module docs](self) for the mechanism and
+/// its guarantees). Implements [`Protocol`], so it composes like any
+/// other: run it through a [`Session`](crate::Session), even under
+/// [`Join`](crate::Join).
+pub struct Reliable<P: Protocol> {
+    inner: P,
+    label: String,
+    /// Permanently crashed nodes (perfect failure detector), by id.
+    crashed: Vec<bool>,
+    /// Optional diameter upper bound capping the quiet wave (see
+    /// [`Reliable::with_quiet_bound`]).
+    quiet_bound: Option<u32>,
+}
+
+impl<P: Protocol> Reliable<P> {
+    /// Wraps `inner` for reliable execution under message drops and
+    /// delays (no crash-stops).
+    pub fn new(inner: P) -> Self {
+        let label = format!("reliable({})", inner.label());
+        Reliable {
+            inner,
+            label,
+            crashed: Vec::new(),
+            quiet_bound: None,
+        }
+    }
+
+    /// Caps the termination quiet wave at `diameter_bound + 1` levels
+    /// instead of the default `n`: once a node's quiet cone covers the
+    /// (bounded) diameter, no inner activity can reach it. With the
+    /// default, termination costs `Θ(n)` empty virtual rounds after the
+    /// inner protocol goes quiet; a tight diameter bound reduces that
+    /// to `Θ(D)`.
+    ///
+    /// `diameter_bound` MUST be a true upper bound on the graph's
+    /// diameter — an underestimate can stop the synchronizer while
+    /// inner activity is still propagating, losing messages the inner
+    /// protocol was owed. (Values `≥ n` are clamped; the default is
+    /// always safe.)
+    #[must_use]
+    pub fn with_quiet_bound(mut self, diameter_bound: u32) -> Self {
+        self.quiet_bound = Some(diameter_bound);
+        self
+    }
+
+    /// Wraps `inner` with a perfect failure detector for permanently
+    /// crashed nodes: links to `crashed` nodes are excised from the
+    /// frame exchange and the inner protocol runs on the surviving
+    /// subgraph. Required whenever the attached
+    /// [`FaultPlan`](crate::FaultPlan) crash-stops nodes without
+    /// recovery — a dead receiver never acks, so its neighbors would
+    /// otherwise retransmit until the round limit.
+    pub fn with_crashed(inner: P, crashed: &[NodeId]) -> Self {
+        let mut this = Self::new(inner);
+        let max = crashed.iter().copied().max().map_or(0, |m| m as usize + 1);
+        this.crashed = vec![false; max];
+        for &c in crashed {
+            this.crashed[c as usize] = true;
+        }
+        this
+    }
+
+    fn is_crashed(&self, v: NodeId) -> bool {
+        self.crashed.get(v as usize).copied().unwrap_or(false)
+    }
+}
+
+impl<P: Protocol + Sync> Protocol for Reliable<P> {
+    type Msg = ReliableMsg<P::Msg>;
+    type State = ReliableState<P>;
+    type Output = P::Output;
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn init(&mut self, graph: &Graph) -> Vec<Self::State> {
+        self.inner
+            .init(graph)
+            .into_iter()
+            .enumerate()
+            .map(|(v, inner)| ReliableState {
+                inner,
+                dead: self.is_crashed(v as NodeId),
+                initialized: false,
+                vr: 0,
+                quiet: 0,
+                stopped: false,
+                links: Vec::new(),
+                inner_inbox: Vec::new(),
+                slots: Vec::new(),
+                occ: Vec::new(),
+                dirty: Vec::new(),
+                per_arc: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn round(&self, st: &mut Self::State, ctx: &mut RoundCtx<'_, Self::Msg>) {
+        if st.dead {
+            return; // crashed: the engine silences it; be inert anyway
+        }
+        let degree = ctx.degree();
+        if !st.initialized {
+            st.initialized = true;
+            st.links = ctx
+                .neighbors()
+                .iter()
+                .map(|&w| Link::new(self.is_crashed(w)))
+                .collect();
+            st.slots = (0..degree)
+                .map(|_| std::mem::MaybeUninit::uninit())
+                .collect();
+            st.occ = vec![false; degree];
+            st.per_arc = vec![0; degree];
+        }
+        let now = ctx.round();
+
+        // 1. Process arrivals: advance acks, accept frames, and — when
+        //    stopped — manufacture the empty frames a still-advancing
+        //    peer shows it needs (its seq `s` implies it will next need
+        //    our frame `s`; the gap is at most one, since it needed our
+        //    frame `s − 1` to get there).
+        for k in 0..ctx.inbox().len() {
+            let (from, msg) = ctx.inbox()[k].clone();
+            let Some(i) = ctx.neighbor_index(from) else {
+                continue; // unreachable: the engine enforces adjacency
+            };
+            match msg {
+                ReliableMsg::Data {
+                    seq,
+                    ack,
+                    quiet,
+                    payload,
+                } => {
+                    let link = &mut st.links[i];
+                    link.advance_ack(ack, now);
+                    link.accept(seq, payload, quiet);
+                    if st.stopped {
+                        let stop_q = st.quiet;
+                        let link = &mut st.links[i];
+                        while link.produced <= seq {
+                            link.frames.push_back((None, stop_q));
+                            link.produced += 1;
+                        }
+                    }
+                }
+                ReliableMsg::Ack { ack } => st.links[i].advance_ack(ack, now),
+            }
+        }
+
+        // 2. Execute at most one inner (virtual) round, once every live
+        //    link has delivered the previous round's frame.
+        let can_exec = !st.stopped && st.links.iter().all(|l| l.dead || l.recv >= st.vr);
+        if can_exec {
+            let t = st.vr;
+            // Inner inbox: the frame each live link queued for this
+            // round, in neighbor order — the same order the engine's
+            // gather produces, so inbox-order-sensitive protocols
+            // behave identically.
+            st.inner_inbox.clear();
+            let mut quiet_floor = u32::MAX;
+            for (i, link) in st.links.iter_mut().enumerate() {
+                if link.dead {
+                    continue;
+                }
+                if t > 0 {
+                    let (payload, q) = link.pending_in.pop_front().expect("synchronizer invariant");
+                    quiet_floor = quiet_floor.min(q);
+                    if let Some(m) = payload {
+                        st.inner_inbox.push((ctx.neighbors()[i], m));
+                    }
+                }
+            }
+            // Gated inner hook, as in `Join`: a side that is asleep
+            // with no mail promised its hook is a no-op (and draws no
+            // RNG), so skipping it is outcome-neutral.
+            let run =
+                t == 0 || !st.inner_inbox.is_empty() || self.inner.wake(&st.inner) == Wake::Stay;
+            let mut sent_any = false;
+            if run {
+                if run_inner_captured(
+                    &self.inner,
+                    &mut st.inner,
+                    &st.inner_inbox,
+                    &mut st.slots,
+                    &mut st.occ,
+                    &mut st.dirty,
+                    &mut st.per_arc,
+                    t,
+                    ctx,
+                ) {
+                    // Violation recorded; the run is aborting. Drain
+                    // any captured payloads so nothing leaks.
+                    for i in 0..degree {
+                        if st.occ[i] {
+                            st.occ[i] = false;
+                            // SAFETY: set occupancy ⇒ initialized slot.
+                            unsafe { st.slots[i].assume_init_drop() };
+                        }
+                    }
+                    st.dirty.clear();
+                    return;
+                }
+                sent_any = !st.dirty.is_empty();
+            }
+            // Quiet-level update (module docs): active resets the cone,
+            // inactivity grows it by one past the slowest visible
+            // neighbor.
+            let active = sent_any || (run && self.inner.wake(&st.inner) == Wake::Stay);
+            st.quiet = if active {
+                0
+            } else {
+                1 + st.quiet.min(quiet_floor)
+            };
+            let n = ctx.n() as u32;
+            let lim = self.quiet_bound.map_or(n, |b| b.saturating_add(1).min(n));
+            if st.quiet > lim {
+                st.quiet = lim + 1; // saturate: cone already covers the graph
+                st.stopped = true;
+            }
+            // Frame this round's (possibly absent) payload for every
+            // live link.
+            st.dirty.clear();
+            for (i, link) in st.links.iter_mut().enumerate() {
+                let payload = if st.occ[i] {
+                    st.occ[i] = false;
+                    // SAFETY: the occupancy byte was set by a captured
+                    // send, so the slot holds an initialized message;
+                    // clearing it first makes the move-out unique.
+                    Some(unsafe { st.slots[i].assume_init_read() })
+                } else {
+                    None
+                };
+                if !link.dead {
+                    link.frames.push_back((payload, st.quiet));
+                    link.produced += 1;
+                }
+            }
+            st.vr += 1;
+        }
+
+        // 3. Transmit: per link, at most one wire message per round —
+        //    a new frame first, else a due retransmission of the oldest
+        //    unacked frame, else a standalone ack if one is owed.
+        for i in 0..degree {
+            let link = &mut st.links[i];
+            if link.dead {
+                continue;
+            }
+            if link.next_tx < link.produced {
+                let idx = (link.next_tx - link.acked) as usize;
+                let (payload, quiet) = link.frames[idx].clone();
+                let frame = ReliableMsg::Data {
+                    seq: link.next_tx,
+                    ack: link.recv,
+                    quiet,
+                    payload,
+                };
+                link.next_tx += 1;
+                link.timer = now + link.rto;
+                link.ack_owed = false;
+                ctx.send_nth(i, frame);
+            } else if link.acked < link.next_tx && now >= link.timer {
+                let (payload, quiet) = link.frames[0].clone();
+                let frame = ReliableMsg::Data {
+                    seq: link.acked,
+                    ack: link.recv,
+                    quiet,
+                    payload,
+                };
+                link.timer = now + link.rto;
+                link.rto = (link.rto * 2).min(RTO_MAX);
+                link.ack_owed = false;
+                ctx.send_nth(i, frame);
+            } else if link.ack_owed {
+                link.ack_owed = false;
+                ctx.send_nth(i, ReliableMsg::Ack { ack: link.recv });
+            }
+        }
+    }
+
+    fn halted(&self, st: &Self::State) -> bool {
+        st.dead || (st.stopped && st.links.iter().all(|l| !l.busy()))
+    }
+
+    fn wake(&self, st: &Self::State) -> Wake {
+        if st.dead {
+            return Wake::Sleep;
+        }
+        // Stay while any link has traffic to move (unsent or unacked
+        // frames drive the retransmission clock; an owed ack must go
+        // out), or while the next inner round is already executable —
+        // no mail will arrive to trigger it. Otherwise sleep: the frame
+        // we are waiting for will arrive as mail and re-activate us
+        // (its sender retransmits until we ack).
+        let busy = st.links.iter().any(Link::busy);
+        let can_exec =
+            st.initialized && !st.stopped && st.links.iter().all(|l| l.dead || l.recv >= st.vr);
+        if busy || can_exec || !st.initialized {
+            Wake::Stay
+        } else {
+            Wake::Sleep
+        }
+    }
+
+    fn finish(self, graph: &Graph, states: Vec<Self::State>, stats: &RunStats) -> Self::Output {
+        let inner_states = states.into_iter().map(|s| s.inner).collect();
+        self.inner.finish(graph, inner_states, stats)
+    }
+}
+
+/// Runs the inner protocol's hook for virtual round `t` against a
+/// capture context (sends land in the per-neighbor slots; no wire
+/// effects — the real sends happen when the frames are transmitted).
+/// Returns `true` when the inner hook committed a model violation
+/// (recorded into the real context; the engine aborts the run).
+#[allow(clippy::too_many_arguments)]
+fn run_inner_captured<P: Protocol, W: Message>(
+    proto: &P,
+    state: &mut P::State,
+    inbox: &[(NodeId, P::Msg)],
+    slots: &mut [std::mem::MaybeUninit<P::Msg>],
+    occ: &mut [bool],
+    dirty: &mut Vec<u32>,
+    per_arc: &mut [u32],
+    t: u64,
+    ctx: &mut RoundCtx<'_, W>,
+) -> bool {
+    let mut violation = None;
+    let (mut messages, mut words) = (0u64, 0u64);
+    {
+        let mut capture = RoundCtx {
+            node: ctx.node,
+            // The inner protocol lives in virtual time: it sees the
+            // virtual round number, not the outer engine round.
+            round: t,
+            graph: ctx.graph,
+            inbox,
+            rng: &mut *ctx.rng,
+            shared: ctx.shared,
+            tx: TxState {
+                slots,
+                occ,
+                heads: ctx.tx.heads,
+                arc_base: 0,
+                wire: None,
+                dirty,
+                messages: &mut messages,
+                words: &mut words,
+                per_arc,
+                violation: &mut violation,
+                bandwidth: ctx.tx.bandwidth,
+            },
+        };
+        proto.round(state, &mut capture);
+    }
+    if let Some(v) = violation {
+        if ctx.tx.violation.is_none() {
+            *ctx.tx.violation = Some(v);
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::Bfs;
+    use crate::session::Session;
+    use crate::sim::{Crash, FaultPlan, SimConfig};
+    use crate::tree::{positions_from_tree, AggOp, TreeAggregate};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        lcs_graph::generators::gnp_connected(n, p, &mut rng)
+    }
+
+    fn lossy_cfg(shards: usize, fault_seed: u64) -> SimConfig {
+        SimConfig {
+            shards,
+            max_rounds: 100_000,
+            faults: Some(FaultPlan {
+                drop_rate: 0.10,
+                delay_rate: 0.10,
+                max_delay: 2,
+                crashes: Vec::new(),
+                fault_seed,
+            }),
+            ..SimConfig::default()
+        }
+    }
+
+    /// `Reliable<Bfs>` over a 10% drop / 10% delay-≤2 network produces
+    /// the exact fault-free BFS tree, and the reliability overhead
+    /// (frames, retransmissions, acks) is visible in the statistics.
+    #[test]
+    fn reliable_bfs_matches_fault_free_output_under_drops_and_delays() {
+        let g = gnp(48, 0.12, 0xFEED);
+        let clean = Session::new(&g, SimConfig::default())
+            .run(Bfs::new(0))
+            .unwrap();
+        for fault_seed in [1u64, 0xBAD_F00D] {
+            let cfg = lossy_cfg(1, fault_seed);
+            let mut session = Session::new(&g, cfg);
+            let out = session.run(Reliable::new(Bfs::new(0))).unwrap();
+            assert_eq!(out.dist, clean.dist, "seed {fault_seed:#x}");
+            assert_eq!(out.parent, clean.parent);
+            assert_eq!(out.children, clean.children);
+            // Faults really fired, and reliability paid for them.
+            assert!(out.stats.dropped > 0, "no drops at seed {fault_seed:#x}");
+            assert!(out.stats.delayed > 0, "no delays at seed {fault_seed:#x}");
+            assert!(
+                out.stats.messages > clean.stats.messages,
+                "reliability overhead must appear in message counts"
+            );
+            assert!(out.stats.rounds > clean.stats.rounds);
+        }
+    }
+
+    /// Same guarantee for a convergecast protocol whose nodes always
+    /// sleep between messages (`TreeAggregate`): the frame layer must
+    /// wake them reliably.
+    #[test]
+    fn reliable_tree_aggregate_matches_fault_free_output() {
+        let g = lcs_graph::generators::grid(6, 5);
+        let clean_bfs = Session::new(&g, SimConfig::default())
+            .run(Bfs::new(0))
+            .unwrap();
+        let positions = positions_from_tree(0, &clean_bfs.parent, &clean_bfs.children);
+        let values: Vec<u64> = (0..g.n() as u64).map(|v| v * v + 1).collect();
+        let clean = Session::new(&g, SimConfig::default())
+            .run(TreeAggregate::new(
+                positions.clone(),
+                &values,
+                AggOp::Sum,
+                true,
+            ))
+            .unwrap();
+        let mut session = Session::new(&g, lossy_cfg(1, 0xD1CE));
+        let (results, stats) = session
+            .run(Reliable::new(TreeAggregate::new(
+                positions,
+                &values,
+                AggOp::Sum,
+                true,
+            )))
+            .unwrap();
+        assert_eq!(results, clean.0);
+        assert!(stats.dropped > 0 && stats.delayed > 0);
+        assert!(stats.messages > clean.1.messages);
+    }
+
+    /// The whole lossy run — fault fates, retransmissions, outputs,
+    /// fingerprint — is bit-identical at every shard count.
+    #[test]
+    fn reliable_bfs_under_faults_is_shard_invariant() {
+        let g = gnp(40, 0.15, 0x5EED);
+        let base = Session::new(&g, lossy_cfg(1, 7))
+            .run(Reliable::new(Bfs::new(0)))
+            .unwrap();
+        for shards in [2usize, 3, 8] {
+            let out = Session::new(&g, lossy_cfg(shards, 7))
+                .run(Reliable::new(Bfs::new(0)))
+                .unwrap();
+            assert_eq!(out.dist, base.dist, "shards={shards}");
+            assert_eq!(out.parent, base.parent, "shards={shards}");
+            assert_eq!(
+                out.stats.fingerprint(),
+                base.stats.fingerprint(),
+                "shards={shards}"
+            );
+            assert_eq!(out.stats.dropped, base.stats.dropped);
+            assert_eq!(out.stats.delayed, base.stats.delayed);
+        }
+    }
+
+    /// A correct diameter bound shrinks the termination quiet wave
+    /// without changing the output — and materially shortens the run.
+    #[test]
+    fn quiet_bound_preserves_output_and_shortens_termination() {
+        let g = lcs_graph::generators::grid(8, 6);
+        let clean = Session::new(&g, SimConfig::default())
+            .run(Bfs::new(0))
+            .unwrap();
+        let unbounded = Session::new(&g, lossy_cfg(1, 99))
+            .run(Reliable::new(Bfs::new(0)))
+            .unwrap();
+        let bounded = Session::new(&g, lossy_cfg(1, 99))
+            .run(Reliable::new(Bfs::new(0)).with_quiet_bound(7 + 5))
+            .unwrap();
+        assert_eq!(bounded.dist, clean.dist);
+        assert_eq!(bounded.parent, clean.parent);
+        assert_eq!(unbounded.dist, clean.dist);
+        assert!(
+            bounded.stats.rounds < unbounded.stats.rounds,
+            "quiet bound must cut the O(n) termination tail ({} vs {})",
+            bounded.stats.rounds,
+            unbounded.stats.rounds
+        );
+    }
+
+    /// With a permanently crashed node and a perfect failure detector
+    /// (`with_crashed`), the inner protocol completes on the surviving
+    /// subgraph: distances match a fault-free BFS on the graph with the
+    /// crashed node's edges removed.
+    #[test]
+    fn reliable_bfs_with_crashed_node_completes_on_survivors() {
+        // A 6x5 grid; crash node 17 (an interior node, not the root).
+        let g = lcs_graph::generators::grid(6, 5);
+        let dead: NodeId = 17;
+        let cfg = SimConfig {
+            max_rounds: 100_000,
+            faults: Some(FaultPlan {
+                drop_rate: 0.10,
+                delay_rate: 0.0,
+                max_delay: 1,
+                crashes: vec![Crash {
+                    node: dead,
+                    at_round: 0,
+                    recover_at: None,
+                }],
+                fault_seed: 3,
+            }),
+            ..SimConfig::default()
+        };
+        let out = Session::new(&g, cfg)
+            .run(Reliable::with_crashed(Bfs::new(0), &[dead]))
+            .unwrap();
+        // Reference: fault-free BFS on the graph minus the dead node.
+        let surviving: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(a, b)| a != dead && b != dead)
+            .collect();
+        let gs = lcs_graph::Graph::from_edges(g.n(), &surviving).unwrap();
+        let clean = Session::new(&gs, SimConfig::default())
+            .run(Bfs::new(0))
+            .unwrap();
+        for v in 0..g.n() {
+            if v as NodeId == dead {
+                continue;
+            }
+            assert_eq!(out.dist[v], clean.dist[v], "node {v}");
+        }
+        assert_eq!(out.stats.crashed_nodes, 1);
+    }
+}

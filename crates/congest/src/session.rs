@@ -272,6 +272,7 @@ impl<'g> Session<'g> {
             }
             cfg.max_rounds = cfg.max_rounds.min(remaining);
         }
+        cfg.validate()?;
         let states = protocol.init(self.graph);
         let driver = ProtocolDriver(&protocol);
         let (states, stats) = match run_phase(self.graph, &mut self.host, &driver, states, &cfg) {

@@ -151,6 +151,164 @@ use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+/// One scheduled crash-stop in a [`FaultPlan`]: the node falls silent
+/// from `at_round` on — its `round` hook is not invoked, it sends
+/// nothing, and every message delivered to it while down is destroyed
+/// (counted in [`RunStats::dropped`]). With `recover_at = Some(r)` the
+/// node resumes at round `r` with its state intact but its inbox lost
+/// (messages that arrived while it was down stay dropped); it is
+/// re-activated at `r` even without fresh mail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crash {
+    /// The node that crash-stops.
+    pub node: NodeId,
+    /// First round the node is down.
+    pub at_round: u64,
+    /// Round the node comes back up (`None`: crashed for good).
+    pub recover_at: Option<u64>,
+}
+
+/// A deterministic adversarial fault schedule, attached to a run via
+/// [`SimConfig::faults`].
+///
+/// Message fates are decided by a pure hash of
+/// `(fault_seed, round, arc)` — no RNG stream is consumed — so a plan's
+/// outcome is **bit-identical at every shard count**, exactly like the
+/// rest of the engine (module docs, determinism contract). Fates are
+/// applied on the receiving side at gather time: a doomed message still
+/// occupies its wire slot and still counts in `messages`/`words`/
+/// per-edge traffic (the send happened; the *delivery* fails), and the
+/// send path is untouched, so a run without a plan pays nothing.
+///
+/// * **Drop** (probability [`FaultPlan::drop_rate`]): the message is
+///   destroyed; [`RunStats::dropped`] counts it.
+/// * **Delay** (probability [`FaultPlan::delay_rate`], evaluated after
+///   the drop check): delivery is deferred `k ∈ [1, max_delay]` extra
+///   rounds through a bounded per-shard reorder buffer;
+///   [`RunStats::delayed`] counts it. A delayed delivery wakes its
+///   receiver (the quiescence contract holds: the run cannot end while
+///   deliveries are pending), and late messages are appended after the
+///   round's fresh mail in a deterministic `(decided round, sender)`
+///   order — so one neighbor may deliver *two* messages in one round,
+///   which is precisely the reordering a reliability layer
+///   ([`Reliable`](crate::Reliable)) must survive.
+/// * **Crash-stop** ([`FaultPlan::crashes`]): see [`Crash`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a delivery is destroyed, in `[0, 1]`.
+    pub drop_rate: f64,
+    /// Probability a surviving delivery is deferred, in `[0, 1]`.
+    pub delay_rate: f64,
+    /// Upper bound (inclusive) on the extra rounds a delayed message
+    /// waits; must be ≥ 1 when `delay_rate > 0` and `< max_rounds`.
+    pub max_delay: u64,
+    /// Scheduled crash-stops, at most one per node.
+    pub crashes: Vec<Crash>,
+    /// Seed of the fate hash — independent of [`SimConfig::seed`], so
+    /// the same algorithm randomness can be replayed under different
+    /// fault schedules and vice versa.
+    pub fault_seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 1,
+            crashes: Vec::new(),
+            fault_seed: 0xBAD_F00D,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A drop-only plan (the common chaos knob).
+    pub fn drops(rate: f64, fault_seed: u64) -> Self {
+        FaultPlan {
+            drop_rate: rate,
+            fault_seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Checks the plan against a round limit; every inconsistency is a
+    /// [`SimError::FaultConfig`] with an actionable message. Called
+    /// eagerly by [`SimConfig::validate`] — before any round executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FaultConfig`] naming the offending field.
+    pub fn validate(&self, max_rounds: u64) -> Result<(), SimError> {
+        let rate_ok = |r: f64| r.is_finite() && (0.0..=1.0).contains(&r);
+        if !rate_ok(self.drop_rate) {
+            return Err(SimError::FaultConfig {
+                reason: format!(
+                    "drop_rate {} is outside [0, 1]; pick a probability",
+                    self.drop_rate
+                ),
+            });
+        }
+        if !rate_ok(self.delay_rate) {
+            return Err(SimError::FaultConfig {
+                reason: format!(
+                    "delay_rate {} is outside [0, 1]; pick a probability",
+                    self.delay_rate
+                ),
+            });
+        }
+        if self.delay_rate > 0.0 && self.max_delay == 0 {
+            return Err(SimError::FaultConfig {
+                reason: "delay_rate > 0 with max_delay 0; a delayed message must wait \
+                         at least one round — set max_delay >= 1"
+                    .to_string(),
+            });
+        }
+        if self.max_delay >= max_rounds {
+            return Err(SimError::FaultConfig {
+                reason: format!(
+                    "max_delay {} is not below the round limit {}; a delivery could be \
+                     deferred past the end of the run — lower max_delay or raise max_rounds",
+                    self.max_delay, max_rounds
+                ),
+            });
+        }
+        let mut seen: Vec<NodeId> = Vec::with_capacity(self.crashes.len());
+        for c in &self.crashes {
+            if c.at_round >= max_rounds {
+                return Err(SimError::FaultConfig {
+                    reason: format!(
+                        "crash of node {} at round {} is beyond the round budget {}; \
+                         it could never fire — schedule it earlier or raise max_rounds",
+                        c.node, c.at_round, max_rounds
+                    ),
+                });
+            }
+            if let Some(r) = c.recover_at {
+                if r <= c.at_round {
+                    return Err(SimError::FaultConfig {
+                        reason: format!(
+                            "node {} recovers at round {r} but crashes at round {}; \
+                             recovery must be strictly later",
+                            c.node, c.at_round
+                        ),
+                    });
+                }
+            }
+            if seen.contains(&c.node) {
+                return Err(SimError::FaultConfig {
+                    reason: format!(
+                        "node {} is listed twice in crashes; at most one crash per node",
+                        c.node
+                    ),
+                });
+            }
+            seen.push(c.node);
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of a simulator run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -171,6 +329,9 @@ pub struct SimConfig {
     /// value produces bit-identical outcomes (see the module docs'
     /// determinism contract), so the choice is purely about wall-clock.
     pub shards: usize,
+    /// Deterministic adversarial fault schedule (`None`: a perfect
+    /// network, at zero cost — the fault machinery is not even built).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -181,6 +342,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             shared_randomness_words: 64,
             shards: 0,
+            faults: None,
         }
     }
 }
@@ -217,6 +379,242 @@ impl SimConfig {
                 .max(1)
         } else {
             self.shards.clamp(1, n.max(1))
+        }
+    }
+
+    /// Eagerly checks the configuration — today that means the attached
+    /// [`FaultPlan`], if any. Called by [`run`] and by every
+    /// [`Session`](crate::Session) phase dispatch before any round
+    /// executes, so an inconsistent plan fails fast with an actionable
+    /// [`SimError::FaultConfig`] instead of corrupting a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FaultConfig`] describing the inconsistency.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let Some(plan) = &self.faults {
+            plan.validate(self.max_rounds)?;
+        }
+        Ok(())
+    }
+}
+
+/// The splitmix64 finalizer: a high-quality pure 64-bit mix used to
+/// decide message fates without consuming any RNG stream.
+#[inline(always)]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The fate hash of one delivery: a pure function of
+/// `(fault_seed, round, arc)`, identical at every shard count.
+#[inline(always)]
+fn fate_hash(seed: u64, round: u64, arc: u64) -> u64 {
+    splitmix64(
+        seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ arc.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    )
+}
+
+/// Converts a probability into a threshold for a uniform 64-bit hash.
+fn rate_bar(rate: f64) -> u64 {
+    if rate >= 1.0 {
+        u64::MAX
+    } else if rate <= 0.0 {
+        0
+    } else {
+        (rate * u64::MAX as f64) as u64
+    }
+}
+
+/// Per-shard fault machinery, built only when the run carries a
+/// [`FaultPlan`]. Everything is **receiver-shard-local** — fates are
+/// decided and delayed messages are parked on the shard that owns the
+/// destination node — so no cross-shard synchronization is added and
+/// the decisions (pure hashes) are shard-count-invariant.
+struct FaultState<M> {
+    drop_bar: u64,
+    delay_bar: u64,
+    max_delay: u64,
+    fault_seed: u64,
+    /// Reorder buffer: bucket `r % ring.len()` holds the deliveries due
+    /// at round `r`, as `(to, from, decided_round, payload)`.
+    ring: Vec<Vec<(u32, NodeId, u64, M)>>,
+    /// This round's due deliveries, sorted by `(to, decided_round,
+    /// from)` and consumed front-to-back as the ascending active list
+    /// reaches each receiver.
+    due: std::collections::VecDeque<(u32, NodeId, u64, M)>,
+    /// Total messages currently parked in `ring` (reported to the
+    /// coordinator: the run must not quiesce while deliveries are
+    /// pending).
+    pending: u64,
+    /// Crash state per own node, indexed `v - node_lo`; empty when the
+    /// plan schedules no crashes in this shard's span.
+    down: Vec<bool>,
+    /// Crash/recovery events in this shard's span:
+    /// `(round, node, is_recovery)`, sorted, consumed via `ecursor`.
+    events: Vec<(u64, u32, bool)>,
+    ecursor: usize,
+    /// Recovery events not yet fired. Reported to the coordinator as
+    /// pending work: a scheduled recovery must keep the run alive (the
+    /// recovered node may resume sending), while a scheduled crash of an
+    /// already-quiescent network is unobservable and must not.
+    pending_recoveries: u64,
+    dropped: u64,
+    delayed: u64,
+}
+
+impl<M> FaultState<M> {
+    fn new(plan: &FaultPlan, node_lo: usize, node_hi: usize) -> Self {
+        let delay_bar = rate_bar(plan.delay_rate);
+        let buckets = if delay_bar > 0 {
+            plan.max_delay as usize + 1
+        } else {
+            1
+        };
+        let mut events: Vec<(u64, u32, bool)> = Vec::new();
+        for c in &plan.crashes {
+            let v = c.node as usize;
+            if v >= node_lo && v < node_hi {
+                events.push((c.at_round, c.node, false));
+                if let Some(r) = c.recover_at {
+                    events.push((r, c.node, true));
+                }
+            }
+        }
+        events.sort_unstable();
+        let pending_recoveries = events.iter().filter(|e| e.2).count() as u64;
+        FaultState {
+            drop_bar: rate_bar(plan.drop_rate),
+            delay_bar,
+            max_delay: plan.max_delay.max(1),
+            fault_seed: plan.fault_seed,
+            ring: (0..buckets).map(|_| Vec::new()).collect(),
+            due: std::collections::VecDeque::new(),
+            pending: 0,
+            down: if events.is_empty() {
+                Vec::new()
+            } else {
+                vec![false; node_hi - node_lo]
+            },
+            events,
+            ecursor: 0,
+            pending_recoveries,
+            dropped: 0,
+            delayed: 0,
+        }
+    }
+
+    /// Work the coordinator must not quiesce past: messages parked in
+    /// the reorder ring plus recoveries still scheduled.
+    #[inline]
+    fn pending_work(&self) -> u64 {
+        self.pending + self.pending_recoveries
+    }
+
+    /// Whether own node `v` is currently crashed.
+    #[inline]
+    fn is_down(&self, v: usize, node_lo: usize) -> bool {
+        !self.down.is_empty() && self.down[v - node_lo]
+    }
+
+    /// Round-start fault processing: applies this round's crash and
+    /// recovery events (a recovering node is re-activated — state
+    /// intact, inbox lost), then pulls the round's due deliveries out
+    /// of the reorder ring, orders them deterministically, and
+    /// activates every receiver (a delayed delivery must wake its
+    /// receiver). Runs before the active-list swap, so the activations
+    /// land in **this** round's list; in a dense round they are
+    /// subsumed by the full sweep and harmlessly discarded.
+    fn begin_round(
+        &mut self,
+        round: u64,
+        next_active: &mut Vec<u32>,
+        in_set: &mut [bool],
+        node_lo: u32,
+    ) {
+        while let Some(&(r, node, recovery)) = self.events.get(self.ecursor) {
+            if r > round {
+                break;
+            }
+            self.ecursor += 1;
+            self.down[(node - node_lo) as usize] = !recovery;
+            if recovery {
+                self.pending_recoveries -= 1;
+                activate(next_active, in_set, node_lo, node);
+            }
+        }
+        debug_assert!(self.due.is_empty());
+        let bucket = (round % self.ring.len() as u64) as usize;
+        if !self.ring[bucket].is_empty() {
+            let mut due = std::mem::take(&mut self.ring[bucket]);
+            self.pending -= due.len() as u64;
+            due.sort_unstable_by_key(|&(to, from, decided, _)| (to, decided, from));
+            for &(to, ..) in &due {
+                activate(next_active, in_set, node_lo, to);
+            }
+            self.due = due.into();
+        }
+    }
+
+    /// Applies the fate of one delivery on arc `arc` gathered at
+    /// `round` by node `to`: pushes it into `inbox` (delivered), parks
+    /// it in the reorder ring (delayed), or destroys it (dropped).
+    #[inline]
+    fn deliver(
+        &mut self,
+        round: u64,
+        arc: usize,
+        to: u32,
+        from: NodeId,
+        msg: M,
+        inbox: &mut Vec<(NodeId, M)>,
+    ) {
+        let h = fate_hash(self.fault_seed, round, arc as u64);
+        if h < self.drop_bar {
+            self.dropped += 1;
+            return;
+        }
+        if self.delay_bar > 0 {
+            let h2 = splitmix64(h);
+            if h2 < self.delay_bar {
+                let k = 1 + splitmix64(h2) % self.max_delay;
+                let bucket = ((round + k) % self.ring.len() as u64) as usize;
+                self.ring[bucket].push((to, from, round, msg));
+                self.pending += 1;
+                self.delayed += 1;
+                return;
+            }
+        }
+        inbox.push((from, msg));
+    }
+
+    /// Appends node `v`'s due delayed deliveries to its inbox (called
+    /// after the fresh gather; the due list is sorted by receiver and
+    /// the active list ascends, so consumption is a front pop).
+    #[inline]
+    fn take_due(&mut self, v: u32, inbox: &mut Vec<(NodeId, M)>) {
+        while let Some(&(to, ..)) = self.due.front() {
+            if to != v {
+                break;
+            }
+            let (_, from, _, msg) = self.due.pop_front().unwrap();
+            inbox.push((from, msg));
+        }
+    }
+
+    /// Destroys node `v`'s due delayed deliveries (the receiver is
+    /// down; a delayed message to a crashed node is dropped).
+    #[inline]
+    fn drop_due(&mut self, v: u32) {
+        while let Some(&(to, ..)) = self.due.front() {
+            if to != v {
+                break;
+            }
+            self.due.pop_front();
+            self.dropped += 1;
         }
     }
 }
@@ -440,12 +838,14 @@ fn build_cores(graph: &Graph, shards: usize) -> Vec<ShardCore> {
 }
 
 /// Per-phase shard state: the persistent core plus the phase's typed
-/// inbox buffer and statistics accumulators.
+/// inbox buffer, statistics accumulators, and (when the run carries a
+/// [`FaultPlan`]) the receiver-side fault machinery.
 struct Shard<M> {
     core: ShardCore,
     messages: u64,
     words: u64,
     inbox: Vec<(NodeId, M)>,
+    faults: Option<FaultState<M>>,
 }
 
 /// A pool worker's state: its shard bookkeeping plus disjoint mutable
@@ -464,6 +864,12 @@ struct StepReport {
     /// own-shard mail wakes; cross-shard wakes are bounded by
     /// `in_flight`).
     next_active: u64,
+    /// Fault-layer work still outstanding on this shard: messages
+    /// parked in the reorder ring plus scheduled recoveries. Nonzero
+    /// keeps the run from quiescing (a delayed delivery must still
+    /// reach — and wake — its receiver). Always 0 without a
+    /// [`FaultPlan`].
+    fault_pending: u64,
 }
 
 /// The engine's per-node dispatch abstraction: how one node executes a
@@ -649,6 +1055,7 @@ fn run_shard<D: Driver>(
         messages,
         words,
         inbox,
+        faults,
     } = sh;
     let node_lo = core.node_lo;
     // Deferred cleanup: the slots this shard's messages were read from
@@ -673,10 +1080,23 @@ fn run_shard<D: Driver>(
     core.dirty_in.clear();
     std::mem::swap(&mut core.dirty_in, &mut core.dirty_out);
 
+    // Fault round-start: apply crash/recovery events and surface this
+    // round's delayed deliveries, activating their receivers. Runs
+    // before the active-list swap (so the activations join this round's
+    // list) and before the dense dispatch (a dense sweep subsumes them).
+    if let Some(fs) = faults.as_mut() {
+        fs.begin_round(
+            round,
+            &mut core.next_active,
+            &mut core.in_set,
+            node_lo as u32,
+        );
+    }
+
     if mode == MODE_DENSE {
         return run_shard_dense(
-            graph, driver, core, messages, words, inbox, nodes, rngs, cur, nxt, occ_cur, occ_nxt,
-            mail_cur, rev, shared, round, bandwidth, me, wakes,
+            graph, driver, core, messages, words, inbox, faults, nodes, rngs, cur, nxt, occ_cur,
+            occ_nxt, mail_cur, rev, shared, round, bandwidth, me, wakes,
         );
     }
 
@@ -784,8 +1204,45 @@ fn run_shard<D: Driver>(
         // actually addressed gather an inbox. (Relaxed is enough — the
         // flag was set before the previous round's barrier crossing,
         // which is a happens-before edge.)
-        if mail_cur[v].load(Ordering::Relaxed) {
+        let had_mail = mail_cur[v].load(Ordering::Relaxed);
+        if had_mail {
             mail_cur[v].store(false, Ordering::Relaxed);
+        }
+        if let Some(fs) = faults.as_mut() {
+            if fs.is_down(v, node_lo) {
+                // Crashed receiver: every inbound message (fresh or
+                // delayed) is destroyed, and the node's hook never runs
+                // — it is silent until (and unless) its recovery event
+                // re-activates it.
+                if had_mail {
+                    let rev_span = &rev[range.clone()];
+                    for &ra in rev_span {
+                        // SAFETY: same read-side access as the gather
+                        // below.
+                        if unsafe { *occ_cur.get_unchecked(ra as usize).0.get() } {
+                            fs.dropped += 1;
+                        }
+                    }
+                }
+                fs.drop_due(v as u32);
+                continue;
+            }
+            if had_mail {
+                let heads = graph.neighbors(v as NodeId);
+                let rev_span = &rev[range.clone()];
+                for (&h, &ra) in heads.iter().zip(rev_span) {
+                    let ra = ra as usize;
+                    // SAFETY: as in the fault-free gather below.
+                    unsafe {
+                        if *occ_cur.get_unchecked(ra).0.get() {
+                            let m = (*cur.get_unchecked(ra).0.get()).assume_init_ref().clone();
+                            fs.deliver(round, ra, v as u32, h, m, inbox);
+                        }
+                    }
+                }
+            }
+            fs.take_due(v as u32, inbox);
+        } else if had_mail {
             // Walk the node's reverse arcs alongside its neighbor list
             // (both parallel to the arc range — no per-arc bounds
             // checks or `arc_head` lookups).
@@ -874,6 +1331,7 @@ fn run_shard_dense<D: Driver>(
     messages: &mut u64,
     words: &mut u64,
     inbox: &mut Vec<(NodeId, D::Msg)>,
+    faults: &mut Option<FaultState<D::Msg>>,
     nodes: &mut [D::State],
     rngs: &mut [ChaCha8Rng],
     cur: &[Slot<D::Msg>],
@@ -923,17 +1381,38 @@ fn run_shard_dense<D: Driver>(
         // lockstep (both parallel to the arc range).
         let heads = graph.neighbors(v as NodeId);
         let rev_span = &rev[range.clone()];
-        inbox.extend(heads.iter().zip(rev_span).map(|(&h, &ra)| {
-            let ra = ra as usize;
-            // SAFETY: read buffer (invariant 2); `ra < num_arcs` by the
-            // reverse-arc table's construction; occupancy guaranteed as
-            // above.
-            unsafe {
-                debug_assert!(*occ_cur.get_unchecked(ra).0.get());
-                let m = (*cur.get_unchecked(ra).0.get()).assume_init_ref().clone();
-                (h, m)
+        if let Some(fs) = faults.as_mut() {
+            if fs.is_down(v, node_lo) {
+                // Crashed receiver in a dense round: every reverse slot
+                // is occupied, so the whole degree's worth of inbound
+                // messages is destroyed, plus any due delayed ones.
+                fs.dropped += rev_span.len() as u64;
+                fs.drop_due(v as u32);
+                continue;
             }
-        }));
+            for (&h, &ra) in heads.iter().zip(rev_span) {
+                let ra = ra as usize;
+                // SAFETY: as in the fault-free gather below.
+                let m = unsafe {
+                    debug_assert!(*occ_cur.get_unchecked(ra).0.get());
+                    (*cur.get_unchecked(ra).0.get()).assume_init_ref().clone()
+                };
+                fs.deliver(round, ra, v as u32, h, m, inbox);
+            }
+            fs.take_due(v as u32, inbox);
+        } else {
+            inbox.extend(heads.iter().zip(rev_span).map(|(&h, &ra)| {
+                let ra = ra as usize;
+                // SAFETY: read buffer (invariant 2); `ra < num_arcs` by
+                // the reverse-arc table's construction; occupancy
+                // guaranteed as above.
+                unsafe {
+                    debug_assert!(*occ_cur.get_unchecked(ra).0.get());
+                    let m = (*cur.get_unchecked(ra).0.get()).assume_init_ref().clone();
+                    (h, m)
+                }
+            }));
+        }
         {
             // SAFETY: this shard's own arc span of the write buffer
             // (invariant 1); the borrow ends with `ctx`.
@@ -1014,6 +1493,7 @@ pub fn run<A: NodeAlgorithm + Send>(
 where
     A::Msg: Send + Sync,
 {
+    cfg.validate()?;
     let mut host = EngineHost::new(graph, cfg.resolved_shards(graph.n()));
     let (nodes, stats) = run_phase(graph, &mut host, &PlainDriver::<A>(PhantomData), nodes, cfg)?;
     Ok(RunOutcome { nodes, stats })
@@ -1095,12 +1575,17 @@ pub(crate) fn run_phase<D: Driver>(
             nodes_rest = rest;
             let (rng_chunk, rest) = rngs_rest.split_at_mut(span);
             rngs_rest = rest;
+            let faults = cfg
+                .faults
+                .as_ref()
+                .map(|plan| FaultState::new(plan, core.node_lo, core.node_hi));
             workers.push(ShardWorker {
                 sh: Shard {
                     core,
                     messages: 0,
                     words: 0,
                     inbox: Vec::new(),
+                    faults,
                 },
                 nodes: node_chunk,
                 rngs: rng_chunk,
@@ -1149,6 +1634,7 @@ pub(crate) fn run_phase<D: Driver>(
             violation,
             in_flight: st.sh.core.dirty_out.len() as u64,
             next_active,
+            fault_pending: st.sh.faults.as_ref().map_or(0, FaultState::pending_work),
         }
     };
 
@@ -1172,6 +1658,7 @@ pub(crate) fn run_phase<D: Driver>(
         // panic in a higher one, and vice versa.
         let mut next_active = 0u64;
         let mut in_flight = 0u64;
+        let mut fault_pending = 0u64;
         for result in results {
             match result {
                 Ok(report) => {
@@ -1180,6 +1667,7 @@ pub(crate) fn run_phase<D: Driver>(
                     }
                     next_active += report.next_active;
                     in_flight += report.in_flight;
+                    fault_pending += report.fault_pending;
                 }
                 Err(payload) => return Control::Abort(payload),
             }
@@ -1198,10 +1686,14 @@ pub(crate) fn run_phase<D: Driver>(
         };
         mode_ref.store(next_mode, Ordering::Relaxed);
         mode_used = next_mode;
-        if in_flight == 0 && next_active == 0 {
-            // Quiescence: no node awake, nothing on the wire.
+        if in_flight == 0 && next_active == 0 && fault_pending == 0 {
+            // Quiescence: no node awake, nothing on the wire, nothing
+            // parked in a fault-layer reorder ring, no recovery still
+            // scheduled.
             Control::Stop(Ok(()))
-        } else if next_mode == MODE_NORMAL && next_active + in_flight <= INLINE_WORK_MAX {
+        } else if next_mode == MODE_NORMAL
+            && next_active + in_flight + fault_pending <= INLINE_WORK_MAX
+        {
             // A near-quiescent round: run it on the coordinator instead
             // of paying the barrier for idle workers.
             Control::ContinueInline
@@ -1240,6 +1732,10 @@ pub(crate) fn run_phase<D: Driver>(
         if fold_stats {
             stats.messages += w.sh.messages;
             stats.words += w.sh.words;
+            if let Some(fs) = &w.sh.faults {
+                stats.dropped += fs.dropped;
+                stats.delayed += fs.delayed;
+            }
             for (j, &x) in w.sh.core.per_arc.iter().enumerate() {
                 if x > 0 {
                     let e = graph.arc_edge(ArcId((w.sh.core.arc_lo + j) as u32));
@@ -1248,6 +1744,18 @@ pub(crate) fn run_phase<D: Driver>(
             }
         }
         cores.push(w.sh.core);
+    }
+    if fold_stats {
+        if let Some(plan) = &cfg.faults {
+            // Crashes are per-node events decided by the plan, not the
+            // shards: count the distinct nodes whose crash round fell
+            // inside the run (validation rules out duplicate nodes).
+            stats.crashed_nodes = plan
+                .crashes
+                .iter()
+                .filter(|c| c.at_round < stats.rounds)
+                .count() as u64;
+        }
     }
     let [b0, b1] = bufs;
     arena.put(b0);
@@ -1882,5 +2390,294 @@ mod tests {
             assert_ne!(a, b);
             assert_eq!(g.arc_head(ArcId(b as u32)), g.arc_tail(ArcId(a as u32)));
         }
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    fn fault_cfg(plan: FaultPlan, shards: usize) -> SimConfig {
+        SimConfig {
+            shards,
+            faults: Some(plan),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Every inconsistent plan is rejected eagerly with a
+    /// [`SimError::FaultConfig`] whose message names the offending field.
+    #[test]
+    fn fault_plan_validation_rejects_bad_plans() {
+        let cases: Vec<(FaultPlan, &str)> = vec![
+            (FaultPlan::drops(1.5, 0), "drop_rate"),
+            (FaultPlan::drops(f64::NAN, 0), "drop_rate"),
+            (
+                FaultPlan {
+                    delay_rate: -0.1,
+                    ..FaultPlan::default()
+                },
+                "delay_rate",
+            ),
+            (
+                FaultPlan {
+                    delay_rate: 0.5,
+                    max_delay: 0,
+                    ..FaultPlan::default()
+                },
+                "max_delay",
+            ),
+            (
+                FaultPlan {
+                    max_delay: u64::MAX,
+                    ..FaultPlan::default()
+                },
+                "max_delay",
+            ),
+            (
+                FaultPlan {
+                    crashes: vec![Crash {
+                        node: 1,
+                        at_round: u64::MAX,
+                        recover_at: None,
+                    }],
+                    ..FaultPlan::default()
+                },
+                "round budget",
+            ),
+            (
+                FaultPlan {
+                    crashes: vec![Crash {
+                        node: 1,
+                        at_round: 5,
+                        recover_at: Some(5),
+                    }],
+                    ..FaultPlan::default()
+                },
+                "strictly later",
+            ),
+            (
+                FaultPlan {
+                    crashes: vec![
+                        Crash {
+                            node: 1,
+                            at_round: 2,
+                            recover_at: None,
+                        },
+                        Crash {
+                            node: 1,
+                            at_round: 7,
+                            recover_at: None,
+                        },
+                    ],
+                    ..FaultPlan::default()
+                },
+                "twice",
+            ),
+        ];
+        let g = lcs_graph::generators::path(4);
+        for (plan, needle) in cases {
+            let cfg = fault_cfg(plan, 1);
+            let err = run(&g, (0..4).map(|_| Flood::default()).collect(), &cfg)
+                .expect_err("plan must be rejected");
+            match &err {
+                SimError::FaultConfig { reason } => assert!(
+                    reason.contains(needle),
+                    "reason {reason:?} should mention {needle:?}"
+                ),
+                other => panic!("expected FaultConfig, got {other:?}"),
+            }
+        }
+        // A valid plan passes.
+        assert!(FaultPlan::drops(0.3, 9).validate(1 << 20).is_ok());
+    }
+
+    /// Fault fates hash `(seed, round, arc)` — never shard layout: a
+    /// lossy flood is bit-identical (per-node state, stats, and the
+    /// fault counters folded into them) at every shard count.
+    #[test]
+    fn faulty_runs_bit_identical_across_shards() {
+        for g in [
+            lcs_graph::generators::path(23),
+            lcs_graph::generators::complete(17),
+        ] {
+            let n = g.n();
+            let plan = FaultPlan {
+                drop_rate: 0.25,
+                delay_rate: 0.25,
+                max_delay: 3,
+                crashes: Vec::new(),
+                fault_seed: 0xC0FFEE,
+            };
+            let mk = || (0..n).map(|_| Flood::default()).collect::<Vec<_>>();
+            let base = run(&g, mk(), &fault_cfg(plan.clone(), 1)).unwrap();
+            // On the sparse path the flood may die out before both fault
+            // kinds fire; at least one must (the clique exercises both).
+            assert!(base.stats.dropped + base.stats.delayed > 0);
+            for shards in [2usize, 3, 8] {
+                let out = run(&g, mk(), &fault_cfg(plan.clone(), shards)).unwrap();
+                assert_eq!(out.nodes, base.nodes, "shards={shards}");
+                assert_eq!(out.stats, base.stats, "shards={shards}");
+                assert_eq!(
+                    out.stats.fingerprint(),
+                    base.stats.fingerprint(),
+                    "shards={shards}"
+                );
+            }
+        }
+    }
+
+    /// Delaying every message must not break quiescence: a delivery due
+    /// on a round where nothing else happens has to wake its receiver,
+    /// or the flood stalls forever.
+    #[test]
+    fn delayed_delivery_wakes_receiver() {
+        let g = lcs_graph::generators::path(6);
+        let plan = FaultPlan {
+            drop_rate: 0.0,
+            delay_rate: 1.0, // every single message is late
+            max_delay: 3,
+            crashes: Vec::new(),
+            fault_seed: 11,
+        };
+        for shards in [1usize, 4] {
+            let out = run(
+                &g,
+                (0..6).map(|_| Flood::default()).collect(),
+                &fault_cfg(plan.clone(), shards),
+            )
+            .unwrap();
+            // The flood still reaches everyone, strictly later than the
+            // fault-free schedule (node v hears at round v unfaulted).
+            for (v, node) in out.nodes.iter().enumerate().skip(1) {
+                let heard = node.heard_at.expect("flood must still arrive");
+                assert!(heard > v as u64, "node {v} heard at {heard}");
+            }
+            assert_eq!(out.stats.delayed, out.stats.messages);
+            assert_eq!(out.stats.dropped, 0);
+        }
+    }
+
+    /// A crash-stopped relay severs the path; recovery (state intact,
+    /// in-flight mail lost) lets a retransmitting sender get through.
+    #[test]
+    fn crash_silences_node_and_recovery_restores_it() {
+        // Persistent sender: node 0 re-sends its token every round until
+        // node 1 acks; the crash window of node 1 swallows the first
+        // attempts.
+        #[derive(Debug, Default, Clone, PartialEq, Eq)]
+        struct Nag {
+            acked: bool,
+            heard_at: Option<u64>,
+        }
+        impl NodeAlgorithm for Nag {
+            type Msg = u32;
+            fn round(&mut self, ctx: &mut RoundCtx<'_, u32>) {
+                if ctx.node() == 0 {
+                    if !ctx.inbox().is_empty() {
+                        self.acked = true;
+                    }
+                    if !self.acked {
+                        ctx.send_nth(0, 7);
+                    }
+                } else if self.heard_at.is_none() && !ctx.inbox().is_empty() {
+                    self.heard_at = Some(ctx.round());
+                    ctx.send_nth(0, 1); // ack back
+                }
+            }
+            fn halted(&self) -> bool {
+                self.acked || self.heard_at.is_some()
+            }
+            fn wake(&self) -> Wake {
+                if self.halted() {
+                    Wake::Sleep
+                } else {
+                    Wake::Stay
+                }
+            }
+        }
+        let g = lcs_graph::generators::path(2);
+        let plan = FaultPlan {
+            crashes: vec![Crash {
+                node: 1,
+                at_round: 1,
+                recover_at: Some(6),
+            }],
+            ..FaultPlan::default()
+        };
+        for shards in [1usize, 2] {
+            let out = run(
+                &g,
+                (0..2).map(|_| Nag::default()).collect(),
+                &fault_cfg(plan.clone(), shards),
+            )
+            .unwrap();
+            // Deliveries due in rounds 1..6 land on a dead node; the
+            // first send surviving the outage arrives at round 6.
+            assert_eq!(out.nodes[1].heard_at, Some(6), "shards={shards}");
+            assert!(out.nodes[0].acked);
+            assert!(out.stats.dropped >= 5, "outage must destroy mail");
+            assert_eq!(out.stats.crashed_nodes, 1);
+        }
+    }
+
+    /// A crash scheduled on an already-quiescent network must not keep
+    /// the run spinning (the event is unobservable), but a pending
+    /// *recovery* must keep the run alive until it fires.
+    #[test]
+    fn scheduled_faults_interact_correctly_with_quiescence() {
+        let g = lcs_graph::generators::path(3);
+        // Flood quiesces after ~4 rounds; a crash at round 50 (no
+        // recovery) must not stretch the run to round 50.
+        let crash_late = FaultPlan {
+            crashes: vec![Crash {
+                node: 2,
+                at_round: 50,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let out = run(
+            &g,
+            (0..3).map(|_| Flood::default()).collect(),
+            &fault_cfg(crash_late, 1),
+        )
+        .unwrap();
+        assert!(out.stats.rounds < 50, "rounds={}", out.stats.rounds);
+        // With a recovery at round 60 the run must survive to fire it
+        // (the recovered node is re-activated and may act on its state).
+        let crash_recover = FaultPlan {
+            crashes: vec![Crash {
+                node: 2,
+                at_round: 50,
+                recover_at: Some(60),
+            }],
+            ..FaultPlan::default()
+        };
+        let out = run(
+            &g,
+            (0..3).map(|_| Flood::default()).collect(),
+            &fault_cfg(crash_recover, 1),
+        )
+        .unwrap();
+        assert!(out.stats.rounds > 60, "rounds={}", out.stats.rounds);
+    }
+
+    /// Without a plan, the fault machinery must stay entirely out of
+    /// the hot path — and out of the fingerprint.
+    #[test]
+    fn absent_fault_plan_changes_nothing() {
+        let g = lcs_graph::generators::complete(9);
+        let mk = || (0..9).map(|_| Flood::default()).collect::<Vec<_>>();
+        let base = run(&g, mk(), &SimConfig::default()).unwrap();
+        let zeroed = FaultPlan {
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 1,
+            crashes: Vec::new(),
+            fault_seed: 42,
+        };
+        let out = run(&g, mk(), &fault_cfg(zeroed, 1)).unwrap();
+        assert_eq!(out.nodes, base.nodes);
+        assert_eq!(out.stats.fingerprint(), base.stats.fingerprint());
+        assert_eq!(base.stats.dropped, 0);
+        assert_eq!(base.stats.crashed_nodes, 0);
     }
 }

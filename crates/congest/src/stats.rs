@@ -31,6 +31,16 @@ pub struct RunStats {
     /// Cumulative message count per undirected edge, indexed by
     /// [`EdgeId`](lcs_graph::EdgeId).
     pub per_edge_messages: Vec<u64>,
+    /// Messages destroyed by the fault layer (never delivered): fate
+    /// drops plus messages addressed to a crashed node. Always 0 when
+    /// the run has no [`FaultPlan`](crate::FaultPlan).
+    pub dropped: u64,
+    /// Messages the fault layer delivered late (each counted once, at
+    /// the round its delay was decided).
+    pub delayed: u64,
+    /// Number of distinct nodes that crash-stopped during the run
+    /// (crashes scheduled past the final round are not counted).
+    pub crashed_nodes: u64,
 }
 
 impl RunStats {
@@ -44,6 +54,9 @@ impl RunStats {
             messages: 0,
             words: 0,
             per_edge_messages: vec![0; g.m()],
+            dropped: 0,
+            delayed: 0,
+            crashed_nodes: 0,
         }
     }
 
@@ -94,6 +107,14 @@ impl RunStats {
         for &x in &self.per_edge_messages {
             fold(x);
         }
+        // Fault counters fold only when a fault actually occurred, so
+        // every fingerprint recorded before the fault layer existed —
+        // and every fault-free run since — is byte-for-byte unchanged.
+        if self.dropped | self.delayed | self.crashed_nodes != 0 {
+            fold(self.dropped);
+            fold(self.delayed);
+            fold(self.crashed_nodes);
+        }
         h
     }
 
@@ -117,6 +138,9 @@ impl RunStats {
         self.delivered_rounds += other.delivered_rounds;
         self.messages += other.messages;
         self.words += other.words;
+        self.dropped += other.dropped;
+        self.delayed += other.delayed;
+        self.crashed_nodes += other.crashed_nodes;
         for (a, b) in self
             .per_edge_messages
             .iter_mut()

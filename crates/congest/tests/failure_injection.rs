@@ -3,10 +3,10 @@
 //! bug in a simulator whose purpose is enforcing a model.
 
 use lcs_congest::{
-    run, AggOp, Message, MultiAggregate, MultiBfs, MultiBfsInstance, MultiBfsSpec, NodeAlgorithm,
-    Participation, RoundCtx, Session, SimConfig, SimError, Wake,
+    run, AggOp, FaultPlan, Message, MultiAggregate, MultiBfs, MultiBfsInstance, MultiBfsSpec,
+    NodeAlgorithm, Participation, RoundCtx, Session, SimConfig, SimError, Wake,
 };
-use lcs_graph::generators::{path, star};
+use lcs_graph::generators::{cycle, path, star};
 use std::sync::Arc;
 
 /// A node that violates the model in a configurable round, after
@@ -426,6 +426,131 @@ fn violation_on_wake_after_quiescence_is_reported_at_the_wake_round() {
         let nodes: Vec<TripMine> = (0..7).map(|_| TripMine { violate: true }).collect();
         assert_eq!(run(&g, nodes, &cfg).unwrap_err(), expect, "shards {shards}");
     }
+}
+
+/// A [`LateViolator`]-style node that first drives the engine into its
+/// dense (all-active) fast path by flooding **every arc every round**
+/// (`in_flight == num_arcs` is the dense trigger, and it counts fresh
+/// sends only — message fates are applied receiver-side, so a fault
+/// plan cannot deflect the mode switch), then violates the model at a
+/// planned round. With `flood_until > violate_at` the violation lands
+/// in a `MODE_DENSE` round; with `flood_until < violate_at` (plus the
+/// single keep-alive send at `flood_until`) it lands in the
+/// `MODE_RESYNC` round that drains the dense exit.
+#[derive(Debug)]
+struct DenseViolator {
+    /// 0 = send to a non-neighbor, 1 = double-send, 2 = oversized.
+    mode: u8,
+    violate_at: u64,
+    flood_until: u64,
+    done: bool,
+}
+
+impl NodeAlgorithm for DenseViolator {
+    type Msg = BigMsg;
+    fn round(&mut self, ctx: &mut RoundCtx<'_, BigMsg>) {
+        if ctx.round() >= self.violate_at {
+            self.done = true;
+        }
+        if ctx.round() < self.flood_until {
+            for i in 0..ctx.degree() {
+                ctx.send_nth(i, BigMsg(1));
+            }
+        } else if ctx.node() == 0 && ctx.round() == self.flood_until {
+            // Leave dense mode with one message still in flight: the
+            // next round must run as MODE_RESYNC.
+            ctx.send_nth(0, BigMsg(1));
+        }
+        if ctx.node() == 0 && ctx.round() == self.violate_at {
+            match self.mode {
+                0 => ctx.send(3, BigMsg(1)), // non-neighbor on cycle(6)
+                1 => {
+                    // Two writes to one arc overflow it whether or not
+                    // the flood already claimed the slot this round.
+                    ctx.send_nth(0, BigMsg(1));
+                    ctx.send_nth(0, BigMsg(1));
+                }
+                _ => ctx.send_nth(1, BigMsg(99)), // oversized
+            }
+        }
+    }
+    fn halted(&self) -> bool {
+        true
+    }
+    fn wake(&self) -> Wake {
+        if self.done {
+            Wake::Sleep
+        } else {
+            Wake::Stay
+        }
+    }
+}
+
+/// Runs [`DenseViolator`] on `cycle(6)` under a drops-and-delays fault
+/// plan and asserts every shard count reports the **same** violation at
+/// the **same** round.
+fn assert_dense_violation(violate_at: u64, flood_until: u64) {
+    let g = cycle(6);
+    let plan = FaultPlan {
+        drop_rate: 0.20,
+        delay_rate: 0.20,
+        max_delay: 2,
+        crashes: Vec::new(),
+        fault_seed: 0xFA117,
+    };
+    for mode in [0u8, 1, 2] {
+        let mk = || {
+            (0..6)
+                .map(|_| DenseViolator {
+                    mode,
+                    violate_at,
+                    flood_until,
+                    done: false,
+                })
+                .collect::<Vec<_>>()
+        };
+        let cfg_for = |shards: usize| SimConfig {
+            shards,
+            faults: Some(plan.clone()),
+            ..SimConfig::default()
+        };
+        let base = run(&g, mk(), &cfg_for(1)).unwrap_err();
+        let round = match (&base, mode) {
+            (SimError::InvalidDestination { round, .. }, 0)
+            | (SimError::ChannelOverflow { round, .. }, 1)
+            | (SimError::MessageTooLarge { round, .. }, 2) => *round,
+            _ => panic!("mode {mode}: wrong error {base}"),
+        };
+        assert_eq!(round, violate_at, "mode {mode}: wrong round");
+        for shards in [2usize, 8] {
+            let err = run(&g, mk(), &cfg_for(shards)).unwrap_err();
+            assert_eq!(err, base, "mode {mode}, shards {shards}");
+        }
+    }
+}
+
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
+#[test]
+fn violations_in_dense_rounds_under_faults_are_caught_identically() {
+    // All six nodes flood all arcs through round 9, so rounds 1..=9 run
+    // MODE_DENSE; the violation at round 5 happens inside the dense
+    // fast path, with the fault plan live.
+    assert_dense_violation(5, 10);
+}
+
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "tier-2: run with --features slow-tests or -- --ignored"
+)]
+#[test]
+fn violations_in_resync_rounds_under_faults_are_caught_identically() {
+    // Flooding stops after round 5 but node 0's keep-alive send at
+    // round 6 leaves dense mode with traffic in flight, so round 7 is
+    // the MODE_RESYNC round — exactly when the violation fires.
+    assert_dense_violation(7, 6);
 }
 
 #[cfg_attr(

@@ -2,8 +2,9 @@
 //! references, on random graphs.
 
 use lcs_congest::{
-    positions_from_tree, AggOp, Bfs, DistBfsOutcome, MultiAggregate, MultiBfs, MultiBfsInstance,
-    MultiBfsOutcome, MultiBfsSpec, Participation, PrefixNumber, Session, SimConfig, TreeAggregate,
+    positions_from_tree, AggOp, Bfs, Crash, DistBfsOutcome, FaultPlan, MultiAggregate, MultiBfs,
+    MultiBfsInstance, MultiBfsOutcome, MultiBfsSpec, Participation, PrefixNumber, Reliable,
+    Session, SimConfig, TreeAggregate,
 };
 use lcs_graph::{bfs_distances, gnp_connected, Graph, NodeId, UNREACHABLE};
 use proptest::prelude::*;
@@ -167,6 +168,73 @@ proptest! {
             for v in g.nodes() {
                 prop_assert_eq!(out.result_at(v, i as u32), Some(expect));
             }
+        }
+    }
+
+    /// [`Reliable<Bfs>`] under an **arbitrary** fault plan — drop rate
+    /// up to 30%, delays up to 3 rounds, up to 10% of non-root nodes
+    /// crashed from round 0 — computes exactly the fault-free BFS
+    /// distances on the surviving subgraph, for every surviving node.
+    /// Every fault knob is its own proptest strategy, so a failing case
+    /// shrinks the *plan* along with the graph: rates shrink toward
+    /// 0.0, the crash list shrinks toward empty, delays toward 1.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
+    #[test]
+    fn reliable_bfs_survives_arbitrary_fault_plans(
+        seed in any::<u64>(),
+        n in 8usize..36,
+        drop_rate in 0.0f64..0.30,
+        delay_rate in 0.0f64..0.50,
+        max_delay in 1u64..4,
+        fault_seed in any::<u64>(),
+        crash_picks in proptest::collection::vec(any::<u32>(), 0..4),
+    ) {
+        let g = random_graph(seed, n);
+        // Distinct non-root casualties, capped at 10% of the graph.
+        let mut crashed: Vec<NodeId> = crash_picks
+            .iter()
+            .map(|&p| 1 + p % (n as u32 - 1))
+            .collect();
+        crashed.sort_unstable();
+        crashed.dedup();
+        crashed.truncate(n / 10);
+        let plan = FaultPlan {
+            drop_rate,
+            delay_rate,
+            max_delay,
+            crashes: crashed
+                .iter()
+                .map(|&node| Crash { node, at_round: 0, recover_at: None })
+                .collect(),
+            fault_seed,
+        };
+        let cfg = SimConfig {
+            max_rounds: 200_000,
+            faults: Some(plan),
+            ..SimConfig::default()
+        };
+        let out = Session::new(&g, cfg)
+            .run(Reliable::with_crashed(Bfs::new(0), &crashed))
+            .unwrap();
+        // Centralized reference: BFS on the subgraph the crashes leave.
+        let alive = |v: NodeId| crashed.binary_search(&v).is_err();
+        let sub_edges: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(a, b)| alive(a) && alive(b))
+            .collect();
+        let sub = Graph::from_edges(n, &sub_edges).unwrap();
+        let exact = bfs_distances(&sub, 0);
+        for v in g.nodes() {
+            if !alive(v) {
+                continue;
+            }
+            let expect = (exact[v as usize] != UNREACHABLE).then_some(exact[v as usize]);
+            prop_assert_eq!(
+                out.dist[v as usize], expect,
+                "node {} (crashed: {:?})", v, &crashed
+            );
         }
     }
 

@@ -9,9 +9,10 @@
 //! `--features slow-tests`.
 
 use lcs_congest::{
-    positions_from_tree, run, AggOp, Bfs, DistBfsOutcome, MultiAggOutcome, MultiAggregate,
-    MultiBfs, MultiBfsInstance, MultiBfsOutcome, MultiBfsSpec, NodeAlgorithm, Participation,
-    PrefixNumber, Protocol, RoundCtx, RunStats, Session, SimConfig, TreeAggregate, Wake,
+    positions_from_tree, run, AggOp, Bfs, Crash, DistBfsOutcome, FaultPlan, MultiAggOutcome,
+    MultiAggregate, MultiBfs, MultiBfsInstance, MultiBfsOutcome, MultiBfsSpec, NodeAlgorithm,
+    Participation, PrefixNumber, Protocol, Reliable, RoundCtx, RunStats, Session, SimConfig,
+    TreeAggregate, Wake,
 };
 use lcs_graph::{gnp_connected, Graph, NodeId};
 use rand::SeedableRng;
@@ -446,6 +447,101 @@ fn long_path_bfs_is_byte_equal_across_shard_counts() {
         assert_eq!(out.parent, base.parent, "shards={shards}");
         assert_eq!(out.children, base.children, "shards={shards}");
         assert_eq!(out.stats, base.stats, "shards={shards}");
+    }
+}
+
+/// Chaos under the pool: drops, delays, AND a mid-run crash (with one
+/// permanent casualty) must leave outputs, `RunStats` — including the
+/// fault counters `dropped` / `delayed` / `crashed_nodes` — and the
+/// fingerprint byte-equal across every shard count, for two distinct
+/// fault seeds. Fault fates are a pure hash of `(fault_seed, round,
+/// arc)`, so the adversary is part of the determinism contract, not an
+/// exception to it.
+#[test]
+fn chaos_runs_are_byte_equal_across_shard_counts() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xCA05);
+    let g = gnp_connected(40, 0.15, &mut rng);
+    let n = g.n() as u32;
+    for fault_seed in [0x0DD5_u64, 0xE5EED] {
+        let plan = FaultPlan {
+            drop_rate: 0.10,
+            delay_rate: 0.15,
+            max_delay: 3,
+            crashes: vec![
+                // Mid-run crash with recovery: state survives, inbox lost.
+                Crash {
+                    node: n / 3,
+                    at_round: 2,
+                    recover_at: Some(9),
+                },
+                // Permanent casualty.
+                Crash {
+                    node: n / 2,
+                    at_round: 4,
+                    recover_at: None,
+                },
+            ],
+            fault_seed,
+        };
+        let run_one = |shards: usize| {
+            let mut s = Session::new(
+                &g,
+                SimConfig {
+                    seed: 0xBA5E,
+                    shards,
+                    max_rounds: 50_000,
+                    ..SimConfig::default()
+                },
+            );
+            // Raw BFS under fire (output is whatever the faults allow),
+            // then a Reliable phase that must still be exact.
+            let raw = s
+                .run_configured("chaos.raw", Bfs::new(0), |c| c.faults = Some(plan.clone()))
+                .unwrap();
+            let rel = s
+                .run_configured(
+                    "chaos.reliable",
+                    Reliable::with_crashed(Bfs::new(0), &[n / 2]),
+                    |c| c.faults = Some(plan.clone()),
+                )
+                .unwrap();
+            (raw, rel, s.phases().to_vec(), s.stats().clone())
+        };
+        let (base_raw, base_rel, base_phases, base_total) = run_one(1);
+        assert!(base_total.dropped > 0, "seed {fault_seed:#x}: drops fired");
+        assert!(base_total.delayed > 0, "seed {fault_seed:#x}: delays fired");
+        // Both crash windows land inside the (long) reliable phase; the
+        // raw phase may quiesce before the later one fires.
+        assert!(
+            base_total.crashed_nodes >= 2,
+            "seed {fault_seed:#x}: crashes fired"
+        );
+        for shards in SHARDS {
+            let (raw, rel, phases, total) = run_one(shards);
+            assert_eq!(
+                raw.dist, base_raw.dist,
+                "raw dist, {fault_seed:#x}/{shards}"
+            );
+            assert_eq!(
+                raw.parent, base_raw.parent,
+                "raw parent, {fault_seed:#x}/{shards}"
+            );
+            assert_eq!(
+                rel.dist, base_rel.dist,
+                "reliable dist, {fault_seed:#x}/{shards}"
+            );
+            assert_eq!(
+                rel.parent, base_rel.parent,
+                "reliable parent, {fault_seed:#x}/{shards}"
+            );
+            assert_eq!(phases, base_phases, "phases, {fault_seed:#x}/{shards}");
+            assert_eq!(total, base_total, "stats, {fault_seed:#x}/{shards}");
+            assert_eq!(
+                total.fingerprint(),
+                base_total.fingerprint(),
+                "fingerprint, {fault_seed:#x}/{shards}"
+            );
+        }
     }
 }
 

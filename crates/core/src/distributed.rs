@@ -38,11 +38,11 @@ use crate::odd::shared_delay;
 use crate::params::{guess_ladder, KpParams, ParamError};
 use crate::sampling::SampleOracle;
 use lcs_congest::{
-    ceil_log2, positions_from_tree, AggOp, Bfs, MultiAggregate, MultiBfs, MultiBfsInstance,
-    MultiBfsSpec, Participation, PrefixNumber, RunStats, Session, SimConfig, SimError,
-    TreeAggregate, TreePosition,
+    ceil_log2, positions_from_tree, AggOp, Bfs, FaultPlan, MultiAggregate, MultiBfs,
+    MultiBfsInstance, MultiBfsSpec, Participation, PrefixNumber, Reliable, RunStats, Session,
+    SimConfig, SimError, TreeAggregate, TreePosition,
 };
-use lcs_graph::{is_connected, EdgeId, Graph, NodeId};
+use lcs_graph::{is_connected, EdgeId, Graph, NodeId, UnionFind};
 use lcs_shortcut::{Partition, ShortcutSet};
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +66,13 @@ pub struct DistributedConfig {
     /// shard, and every phase reuses it. `0` (the default) auto-sizes
     /// to the machine; any value is bit-identical to `1`.
     pub shards: usize,
+    /// Fault plan for the network ([`SimConfig::faults`]). With a plan
+    /// attached, the pipeline first runs a **detection** phase on the
+    /// faulty network — a [`Reliable`]-wrapped BFS + census convergecast
+    /// — excises permanently crashed nodes (and anything they
+    /// disconnect), and completes on the survivors, reporting a
+    /// [`DegradedOutcome`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for DistributedConfig {
@@ -76,6 +83,7 @@ impl Default for DistributedConfig {
             known_diameter: None,
             queue_cap_factor: 1.0,
             shards: 0,
+            faults: None,
         }
     }
 }
@@ -142,6 +150,21 @@ pub struct GuessReport {
     pub max_queue: usize,
 }
 
+/// How a fault-tolerant run ([`DistributedConfig::faults`]) coped with
+/// crash-stops: what was cut away and what the tolerance cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedOutcome {
+    /// The pipeline completed on the surviving subgraph.
+    pub completed: bool,
+    /// Nodes excised before the main pipeline ran: permanently crashed
+    /// nodes plus any survivors they disconnected from the root.
+    pub excluded_nodes: Vec<NodeId>,
+    /// Rounds spent on fault handling — the detection BFS + census
+    /// convergecast executed over [`Reliable`] links on the faulty
+    /// network — on top of the ordinary pipeline rounds.
+    pub extra_rounds: u64,
+}
+
 /// Result of the distributed construction.
 #[derive(Debug)]
 pub struct DistributedOutcome {
@@ -165,6 +188,10 @@ pub struct DistributedOutcome {
     /// Per-phase engine statistics (labeled), straight from the
     /// [`Session`] that executed the pipeline.
     pub phase_stats: Vec<RunStats>,
+    /// Present iff the run was configured with a
+    /// [`FaultPlan`](DistributedConfig::faults): what graceful
+    /// degradation excised and cost.
+    pub degraded: Option<DegradedOutcome>,
 }
 
 /// Runs the full distributed construction.
@@ -179,6 +206,12 @@ pub struct DistributedOutcome {
 /// cumulative budget. Outcomes are bit-identical to running each phase
 /// in a fresh engine, and to any shard count.
 ///
+/// With a [`FaultPlan`](DistributedConfig::faults) attached the
+/// pipeline is preceded by a detection phase on the faulty network
+/// (reliable BFS + census convergecast), permanently crashed nodes and
+/// anything they disconnect are excised, and the construction completes
+/// on the survivors — see [`DegradedOutcome`].
+///
 /// # Errors
 ///
 /// See [`DistributedError`].
@@ -190,6 +223,18 @@ pub fn distributed_shortcuts(
     if !is_connected(graph) {
         return Err(DistributedError::Disconnected);
     }
+    match &cfg.faults {
+        Some(plan) => degraded_shortcuts(graph, partition, cfg, plan),
+        None => run_pipeline(graph, partition, cfg),
+    }
+}
+
+/// The fault-free pipeline (Phases A and B of the module docs).
+fn run_pipeline(
+    graph: &Graph,
+    partition: &Partition,
+    cfg: &DistributedConfig,
+) -> Result<DistributedOutcome, DistributedError> {
     let n = graph.n();
     let partition = Arc::new(partition.clone());
     let sim_cfg = SimConfig {
@@ -435,9 +480,196 @@ pub fn distributed_shortcuts(
             guesses,
             stats: session.stats().clone(),
             phase_stats: session.phases().to_vec(),
+            degraded: None,
         });
     }
     Err(DistributedError::NoGuessAccepted { tried: ladder })
+}
+
+/// Fault-tolerant wrapper: detect crash-stops on the faulty network,
+/// excise the dead, and run the pipeline on the survivors.
+///
+/// Detection executes over [`Reliable`] links under the plan — a BFS
+/// from node 0 (its reach IS the surviving component) followed by a
+/// census convergecast over the BFS tree (the root learns the survivor
+/// count; `count < n` is the detection signal). The remaining phases
+/// then run on the excised subgraph over the same reliable transport;
+/// since [`Reliable`] makes their outputs byte-identical to fault-free
+/// runs (a tier-1 property of `lcs-congest`), they are simulated
+/// fault-free, and only the detection overhead is charged as
+/// [`DegradedOutcome::extra_rounds`].
+fn degraded_shortcuts(
+    graph: &Graph,
+    partition: &Partition,
+    cfg: &DistributedConfig,
+    plan: &FaultPlan,
+) -> Result<DistributedOutcome, DistributedError> {
+    let n = graph.n();
+    let crashed: Vec<NodeId> = plan
+        .crashes
+        .iter()
+        .filter(|c| c.recover_at.is_none())
+        .map(|c| c.node)
+        .collect();
+    if crashed.contains(&0) {
+        return Err(DistributedError::Sim(SimError::FaultConfig {
+            reason: "node 0 roots the detection convergecast; it may not crash permanently \
+                     — crash a different node or give node 0 a recovery round"
+                .to_string(),
+        }));
+    }
+
+    // ---- Detection, on the faulty network over reliable links. -------
+    let det_cfg = SimConfig {
+        seed: cfg.seed,
+        shards: cfg.shards,
+        max_rounds: 500_000, // retransmission slack
+        faults: Some(plan.clone()),
+        ..SimConfig::default()
+    };
+    let mut det = Session::new(graph, det_cfg);
+    let bfs = det.run_labeled(
+        "F.detect_bfs",
+        Reliable::with_crashed(Bfs::new(0), &crashed),
+    )?;
+    {
+        let positions = positions_from_tree(0, &bfs.parent, &bfs.children);
+        let ones = vec![1u64; n];
+        let (census, _) = det.run_labeled(
+            "F.detect_census",
+            Reliable::with_crashed(
+                TreeAggregate::new(positions, &ones, AggOp::Sum, true),
+                &crashed,
+            ),
+        )?;
+        let alive = census[0].unwrap_or(0);
+        debug_assert_eq!(
+            alive,
+            bfs.dist.iter().flatten().count() as u64,
+            "census must count exactly the BFS-reached survivors"
+        );
+    }
+    let extra_rounds = det.rounds_used();
+    let excluded: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| bfs.dist[v as usize].is_none())
+        .collect();
+
+    if excluded.is_empty() {
+        // Nothing crash-stopped: drops/delays were absorbed by the
+        // reliable layer; the pipeline runs on the whole graph.
+        let sub_cfg = DistributedConfig {
+            faults: None,
+            ..cfg.clone()
+        };
+        let mut out = run_pipeline(graph, partition, &sub_cfg)?;
+        out.total_rounds += extra_rounds;
+        out.total_messages += det.stats().messages;
+        let mut phases = det.phases().to_vec();
+        phases.extend(out.phase_stats);
+        out.phase_stats = phases;
+        out.degraded = Some(DegradedOutcome {
+            completed: true,
+            excluded_nodes: Vec::new(),
+            extra_rounds,
+        });
+        return Ok(out);
+    }
+
+    // ---- Excision: relabel the survivors into an induced subgraph. ---
+    let mut new_id: Vec<u32> = vec![u32::MAX; n];
+    let survivors: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| bfs.dist[v as usize].is_some())
+        .collect();
+    for (i, &v) in survivors.iter().enumerate() {
+        new_id[v as usize] = i as u32;
+    }
+    let sub_edges: Vec<(NodeId, NodeId)> = graph
+        .edges()
+        .iter()
+        .filter(|&&(a, b)| new_id[a as usize] != u32::MAX && new_id[b as usize] != u32::MAX)
+        .map(|&(a, b)| (new_id[a as usize], new_id[b as usize]))
+        .collect();
+    let sub_g = Graph::from_edges(survivors.len(), &sub_edges)
+        .expect("relabeled survivor edges are simple");
+
+    // Surviving part fragments, split into connected pieces (excising a
+    // node may cut a part in two); each piece maps back to its original
+    // part index.
+    let mut sub_part_label: Vec<Option<usize>> = vec![None; survivors.len()];
+    for (i, part) in partition.parts().iter().enumerate() {
+        for &v in part {
+            let nv = new_id[v as usize];
+            if nv != u32::MAX {
+                sub_part_label[nv as usize] = Some(i);
+            }
+        }
+    }
+    let mut uf = UnionFind::new(survivors.len());
+    for &(a, b) in sub_g.edges() {
+        if sub_part_label[a as usize].is_some()
+            && sub_part_label[a as usize] == sub_part_label[b as usize]
+        {
+            uf.union(a, b);
+        }
+    }
+    let mut groups: HashMap<(usize, u32), Vec<NodeId>> = HashMap::new();
+    for v in 0..survivors.len() as u32 {
+        if let Some(p) = sub_part_label[v as usize] {
+            groups.entry((p, uf.find(v))).or_default().push(v);
+        }
+    }
+    let mut keys: Vec<(usize, u32)> = groups.keys().copied().collect();
+    keys.sort_unstable();
+    let mut sub_parts: Vec<Vec<NodeId>> = Vec::with_capacity(keys.len());
+    let mut sub_to_orig_part: Vec<usize> = Vec::with_capacity(keys.len());
+    for k in &keys {
+        sub_parts.push(groups.remove(k).expect("key enumerated from map"));
+        sub_to_orig_part.push(k.0);
+    }
+    let sub_partition =
+        Partition::new(&sub_g, sub_parts).expect("fragments are connected by construction");
+
+    // ---- The pipeline proper, on the survivors. ----------------------
+    let sub_cfg = DistributedConfig {
+        faults: None,
+        ..cfg.clone()
+    };
+    let sub = run_pipeline(&sub_g, &sub_partition, &sub_cfg)?;
+
+    // Map the result back to the original graph's ids.
+    let mut per_part: Vec<Vec<EdgeId>> = vec![Vec::new(); partition.num_parts()];
+    let mut is_large = vec![false; partition.num_parts()];
+    for (si, &oi) in sub_to_orig_part.iter().enumerate() {
+        is_large[oi] |= sub.is_large[si];
+        for &e in sub.shortcuts.edges(si) {
+            let (a, b) = sub_g.edge_endpoints(e);
+            let (oa, ob) = (survivors[a as usize], survivors[b as usize]);
+            per_part[oi].push(
+                graph
+                    .edge_between(oa, ob)
+                    .expect("surviving edge exists in the original graph"),
+            );
+        }
+    }
+    let sub_phase_stats = sub.phase_stats;
+    let mut phase_stats = det.phases().to_vec();
+    phase_stats.extend(sub_phase_stats);
+    Ok(DistributedOutcome {
+        shortcuts: ShortcutSet::from_edge_lists(per_part),
+        is_large,
+        accepted_guess: sub.accepted_guess,
+        params: sub.params,
+        total_rounds: sub.total_rounds + extra_rounds,
+        total_messages: sub.total_messages + det.stats().messages,
+        guesses: sub.guesses,
+        stats: sub.stats,
+        phase_stats,
+        degraded: Some(DegradedOutcome {
+            completed: true,
+            excluded_nodes: excluded,
+            extra_rounds,
+        }),
+    })
 }
 
 /// Builds multi-aggregate participations from a multi-BFS outcome
@@ -661,6 +893,94 @@ mod tests {
                 "shards={shards}"
             );
         }
+    }
+
+    #[test]
+    fn degraded_construction_excises_crashed_part() {
+        use lcs_congest::Crash;
+        // Crash every node of one path-part at round 0, under drops and
+        // delays too; the construction must excise it and verify
+        // shortcuts for the surviving parts.
+        let (g, p) = fixture(4, 4, 30);
+        let mut dead_part: Vec<NodeId> = p.part(1).to_vec();
+        dead_part.sort_unstable();
+        assert!(!dead_part.contains(&0), "node 0 must survive");
+        let cfg = DistributedConfig {
+            known_diameter: Some(4),
+            faults: Some(FaultPlan {
+                drop_rate: 0.05,
+                delay_rate: 0.05,
+                max_delay: 2,
+                crashes: dead_part
+                    .iter()
+                    .map(|&v| Crash {
+                        node: v,
+                        at_round: 0,
+                        recover_at: None,
+                    })
+                    .collect(),
+                fault_seed: 0xDEAD,
+            }),
+            ..DistributedConfig::default()
+        };
+        let out = distributed_shortcuts(&g, &p, &cfg).unwrap();
+        let deg = out
+            .degraded
+            .as_ref()
+            .expect("faulty run reports degradation");
+        assert!(deg.completed);
+        assert_eq!(deg.excluded_nodes, dead_part);
+        assert!(deg.extra_rounds > 0);
+        // The dead part got no shortcuts; surviving large parts did.
+        assert!(out.shortcuts.edges(1).is_empty());
+        assert!(!out.is_large[1], "a dead part cannot be large");
+        for i in [0usize, 2, 3] {
+            assert!(out.is_large[i], "surviving long path {i} is large");
+            assert!(!out.shortcuts.edges(i).is_empty());
+        }
+        // No shortcut edge touches a dead node.
+        for i in 0..out.shortcuts.num_parts() {
+            for &e in out.shortcuts.edges(i) {
+                let (a, b) = g.edge_endpoints(e);
+                assert!(!dead_part.contains(&a) && !dead_part.contains(&b));
+            }
+        }
+        // Detection phases are first in the per-phase breakdown.
+        assert!(out.phase_stats[0].label.starts_with("F.detect"));
+    }
+
+    #[test]
+    fn degraded_construction_without_crashes_matches_fault_free() {
+        let (g, p) = fixture(4, 3, 24);
+        let clean = distributed_shortcuts(
+            &g,
+            &p,
+            &DistributedConfig {
+                known_diameter: Some(4),
+                ..DistributedConfig::default()
+            },
+        )
+        .unwrap();
+        let cfg = DistributedConfig {
+            known_diameter: Some(4),
+            faults: Some(FaultPlan {
+                drop_rate: 0.10,
+                delay_rate: 0.10,
+                max_delay: 2,
+                crashes: vec![],
+                fault_seed: 21,
+            }),
+            ..DistributedConfig::default()
+        };
+        let out = distributed_shortcuts(&g, &p, &cfg).unwrap();
+        assert_eq!(out.shortcuts, clean.shortcuts, "reliability is exact");
+        assert_eq!(out.is_large, clean.is_large);
+        let deg = out.degraded.unwrap();
+        assert!(deg.completed && deg.excluded_nodes.is_empty());
+        assert!(
+            out.total_rounds > clean.total_rounds,
+            "detection is charged"
+        );
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub use centralized::{
 };
 pub use dilation::{certify_part, dilation_trace, DilationTrace, Trichotomy};
 pub use distributed::{
-    distributed_shortcuts, DistributedConfig, DistributedError, DistributedOutcome, GuessReport,
+    distributed_shortcuts, DegradedOutcome, DistributedConfig, DistributedError,
+    DistributedOutcome, GuessReport,
 };
 pub use odd::{odd_shortcuts_subdivision, shared_delay, subdivide, OddStrategy};
 pub use params::{guess_ladder, k_d, KpParams, ParamError};
