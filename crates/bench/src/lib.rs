@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod quality;
+
 use lcs_graph::{HighwayGraph, NodeId};
 use lcs_shortcut::Partition;
 

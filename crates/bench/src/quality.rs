@@ -1,0 +1,312 @@
+//! Shared machinery for the cross-backend shortcut **quality bench**
+//! (`quality_bench` binary, the tier-2 registry proptest, and the CI
+//! fingerprint gate): the backend registry, the graph-family zoo
+//! instantiations, per-cell measurement, and the FNV-1a result
+//! fingerprint.
+//!
+//! A *cell* is one `(family, backend)` pair: the backend builds its
+//! shortcuts on the family instance, the independent verifier checks
+//! them against the backend's declared bound, quality is measured
+//! exactly, and a partwise aggregation is simulated on the CONGEST
+//! engine for a rounds/messages cost. Cells are deterministic — the
+//! build RNG is seeded from the cell's name pair, every cell is built
+//! twice and must match bit for bit, and the run fingerprint folds only
+//! integer results (never timings), so CI can gate on it.
+
+use lcs_core::KoganParter;
+use lcs_graph::{
+    exact_diameter, grid_diagonals, k_chordal, k_tree, power_law, random_regular, Graph,
+    HighwayGraph, HighwayParams,
+};
+use lcs_shortcut::{
+    measure_quality, verify, AggregationSetup, DilationMode, GlobalTree, KitamuraSampling,
+    Partition, ShortcutBuilder, Trivial,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One graph-family instance of the bench: a named graph, a partition,
+/// and the measured diameter the parameterized backends key on.
+pub struct Family {
+    /// Family name (stable; part of the fingerprint).
+    pub name: &'static str,
+    /// The instance graph.
+    pub graph: Graph,
+    /// The partition backends must shortcut.
+    pub partition: Partition,
+    /// Exact diameter of `graph`.
+    pub d: u32,
+}
+
+fn balls(graph: &Graph, k: usize, seed: u64) -> Partition {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Partition::bfs_balls(graph, k, &mut rng)
+}
+
+/// The bench's graph families — the paper's highway hard instance plus
+/// the structured zoo (`lcs_graph::generators::zoo`): planar,
+/// bounded-treewidth, expander, power-law, and bounded-chordality
+/// shapes, so each backend's family dependence is visible side by side.
+/// Deterministic in `seed`.
+pub fn families(quick: bool, seed: u64) -> Vec<Family> {
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, graph: Graph, partition: Partition| {
+        let d = exact_diameter(&graph).expect("bench families are connected");
+        out.push(Family {
+            name,
+            graph,
+            partition,
+            d,
+        });
+    };
+
+    let hw = HighwayGraph::new(HighwayParams {
+        num_paths: 4,
+        path_len: if quick { 12 } else { 40 },
+        diameter: 4,
+    })
+    .expect("valid highway parameters");
+    let g = hw.graph().clone();
+    let p = Partition::new(&g, hw.path_parts()).expect("path parts are valid");
+    push("highway_d4", g, p);
+
+    let side = if quick { 8 } else { 16 };
+    let g = grid_diagonals(side, side);
+    let p = balls(&g, 6, seed ^ 1);
+    push("grid_diag", g, p);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 2);
+    let g = k_tree(if quick { 60 } else { 200 }, 3, &mut rng);
+    let p = balls(&g, 6, seed ^ 2);
+    push("k_tree", g, p);
+
+    // d-regular graphs from the configuration model are connected whp;
+    // retry the seed deterministically until one is (diameter defined).
+    let n = if quick { 64 } else { 200 };
+    let g = (0..64u64)
+        .find_map(|attempt| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 3 ^ (attempt << 32));
+            let g = random_regular(n, 4, &mut rng);
+            exact_diameter(&g).map(|_| g)
+        })
+        .expect("a connected 4-regular sample in 64 attempts");
+    let p = balls(&g, 6, seed ^ 3);
+    push("expander", g, p);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 4);
+    let g = power_law(if quick { 80 } else { 250 }, 2, &mut rng);
+    let p = balls(&g, 6, seed ^ 4);
+    push("power_law", g, p);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 5);
+    let g = k_chordal(if quick { 70 } else { 220 }, 5, &mut rng);
+    let p = balls(&g, 6, seed ^ 5);
+    push("k_chordal", g, p);
+
+    out
+}
+
+/// Every registered backend, parameterized for an instance of diameter
+/// `d`. Inapplicable backends (e.g. Kitamura sampling off `D ∈ {3,4}`)
+/// are still returned — callers skip them via
+/// [`ShortcutBuilder::applicable`], so skips are visible, not silent.
+pub fn registry(d: u32) -> Vec<Box<dyn ShortcutBuilder>> {
+    vec![
+        Box::new(Trivial),
+        Box::new(GlobalTree::default()),
+        Box::new(KoganParter {
+            diameter: Some(d.max(3)),
+            prob_constant: 1.0,
+            pruned: true,
+        }),
+        Box::new(lcs_shortcut::TreeSeparator::default()),
+        Box::new(lcs_shortcut::CappedGrowth::default()),
+        Box::new(KitamuraSampling {
+            d,
+            prob_constant: 1.0,
+        }),
+    ]
+}
+
+/// One measured `(family, backend)` cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Family name.
+    pub family: String,
+    /// Backend name.
+    pub backend: String,
+    /// Backend parameters, rendered `key=value`.
+    pub params: String,
+    /// Nodes / edges / parts of the instance.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Part count.
+    pub num_parts: usize,
+    /// Total shortcut edges across parts.
+    pub shortcut_edges: usize,
+    /// Measured congestion.
+    pub congestion: u32,
+    /// Measured dilation.
+    pub dilation: u32,
+    /// Declared (certified) bound, when the backend has one.
+    pub declared: Option<(u32, u32)>,
+    /// Simulated partwise-aggregation rounds on the CONGEST engine.
+    pub rounds: u64,
+    /// Simulated partwise-aggregation messages.
+    pub messages: u64,
+}
+
+/// Runs one cell: double-builds (in-run determinism self-check),
+/// verifies against the declared bound, measures exact quality, and
+/// simulates one partwise Sum-aggregation with broadcast.
+///
+/// # Panics
+///
+/// Panics if the two builds diverge, verification fails, or the
+/// aggregation simulation errors — a bench with a broken cell must not
+/// emit a fingerprint.
+pub fn run_cell(family: &Family, backend: &dyn ShortcutBuilder) -> Cell {
+    let cell_seed = {
+        let mut f = Fnv::new();
+        f.str(family.name);
+        f.str(backend.name());
+        f.finish()
+    };
+    let mut r1 = ChaCha8Rng::seed_from_u64(cell_seed);
+    let mut r2 = ChaCha8Rng::seed_from_u64(cell_seed);
+    let shortcuts = backend.build(&family.graph, &family.partition, &mut r1);
+    let again = backend.build(&family.graph, &family.partition, &mut r2);
+    assert_eq!(
+        shortcuts,
+        again,
+        "{}/{}: build is not deterministic",
+        family.name,
+        backend.name()
+    );
+
+    let declared = backend.declared_bound(&family.graph, &family.partition);
+    verify(
+        &family.graph,
+        &family.partition,
+        &shortcuts,
+        declared,
+        DilationMode::Exact,
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "{}/{}: verification failed: {e:?}",
+            family.name,
+            backend.name()
+        )
+    });
+    let report = measure_quality(
+        &family.graph,
+        &family.partition,
+        &shortcuts,
+        DilationMode::Exact,
+    );
+
+    let setup = AggregationSetup::build(&family.graph, &family.partition, &shortcuts);
+    let cfg = lcs_congest::SimConfig {
+        shards: 1,
+        ..lcs_congest::SimConfig::default()
+    };
+    let (_, outcome) = setup
+        .aggregate_simulated(
+            &family.graph,
+            lcs_congest::AggOp::Sum,
+            &|v, _| u64::from(v),
+            true,
+            &cfg,
+        )
+        .expect("aggregation simulates");
+
+    Cell {
+        family: family.name.to_string(),
+        backend: backend.name().to_string(),
+        params: backend
+            .params()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        n: family.graph.n(),
+        m: family.graph.m(),
+        num_parts: family.partition.num_parts(),
+        shortcut_edges: shortcuts.total_edges(),
+        congestion: report.quality.congestion,
+        dilation: report.quality.dilation,
+        declared: declared.map(|q| (q.congestion, q.dilation)),
+        rounds: outcome.stats.rounds,
+        messages: outcome.stats.messages,
+    }
+}
+
+/// FNV-1a 64-bit folder for the result fingerprint. Only integer
+/// results and stable names go in — never timings — so equal code on
+/// equal inputs reproduces the fingerprint on any host.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Offset-basis start.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Folds a string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Folds a u64 (little-endian).
+    pub fn u64(&mut self, x: u64) -> &mut Self {
+        self.bytes(&x.to_le_bytes())
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cell {
+    /// Folds this cell's integer results into the run fingerprint.
+    pub fn fold(&self, f: &mut Fnv) {
+        f.str(&self.family).str(&self.backend).str(&self.params);
+        f.u64(self.n as u64).u64(self.m as u64);
+        f.u64(self.num_parts as u64).u64(self.shortcut_edges as u64);
+        f.u64(u64::from(self.congestion))
+            .u64(u64::from(self.dilation));
+        let (dc, dd) = self
+            .declared
+            .map_or((u64::MAX, u64::MAX), |(c, d)| (u64::from(c), u64::from(d)));
+        f.u64(dc).u64(dd);
+        f.u64(self.rounds).u64(self.messages);
+    }
+}
+
+/// Fingerprint of a full run: every cell folded in order.
+pub fn fingerprint(cells: &[Cell]) -> u64 {
+    let mut f = Fnv::new();
+    for c in cells {
+        c.fold(&mut f);
+    }
+    f.finish()
+}

@@ -1,0 +1,54 @@
+//! Tier-2 property test over the **whole backend registry**: every
+//! registered, applicable backend on a random connected graph with a
+//! random BFS-ball partition must (a) pass the independent verifier
+//! against its declared bound, and (b) be deterministic in the RNG
+//! seed. Shrinking minimizes the graph on failure, so a registry-wide
+//! property violation comes back as a small reproducible instance.
+
+use lcs_bench::quality::registry;
+use lcs_graph::{exact_diameter, gnp_connected};
+use lcs_shortcut::{verify, DilationMode, Partition};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every applicable backend verifies within its declared bound on
+    /// random instances, and rebuilding with an equal seed is
+    /// bit-identical.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
+    #[test]
+    fn registry_verifies_and_is_deterministic(
+        seed in any::<u64>(),
+        n in 8usize..40,
+        k in 2usize..6,
+        p_edge in 0.08f64..0.25,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = gnp_connected(n, p_edge, &mut rng);
+        let p = Partition::bfs_balls(&g, k, &mut rng);
+        let d = exact_diameter(&g).expect("gnp_connected is connected");
+
+        for backend in registry(d) {
+            if !backend.applicable(&g, &p) {
+                continue;
+            }
+            let mut r1 = ChaCha8Rng::seed_from_u64(seed ^ 0x51);
+            let mut r2 = ChaCha8Rng::seed_from_u64(seed ^ 0x51);
+            let s = backend.build(&g, &p, &mut r1);
+            let again = backend.build(&g, &p, &mut r2);
+            prop_assert_eq!(
+                &s, &again,
+                "{} not deterministic in the seed", backend.name()
+            );
+            let bound = backend.declared_bound(&g, &p);
+            let report = verify(&g, &p, &s, bound, DilationMode::Exact);
+            prop_assert!(
+                report.is_ok(),
+                "{} failed verification: {:?}", backend.name(), report.err()
+            );
+        }
+    }
+}

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod builder;
 pub mod centralized;
 pub mod dilation;
@@ -45,6 +46,7 @@ pub mod sampling;
 pub mod shortcut_tree;
 pub mod streaming;
 
+pub use backend::KoganParter;
 pub use builder::{BuildError, BuiltShortcuts, ShortcutBuilder, Variant};
 pub use centralized::{
     centralized_shortcuts, classify_large, large_part_leaders, prune_to_trees,

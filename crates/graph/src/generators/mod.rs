@@ -4,7 +4,9 @@
 pub mod classic;
 pub mod lower_bound;
 pub mod random;
+pub mod zoo;
 
 pub use classic::{balanced_tree, complete, cycle, grid, path, star};
 pub use lower_bound::{HighwayError, HighwayGraph, HighwayParams};
 pub use random::{gnp, gnp_connected, hub_and_spoke, random_tree};
+pub use zoo::{grid_diagonals, k_chordal, k_tree, power_law, random_regular};

@@ -1,0 +1,331 @@
+//! Wider generator zoo for the multi-backend quality bench: planar grids
+//! with diagonals, bounded-treewidth random k-trees, random d-regular
+//! expanders, preferential-attachment power-law graphs, and provably
+//! k-chordal cacti.
+//!
+//! Every generator here is deterministic in its inputs: equal parameters
+//! plus an equal RNG seed produce a bit-identical [`Graph`] (asserted by
+//! the tier-1 invariant tests in `tests/zoo_invariants.rs`). The
+//! `quality_bench` CI fingerprint gate relies on this.
+
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+use std::collections::{BTreeSet, HashMap};
+
+/// `rows × cols` grid with one diagonal per unit face (the
+/// `(r, c)–(r+1, c+1)` diagonal). One diagonal per face keeps the graph
+/// planar; diameter is `Θ(max(rows, cols))` and treewidth
+/// `Θ(min(rows, cols))`, so separator-based shortcut constructions have
+/// real (but not constant-size) separators to find.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid_diagonals(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid requires positive dimensions");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::with_capacity(3 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                edges.push((id(r, c), id(r + 1, c + 1)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("valid diagonal grid")
+}
+
+/// Uniform random k-tree on `n` nodes: start from a `(k+1)`-clique, then
+/// attach each new node to a uniformly chosen existing k-clique. The
+/// result has treewidth exactly `min(k, n - 1)`.
+///
+/// The construction carries its own treewidth certificate in the node
+/// ids: for every node `v ≥ k + 1`, the neighbors of `v` with smaller id
+/// are exactly `k` nodes forming a clique, so eliminating nodes in
+/// descending id order is a perfect elimination order of width `k`
+/// (checked by `tests/zoo_invariants.rs`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+pub fn k_tree<R: Rng>(n: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "k-tree requires at least one node");
+    assert!(k >= 1, "k-tree requires k >= 1");
+    if n <= k + 1 {
+        return super::classic::complete(n);
+    }
+    let mut edges = Vec::new();
+    for u in 0..=k as u32 {
+        for v in (u + 1)..=k as u32 {
+            edges.push((u, v));
+        }
+    }
+    // All k-subsets of the base clique are attachment candidates.
+    let mut cliques: Vec<Vec<NodeId>> = (0..=k as u32)
+        .map(|drop| (0..=k as u32).filter(|&u| u != drop).collect())
+        .collect();
+    for v in (k + 1) as u32..n as u32 {
+        let q = cliques[rng.gen_range(0..cliques.len())].clone();
+        for &u in &q {
+            edges.push((u, v));
+        }
+        for i in 0..q.len() {
+            let mut fresh = q.clone();
+            fresh[i] = v;
+            cliques.push(fresh);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid k-tree")
+}
+
+/// Random d-regular multigraph-free graph via the configuration model
+/// with deterministic switch repair: pair up `n·d` stubs uniformly, then
+/// remove self-loops and duplicate edges by random 2-switches (and a
+/// full reshuffle if a repair pass stalls). For `d ≥ 3` the result is
+/// connected with high probability — callers that need connectivity
+/// should re-seed and retry (see `quality_bench`).
+///
+/// # Panics
+///
+/// Panics if `d == 0`, `d >= n`, or `n·d` is odd.
+pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d >= 1, "regular graph requires d >= 1");
+    assert!(d < n, "regular graph requires d < n");
+    assert!((n * d).is_multiple_of(2), "n * d must be even");
+    use rand::seq::SliceRandom;
+    let mut stubs: Vec<NodeId> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
+    'attempt: for _ in 0..64 {
+        stubs.shuffle(rng);
+        let mut pairs: Vec<(NodeId, NodeId)> =
+            stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let canon = |u: NodeId, v: NodeId| if u < v { (u, v) } else { (v, u) };
+        let mut count: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+        for &(u, v) in &pairs {
+            if u != v {
+                *count.entry(canon(u, v)).or_insert(0) += 1;
+            }
+        }
+        let is_bad = |&(u, v): &(NodeId, NodeId), count: &HashMap<(NodeId, NodeId), u32>| {
+            u == v || count[&canon(u, v)] > 1
+        };
+        for _pass in 0..200 {
+            let bad: Vec<usize> = (0..pairs.len())
+                .filter(|&i| is_bad(&pairs[i], &count))
+                .collect();
+            if bad.is_empty() {
+                return Graph::from_edges(n, &pairs).expect("valid regular graph");
+            }
+            for &b in &bad {
+                if !is_bad(&pairs[b], &count) {
+                    continue; // an earlier switch this pass already fixed it
+                }
+                let (a1, a2) = pairs[b];
+                for _try in 0..32 {
+                    let j = rng.gen_range(0..pairs.len());
+                    if j == b {
+                        continue;
+                    }
+                    let (b1, b2) = pairs[j];
+                    // Remove the two old pairs from the edge counts, then
+                    // test the proposed re-pairing (a1,b1),(a2,b2).
+                    if a1 != a2 {
+                        *count.get_mut(&canon(a1, a2)).unwrap() -= 1;
+                    }
+                    if b1 != b2 {
+                        *count.get_mut(&canon(b1, b2)).unwrap() -= 1;
+                    }
+                    let ok = a1 != b1
+                        && a2 != b2
+                        && canon(a1, b1) != canon(a2, b2)
+                        && count.get(&canon(a1, b1)).copied().unwrap_or(0) == 0
+                        && count.get(&canon(a2, b2)).copied().unwrap_or(0) == 0;
+                    if ok {
+                        pairs[b] = (a1, b1);
+                        pairs[j] = (a2, b2);
+                        *count.entry(canon(a1, b1)).or_insert(0) += 1;
+                        *count.entry(canon(a2, b2)).or_insert(0) += 1;
+                        break;
+                    }
+                    // Roll back the decrements and try another partner.
+                    if a1 != a2 {
+                        *count.get_mut(&canon(a1, a2)).unwrap() += 1;
+                    }
+                    if b1 != b2 {
+                        *count.get_mut(&canon(b1, b2)).unwrap() += 1;
+                    }
+                }
+                if is_bad(&pairs[b], &count) {
+                    continue; // this pair stayed bad; next pass retries it
+                }
+            }
+        }
+        continue 'attempt;
+    }
+    panic!("random_regular: switch repair failed to converge (n={n}, d={d})");
+}
+
+/// Barabási–Albert preferential attachment: nodes arrive one at a time
+/// and connect to `attach` distinct existing nodes sampled proportional
+/// to degree (the first `attach + 1` nodes form a clique seed). Produces
+/// a connected graph with a power-law degree tail — a few hubs of degree
+/// `Θ(√(n·attach))` against a mean degree of `≈ 2·attach`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `attach == 0`.
+pub fn power_law<R: Rng>(n: usize, attach: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "power-law graph requires at least one node");
+    assert!(attach >= 1, "power-law graph requires attach >= 1");
+    let mut edges = Vec::new();
+    // One pool entry per edge endpoint: sampling the pool uniformly is
+    // sampling nodes proportional to degree.
+    let mut pool: Vec<NodeId> = Vec::new();
+    for v in 1..n as u32 {
+        let targets: BTreeSet<NodeId> = if (v as usize) <= attach {
+            (0..v).collect()
+        } else {
+            let mut t = BTreeSet::new();
+            let mut tries = 0usize;
+            while t.len() < attach && tries < 64 * attach {
+                tries += 1;
+                let cand = pool[rng.gen_range(0..pool.len())];
+                if cand != v {
+                    t.insert(cand);
+                }
+            }
+            // Pathological rejection streaks: top up with the smallest
+            // ids not yet chosen (deterministic, keeps the graph simple).
+            let mut fill = 0u32;
+            while t.len() < attach {
+                if fill != v {
+                    t.insert(fill);
+                }
+                fill += 1;
+            }
+            t
+        };
+        for &u in &targets {
+            edges.push((u, v));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid power-law graph")
+}
+
+/// Random k-chordal cactus on `n` nodes: blocks are single edges or
+/// cycles of length at most `k`, glued at cut vertices. In a cactus
+/// every induced cycle is a block, so the longest induced cycle has
+/// length exactly `k` (the first block is forced to be a `k`-cycle
+/// whenever `n ≥ k`) — the defining property of a k-chordal graph,
+/// spot-checked by brute force in `tests/zoo_invariants.rs`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k < 3`.
+pub fn k_chordal<R: Rng>(n: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "k-chordal graph requires at least one node");
+    assert!(k >= 3, "chordality parameter must be at least 3");
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut next: u32 = 1;
+    if n >= k {
+        for i in 0..k as u32 - 1 {
+            edges.push((i, i + 1));
+        }
+        edges.push((k as u32 - 1, 0));
+        next = k as u32;
+    }
+    while (next as usize) < n {
+        let anchor = rng.gen_range(0..next);
+        let remaining = n - next as usize;
+        let max_cycle = k.min(remaining + 1);
+        if max_cycle >= 3 && rng.gen_bool(0.5) {
+            // Cycle block: anchor plus `c - 1` fresh nodes.
+            let c = rng.gen_range(3..=max_cycle);
+            let mut prev = anchor;
+            for _ in 0..c - 1 {
+                edges.push((prev, next));
+                prev = next;
+                next += 1;
+            }
+            edges.push((prev, anchor));
+        } else {
+            // Bridge block: a pendant edge.
+            edges.push((anchor, next));
+            next += 1;
+        }
+    }
+    Graph::from_edges(n, &edges).expect("valid k-chordal cactus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn mix(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn grid_diagonals_counts() {
+        let g = grid_diagonals(3, 4);
+        assert_eq!(g.n(), 12);
+        // 3*(4-1) horizontal + 4*(3-1) vertical + (3-1)*(4-1) diagonal.
+        assert_eq!(g.m(), 9 + 8 + 6);
+        assert!(is_connected(&g));
+        assert!(g.has_edge(0, 5)); // (0,0)-(1,1) diagonal
+    }
+
+    #[test]
+    fn k_tree_small_is_clique() {
+        let g = k_tree(4, 5, &mut mix(1));
+        assert_eq!(g.m(), 6);
+    }
+
+    #[test]
+    fn k_tree_edge_count_and_connectivity() {
+        let k = 3;
+        let n = 40;
+        let g = k_tree(n, k, &mut mix(2));
+        // k+1 choose 2 base edges plus k per later node.
+        assert_eq!(g.m(), k * (k + 1) / 2 + (n - k - 1) * k);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let g = random_regular(24, 4, &mut mix(3));
+        assert_eq!(g.m(), 24 * 4 / 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn power_law_connected_with_hubs() {
+        let g = power_law(200, 2, &mut mix(4));
+        assert!(is_connected(&g));
+        let mean = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(g.max_degree() as f64 > 2.5 * mean, "no heavy tail");
+    }
+
+    #[test]
+    fn k_chordal_is_cactus_sized() {
+        let g = k_chordal(60, 6, &mut mix(5));
+        assert_eq!(g.n(), 60);
+        assert!(is_connected(&g));
+        // A cactus has at most ⌊3(n-1)/2⌋ edges.
+        assert!(g.m() <= 3 * (g.n() - 1) / 2);
+    }
+}

@@ -49,8 +49,9 @@ pub use diameter::{
     induced_diameter, radius_and_diameter, single_bfs_upper_bound,
 };
 pub use generators::{
-    balanced_tree, complete, cycle, gnp, gnp_connected, grid, hub_and_spoke, path, random_tree,
-    star, HighwayError, HighwayGraph, HighwayParams,
+    balanced_tree, complete, cycle, gnp, gnp_connected, grid, grid_diagonals, hub_and_spoke,
+    k_chordal, k_tree, path, power_law, random_regular, random_tree, star, HighwayError,
+    HighwayGraph, HighwayParams,
 };
 pub use graph::{ArcId, EdgeId, Graph, GraphBuilder, GraphError, NodeId};
 pub use mincut::{brute_force_min_cut, cut_weight, stoer_wagner, unweighted_min_cut, Cut};

@@ -1,0 +1,219 @@
+//! Invariant tests for the generator zoo (`generators::zoo`):
+//! connectivity, degree shape (d-regularity, power-law tail), the k-tree
+//! treewidth certificate, a brute-force k-chordality spot-check, and
+//! bit-identical determinism for equal seeds.
+
+use lcs_graph::{
+    grid_diagonals, is_connected, k_chordal, k_tree, power_law, random_regular, Graph, NodeId,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+// ---------------------------------------------------------------------
+// Connectivity.
+
+#[test]
+fn zoo_families_are_connected() {
+    for seed in [1u64, 2, 3] {
+        assert!(is_connected(&grid_diagonals(7, 9)));
+        assert!(is_connected(&k_tree(60, 3, &mut rng(seed))));
+        assert!(is_connected(&power_law(150, 3, &mut rng(seed))));
+        assert!(is_connected(&k_chordal(80, 5, &mut rng(seed))));
+        // d-regular graphs are connected w.h.p. for d >= 3; these seeds
+        // are fixed, so this is a deterministic assertion.
+        assert!(is_connected(&random_regular(40, 4, &mut rng(seed))));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degree shape.
+
+#[test]
+fn random_regular_degree_exact() {
+    for (n, d, seed) in [(30, 3, 7u64), (50, 4, 8), (64, 6, 9)] {
+        let g = random_regular(n, d, &mut rng(seed));
+        assert_eq!(g.n(), n);
+        assert_eq!(g.m(), n * d / 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), d, "node {v} not {d}-regular");
+        }
+    }
+}
+
+#[test]
+fn power_law_tail_dominates_mean() {
+    let g = power_law(600, 3, &mut rng(11));
+    let mean = 2.0 * g.m() as f64 / g.n() as f64;
+    // Preferential attachment concentrates degree on early hubs: the max
+    // degree is Θ(√(n·attach)), far above the ≈2·attach mean. A G(n, p)
+    // graph of the same density would have max degree ≈ mean + 3√mean.
+    assert!(
+        g.max_degree() as f64 >= 4.0 * mean,
+        "max degree {} vs mean {mean:.1}: no heavy tail",
+        g.max_degree()
+    );
+    // ...and the tail is not a single outlier: the top 5 nodes all beat
+    // twice the mean.
+    let mut degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    assert!(degrees[4] as f64 >= 2.0 * mean);
+}
+
+// ---------------------------------------------------------------------
+// k-tree treewidth certificate.
+
+/// Checks the structural certificate that descending node ids are a
+/// perfect elimination order of width exactly `k`: every node `v > k`
+/// has exactly `k` lower-id neighbors and they form a clique.
+fn assert_k_tree_certificate(g: &Graph, k: usize) {
+    for v in g.nodes() {
+        if (v as usize) <= k {
+            continue;
+        }
+        let lower: Vec<NodeId> = g.neighbors(v).iter().copied().filter(|&u| u < v).collect();
+        assert_eq!(
+            lower.len(),
+            k,
+            "node {v} has {} lower neighbors",
+            lower.len()
+        );
+        for (i, &a) in lower.iter().enumerate() {
+            for &b in &lower[i + 1..] {
+                assert!(g.has_edge(a, b), "bag of {v} misses edge ({a},{b})");
+            }
+        }
+    }
+    // Lower bound: the base clique K_{k+1} is present, so treewidth >= k.
+    for a in 0..=k as NodeId {
+        for b in (a + 1)..=k as NodeId {
+            assert!(g.has_edge(a, b), "base clique misses ({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn k_tree_treewidth_certificate() {
+    for (n, k, seed) in [(30, 2, 21u64), (50, 3, 22), (40, 5, 23)] {
+        let g = k_tree(n, k, &mut rng(seed));
+        assert_k_tree_certificate(&g, k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// k-chordality spot-check (brute force).
+
+/// Longest induced cycle by exhaustive DFS over induced paths anchored
+/// at each cycle's minimum vertex. Only feasible for small graphs;
+/// `cap` bounds the path length explored.
+fn longest_induced_cycle(g: &Graph, cap: usize) -> usize {
+    fn extend(
+        g: &Graph,
+        start: NodeId,
+        path: &mut Vec<NodeId>,
+        on_path: &mut [bool],
+        best: &mut usize,
+        cap: usize,
+    ) {
+        if path.len() == cap {
+            return;
+        }
+        let last = *path.last().unwrap();
+        for &w in g.neighbors(last) {
+            // Canonical anchor: `start` is the smallest cycle vertex.
+            if w <= start || on_path[w as usize] {
+                continue;
+            }
+            // The path must stay induced: w may only touch `last` (its
+            // predecessor) and possibly `start` (the closing edge).
+            if path
+                .iter()
+                .any(|&p| p != last && p != start && g.has_edge(w, p))
+            {
+                continue;
+            }
+            let closes = g.has_edge(w, start);
+            if closes && path.len() >= 2 {
+                // start → ... → last → w → start, all chords excluded.
+                *best = (*best).max(path.len() + 1);
+            }
+            // w can be an interior vertex only if it has no chord to
+            // `start` — except the very first step, where the w–start
+            // edge is the opening cycle edge, not a chord.
+            if path.len() == 1 || !closes {
+                on_path[w as usize] = true;
+                path.push(w);
+                extend(g, start, path, on_path, best, cap);
+                path.pop();
+                on_path[w as usize] = false;
+            }
+        }
+    }
+
+    let mut best = 0usize;
+    let mut path: Vec<NodeId> = Vec::new();
+    let mut on_path = vec![false; g.n()];
+    for start in g.nodes() {
+        path.clear();
+        path.push(start);
+        on_path.fill(false);
+        on_path[start as usize] = true;
+        extend(g, start, &mut path, &mut on_path, &mut best, cap);
+    }
+    best
+}
+
+#[test]
+fn longest_induced_cycle_sanity() {
+    // C_6 is its own (only) induced cycle.
+    let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+    assert_eq!(longest_induced_cycle(&c6, 8), 6);
+    // A chorded C_4 has only triangles.
+    let diamond = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+    assert_eq!(longest_induced_cycle(&diamond, 8), 3);
+}
+
+#[test]
+fn k_chordal_spot_check() {
+    for (n, k, seed) in [(18, 4, 31u64), (20, 5, 32), (16, 6, 33)] {
+        let g = k_chordal(n, k, &mut rng(seed));
+        let longest = longest_induced_cycle(&g, k + 3);
+        assert!(longest <= k, "induced cycle of length {longest} > k = {k}");
+        // The first block is forced to a k-cycle, so the bound is tight.
+        assert_eq!(longest, k, "expected an exact k-cycle block");
+    }
+}
+
+#[test]
+fn k_trees_are_3_chordal() {
+    // k-trees are chordal: no induced cycle above a triangle.
+    let g = k_tree(16, 3, &mut rng(41));
+    assert_eq!(longest_induced_cycle(&g, 8), 3);
+}
+
+// ---------------------------------------------------------------------
+// Determinism.
+
+#[test]
+fn equal_seeds_produce_bit_identical_graphs() {
+    for seed in [0u64, 17, 99] {
+        assert_eq!(k_tree(45, 3, &mut rng(seed)), k_tree(45, 3, &mut rng(seed)));
+        assert_eq!(
+            random_regular(36, 4, &mut rng(seed)),
+            random_regular(36, 4, &mut rng(seed))
+        );
+        assert_eq!(
+            power_law(120, 3, &mut rng(seed)),
+            power_law(120, 3, &mut rng(seed))
+        );
+        assert_eq!(
+            k_chordal(70, 6, &mut rng(seed)),
+            k_chordal(70, 6, &mut rng(seed))
+        );
+    }
+    // ...and the deterministic family is trivially reproducible.
+    assert_eq!(grid_diagonals(5, 8), grid_diagonals(5, 8));
+}

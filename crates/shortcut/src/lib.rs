@@ -28,12 +28,18 @@
 
 pub mod aggregation;
 pub mod baseline;
+pub mod builder;
+pub mod minor;
 pub mod partition;
+pub mod separator;
 pub mod shortcut;
 pub mod verifier;
 
 pub use aggregation::{AggregationSetup, PartTree};
 pub use baseline::{global_tree_shortcuts, kitamura_style_shortcuts, trivial_shortcuts};
+pub use builder::{GlobalTree, KitamuraSampling, ShortcutBuilder, Trivial};
+pub use minor::{capped_growth_shortcuts, CappedGrowth, GrowthCert};
 pub use partition::{Partition, PartitionError};
+pub use separator::{separator_shortcuts, SeparatorCert, TreeSeparator};
 pub use shortcut::{measure_quality, DilationMode, Quality, QualityReport, ShortcutSet};
 pub use verifier::{verify, VerifyError};

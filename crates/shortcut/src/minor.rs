@@ -1,0 +1,314 @@
+//! Excluded-minor shortcuts via congestion-capped simultaneous growth,
+//! after Ghaffari & Haeupler, *Low-Congestion Shortcuts for Graphs
+//! Excluding Dense Minors* (arXiv:2008.03091), who obtain congestion
+//! `O(δ·D·log n)` and dilation `O(D)` on graphs whose minors have
+//! density at most `δ`.
+//!
+//! We instantiate their core mechanism centrally (the repo's
+//! documented-substitution pattern, DESIGN.md §2): every part grows a
+//! BFS tree from its leader, all parts simultaneously, under a hard
+//! per-edge *claim cap* — an edge may join at most `cap` different
+//! parts' trees (edges inside a part's own member set are free, since
+//! `G[S_i]` is already in the augmented subgraph). Parts take turns by
+//! a rotating round-robin priority (the deterministic stand-in for
+//! GH's random delays). If some part cannot reach all its members
+//! under the cap, the cap doubles and the growth restarts; on
+//! minor-sparse families small caps suffice — the doubling point is
+//! exactly the family dependence the quality bench exposes.
+//!
+//! The output is *self-certifying* ([`GrowthCert`]):
+//!
+//! * **Congestion ≤ cap + 1** — enforced by construction: `cap` claims
+//!   per edge, plus at most one part owning the edge internally.
+//! * **Dilation ≤ 2·(deepest member wave)** — members of a part meet at
+//!   its leader through tree paths no longer than the final wave count.
+//!
+//! The certificate is declared via [`ShortcutBuilder::declared_bound`]
+//! and enforced against measured quality by `verifier::verify` in the
+//! bench and the tier-2 registry proptest.
+
+use crate::builder::ShortcutBuilder;
+use crate::partition::Partition;
+use crate::shortcut::{Quality, ShortcutSet};
+use lcs_graph::{bfs_distances, EdgeId, Graph, NodeId, UNREACHABLE};
+use rand::RngCore;
+
+/// Structural certificate produced by [`capped_growth_shortcuts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowthCert {
+    /// The per-edge claim cap the growth succeeded at.
+    pub cap_used: u32,
+    /// Number of growth attempts (cap doublings + 1).
+    pub attempts: u32,
+    /// Deepest wave at which any part reached one of its members.
+    pub max_depth: u32,
+    /// Congestion bound enforced by construction: `cap_used + 1`.
+    pub congestion_bound: u32,
+    /// Dilation bound through the leaders: `2 · max_depth`.
+    pub dilation_bound: u32,
+}
+
+/// Builds congestion-capped growth shortcuts and their certificate,
+/// starting from per-edge claim cap `initial_cap` (0 is promoted to 1)
+/// and doubling on failure up to the number of parts, at which point
+/// growth cannot be blocked.
+pub fn capped_growth_shortcuts(
+    graph: &Graph,
+    partition: &Partition,
+    initial_cap: u32,
+) -> (ShortcutSet, GrowthCert) {
+    let num_parts = partition.num_parts();
+    // Waves needed with an unconstrained budget: the farthest member
+    // from each leader (in full G — growth may route through anything).
+    let mut max_waves = 0u32;
+    for i in 0..num_parts {
+        let dist = bfs_distances(graph, partition.leader(i));
+        for &v in partition.part(i) {
+            debug_assert_ne!(dist[v as usize], UNREACHABLE, "part spans components");
+            max_waves = max_waves.max(dist[v as usize]);
+        }
+    }
+
+    let cap_ceiling = (num_parts as u32).max(1);
+    let mut cap = initial_cap.max(1).min(cap_ceiling);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if let Some((parents, max_depth)) = attempt(graph, partition, cap, max_waves) {
+            let shortcuts = prune(graph, partition, &parents);
+            let cert = GrowthCert {
+                cap_used: cap,
+                attempts,
+                max_depth,
+                congestion_bound: cap + 1,
+                dilation_bound: (2 * max_depth).max(1),
+            };
+            return (shortcuts, cert);
+        }
+        assert!(
+            cap < cap_ceiling,
+            "capped growth failed with an unblockable cap"
+        );
+        cap = (cap * 2).min(cap_ceiling);
+    }
+}
+
+/// One growth pass at a fixed cap. Returns per-part parent arrays
+/// (`u32::MAX` = unreached) and the deepest member wave, or `None` if
+/// some part could not cover its members.
+fn attempt(
+    graph: &Graph,
+    partition: &Partition,
+    cap: u32,
+    max_waves: u32,
+) -> Option<(Vec<Vec<NodeId>>, u32)> {
+    let n = graph.n();
+    let num_parts = partition.num_parts();
+    let mut budget = vec![cap; graph.m()];
+    let mut reached: Vec<Vec<bool>> = vec![vec![false; n]; num_parts];
+    let mut parents: Vec<Vec<NodeId>> = vec![vec![u32::MAX; n]; num_parts];
+    let mut frontier: Vec<Vec<NodeId>> = Vec::with_capacity(num_parts);
+    let mut members_left: Vec<usize> = Vec::with_capacity(num_parts);
+    for (i, reach) in reached.iter_mut().enumerate() {
+        let leader = partition.leader(i);
+        reach[leader as usize] = true;
+        frontier.push(vec![leader]);
+        members_left.push(partition.part(i).len() - 1);
+    }
+    let mut max_depth = 0u32;
+    let mut outstanding: usize = members_left.iter().sum();
+    for t in 1..=max_waves {
+        if outstanding == 0 {
+            break;
+        }
+        // Rotating priority: the deterministic stand-in for GH's random
+        // delays — no part systematically starves the others.
+        for k in 0..num_parts {
+            let i = (k + (t as usize - 1)) % num_parts;
+            if members_left[i] == 0 || frontier[i].is_empty() {
+                continue;
+            }
+            let mut next = Vec::new();
+            for &u in &frontier[i] {
+                for (w, e) in graph.neighbors_with_edges(u) {
+                    if reached[i][w as usize] {
+                        continue;
+                    }
+                    let internal = partition.part_of(u) == Some(i as u32)
+                        && partition.part_of(w) == Some(i as u32);
+                    if !internal {
+                        if budget[e.index()] == 0 {
+                            continue;
+                        }
+                        budget[e.index()] -= 1;
+                    }
+                    reached[i][w as usize] = true;
+                    parents[i][w as usize] = u;
+                    next.push(w);
+                    if partition.part_of(w) == Some(i as u32) {
+                        members_left[i] -= 1;
+                        outstanding -= 1;
+                        max_depth = max_depth.max(t);
+                    }
+                }
+            }
+            frontier[i] = next;
+        }
+    }
+    if outstanding == 0 {
+        Some((parents, max_depth))
+    } else {
+        None
+    }
+}
+
+/// Keeps only tree edges on member→leader paths, minus part-internal
+/// edges (`G[S_i]` is free in the augmented subgraph).
+fn prune(graph: &Graph, partition: &Partition, parents: &[Vec<NodeId>]) -> ShortcutSet {
+    let mut per_part: Vec<Vec<EdgeId>> = Vec::with_capacity(parents.len());
+    for (i, parent) in parents.iter().enumerate() {
+        let mut visited = vec![false; graph.n()];
+        let mut edges = Vec::new();
+        for &mem in partition.part(i) {
+            let mut v = mem;
+            while !visited[v as usize] {
+                visited[v as usize] = true;
+                let p = parent[v as usize];
+                if p == u32::MAX {
+                    break; // the leader
+                }
+                let internal = partition.part_of(v) == Some(i as u32)
+                    && partition.part_of(p) == Some(i as u32);
+                if !internal {
+                    edges.push(graph.edge_between(v, p).expect("tree edge exists"));
+                }
+                v = p;
+            }
+        }
+        per_part.push(edges);
+    }
+    ShortcutSet::from_edge_lists(per_part)
+}
+
+/// The Ghaffari–Haeupler-style excluded-minor backend: congestion-capped
+/// simultaneous growth with doubling (see the module docs). Fully
+/// deterministic — the RNG is unused.
+#[derive(Debug, Clone, Copy)]
+pub struct CappedGrowth {
+    /// Starting per-edge claim cap (doubles on failure).
+    pub initial_cap: u32,
+}
+
+impl Default for CappedGrowth {
+    fn default() -> Self {
+        CappedGrowth { initial_cap: 4 }
+    }
+}
+
+impl ShortcutBuilder for CappedGrowth {
+    fn name(&self) -> &'static str {
+        "capped_growth"
+    }
+
+    fn params(&self) -> Vec<(&'static str, String)> {
+        vec![("initial_cap", self.initial_cap.to_string())]
+    }
+
+    fn build(&self, graph: &Graph, partition: &Partition, _rng: &mut dyn RngCore) -> ShortcutSet {
+        capped_growth_shortcuts(graph, partition, self.initial_cap).0
+    }
+
+    fn declared_bound(&self, graph: &Graph, partition: &Partition) -> Option<Quality> {
+        let (_, cert) = capped_growth_shortcuts(graph, partition, self.initial_cap);
+        Some(Quality {
+            congestion: cert.congestion_bound,
+            dilation: cert.dilation_bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortcut::{measure_quality, DilationMode};
+    use crate::verifier::verify;
+    use lcs_graph::generators::zoo::{grid_diagonals, power_law};
+    use lcs_graph::{HighwayGraph, HighwayParams};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn balls(g: &Graph, k: usize, seed: u64) -> Partition {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Partition::bfs_balls(g, k, &mut rng)
+    }
+
+    #[test]
+    fn certificate_holds_on_highway() {
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 4,
+            path_len: 20,
+            diameter: 4,
+        })
+        .unwrap();
+        let g = hw.graph().clone();
+        let p = Partition::new(&g, hw.path_parts()).unwrap();
+        let (s, cert) = capped_growth_shortcuts(&g, &p, 4);
+        let q = measure_quality(&g, &p, &s, DilationMode::Exact).quality;
+        assert!(q.congestion <= cert.congestion_bound);
+        assert!(q.dilation <= cert.dilation_bound);
+        // Growth through the constant-diameter core beats the raw paths.
+        let trivial = measure_quality(
+            &g,
+            &p,
+            &crate::baseline::trivial_shortcuts(&p),
+            DilationMode::Exact,
+        )
+        .quality;
+        assert!(q.dilation < trivial.dilation);
+    }
+
+    #[test]
+    fn verifies_on_planar_and_power_law() {
+        let b = CappedGrowth::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = grid_diagonals(9, 9);
+        let p = balls(&g, 6, 4);
+        let s = b.build(&g, &p, &mut rng);
+        verify(&g, &p, &s, b.declared_bound(&g, &p), DilationMode::Exact).unwrap();
+
+        let g = power_law(150, 3, &mut rng);
+        let p = balls(&g, 8, 5);
+        let s = b.build(&g, &p, &mut rng);
+        verify(&g, &p, &s, b.declared_bound(&g, &p), DilationMode::Exact).unwrap();
+    }
+
+    #[test]
+    fn deterministic_and_rng_independent() {
+        let g = grid_diagonals(7, 7);
+        let p = balls(&g, 5, 9);
+        let b = CappedGrowth::default();
+        let mut r1 = ChaCha8Rng::seed_from_u64(1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(999);
+        assert_eq!(b.build(&g, &p, &mut r1), b.build(&g, &p, &mut r2));
+    }
+
+    #[test]
+    fn tight_cap_forces_doubling() {
+        // A star-of-parts contending for central edges: with cap 1 some
+        // attempt must fail on a dense-enough instance; the result is
+        // still covered and certified.
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 6,
+            path_len: 10,
+            diameter: 3,
+        })
+        .unwrap();
+        let g = hw.graph().clone();
+        let p = Partition::new(&g, hw.path_parts()).unwrap();
+        let (s, cert) = capped_growth_shortcuts(&g, &p, 1);
+        assert!(cert.cap_used >= 1);
+        let q = measure_quality(&g, &p, &s, DilationMode::Exact).quality;
+        assert!(q.congestion <= cert.congestion_bound);
+        assert!(q.dilation <= cert.dilation_bound);
+    }
+}

@@ -1,0 +1,543 @@
+//! Graph-parameter shortcuts via a balanced-separator hierarchy, after
+//! Kitamura, Kitagawa, Otachi & Izumi, *Low-Congestion Shortcut and
+//! Graph Parameters* (arXiv:1908.09473), who obtain quality
+//! `O(w·D·log n)` on treewidth-`w` graphs from tree decompositions.
+//!
+//! We instantiate their decomposition template centrally (the repo's
+//! documented-substitution pattern, DESIGN.md §2): a min-degree
+//! elimination order yields a tree decomposition, whose weighted
+//! centroid bag is a balanced separator; recursing on the remaining
+//! components gives a cluster hierarchy of depth `O(log n)`. Each part
+//! is *homed* at the deepest cluster that fully contains it, and its
+//! shortcut `H_i` is the home cluster's BFS tree pruned to the part
+//! members.
+//!
+//! Two structural theorems make the output *self-certifying*, and
+//! [`separator_shortcuts`] returns the resulting [`SeparatorCert`]:
+//!
+//! * **Congestion.** A part homed at cluster `C` is connected inside
+//!   `G[C]` but inside no child, so it must intersect `sep(C)`; parts
+//!   being disjoint, at most `|sep(C)|` parts are homed at `C`. Any
+//!   edge is used only by parts homed along one root path, so
+//!   congestion ≤ 1 + max root-path sum of homed-part counts
+//!   (`O(w·log n)` when separators have size `O(w)`).
+//! * **Dilation.** Members of a part homed at `C` meet at the root of
+//!   `C`'s BFS tree, so dilation ≤ 2·ecc of that root in `G[C]`.
+//!
+//! The certificate is computed from the *actual* hierarchy (honest even
+//! when the elimination degenerates), declared via
+//! [`ShortcutBuilder::declared_bound`], and enforced against measured
+//! quality by `verifier::verify` in the bench and the tier-2 registry
+//! proptest. On graphs whose elimination width explodes (expanders),
+//! the build falls back to balanced BFS-layer separators and the
+//! certificate grows accordingly — the bench table then *shows* the
+//! family dependence instead of hiding it.
+
+use crate::builder::ShortcutBuilder;
+use crate::partition::Partition;
+use crate::shortcut::{Quality, ShortcutSet};
+use lcs_graph::{bfs, connected_components, BfsOptions, EdgeId, Graph, NodeId};
+use rand::RngCore;
+use std::collections::{BTreeSet, HashMap};
+
+/// Structural certificate produced by [`separator_shortcuts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeparatorCert {
+    /// Largest separator in the hierarchy (≈ treewidth + 1 when the
+    /// elimination succeeds).
+    pub width: u32,
+    /// Hierarchy depth (root cluster = 1).
+    pub depth: u32,
+    /// Elimination width of the top-level cluster, when the min-degree
+    /// elimination stayed under the cap (`None` = BFS-layer fallback).
+    pub elimination_width: Option<u32>,
+    /// Structural congestion bound: 1 + max root-path homed-part sum.
+    pub congestion_bound: u32,
+    /// Structural dilation bound: 2 · max root eccentricity over
+    /// clusters that home at least one part.
+    pub dilation_bound: u32,
+}
+
+struct Cluster {
+    /// Member nodes, sorted.
+    nodes: Vec<NodeId>,
+    /// Separator nodes (sorted subset of `nodes`); the whole cluster
+    /// for leaves.
+    sep: Vec<NodeId>,
+    /// Arena index of the parent cluster.
+    parent: Option<usize>,
+    /// Hierarchy depth, root = 1.
+    depth: u32,
+    /// node → child arena index, for the home-cluster walk.
+    child_of: HashMap<NodeId, usize>,
+    /// BFS tree of `G[cluster]`: node → tree parent.
+    tree_parent: HashMap<NodeId, NodeId>,
+    /// Tree root (smallest separator node).
+    root: NodeId,
+    /// Eccentricity of `root` in `G[cluster]`.
+    ecc: u32,
+    /// Number of parts homed here.
+    homed: u32,
+}
+
+/// Builds separator-hierarchy shortcuts and their structural
+/// certificate. `width_cap` bounds the min-degree elimination (`None` =
+/// `max(8, ⌈√n⌉)`); clusters whose elimination exceeds the cap use
+/// balanced BFS-layer separators instead.
+pub fn separator_shortcuts(
+    graph: &Graph,
+    partition: &Partition,
+    width_cap: Option<usize>,
+) -> (ShortcutSet, SeparatorCert) {
+    let n = graph.n();
+    let cap = width_cap.unwrap_or_else(|| 8.max((n as f64).sqrt().ceil() as usize));
+
+    // ------------------------------------------------------------------
+    // 1. Build the cluster hierarchy.
+    let comps = connected_components(graph);
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut top_of_comp: Vec<usize> = Vec::with_capacity(comps.num_components);
+    let mut stack: Vec<usize> = Vec::new();
+    for c in 0..comps.num_components as u32 {
+        let idx = clusters.len();
+        clusters.push(Cluster {
+            nodes: comps.members(c),
+            sep: Vec::new(),
+            parent: None,
+            depth: 1,
+            child_of: HashMap::new(),
+            tree_parent: HashMap::new(),
+            root: 0,
+            ecc: 0,
+            homed: 0,
+        });
+        top_of_comp.push(idx);
+        stack.push(idx);
+    }
+    let mut elimination_width: Option<u32> = Some(0);
+    let mut in_cluster = vec![false; n];
+    while let Some(ci) = stack.pop() {
+        let nodes = clusters[ci].nodes.clone();
+        for &v in &nodes {
+            in_cluster[v as usize] = true;
+        }
+        let (sep, elim_w) = if nodes.len() <= 2 {
+            (nodes.clone(), Some(nodes.len().saturating_sub(1) as u32))
+        } else {
+            choose_separator(graph, &nodes, &in_cluster, cap)
+        };
+        if clusters[ci].parent.is_none() {
+            // Top-level elimination width (worst component); None once
+            // any component fell back to BFS layers.
+            elimination_width = match (elimination_width, elim_w) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+        }
+        // BFS tree of G[cluster] rooted at the smallest separator node.
+        let root = sep[0];
+        let filter = |v: NodeId| in_cluster[v as usize];
+        let r = bfs(
+            graph,
+            &[root],
+            &BfsOptions {
+                max_depth: u32::MAX,
+                node_filter: Some(&filter),
+            },
+        );
+        let mut tree_parent = HashMap::with_capacity(nodes.len());
+        for &v in &nodes {
+            if let Some(p) = r.parent[v as usize] {
+                tree_parent.insert(v, p);
+            }
+        }
+        let ecc = r.max_depth();
+        // Children: components of G[cluster] − sep.
+        let sep_set: BTreeSet<NodeId> = sep.iter().copied().collect();
+        let mut child_of: HashMap<NodeId, usize> = HashMap::new();
+        let mut seen = vec![false; n];
+        let child_depth = clusters[ci].depth + 1;
+        let mut children: Vec<Vec<NodeId>> = Vec::new();
+        for &v in &nodes {
+            if sep_set.contains(&v) || seen[v as usize] {
+                continue;
+            }
+            let cf = |w: NodeId| in_cluster[w as usize] && !sep_set.contains(&w);
+            let cr = bfs(
+                graph,
+                &[v],
+                &BfsOptions {
+                    max_depth: u32::MAX,
+                    node_filter: Some(&cf),
+                },
+            );
+            let mut members: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|&w| cr.reached(w) && !sep_set.contains(&w))
+                .collect();
+            members.sort_unstable();
+            for &w in &members {
+                seen[w as usize] = true;
+            }
+            children.push(members);
+        }
+        for members in children {
+            let idx = clusters.len();
+            for &w in &members {
+                child_of.insert(w, idx);
+            }
+            clusters.push(Cluster {
+                nodes: members,
+                sep: Vec::new(),
+                parent: Some(ci),
+                depth: child_depth,
+                child_of: HashMap::new(),
+                tree_parent: HashMap::new(),
+                root: 0,
+                ecc: 0,
+                homed: 0,
+            });
+            stack.push(idx);
+        }
+        for &v in &nodes {
+            in_cluster[v as usize] = false;
+        }
+        let cl = &mut clusters[ci];
+        cl.sep = sep;
+        cl.root = root;
+        cl.ecc = ecc;
+        cl.tree_parent = tree_parent;
+        cl.child_of = child_of;
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Home each part at the deepest cluster containing it, then
+    //    prune that cluster's tree to the part members.
+    let mut per_part: Vec<Vec<EdgeId>> = Vec::with_capacity(partition.num_parts());
+    for i in 0..partition.num_parts() {
+        let members = partition.part(i);
+        let mut c = top_of_comp[comps.label[members[0] as usize] as usize];
+        loop {
+            let cl = &clusters[c];
+            let sep_set: BTreeSet<NodeId> = cl.sep.iter().copied().collect();
+            if members.iter().any(|v| sep_set.contains(v)) {
+                break;
+            }
+            let child = cl.child_of.get(&members[0]).copied();
+            match child {
+                Some(ch) if members.iter().all(|v| cl.child_of.get(v) == Some(&ch)) => c = ch,
+                // Theory says a part missing the separator sits in one
+                // child; if it ever doesn't, home it here — the
+                // certificate is computed from actual homed counts, so
+                // it stays honest.
+                _ => break,
+            }
+        }
+        clusters[c].homed += 1;
+        // Prune: union of member→root tree paths, minus part-internal
+        // edges (G[S_i] is free in the augmented subgraph).
+        let cl = &clusters[c];
+        let mut edges = Vec::new();
+        let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+        for &m in members {
+            let mut v = m;
+            while visited.insert(v) {
+                let Some(&p) = cl.tree_parent.get(&v) else {
+                    break;
+                };
+                let internal = partition.part_of(v) == Some(i as u32)
+                    && partition.part_of(p) == Some(i as u32);
+                if !internal {
+                    edges.push(graph.edge_between(v, p).expect("tree edge exists"));
+                }
+                v = p;
+            }
+        }
+        per_part.push(edges);
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Certificate from the actual hierarchy.
+    let mut width = 0u32;
+    let mut depth = 0u32;
+    let mut cum = vec![0u32; clusters.len()];
+    let mut congestion = 1u32;
+    let mut dilation = 1u32;
+    // The arena is in discovery order: parents precede children.
+    for (idx, cl) in clusters.iter().enumerate() {
+        width = width.max(cl.sep.len() as u32);
+        depth = depth.max(cl.depth);
+        cum[idx] = cl.homed + cl.parent.map_or(0, |p| cum[p]);
+        if cl.homed > 0 {
+            congestion = congestion.max(1 + cum[idx]);
+            dilation = dilation.max(2 * cl.ecc.max(1));
+        }
+    }
+    let cert = SeparatorCert {
+        width,
+        depth,
+        elimination_width,
+        congestion_bound: congestion,
+        dilation_bound: dilation,
+    };
+    (ShortcutSet::from_edge_lists(per_part), cert)
+}
+
+/// Picks a balanced separator of `G[nodes]`: the centroid bag of a
+/// min-degree elimination tree decomposition when the elimination stays
+/// under `cap`, otherwise a balanced BFS layer. Returns the separator
+/// and the elimination width (when under the cap).
+fn choose_separator(
+    graph: &Graph,
+    nodes: &[NodeId],
+    in_cluster: &[bool],
+    cap: usize,
+) -> (Vec<NodeId>, Option<u32>) {
+    if let Some((bags, order, elim_w)) = min_degree_elimination(graph, nodes, cap) {
+        let nc = nodes.len();
+        // Decomposition tree over elimination positions: the parent of
+        // position p is the earliest-eliminated member of its bag.
+        let mut parent = vec![usize::MAX; nc];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); nc];
+        for p in 0..nc - 1 {
+            let q = bags[p]
+                .iter()
+                .skip(1) // bags[p][0] is the eliminated vertex's position itself
+                .copied()
+                .min()
+                .unwrap_or(p + 1);
+            parent[p] = q;
+            children[q].push(p);
+        }
+        // Subtree weights (1 per vertex): arena order is by position and
+        // parents always have larger positions, so ascending order is a
+        // valid post-order.
+        let mut weight = vec![1usize; nc];
+        for p in 0..nc - 1 {
+            let q = parent[p];
+            weight[q] += weight[p];
+        }
+        // Centroid: minimize the largest piece left by removing the bag.
+        let mut best = (usize::MAX, 0usize);
+        for p in 0..nc {
+            let up = nc - weight[p];
+            let down = children[p].iter().map(|&c| weight[c]).max().unwrap_or(0);
+            let worst = up.max(down);
+            if worst < best.0 {
+                best = (worst, p);
+            }
+        }
+        // Bags store elimination positions; translate position → local
+        // index → node id.
+        let mut sep: Vec<NodeId> = bags[best.1].iter().map(|&q| nodes[order[q]]).collect();
+        sep.sort_unstable();
+        return (sep, Some(elim_w));
+    }
+    // Fallback: balanced BFS layer from a far node.
+    let filter = |v: NodeId| in_cluster[v as usize];
+    let opts = BfsOptions {
+        max_depth: u32::MAX,
+        node_filter: Some(&filter),
+    };
+    let r0 = bfs(graph, &[nodes[0]], &opts);
+    let far = *nodes
+        .iter()
+        .max_by_key(|&&v| (r0.dist[v as usize], std::cmp::Reverse(v)))
+        .unwrap();
+    let r = bfs(graph, &[far], &opts);
+    let ecc = r.max_depth();
+    if ecc == 0 {
+        return (nodes.to_vec(), None);
+    }
+    let mut best = (usize::MAX, 1u32);
+    for layer in 1..=ecc {
+        let below = nodes
+            .iter()
+            .filter(|&&v| r.dist[v as usize] < layer)
+            .count();
+        let above = nodes
+            .iter()
+            .filter(|&&v| r.dist[v as usize] > layer)
+            .count();
+        let worst = below.max(above);
+        if worst < best.0 {
+            best = (worst, layer);
+        }
+    }
+    let sep: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|&v| r.dist[v as usize] == best.1)
+        .collect();
+    (sep, None)
+}
+
+/// Min-degree elimination of `G[nodes]` with fill, aborting when the
+/// minimum degree exceeds `cap`. Returns per-elimination-position bags
+/// as *positions* (`bags[p][0] == p`, rest are later positions), the
+/// position → local-index order, and the elimination width.
+fn min_degree_elimination(
+    graph: &Graph,
+    nodes: &[NodeId],
+    cap: usize,
+) -> Option<(Vec<Vec<usize>>, Vec<usize>, u32)> {
+    let nc = nodes.len();
+    let mut local: HashMap<NodeId, usize> = HashMap::with_capacity(nc);
+    for (i, &v) in nodes.iter().enumerate() {
+        local.insert(v, i);
+    }
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nc];
+    for (i, &v) in nodes.iter().enumerate() {
+        for &w in graph.neighbors(v) {
+            if let Some(&j) = local.get(&w) {
+                adj[i].insert(j);
+            }
+        }
+    }
+    let mut eliminated = vec![false; nc];
+    let mut pos_of = vec![usize::MAX; nc];
+    let mut order: Vec<usize> = Vec::with_capacity(nc);
+    let mut raw_bags: Vec<Vec<usize>> = Vec::with_capacity(nc); // local indices
+    let mut width = 0usize;
+    for _p in 0..nc {
+        let v = (0..nc)
+            .filter(|&i| !eliminated[i])
+            .min_by_key(|&i| (adj[i].len(), i))?;
+        let deg = adj[v].len();
+        if deg > cap {
+            return None;
+        }
+        width = width.max(deg);
+        let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+        let mut bag = vec![v];
+        bag.extend(nbrs.iter().copied());
+        raw_bags.push(bag);
+        pos_of[v] = order.len();
+        order.push(v);
+        eliminated[v] = true;
+        for (a, &x) in nbrs.iter().enumerate() {
+            adj[x].remove(&v);
+            for &y in &nbrs[a + 1..] {
+                adj[x].insert(y);
+                adj[y].insert(x);
+            }
+        }
+    }
+    // Translate bags from local indices to elimination positions.
+    let bags: Vec<Vec<usize>> = raw_bags
+        .iter()
+        .map(|bag| bag.iter().map(|&x| pos_of[x]).collect())
+        .collect();
+    Some((bags, order, width as u32))
+}
+
+/// The Kitamura-style graph-parameter backend: separator-hierarchy
+/// shortcuts with a per-instance structural certificate (see the module
+/// docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeSeparator {
+    /// Elimination width cap (`None` = `max(8, ⌈√n⌉)`).
+    pub width_cap: Option<usize>,
+}
+
+impl ShortcutBuilder for TreeSeparator {
+    fn name(&self) -> &'static str {
+        "tree_separator"
+    }
+
+    fn params(&self) -> Vec<(&'static str, String)> {
+        vec![(
+            "width_cap",
+            self.width_cap
+                .map_or_else(|| "auto".to_string(), |c| c.to_string()),
+        )]
+    }
+
+    fn build(&self, graph: &Graph, partition: &Partition, _rng: &mut dyn RngCore) -> ShortcutSet {
+        separator_shortcuts(graph, partition, self.width_cap).0
+    }
+
+    fn declared_bound(&self, graph: &Graph, partition: &Partition) -> Option<Quality> {
+        let (_, cert) = separator_shortcuts(graph, partition, self.width_cap);
+        Some(Quality {
+            congestion: cert.congestion_bound,
+            dilation: cert.dilation_bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortcut::{measure_quality, DilationMode};
+    use crate::verifier::verify;
+    use lcs_graph::generators::{grid_diagonals, zoo::k_tree};
+    use lcs_graph::{HighwayGraph, HighwayParams};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn balls(g: &Graph, k: usize, seed: u64) -> Partition {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Partition::bfs_balls(g, k, &mut rng)
+    }
+
+    #[test]
+    fn certificate_holds_on_k_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = k_tree(80, 3, &mut rng);
+        let p = balls(&g, 6, 8);
+        let (s, cert) = separator_shortcuts(&g, &p, None);
+        // Elimination recovers the k-tree width exactly.
+        assert_eq!(cert.elimination_width, Some(3));
+        assert!(cert.width <= 4, "width {} too large", cert.width);
+        let q = measure_quality(&g, &p, &s, DilationMode::Exact).quality;
+        assert!(q.congestion <= cert.congestion_bound);
+        assert!(q.dilation <= cert.dilation_bound);
+    }
+
+    #[test]
+    fn verifies_on_grid_and_highway() {
+        let g = grid_diagonals(8, 8);
+        let p = balls(&g, 5, 3);
+        let b = TreeSeparator::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = b.build(&g, &p, &mut rng);
+        verify(&g, &p, &s, b.declared_bound(&g, &p), DilationMode::Exact).unwrap();
+
+        let hw = HighwayGraph::new(HighwayParams {
+            num_paths: 3,
+            path_len: 12,
+            diameter: 4,
+        })
+        .unwrap();
+        let g = hw.graph().clone();
+        let p = Partition::new(&g, hw.path_parts()).unwrap();
+        let s = b.build(&g, &p, &mut rng);
+        verify(&g, &p, &s, b.declared_bound(&g, &p), DilationMode::Exact).unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = k_tree(50, 2, &mut rng);
+        let p = balls(&g, 4, 10);
+        let (s1, c1) = separator_shortcuts(&g, &p, None);
+        let (s2, c2) = separator_shortcuts(&g, &p, None);
+        assert_eq!(s1, s2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn fallback_on_dense_cluster() {
+        // A clique blows past any small cap; the BFS-layer fallback must
+        // still produce a valid hierarchy.
+        let g = lcs_graph::complete(12);
+        let p = balls(&g, 3, 2);
+        let (s, cert) = separator_shortcuts(&g, &p, Some(2));
+        assert_eq!(cert.elimination_width, None);
+        let q = measure_quality(&g, &p, &s, DilationMode::Exact).quality;
+        assert!(q.congestion <= cert.congestion_bound);
+        assert!(q.dilation <= cert.dilation_bound);
+    }
+}

@@ -164,6 +164,22 @@ pub struct QualityReport {
 
 impl QualityReport {
     /// Mean per-edge congestion over edges with nonzero load.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcs_shortcut::{Quality, QualityReport};
+    ///
+    /// let r = QualityReport {
+    ///     quality: Quality { congestion: 2, dilation: 2 },
+    ///     per_part_dilation: vec![2, 1],
+    ///     per_part_dilation_lower: vec![2, 1],
+    ///     per_edge_congestion: vec![1, 1, 2, 1, 0],
+    /// };
+    /// // Four loaded edges carrying total load 5; the idle edge is
+    /// // ignored, so the mean load is 5/4.
+    /// assert_eq!(r.mean_loaded_congestion(), 1.25);
+    /// ```
     pub fn mean_loaded_congestion(&self) -> f64 {
         let loaded: Vec<u32> = self
             .per_edge_congestion
@@ -183,6 +199,30 @@ impl QualityReport {
 /// Dilation per part is `u32::MAX` if two part members are disconnected
 /// in the augmented subgraph (cannot happen for valid partitions, whose
 /// parts are connected in `G`).
+///
+/// # Examples
+///
+/// A hand-checkable 5-node instance: the path `0–1–2–3–4` with chord
+/// `1–3`, parts `{0, 1, 2}` and `{3, 4}`, and shortcuts `H_0 = {1–3}`,
+/// `H_1 = {1–3, 2–3}`:
+///
+/// ```
+/// use lcs_graph::Graph;
+/// use lcs_shortcut::{measure_quality, DilationMode, Partition, ShortcutSet};
+///
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap();
+/// let p = Partition::new(&g, vec![vec![0, 1, 2], vec![3, 4]]).unwrap();
+/// let chord = g.edge_between(1, 3).unwrap();
+/// let e23 = g.edge_between(2, 3).unwrap();
+/// let s = ShortcutSet::from_edge_lists(vec![vec![chord], vec![chord, e23]]);
+///
+/// let r = measure_quality(&g, &p, &s, DilationMode::Exact);
+/// // The chord serves both parts; every other edge serves exactly one.
+/// assert_eq!(r.quality.congestion, 2);
+/// // Part 0's worst pair is 0 ↔ 2 (two hops); part 1 has edge 3–4.
+/// assert_eq!(r.per_part_dilation, vec![2, 1]);
+/// assert_eq!(r.quality.dilation, 2);
+/// ```
 ///
 /// # Panics
 ///
@@ -342,6 +382,41 @@ mod tests {
         s.add(0, e);
         assert_eq!(s.edges(0), &[e]);
         assert_eq!(s.total_edges(), 1);
+    }
+
+    #[test]
+    fn five_node_hand_computed_exact_answer() {
+        // Path 0–1–2–3–4 plus chord 1–3; parts {0,1,2} and {3,4};
+        // H_0 = {1–3}, H_1 = {1–3, 2–3}. Every number below is computed
+        // by hand from Definition 1.1.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap();
+        let p = Partition::new(&g, vec![vec![0, 1, 2], vec![3, 4]]).unwrap();
+        let chord = g.edge_between(1, 3).unwrap();
+        let e23 = g.edge_between(2, 3).unwrap();
+        let s = ShortcutSet::from_edge_lists(vec![vec![chord], vec![chord, e23]]);
+        let r = measure_quality(&g, &p, &s, DilationMode::Exact);
+        // Loads: 0–1 and 1–2 are internal to part 0, 3–4 internal to
+        // part 1, 2–3 is in H_1 only, and the chord is in H_0 and H_1.
+        let mut expected = vec![0u32; 5];
+        expected[g.edge_between(0, 1).unwrap().index()] = 1;
+        expected[g.edge_between(1, 2).unwrap().index()] = 1;
+        expected[chord.index()] = 2;
+        expected[e23.index()] = 1;
+        expected[g.edge_between(3, 4).unwrap().index()] = 1;
+        assert_eq!(r.per_edge_congestion, expected);
+        // Part 0: worst pair 0 ↔ 2 at distance 2 (the chord adds node 3
+        // but no shorter 0–2 route). Part 1: members 3, 4 at distance 1.
+        assert_eq!(r.per_part_dilation, vec![2, 1]);
+        assert_eq!(r.per_part_dilation_lower, vec![2, 1]);
+        assert_eq!(
+            r.quality,
+            Quality {
+                congestion: 2,
+                dilation: 2
+            }
+        );
+        // Five edges all loaded: (1+1+2+1+1)/5.
+        assert_eq!(r.mean_loaded_congestion(), 1.2);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Differential suite for the [`ShortcutBuilder`] trait migration: each
+//! migrated baseline backend must produce a **byte-identical**
+//! [`ShortcutSet`] — and therefore an identical [`QualityReport`] — to
+//! the pre-trait free function it wraps, across seeds and graph
+//! families. Any divergence means the adapter changed semantics (extra
+//! RNG draws, reordered edges, different defaults).
+
+use lcs_graph::{gnp_connected, grid, hub_and_spoke, Graph, HighwayGraph, HighwayParams};
+use lcs_shortcut::{
+    global_tree_shortcuts, kitamura_style_shortcuts, measure_quality, trivial_shortcuts,
+    DilationMode, GlobalTree, KitamuraSampling, Partition, ShortcutBuilder, ShortcutSet, Trivial,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Four families spanning the shapes the bench exercises: the paper's
+/// highway instance, a mesh, a sparse random graph, and a hub topology.
+fn families(seed: u64) -> Vec<(&'static str, Graph, Partition)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+
+    let hw = HighwayGraph::new(HighwayParams {
+        num_paths: 3,
+        path_len: 16,
+        diameter: 4,
+    })
+    .unwrap();
+    let g = hw.graph().clone();
+    let p = Partition::new(&g, hw.path_parts()).unwrap();
+    out.push(("highway_d4", g, p));
+
+    let g = grid(8, 8);
+    let p = Partition::bfs_balls(&g, 6, &mut rng);
+    out.push(("grid", g, p));
+
+    let g = gnp_connected(70, 0.06, &mut rng);
+    let p = Partition::bfs_balls(&g, 5, &mut rng);
+    out.push(("gnp_connected", g, p));
+
+    let g = hub_and_spoke(60, 4, 2, 3, &mut rng);
+    let p = Partition::bfs_balls(&g, 5, &mut rng);
+    out.push(("hub_and_spoke", g, p));
+
+    out
+}
+
+/// Asserts backend output == free-function output, bit for bit, and
+/// that the identity extends through quality measurement.
+fn assert_equivalent(
+    label: &str,
+    graph: &Graph,
+    partition: &Partition,
+    from_backend: ShortcutSet,
+    from_free: ShortcutSet,
+) {
+    assert_eq!(
+        from_backend, from_free,
+        "{label}: backend diverged from the free function"
+    );
+    let qa = measure_quality(graph, partition, &from_backend, DilationMode::Exact);
+    let qb = measure_quality(graph, partition, &from_free, DilationMode::Exact);
+    assert_eq!(qa.quality, qb.quality, "{label}: quality diverged");
+    assert_eq!(
+        qa.per_part_dilation, qb.per_part_dilation,
+        "{label}: per-part dilation diverged"
+    );
+    assert_eq!(
+        qa.per_edge_congestion, qb.per_edge_congestion,
+        "{label}: per-edge congestion diverged"
+    );
+}
+
+#[test]
+fn trivial_backend_matches_free_function() {
+    for seed in SEEDS {
+        for (name, g, p) in families(seed) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let s = Trivial.build(&g, &p, &mut rng);
+            assert_equivalent(name, &g, &p, s, trivial_shortcuts(&p));
+        }
+    }
+}
+
+#[test]
+fn global_tree_backend_matches_free_function() {
+    for seed in SEEDS {
+        for (name, g, p) in families(seed) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let b = GlobalTree::default();
+            let s = b.build(&g, &p, &mut rng);
+            assert_equivalent(name, &g, &p, s, global_tree_shortcuts(&g, &p, 0, None));
+
+            // And with explicit parameters.
+            let b = GlobalTree {
+                root: 1,
+                threshold: Some(4),
+            };
+            let s = b.build(&g, &p, &mut rng);
+            assert_equivalent(name, &g, &p, s, global_tree_shortcuts(&g, &p, 1, Some(4)));
+        }
+    }
+}
+
+#[test]
+fn kitamura_backend_matches_free_function() {
+    // The sampling baseline consumes the RNG stream, so equivalence
+    // requires identically seeded RNGs on both sides — this is exactly
+    // the property the `&mut dyn RngCore` pass-through must preserve.
+    for seed in SEEDS {
+        for (name, g, p) in families(seed) {
+            for d in [3u32, 4] {
+                let b = KitamuraSampling {
+                    d,
+                    prob_constant: 1.0,
+                };
+                let mut r1 = ChaCha8Rng::seed_from_u64(seed);
+                let mut r2 = ChaCha8Rng::seed_from_u64(seed);
+                let s = b.build(&g, &p, &mut r1);
+                let free = kitamura_style_shortcuts(&g, &p, d, 1.0, &mut r2);
+                assert_equivalent(&format!("{name}/d={d}"), &g, &p, s, free);
+            }
+        }
+    }
+}
