@@ -3,7 +3,16 @@
 //! as `BENCH_quality.json` so congestion/dilation/rounds/messages are
 //! tracked per-PR next to the paper's `k(D)` reference line.
 //!
-//! Usage: `quality_bench [--quick] [--out PATH] [--check PATH]`
+//! Usage: `quality_bench [--quick] [--out PATH] [--check PATH]
+//! [--family NAME] [--backend NAME]`
+//!
+//! `--family` / `--backend` restrict the sweep to cells whose family /
+//! backend name contains the given substring (case-sensitive) — handy
+//! when iterating on one backend without paying for the full grid. The
+//! default remains the full sweep. Filtered runs refuse `--check` (a
+//! partial grid cannot be compared against the committed full
+//! fingerprint) and only write a file when `--out` is explicit, so a
+//! filtered run can never clobber the committed `BENCH_quality.json`.
 //!
 //! Every cell is deterministic: the build RNG is seeded from the cell's
 //! `(family, backend)` names, each cell is **built twice in-run** and
@@ -80,25 +89,54 @@ fn extract_str<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     Some(&json[start..end])
 }
 
+/// Parses `--flag VALUE`, rejecting a bare `--flag` (a missing value
+/// must not silently behave like "no filter").
+fn parse_value_flag(args: &[String], flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    match args.get(pos + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => {
+            eprintln!("quality_bench: {flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    let explicit_out = parse_value_flag(&args, "--out");
+    let out_path = explicit_out
+        .clone()
         .unwrap_or_else(|| "BENCH_quality.json".to_string());
-    let check_path = args
-        .iter()
-        .position(|a| a == "--check")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let check_path = parse_value_flag(&args, "--check");
+    let family_filter = parse_value_flag(&args, "--family");
+    let backend_filter = parse_value_flag(&args, "--backend");
+    let filtered = family_filter.is_some() || backend_filter.is_some();
+    if filtered && check_path.is_some() {
+        eprintln!(
+            "quality_bench: --family/--backend cannot be combined with --check \
+             (a partial grid cannot be compared against the committed full fingerprint)"
+        );
+        std::process::exit(2);
+    }
 
     let fams = families(quick, SEED);
     let mut cells: Vec<Cell> = Vec::new();
     for fam in &fams {
+        if family_filter
+            .as_deref()
+            .is_some_and(|f| !fam.name.contains(f))
+        {
+            continue;
+        }
         for backend in registry(fam.d) {
+            if backend_filter
+                .as_deref()
+                .is_some_and(|f| !backend.name().contains(f))
+            {
+                continue;
+            }
             if !backend.applicable(&fam.graph, &fam.partition) {
                 eprintln!(
                     "{:>12} / {:<18} skipped (inapplicable at D={})",
@@ -170,9 +208,15 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("quality fingerprint check: ok ({got_fp})");
-    } else {
+    } else if !filtered || explicit_out.is_some() {
         std::fs::write(&out_path, &json).expect("write BENCH_quality.json");
         eprintln!("wrote {out_path}");
+    } else {
+        eprintln!("filtered run: results to stdout only (pass --out PATH to write a file)");
     }
     println!("{json}");
+    if filtered && cells.is_empty() {
+        eprintln!("quality_bench: the --family/--backend filters matched no cells");
+        std::process::exit(2);
+    }
 }

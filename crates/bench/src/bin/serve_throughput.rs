@@ -1,0 +1,311 @@
+//! Service-layer throughput benchmark: queries/sec of the
+//! [`ServePool`] front-end as a function of pool
+//! size and batch size, plus the **build-vs-query amortization curve**
+//! — the wall-clock case for preprocess-once, query-many — emitted as
+//! `BENCH_serve.json`.
+//!
+//! Usage: `serve_throughput [--quick] [--pools K[,K2,...]] [--out PATH]`
+//!
+//! `--quick` shrinks the workload to CI scale. `--pools` takes a
+//! comma-separated sweep of pool sizes (pool size 1 is always measured
+//! first as the baseline). For every `(pool, batch)` cell the run
+//! records the batch fingerprint, and **exits nonzero if any pool
+//! size's results diverge from the 1-worker run's** — CI runs `--quick`
+//! and relies on that exit code as the serve determinism gate.
+//!
+//! The amortization section times, for N ∈ {1, 4, 16, ...}:
+//!
+//! * `one_shot_s` — N × (full distributed construction + one answer),
+//!   the cost of treating every request as a fresh pipeline run;
+//! * `indexed_s`  — 1 × construction + N index-served answers.
+//!
+//! Serving N ≥ 16 mixed queries from one index must beat N one-shot
+//! runs by ≥ 5× (the construction is repaid once instead of N times).
+
+use lcs_congest::AggOp;
+use lcs_core::{build_index_distributed, DistributedConfig};
+use lcs_graph::{HighwayGraph, HighwayParams, NodeId, WeightedGraph};
+use lcs_serve::{per_query_seed, Query, ServePool};
+use lcs_shortcut::{Partition, ShortcutIndex};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The benchmark's mixed query stream: the four kinds round-robin, so
+/// every cell exercises SSSP, aggregation, MST, and min-cut together.
+fn mixed_queries(count: usize, n: usize) -> Vec<Query> {
+    (0..count)
+        .map(|i| match i % 4 {
+            0 => Query::sssp(((i * 13) % n) as NodeId),
+            1 => Query::Aggregate {
+                op: if i % 8 == 1 { AggOp::Sum } else { AggOp::Max },
+            },
+            2 => Query::Mst,
+            _ => Query::MinCut,
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+struct Cell {
+    pool: usize,
+    batch: usize,
+    elapsed_s: f64,
+    fingerprint: u64,
+}
+
+impl Cell {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"pool\":{},\"batch\":{},\"elapsed_s\":{:.6},",
+                "\"queries_per_s\":{:.1},\"fingerprint\":\"{:#018x}\"}}"
+            ),
+            self.pool,
+            self.batch,
+            self.elapsed_s,
+            self.batch as f64 / self.elapsed_s,
+            self.fingerprint,
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Amortization {
+    n_queries: usize,
+    one_shot_s: f64,
+    indexed_s: f64,
+}
+
+impl Amortization {
+    fn speedup(&self) -> f64 {
+        self.one_shot_s / self.indexed_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"n_queries\":{},\"one_shot_s\":{:.6},",
+                "\"indexed_s\":{:.6},\"speedup\":{:.2}}}"
+            ),
+            self.n_queries,
+            self.one_shot_s,
+            self.indexed_s,
+            self.speedup(),
+        )
+    }
+}
+
+fn parse_pool_sweep(args: &[String]) -> Vec<usize> {
+    let flag = args.iter().position(|a| a == "--pools");
+    let raw = flag.and_then(|i| args.get(i + 1));
+    if flag.is_some() && raw.is_none_or(|v| v.starts_with("--")) {
+        eprintln!("serve_throughput: --pools requires a value (e.g. --pools 1,4)");
+        std::process::exit(2);
+    }
+    let mut sweep = vec![1usize];
+    if let Some(raw) = raw {
+        for piece in raw.split(',') {
+            match piece.trim().parse::<usize>() {
+                Ok(k) if k >= 1 => {
+                    if !sweep.contains(&k) {
+                        sweep.push(k);
+                    }
+                }
+                _ => {
+                    eprintln!("serve_throughput: bad --pools value {piece:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    } else {
+        sweep.push(4);
+    }
+    sweep
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let pool_sweep = parse_pool_sweep(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    // The constant-diameter highway workload the paper's lower bound
+    // lives on: Γ vertex-disjoint paths through a D=4 core.
+    let hw = HighwayGraph::new(HighwayParams {
+        num_paths: if quick { 4 } else { 8 },
+        path_len: if quick { 12 } else { 40 },
+        diameter: 4,
+    })
+    .expect("highway fixture");
+    let g = hw.graph().clone();
+    let partition = Partition::new(&g, hw.path_parts()).expect("path partition");
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    let wg = WeightedGraph::with_random_weights(g, 100, &mut rng);
+    // No `known_diameter`: a cold pipeline run doesn't get told D, it
+    // pays the guess ladder — exactly the cost the index amortizes.
+    let cfg = DistributedConfig::default();
+
+    // --- Build (preprocess-once) ---
+    let t = Instant::now();
+    let (index, _) = build_index_distributed(wg.graph(), wg.weights(), &partition, &cfg)
+        .expect("construction on the highway fixture");
+    let build_s = t.elapsed().as_secs_f64();
+    let index = Arc::new(index);
+
+    // Serialization sanity on the real artifact: save → load must be
+    // byte-exact (the persisted index is what a deployment would mmap).
+    let bytes = index.to_bytes();
+    let reloaded = ShortcutIndex::from_bytes(&bytes).expect("reload");
+    assert_eq!(reloaded, *index, "save/load must round-trip");
+    eprintln!(
+        "build: n={} m={} parts={} elapsed={build_s:.3}s index={} bytes",
+        wg.graph().n(),
+        wg.graph().m(),
+        partition.num_parts(),
+        bytes.len()
+    );
+
+    // --- Throughput grid: pool sizes × batch sizes ---
+    let batch_sizes: &[usize] = if quick { &[4, 16, 64] } else { &[16, 64, 256] };
+    let batch_seed = 0x5EED_BA7C;
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut diverged = false;
+    for &pool_size in &pool_sweep {
+        let pool = ServePool::new(Arc::clone(&index), pool_size);
+        for &batch in batch_sizes {
+            let queries = mixed_queries(batch, wg.graph().n());
+            // Warm once (thread spawn, allocator), then measure.
+            pool.serve(&queries, batch_seed);
+            let t = Instant::now();
+            let served = pool.serve(&queries, batch_seed);
+            let cell = Cell {
+                pool: pool_size,
+                batch,
+                elapsed_s: t.elapsed().as_secs_f64(),
+                fingerprint: served.fingerprint,
+            };
+            eprintln!(
+                "pool={:>2} batch={:>4}  {:>9.1} queries/s  fingerprint={:#018x}",
+                cell.pool,
+                cell.batch,
+                cell.batch as f64 / cell.elapsed_s,
+                cell.fingerprint
+            );
+            cells.push(cell);
+        }
+    }
+    // Serve determinism gate: every (pool > 1, batch) fingerprint must
+    // equal the 1-worker fingerprint for the same batch.
+    for cell in cells.iter().filter(|c| c.pool != 1) {
+        let base = cells
+            .iter()
+            .find(|b| b.pool == 1 && b.batch == cell.batch)
+            .expect("1-worker baseline measured first");
+        if cell.fingerprint != base.fingerprint {
+            diverged = true;
+            eprintln!(
+                "DETERMINISM VIOLATION: batch {} fingerprint {:#018x} at pool {} \
+                 != {:#018x} at pool 1",
+                cell.batch, cell.fingerprint, cell.pool, base.fingerprint
+            );
+        }
+    }
+
+    // --- Amortization curve: N one-shot pipelines vs 1 build + N serves ---
+    // Min-cut is excluded from this mix: its per-request tree packing
+    // costs more than construction itself, so including it would
+    // measure the query, not the construction the index repays. (It
+    // stays in the throughput grid and the determinism gate above.)
+    let amortized_queries = |count: usize, n: usize| -> Vec<Query> {
+        (0..count)
+            .map(|i| match i % 3 {
+                0 => Query::sssp(((i * 13) % n) as NodeId),
+                1 => Query::Aggregate { op: AggOp::Sum },
+                _ => Query::Mst,
+            })
+            .collect()
+    };
+    let amortize_pool = ServePool::new(Arc::clone(&index), *pool_sweep.last().unwrap());
+    let mut amortization: Vec<Amortization> = Vec::new();
+    for &n_queries in &[1usize, 4, 16] {
+        let queries = amortized_queries(n_queries, wg.graph().n());
+        // One-shot: every request pays the full distributed
+        // construction before it can answer anything.
+        let session = amortize_pool.session();
+        let t = Instant::now();
+        for (i, q) in queries.iter().enumerate() {
+            let (one_shot_index, _) =
+                build_index_distributed(wg.graph(), wg.weights(), &partition, &cfg)
+                    .expect("one-shot construction");
+            let one_pool = ServePool::new(Arc::new(one_shot_index), 1);
+            one_pool.serve(std::slice::from_ref(q), per_query_seed(batch_seed, i));
+        }
+        let one_shot_s = t.elapsed().as_secs_f64();
+        // Indexed: construction repaid once, then served answers only.
+        let t = Instant::now();
+        let (rebuilt, _) = build_index_distributed(wg.graph(), wg.weights(), &partition, &cfg)
+            .expect("amortized construction");
+        drop(rebuilt); // charged, then the prebuilt shared index serves
+        for (i, q) in queries.iter().enumerate() {
+            session.answer(q, per_query_seed(batch_seed, i));
+        }
+        let indexed_s = t.elapsed().as_secs_f64();
+        let a = Amortization {
+            n_queries,
+            one_shot_s,
+            indexed_s,
+        };
+        eprintln!(
+            "amortization N={:>3}: one-shot {:.3}s vs indexed {:.3}s  ({:.1}x)",
+            a.n_queries,
+            a.one_shot_s,
+            a.indexed_s,
+            a.speedup()
+        );
+        amortization.push(a);
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"serve_throughput\",\n  \"mode\": \"{}\",\n",
+            "  \"graph\": {{\"n\": {}, \"m\": {}, \"parts\": {}}},\n",
+            "  \"build_s\": {:.6},\n  \"index_bytes\": {},\n",
+            "  \"pool_sweep\": {:?},\n  \"determinism\": \"{}\",\n",
+            "  \"throughput\": [\n    {}\n  ],\n",
+            "  \"amortization\": [\n    {}\n  ]\n}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        wg.graph().n(),
+        wg.graph().m(),
+        partition.num_parts(),
+        build_s,
+        bytes.len(),
+        pool_sweep,
+        if diverged { "DIVERGED" } else { "ok" },
+        cells
+            .iter()
+            .map(Cell::json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        amortization
+            .iter()
+            .map(Amortization::json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+    if diverged {
+        eprintln!("serve_throughput: served results diverged across pool sizes");
+        std::process::exit(1);
+    }
+    eprintln!("serve determinism check: ok");
+}

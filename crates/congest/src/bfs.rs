@@ -9,10 +9,7 @@
 use crate::message::Message;
 use crate::node::{NodeAlgorithm, RoundCtx};
 use crate::protocol::Protocol;
-use crate::session::Session;
-use crate::sim::SimConfig;
 use crate::stats::RunStats;
-use crate::SimError;
 use lcs_graph::{Graph, NodeId};
 
 /// Messages of the BFS protocol.
@@ -133,7 +130,7 @@ impl DistBfsOutcome {
 }
 
 /// Single-source BFS tree construction as a composable [`Protocol`]:
-/// run it through a [`Session`], alone or joined with other protocols.
+/// run it through a [`Session`](crate::session::Session), alone or joined with other protocols.
 ///
 /// ```
 /// use lcs_congest::{Bfs, Session, SimConfig};
@@ -195,24 +192,11 @@ impl Protocol for Bfs {
     }
 }
 
-/// Runs the BFS protocol from `root` on `graph`.
-///
-/// # Errors
-///
-/// Propagates [`SimError`] from the engine (the protocol itself is
-/// model-compliant; errors indicate a round-limit that is too small).
-#[deprecated(note = "run the `Bfs` protocol through a `Session` instead")]
-pub fn distributed_bfs(
-    graph: &Graph,
-    root: NodeId,
-    cfg: &SimConfig,
-) -> Result<DistBfsOutcome, SimError> {
-    Session::new(graph, cfg.clone()).run(Bfs::new(root))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
+    use crate::sim::SimConfig;
     use lcs_graph::bfs_distances;
 
     /// All protocol tests go through the first-class `Session` API.

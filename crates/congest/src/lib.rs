@@ -66,18 +66,12 @@ pub mod stats;
 pub mod tree;
 
 pub use accounting::{ceil_log2, ExecutionMode, ScheduleCost};
-#[allow(deprecated)]
-pub use bfs::distributed_bfs;
 pub use bfs::{Bfs, BfsMsg, BfsNode, DistBfsOutcome};
 pub use error::SimError;
 pub use message::{Message, DEFAULT_BANDWIDTH_WORDS};
-#[allow(deprecated)]
-pub use multi_aggregate::run_multi_aggregate;
 pub use multi_aggregate::{
     MultiAggMsg, MultiAggNode, MultiAggOutcome, MultiAggregate, Participation,
 };
-#[allow(deprecated)]
-pub use multi_bfs::run_multi_bfs;
 pub use multi_bfs::{
     Membership, MembershipFn, MultiBfs, MultiBfsInstance, MultiBfsMsg, MultiBfsNode,
     MultiBfsOutcome, MultiBfsSpec, Reached,
@@ -93,5 +87,3 @@ pub use tree::{
     positions_from_tree, AggOp, ConvergecastNode, PrefixNumber, PrefixNumberNode, TreeAggregate,
     TreeMsg, TreePosition,
 };
-#[allow(deprecated)]
-pub use tree::{prefix_number, tree_aggregate};

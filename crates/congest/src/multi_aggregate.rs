@@ -12,11 +12,8 @@
 use crate::message::Message;
 use crate::node::{NodeAlgorithm, RoundCtx};
 use crate::protocol::Protocol;
-use crate::session::Session;
-use crate::sim::SimConfig;
 use crate::stats::RunStats;
 use crate::tree::AggOp;
-use crate::SimError;
 use lcs_graph::{Graph, NodeId};
 use std::collections::{HashMap, VecDeque};
 
@@ -225,7 +222,7 @@ impl MultiAggOutcome {
 
 /// Partwise aggregation over many overlapping trees as a composable
 /// [`Protocol`] — the primitive the paper's applications are built on.
-/// Run it through a [`Session`], alone or joined with other protocols.
+/// Run it through a [`Session`](crate::session::Session), alone or joined with other protocols.
 #[derive(Debug, Clone)]
 pub struct MultiAggregate {
     participations: Vec<Vec<Participation>>,
@@ -295,33 +292,12 @@ impl Protocol for MultiAggregate {
     }
 }
 
-/// Runs the bundle of per-instance convergecasts (plus broadcast when
-/// requested) to quiescence.
-///
-/// # Errors
-///
-/// Propagates engine errors. A malformed tree (cyclic parents, missing
-/// children) quiesces with missing results rather than erroring —
-/// callers must treat an absent aggregate as failure.
-///
-/// # Panics
-///
-/// Panics if `participations.len() != graph.n()`.
-#[deprecated(note = "run the `MultiAggregate` protocol through a `Session` instead")]
-pub fn run_multi_aggregate(
-    graph: &Graph,
-    participations: Vec<Vec<Participation>>,
-    op: AggOp,
-    broadcast: bool,
-    cfg: &SimConfig,
-) -> Result<MultiAggOutcome, SimError> {
-    Session::new(graph, cfg.clone()).run(MultiAggregate::new(participations, op, broadcast))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bfs::Bfs;
+    use crate::session::Session;
+    use crate::sim::SimConfig;
 
     /// All protocol tests go through the first-class `Session` API.
     fn aggregate(

@@ -29,10 +29,7 @@
 use crate::message::Message;
 use crate::node::{NodeAlgorithm, RoundCtx};
 use crate::protocol::Protocol;
-use crate::session::Session;
-use crate::sim::SimConfig;
 use crate::stats::RunStats;
-use crate::SimError;
 use lcs_graph::{Graph, NodeId};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -524,7 +521,7 @@ impl MultiBfsOutcome {
 
 /// A bundle of scheduled BFS instances as a composable [`Protocol`]
 /// (the executable form of the paper's random-delay scheduler): run it
-/// through a [`Session`], alone or joined with other protocols.
+/// through a [`Session`](crate::session::Session), alone or joined with other protocols.
 #[derive(Debug, Clone)]
 pub struct MultiBfs {
     spec: Arc<MultiBfsSpec>,
@@ -610,24 +607,11 @@ impl Protocol for MultiBfs {
     }
 }
 
-/// Runs a bundle of BFS instances to quiescence.
-///
-/// # Errors
-///
-/// Propagates engine errors ([`SimError::RoundLimitExceeded`] when the
-/// bundle cannot finish within `cfg.max_rounds`).
-#[deprecated(note = "run the `MultiBfs` protocol through a `Session` instead")]
-pub fn run_multi_bfs(
-    graph: &Graph,
-    spec: Arc<MultiBfsSpec>,
-    cfg: &SimConfig,
-) -> Result<MultiBfsOutcome, SimError> {
-    Session::new(graph, cfg.clone()).run(MultiBfs::new(spec))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
+    use crate::sim::SimConfig;
     use lcs_graph::bfs_distances;
 
     fn full_membership() -> Membership {

@@ -11,10 +11,7 @@
 use crate::message::Message;
 use crate::node::{NodeAlgorithm, RoundCtx, Wake};
 use crate::protocol::Protocol;
-use crate::session::Session;
-use crate::sim::SimConfig;
 use crate::stats::RunStats;
-use crate::SimError;
 use lcs_graph::{Graph, NodeId};
 
 /// Aggregation operator for convergecast.
@@ -173,7 +170,7 @@ impl NodeAlgorithm for ConvergecastNode {
 /// `(per-node results, phase stats)`, matching the classic
 /// free-function shape.
 ///
-/// Joining several `TreeAggregate`s in one [`Session`] phase
+/// Joining several `TreeAggregate`s in one [`Session`](crate::session::Session) phase
 /// ([`Session::join`](crate::Session::join)) runs the convergecasts in
 /// **shared rounds** — the composable form of the paper's concurrent
 /// part-wise aggregation.
@@ -248,28 +245,6 @@ impl Protocol for TreeAggregate {
     ) -> Self::Output {
         (nodes.into_iter().map(|s| s.result).collect(), stats.clone())
     }
-}
-
-/// Runs a convergecast (optionally with result broadcast) over the tree
-/// described by `positions`, with per-node `values`.
-///
-/// # Errors
-///
-/// Propagates engine errors.
-///
-/// # Panics
-///
-/// Panics if input lengths differ from `graph.n()`.
-#[deprecated(note = "run the `TreeAggregate` protocol through a `Session` instead")]
-pub fn tree_aggregate(
-    graph: &Graph,
-    positions: Vec<TreePosition>,
-    values: &[u64],
-    op: AggOp,
-    broadcast: bool,
-    cfg: &SimConfig,
-) -> Result<(Vec<Option<u64>>, crate::stats::RunStats), SimError> {
-    Session::new(graph, cfg.clone()).run(TreeAggregate::new(positions, values, op, broadcast))
 }
 
 /// Prefix numbering: every *marked* node learns its rank (0-based) in a
@@ -454,26 +429,6 @@ impl Protocol for PrefixNumber {
     }
 }
 
-/// Runs prefix numbering of `marked` nodes over the given tree. Returns
-/// per-node ranks (Some only for marked nodes) and the total count.
-///
-/// # Errors
-///
-/// Propagates engine errors.
-///
-/// # Panics
-///
-/// Panics if input lengths differ from `graph.n()`.
-#[deprecated(note = "run the `PrefixNumber` protocol through a `Session` instead")]
-pub fn prefix_number(
-    graph: &Graph,
-    positions: Vec<TreePosition>,
-    marked: &[bool],
-    cfg: &SimConfig,
-) -> Result<(Vec<Option<u64>>, u64, crate::stats::RunStats), SimError> {
-    Session::new(graph, cfg.clone()).run(PrefixNumber::new(positions, marked))
-}
-
 /// Builds [`TreePosition`]s from parallel parent/children arrays (such as
 /// a [`crate::bfs::DistBfsOutcome`]). Nodes with no parent and no
 /// children that are not the root are marked out-of-tree.
@@ -502,6 +457,9 @@ pub fn positions_from_tree(
 mod tests {
     use super::*;
     use crate::bfs::Bfs;
+    use crate::session::Session;
+    use crate::sim::SimConfig;
+    use crate::SimError;
 
     fn tree_fixture(n: usize, seed: u64) -> (Graph, Vec<TreePosition>) {
         let g = lcs_graph::generators::gnp_connected(

@@ -40,6 +40,7 @@ pub mod builder;
 pub mod centralized;
 pub mod dilation;
 pub mod distributed;
+pub mod index_build;
 pub mod odd;
 pub mod params;
 pub mod sampling;
@@ -57,6 +58,7 @@ pub use distributed::{
     distributed_shortcuts, DegradedOutcome, DistributedConfig, DistributedError,
     DistributedOutcome, GuessReport,
 };
+pub use index_build::{build_index, build_index_distributed, IndexBuildConfig};
 pub use odd::{odd_shortcuts_subdivision, shared_delay, subdivide, OddStrategy};
 pub use params::{guess_ladder, k_d, KpParams, ParamError};
 pub use sampling::{splitmix64, SampleOracle};

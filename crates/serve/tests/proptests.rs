@@ -1,0 +1,63 @@
+//! Tier-2 property tests of the service layer: on random zoo graphs,
+//! frozen indexes round-trip through bytes and the pool's determinism
+//! contract holds for arbitrary pool sizes and batch seeds.
+
+use lcs_congest::AggOp;
+use lcs_core::{build_index, IndexBuildConfig, KoganParter};
+use lcs_graph::{gnp_connected, k_tree, power_law, NodeId, WeightedGraph};
+use lcs_serve::{Query, ServePool};
+use lcs_shortcut::{Partition, ShortcutIndex};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Build → freeze → serialize → deserialize → serve: the reloaded
+    /// index answers every query identically to the in-memory one, and
+    /// the answers are pool-size invariant.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
+    #[test]
+    fn reloaded_index_serves_identically(
+        seed in any::<u64>(),
+        n in 8usize..32,
+        k in 2usize..5,
+        family in 0usize..3,
+        batch_seed in any::<u64>(),
+        pool_b in 2usize..5,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = match family {
+            0 => gnp_connected(n, 0.15, &mut rng),
+            1 => k_tree(n, 2, &mut rng),
+            _ => power_law(n, 2, &mut rng),
+        };
+        let p = Partition::bfs_balls(&g, k.min(g.n()), &mut rng);
+        let weights: Vec<u64> = (0..g.m() as u64).map(|e| e * 7 % 23 + 1).collect();
+        let wg = WeightedGraph::new(g, weights).unwrap();
+        let backend = KoganParter::default();
+        let idx = Arc::new(build_index(
+            &wg,
+            &p,
+            &backend,
+            &IndexBuildConfig { seed, ..IndexBuildConfig::default() },
+        ));
+
+        let reloaded = Arc::new(ShortcutIndex::from_bytes(&idx.to_bytes()).unwrap());
+        prop_assert_eq!(&*reloaded, &*idx);
+
+        let queries: Vec<Query> = (0..6)
+            .map(|i| match i % 3 {
+                0 => Query::sssp((i % wg.graph().n()) as NodeId),
+                1 => Query::Aggregate { op: AggOp::Sum },
+                _ => Query::Mst,
+            })
+            .collect();
+        let a = ServePool::new(idx, 1).serve(&queries, batch_seed);
+        let b = ServePool::new(reloaded, pool_b).serve(&queries, batch_seed);
+        prop_assert_eq!(a.results, b.results);
+        prop_assert_eq!(a.fingerprint, b.fingerprint);
+    }
+}

@@ -1,0 +1,79 @@
+//! Session-path vs index-path differential: the engine-simulated
+//! partwise aggregation (a `MultiAggregate` bundle through a CONGEST
+//! `Session`) must agree with the index-served answer for the same
+//! seed-derived workload, and the session path's `RunStats`
+//! fingerprints must be identical across engine shard counts {1, 4}.
+//!
+//! Together with `congest/tests/session_pinning.rs` this replaces the
+//! retired deprecated-wrapper suite: the session path is pinned
+//! against the engine there, and against the service layer here.
+
+use lcs_congest::{AggOp, SimConfig};
+use lcs_core::{build_index_distributed, DistributedConfig};
+use lcs_graph::{HighwayGraph, HighwayParams, NodeId, WeightedGraph};
+use lcs_serve::{aggregate_value, per_query_seed, Query, ServePool};
+use lcs_shortcut::Partition;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+#[test]
+fn session_aggregation_agrees_with_index_path_at_shards_1_and_4() {
+    let hw = HighwayGraph::new(HighwayParams {
+        num_paths: 4,
+        path_len: 12,
+        diameter: 4,
+    })
+    .unwrap();
+    let g = hw.graph().clone();
+    let p = Partition::new(&g, hw.path_parts()).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5E55);
+    let wg = WeightedGraph::with_random_weights(g, 100, &mut rng);
+    let cfg = DistributedConfig {
+        known_diameter: Some(4),
+        ..DistributedConfig::default()
+    };
+    let (index, _) = build_index_distributed(wg.graph(), wg.weights(), &p, &cfg).expect("build");
+    let index = Arc::new(index);
+
+    for op in [AggOp::Sum, AggOp::Min, AggOp::Max] {
+        // Index path: one served aggregation query.
+        let batch_seed = 0x1D10 ^ op as u64;
+        let pool = ServePool::new(Arc::clone(&index), 2);
+        let served = pool.serve(&[Query::Aggregate { op }], batch_seed);
+        let per_part = match &served.results[0] {
+            lcs_serve::QueryResult::Aggregate { per_part } => per_part.clone(),
+            other => panic!("expected aggregation, got {other:?}"),
+        };
+
+        // Session path: the identical workload through the CONGEST
+        // engine's MultiAggregate bundle, at shard counts {1, 4}.
+        let seed = per_query_seed(batch_seed, 0);
+        let value = |v: NodeId, part: usize| -> u64 {
+            if p.part_of(v) == Some(part as u32) {
+                aggregate_value(seed, part, v)
+            } else {
+                op.identity()
+            }
+        };
+        let setup = index.aggregation_setup();
+        let mut fingerprints = Vec::new();
+        for shards in [1usize, 4] {
+            let sim = SimConfig {
+                shards,
+                ..SimConfig::default()
+            };
+            let (roots, outcome) = setup
+                .aggregate_simulated(wg.graph(), op, &value, true, &sim)
+                .expect("session aggregation");
+            for (i, &ans) in per_part.iter().enumerate() {
+                assert_eq!(roots[i], Some(ans), "{op:?} part {i} at {shards} shards");
+            }
+            fingerprints.push(outcome.stats.fingerprint());
+        }
+        assert_eq!(
+            fingerprints[0], fingerprints[1],
+            "{op:?}: session-path RunStats fingerprint must be shard-count invariant"
+        );
+    }
+}

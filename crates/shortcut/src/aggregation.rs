@@ -26,7 +26,7 @@ use std::collections::HashMap;
 
 /// One part's aggregation tree: BFS tree of `G[S_i] ∪ H_i` rooted at
 /// the leader.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartTree {
     /// The part index this tree belongs to.
     pub part: usize,

@@ -29,6 +29,7 @@
 pub mod aggregation;
 pub mod baseline;
 pub mod builder;
+pub mod index;
 pub mod minor;
 pub mod partition;
 pub mod separator;
@@ -38,6 +39,7 @@ pub mod verifier;
 pub use aggregation::{AggregationSetup, PartTree};
 pub use baseline::{global_tree_shortcuts, kitamura_style_shortcuts, trivial_shortcuts};
 pub use builder::{GlobalTree, KitamuraSampling, ShortcutBuilder, Trivial};
+pub use index::{IndexError, IndexMeta, ShortcutIndex, INDEX_FORMAT_VERSION};
 pub use minor::{capped_growth_shortcuts, CappedGrowth, GrowthCert};
 pub use partition::{Partition, PartitionError};
 pub use separator::{separator_shortcuts, SeparatorCert, TreeSeparator};

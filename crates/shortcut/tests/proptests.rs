@@ -2,10 +2,10 @@
 //! against brute force, partition invariants, aggregation equivalences.
 
 use lcs_congest::{AggOp, SimConfig};
-use lcs_graph::{gnp_connected, EdgeId, NodeId};
+use lcs_graph::{gnp_connected, k_tree, power_law, random_regular, EdgeId, NodeId};
 use lcs_shortcut::{
     global_tree_shortcuts, measure_quality, trivial_shortcuts, verify, AggregationSetup,
-    DilationMode, Partition, ShortcutSet,
+    DilationMode, IndexMeta, Partition, ShortcutIndex, ShortcutSet,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -136,5 +136,41 @@ proptest! {
         for i in 0..p.num_parts() {
             prop_assert_eq!(roots[i], Some(central[i]), "part {}", i);
         }
+    }
+
+    /// Frozen indexes built from random zoo graphs survive a
+    /// serialization round trip byte-exactly, and truncating the
+    /// encoding at any prefix yields a typed error, never a panic.
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
+    #[test]
+    fn index_roundtrip_zoo(seed in any::<u64>(), n in 6usize..40, k in 2usize..6, family in 0usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = match family {
+            0 => gnp_connected(n, 0.15, &mut rng),
+            1 => k_tree(n, 2, &mut rng),
+            // Degree 4 keeps `n * d` even for every n in range.
+            2 => random_regular(n, 4, &mut rng),
+            _ => power_law(n, 2, &mut rng),
+        };
+        let p = Partition::bfs_balls(&g, k.min(g.n()), &mut rng);
+        let s = global_tree_shortcuts(&g, &p, 0, Some(2));
+        let weights: Vec<u64> = (0..g.m() as u64).map(|e| e % 17 + 1).collect();
+        let meta = IndexMeta {
+            backend: "proptest".to_string(),
+            params: vec![("family".to_string(), family.to_string())],
+            seed,
+            certificate: None,
+            diameter: None,
+        };
+        let idx = ShortcutIndex::freeze(g, weights, p, s, meta);
+
+        let bytes = idx.to_bytes();
+        let back = ShortcutIndex::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &idx);
+        prop_assert_eq!(back.to_bytes(), bytes.clone());
+
+        // Every truncation point degrades to a typed error.
+        let cut = (seed as usize) % bytes.len();
+        prop_assert!(ShortcutIndex::from_bytes(&bytes[..cut]).is_err());
     }
 }

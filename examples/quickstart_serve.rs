@@ -1,0 +1,97 @@
+// Quickstart for the service layer: build a ShortcutIndex once with
+// the fully distributed pipeline, persist it to disk, load it back,
+// and answer a mixed query batch through a concurrent pool — then
+// re-weight the edges via customization without rebuilding anything.
+//
+// Run with: `cargo run --release --example quickstart_serve`
+
+use low_congestion_shortcuts::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Workload: the constant-diameter hard instance, one part per
+    //    path.
+    let hw = HighwayGraph::new(HighwayParams {
+        num_paths: 4,
+        path_len: 16,
+        diameter: 4,
+    })
+    .expect("valid family parameters");
+    let g = hw.graph().clone();
+    let parts = Partition::new(&g, hw.path_parts()).expect("valid parts");
+    let weights: Vec<u64> = (0..g.m() as u64).map(|e| e * 5 % 19 + 1).collect();
+
+    // 2. Build (preprocess-once): the full CONGEST pipeline, frozen
+    //    into an index. Everything construction produced — CSR graph,
+    //    weights, partition, shortcut edge sets, aggregation trees,
+    //    quality certificate — is in this one artifact.
+    let cfg = DistributedConfig {
+        seed: 42,
+        ..DistributedConfig::default()
+    };
+    let (index, outcome) =
+        build_index_distributed(&g, &weights, &parts, &cfg).expect("construction verifies");
+    println!(
+        "built: backend={} accepted D''={} certificate={:?}",
+        index.meta().backend,
+        outcome.accepted_guess,
+        index.meta().certificate,
+    );
+
+    // 3. Persist → reload: the flat little-endian format round-trips
+    //    byte-exactly (truncation / corruption come back as typed
+    //    errors, never panics).
+    let path = std::env::temp_dir().join(format!("quickstart_{}.lcsidx", std::process::id()));
+    index.save(&path).expect("save index");
+    let loaded = ShortcutIndex::load(&path).expect("load index");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, index, "save/load is lossless");
+    println!("persisted: {} bytes round-tripped", loaded.to_bytes().len());
+
+    // 4. Query-many: a pool of sessions shares the index read-only.
+    //    Results are deterministic in (index, queries, batch seed) —
+    //    the pool size only changes wall-clock, never answers.
+    let index = Arc::new(loaded);
+    let queries = [
+        Query::sssp(0),
+        Query::Mst,
+        Query::Aggregate { op: AggOp::Sum },
+        Query::sssp(17),
+    ];
+    let solo = ServePool::new(Arc::clone(&index), 1).serve(&queries, 7);
+    let pooled = ServePool::new(Arc::clone(&index), 2).serve(&queries, 7);
+    assert_eq!(solo.results, pooled.results);
+    assert_eq!(solo.fingerprint, pooled.fingerprint);
+    for (q, r) in queries.iter().zip(&pooled.results) {
+        match r {
+            QueryResult::Sssp { dist, .. } => {
+                let reached = dist.iter().filter(|&&d| d != W_UNREACHABLE).count();
+                println!("{q:?}: {reached}/{} nodes reached", dist.len());
+            }
+            QueryResult::Mst { weight, phases, .. } => {
+                println!("{q:?}: weight={weight} in {phases} Boruvka phases");
+            }
+            QueryResult::Aggregate { per_part } => {
+                println!("{q:?}: {} per-part sums", per_part.len());
+            }
+            other => println!("{q:?}: {other:?}"),
+        }
+    }
+    println!(
+        "batch fingerprint: {:#018x} (pool-size invariant)",
+        pooled.fingerprint
+    );
+
+    // 5. Customize (re-weight without re-partitioning): only the
+    //    weight-dependent tables are recomputed; partition, shortcut
+    //    sets, and trees are reused frozen.
+    let rush_hour: Vec<u64> = (0..g.m() as u64).map(|e| e * 11 % 37 + 1).collect();
+    let cx = Arc::new(
+        CustomizedIndex::with_weights(Arc::clone(&index), rush_hour).expect("same edge count"),
+    );
+    let rebatch = ServePool::with_customization(cx, 2).serve(&[Query::sssp(0)], 7);
+    println!(
+        "customized: rush-hour fingerprint {:#018x} (index untouched)",
+        rebatch.fingerprint
+    );
+}

@@ -16,7 +16,11 @@
 //! * [`core`] (`lcs-core`) — the paper's construction: centralized,
 //!   fully distributed (diameter guessing included), odd-diameter
 //!   reduction, shortcut trees, and dilation certification;
-//! * [`apps`] (`lcs-apps`) — MST, (1+ε) min cut, SSSP, 2-ECSS.
+//! * [`apps`] (`lcs-apps`) — MST, (1+ε) min cut, SSSP, 2-ECSS;
+//! * [`serve`] (`lcs-serve`) — the preprocess-once, query-many service
+//!   layer: a frozen, serializable
+//!   [`ShortcutIndex`](shortcut::ShortcutIndex), cheap re-weighting
+//!   customization, and a concurrent deterministic query pool.
 //!
 //! ## Quickstart
 //!
@@ -84,6 +88,7 @@ pub use lcs_apps as apps;
 pub use lcs_congest as congest;
 pub use lcs_core as core;
 pub use lcs_graph as graph;
+pub use lcs_serve as serve;
 pub use lcs_shortcut as shortcut;
 
 /// One-stop imports for examples and downstream users.
@@ -97,15 +102,17 @@ pub mod prelude {
         PrefixNumber, Protocol, Session, SimConfig, TreeAggregate, Wake,
     };
     pub use lcs_core::{
-        centralized_shortcuts, distributed_shortcuts, k_d, prune_to_trees, DistributedConfig,
-        KpParams, LargenessRule, OracleMode, SampleOracle, ShortcutTree,
+        build_index, build_index_distributed, centralized_shortcuts, distributed_shortcuts, k_d,
+        prune_to_trees, DistributedConfig, IndexBuildConfig, KpParams, LargenessRule, OracleMode,
+        SampleOracle, ShortcutTree,
     };
     pub use lcs_graph::{
         exact_diameter, kruskal, stoer_wagner, Graph, GraphBuilder, HighwayGraph, HighwayParams,
-        NodeId, WeightedGraph,
+        NodeId, WeightedGraph, W_UNREACHABLE,
     };
+    pub use lcs_serve::{CustomizedIndex, IndexedSession, Query, QueryResult, ServePool};
     pub use lcs_shortcut::{
         global_tree_shortcuts, measure_quality, trivial_shortcuts, verify, DilationMode, Partition,
-        Quality, ShortcutSet,
+        Quality, ShortcutIndex, ShortcutSet,
     };
 }

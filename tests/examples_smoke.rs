@@ -31,6 +31,13 @@ mod network_resilience {
     }
 }
 
+mod quickstart_serve {
+    include!("../examples/quickstart_serve.rs");
+    pub fn run() {
+        main()
+    }
+}
+
 #[test]
 fn quickstart_runs() {
     quickstart::run();
@@ -53,4 +60,9 @@ fn social_network_mst_runs() {
 #[test]
 fn network_resilience_runs() {
     network_resilience::run();
+}
+
+#[test]
+fn quickstart_serve_runs() {
+    quickstart_serve::run();
 }
