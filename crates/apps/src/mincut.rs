@@ -28,7 +28,8 @@
 //! distributed implementation — see DESIGN.md (substitutions).
 
 use crate::mst::{mst_via_shortcuts, MstConfig, MstError};
-use lcs_congest::ceil_log2;
+use lcs_congest::{ceil_log2, FaultPlan, SimError};
+use lcs_core::{detect_and_excise, DegradedOutcome};
 use lcs_graph::{kruskal, stoer_wagner, Graph, NodeId, WeightedGraph};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -73,6 +74,8 @@ pub enum MinCutError {
     NotCuttable,
     /// Propagated MST error (round accounting).
     Mst(MstError),
+    /// Fault-handling failure (detection phase).
+    Sim(SimError),
 }
 
 impl fmt::Display for MinCutError {
@@ -80,6 +83,7 @@ impl fmt::Display for MinCutError {
         match self {
             MinCutError::NotCuttable => write!(f, "graph has no proper cut (n < 2)"),
             MinCutError::Mst(e) => write!(f, "mst subroutine failed: {e}"),
+            MinCutError::Sim(e) => write!(f, "fault handling failed: {e}"),
         }
     }
 }
@@ -105,6 +109,10 @@ pub struct MinCutOutcome {
     pub total_rounds: u64,
     /// Estimate-loop iterations.
     pub estimate_iterations: u32,
+    /// Present iff the run was configured with a
+    /// [`FaultPlan`](MstConfig::faults) on its MST subroutine: what
+    /// graceful degradation excised and cost.
+    pub degraded: Option<DegradedOutcome>,
 }
 
 /// A rooted tree view with Euler intervals for subtree tests.
@@ -285,9 +293,17 @@ fn pack_trees(skeleton: &Graph, count: usize) -> Vec<Vec<(NodeId, NodeId)>> {
 
 /// Runs the (1+ε)-approximate min cut.
 ///
+/// With a [`FaultPlan`](MstConfig::faults) attached to `cfg.mst`,
+/// crash-stopped nodes are detected and excised first (see
+/// [`lcs_core::degrade`]) and the cut is computed on the surviving
+/// subgraph — the returned side carries **original** node ids and the
+/// outcome a [`DegradedOutcome`].
+///
 /// # Errors
 ///
-/// [`MinCutError::NotCuttable`] for `n < 2` or disconnected inputs.
+/// [`MinCutError::NotCuttable`] for `n < 2` or disconnected inputs (or
+/// fewer than two survivors after excision);
+/// [`MinCutError::Sim`] when the detection phase fails.
 pub fn approximate_min_cut(
     wg: &WeightedGraph,
     cfg: &MinCutConfig,
@@ -296,6 +312,9 @@ pub fn approximate_min_cut(
     let n = g.n();
     if n < 2 || !lcs_graph::is_connected(g) {
         return Err(MinCutError::NotCuttable);
+    }
+    if let Some(plan) = &cfg.mst.faults {
+        return degraded_min_cut(wg, cfg, &plan.clone());
     }
     let ln_n = (n as f64).ln().max(1.0);
     let trees_per_round = cfg.trees.unwrap_or((3.0 * ln_n).ceil() as usize).max(1);
@@ -375,6 +394,62 @@ pub fn approximate_min_cut(
         trees_packed,
         total_rounds,
         estimate_iterations: iterations,
+        degraded: None,
+    })
+}
+
+/// Fault-tolerant wrapper: detect crash-stops on the faulty network,
+/// excise the dead, and pack trees on the surviving subgraph (which the
+/// detection BFS guarantees is connected). The inner MST subroutine
+/// re-derives the diameter (`diameter: None`) because excision can
+/// lengthen shortest paths; detection rounds are charged on top.
+fn degraded_min_cut(
+    wg: &WeightedGraph,
+    cfg: &MinCutConfig,
+    plan: &FaultPlan,
+) -> Result<MinCutOutcome, MinCutError> {
+    let g = wg.graph();
+    let exc = detect_and_excise(g, plan, cfg.mst.seed, cfg.mst.shards).map_err(MinCutError::Sim)?;
+
+    if exc.is_trivial() {
+        let inner = MinCutConfig {
+            mst: MstConfig {
+                faults: None,
+                ..cfg.mst.clone()
+            },
+            ..cfg.clone()
+        };
+        let mut out = approximate_min_cut(wg, &inner)?;
+        out.total_rounds += exc.extra_rounds;
+        out.degraded = Some(exc.outcome());
+        return Ok(out);
+    }
+
+    if exc.survivors.len() < 2 {
+        return Err(MinCutError::NotCuttable);
+    }
+    let inner = MinCutConfig {
+        mst: MstConfig {
+            faults: None,
+            diameter: None, // excision can stretch the diameter
+            ..cfg.mst.clone()
+        },
+        ..cfg.clone()
+    };
+    let sub_wg = exc.induced_weighted(wg);
+    let sub = approximate_min_cut(&sub_wg, &inner)?;
+    let side: Vec<NodeId> = sub
+        .side
+        .iter()
+        .map(|&v| exc.survivors[v as usize])
+        .collect();
+    Ok(MinCutOutcome {
+        weight: sub.weight,
+        side,
+        trees_packed: sub.trees_packed,
+        total_rounds: sub.total_rounds + exc.extra_rounds,
+        estimate_iterations: sub.estimate_iterations,
+        degraded: Some(exc.outcome()),
     })
 }
 
@@ -487,6 +562,99 @@ mod tests {
         assert_eq!(out.weight, exact);
         assert!(out.total_rounds > 0);
         assert!(out.trees_packed > 0);
+    }
+
+    #[test]
+    fn degraded_min_cut_excises_and_matches_stoer_wagner() {
+        use lcs_congest::{Crash, FaultPlan};
+        // Two weight-9 triangles joined by a weight-2 bridge; node 4
+        // (in the right triangle) crash-stops under lossy, corrupting
+        // links. The survivors stay connected through the bridge.
+        let wg = WeightedGraph::from_weighted_edges(
+            6,
+            &[
+                (0, 1, 9),
+                (1, 2, 9),
+                (2, 0, 9),
+                (3, 4, 9),
+                (4, 5, 9),
+                (5, 3, 9),
+                (2, 3, 2),
+            ],
+        )
+        .unwrap();
+        let plan = FaultPlan {
+            drop_rate: 0.05,
+            corrupt_rate: 0.05,
+            crashes: vec![Crash {
+                node: 4,
+                at_round: 0,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = MinCutConfig {
+            mst: MstConfig {
+                diameter: Some(3),
+                faults: Some(plan),
+                ..MstConfig::default()
+            },
+            ..MinCutConfig::default()
+        };
+        let out = approximate_min_cut(&wg, &cfg).unwrap();
+        let deg = out
+            .degraded
+            .as_ref()
+            .expect("fault plan reports degradation");
+        assert_eq!(deg.excluded_nodes, vec![4]);
+        assert!(deg.extra_rounds > 0);
+        assert!(out.side.iter().all(|&v| v != 4), "excised node in no side");
+
+        // Differential reference: Stoer–Wagner on the survivors'
+        // induced subgraph (survivors 0,1,2,3,5 → sub ids 0..=4).
+        let sub = WeightedGraph::from_weighted_edges(
+            5,
+            &[(0, 1, 9), (1, 2, 9), (0, 2, 9), (3, 4, 9), (2, 3, 2)],
+        )
+        .unwrap();
+        let exact = stoer_wagner(&sub).unwrap().weight;
+        assert_eq!(out.weight, exact);
+        assert_eq!(out.weight, 2, "the bridge is still the min cut");
+        let side_sub: Vec<NodeId> = out
+            .side
+            .iter()
+            .map(|&v| if v == 5 { 4 } else { v })
+            .collect();
+        assert_eq!(cut_weight(&sub, &side_sub), out.weight);
+    }
+
+    #[test]
+    fn degraded_min_cut_without_permanent_crashes_matches_fault_free() {
+        use lcs_congest::FaultPlan;
+        let wg = weighted_fixture(3);
+        let clean_cfg = MinCutConfig {
+            epsilon: 0.25,
+            seed: 3,
+            ..MinCutConfig::default()
+        };
+        let clean = approximate_min_cut(&wg, &clean_cfg).unwrap();
+        let faulty_cfg = MinCutConfig {
+            mst: MstConfig {
+                faults: Some(FaultPlan {
+                    drop_rate: 0.10,
+                    corrupt_rate: 0.05,
+                    ..FaultPlan::default()
+                }),
+                ..clean_cfg.mst.clone()
+            },
+            ..clean_cfg.clone()
+        };
+        let out = approximate_min_cut(&wg, &faulty_cfg).unwrap();
+        assert_eq!(out.weight, clean.weight);
+        assert_eq!(out.side, clean.side);
+        let deg = out.degraded.expect("plan reports degradation");
+        assert!(deg.excluded_nodes.is_empty());
+        assert_eq!(out.total_rounds, clean.total_rounds + deg.extra_rounds);
     }
 
     #[test]

@@ -23,13 +23,10 @@
 //! Fragment-merge bookkeeping (leader relabeling) is charged as one
 //! extra aggregation sweep per phase (see DESIGN.md substitutions).
 
-use lcs_congest::{
-    positions_from_tree, AggOp, Bfs, ExecutionMode, FaultPlan, Reliable, Session, SimConfig,
-    SimError, TreeAggregate,
-};
+use lcs_congest::{AggOp, ExecutionMode, FaultPlan, Session, SimConfig, SimError};
 use lcs_core::{
-    centralized_shortcuts, prune_to_trees, DegradedOutcome, KpParams, LargenessRule, OracleMode,
-    ParamError,
+    centralized_shortcuts, detect_and_excise, prune_to_trees, DegradedOutcome, KpParams,
+    LargenessRule, OracleMode, ParamError,
 };
 use lcs_graph::{exact_diameter, kruskal, EdgeId, NodeId, UnionFind, WeightedGraph};
 use lcs_shortcut::{
@@ -389,126 +386,42 @@ fn degraded_mst(
     plan: &FaultPlan,
 ) -> Result<MstOutcome, MstError> {
     let g = wg.graph();
-    let n = g.n();
-    let crashed: Vec<NodeId> = plan
-        .crashes
-        .iter()
-        .filter(|c| c.recover_at.is_none())
-        .map(|c| c.node)
-        .collect();
-    if crashed.contains(&0) {
-        return Err(MstError::Sim(SimError::FaultConfig {
-            reason: "node 0 roots the detection convergecast; it may not crash permanently \
-                     — crash a different node or give node 0 a recovery round"
-                .to_string(),
-        }));
-    }
-
-    // ---- Detection, on the faulty network over reliable links. -------
-    let det_cfg = SimConfig {
-        seed: cfg.seed,
-        shards: cfg.shards,
-        max_rounds: 500_000, // retransmission slack
-        faults: Some(plan.clone()),
-        ..SimConfig::default()
-    };
-    let mut det = Session::new(g, det_cfg);
-    let bfs = det.run_labeled(
-        "F.detect_bfs",
-        Reliable::with_crashed(Bfs::new(0), &crashed),
-    )?;
-    {
-        let positions = positions_from_tree(0, &bfs.parent, &bfs.children);
-        let ones = vec![1u64; n];
-        let (census, _) = det.run_labeled(
-            "F.detect_census",
-            Reliable::with_crashed(
-                TreeAggregate::new(positions, &ones, AggOp::Sum, true),
-                &crashed,
-            ),
-        )?;
-        debug_assert_eq!(
-            census[0].unwrap_or(0),
-            bfs.dist.iter().flatten().count() as u64,
-            "census must count exactly the BFS-reached survivors"
-        );
-    }
-    let extra_rounds = det.rounds_used();
-    let excluded: Vec<NodeId> = (0..n as NodeId)
-        .filter(|&v| bfs.dist[v as usize].is_none())
-        .collect();
-
-    if excluded.is_empty() {
-        // Nothing crash-stopped: the reliable layer absorbed the drops
-        // and delays; Boruvka runs on the whole graph.
-        let sub_cfg = MstConfig {
-            faults: None,
-            ..cfg.clone()
-        };
-        let mut out = mst_pipeline(wg, &sub_cfg)?;
-        out.total_rounds += extra_rounds;
-        out.messages += det.stats().messages;
-        out.degraded = Some(DegradedOutcome {
-            completed: true,
-            excluded_nodes: Vec::new(),
-            extra_rounds,
-        });
-        return Ok(out);
-    }
-
-    // ---- Excision: the MST of the surviving component. ---------------
-    let mut new_id: Vec<u32> = vec![u32::MAX; n];
-    let survivors: Vec<NodeId> = (0..n as NodeId)
-        .filter(|&v| bfs.dist[v as usize].is_some())
-        .collect();
-    for (i, &v) in survivors.iter().enumerate() {
-        new_id[v as usize] = i as u32;
-    }
-    let sub_edges: Vec<(NodeId, NodeId, u64)> = g
-        .edges()
-        .iter()
-        .enumerate()
-        .filter(|&(_, &(a, b))| new_id[a as usize] != u32::MAX && new_id[b as usize] != u32::MAX)
-        .map(|(e, &(a, b))| {
-            (
-                new_id[a as usize],
-                new_id[b as usize],
-                wg.weight(EdgeId(e as u32)),
-            )
-        })
-        .collect();
-    let sub_wg = WeightedGraph::from_weighted_edges(survivors.len(), &sub_edges)
-        .expect("relabeled survivor edges are simple");
+    let exc = detect_and_excise(g, plan, cfg.seed, cfg.shards).map_err(MstError::Sim)?;
     let sub_cfg = MstConfig {
         faults: None,
         ..cfg.clone()
     };
+
+    if exc.is_trivial() {
+        // Nothing crash-stopped: the reliable layer absorbed the drops
+        // and delays; Boruvka runs on the whole graph.
+        let mut out = mst_pipeline(wg, &sub_cfg)?;
+        out.total_rounds += exc.extra_rounds;
+        out.messages += exc.messages;
+        out.degraded = Some(exc.outcome());
+        return Ok(out);
+    }
+
+    // ---- Excision: the MST of the surviving component. ---------------
+    let sub_wg = exc.induced_weighted(wg);
     let sub = mst_pipeline(&sub_wg, &sub_cfg)?;
 
     // Map the tree back to original edge ids.
     let mut edges: Vec<EdgeId> = sub
         .edges
         .iter()
-        .map(|&e| {
-            let (a, b) = sub_wg.graph().edge_endpoints(e);
-            g.edge_between(survivors[a as usize], survivors[b as usize])
-                .expect("surviving edge exists in the original graph")
-        })
+        .map(|&e| exc.original_edge(g, sub_wg.graph(), e))
         .collect();
     edges.sort_unstable();
     Ok(MstOutcome {
         edges,
         weight: sub.weight,
         phases: sub.phases,
-        total_rounds: sub.total_rounds + extra_rounds,
-        messages: sub.messages + det.stats().messages,
+        total_rounds: sub.total_rounds + exc.extra_rounds,
+        messages: sub.messages + exc.messages,
         phase_costs: sub.phase_costs,
         execution: cfg.execution,
-        degraded: Some(DegradedOutcome {
-            completed: true,
-            excluded_nodes: excluded,
-            extra_rounds,
-        }),
+        degraded: Some(exc.outcome()),
     })
 }
 
@@ -673,6 +586,7 @@ mod tests {
                 drop_rate: 0.05,
                 delay_rate: 0.05,
                 max_delay: 2,
+                corrupt_rate: 0.05,
                 crashes: dead_part
                     .iter()
                     .map(|&v| Crash {
@@ -767,6 +681,7 @@ mod tests {
                 drop_rate: 0.10,
                 delay_rate: 0.10,
                 max_delay: 2,
+                corrupt_rate: 0.05,
                 crashes: vec![],
                 fault_seed: 5,
             }),

@@ -18,7 +18,8 @@
 //! reports both the round reduction and the realized stretch against
 //! Dijkstra.
 
-use lcs_congest::{ceil_log2, AggOp, ScheduleCost, Session, SimConfig, SimError};
+use lcs_congest::{ceil_log2, AggOp, FaultPlan, ScheduleCost, Session, SimConfig, SimError};
+use lcs_core::{detect_and_excise, DegradedOutcome};
 use lcs_graph::{dijkstra, NodeId, WeightedGraph, W_UNREACHABLE};
 use lcs_shortcut::{AggregationSetup, Partition, ShortcutSet};
 use std::collections::HashMap;
@@ -209,11 +210,16 @@ pub struct SimulatedSsspOutcome {
     /// `total_rounds` counts the *simulated* aggregation rounds plus
     /// one per Bellman–Ford sweep.
     pub outcome: SsspOutcome,
-    /// Messages actually exchanged by the tree-relaxation phases.
+    /// Messages actually exchanged by the tree-relaxation phases (plus,
+    /// under a fault plan, the detection phases).
     pub messages: u64,
     /// Per-phase engine statistics from the session (one aggregation
     /// phase per outer iteration).
     pub phase_rounds: Vec<u64>,
+    /// Present iff the run was configured with a
+    /// [`FaultPlan`](SimConfig::faults): what graceful degradation
+    /// excised and cost.
+    pub degraded: Option<DegradedOutcome>,
 }
 
 /// [`shortcut_sssp`] with the partwise tree relaxations executed
@@ -225,9 +231,17 @@ pub struct SimulatedSsspOutcome {
 /// the accounted variant; distances are identical to
 /// [`shortcut_sssp`].
 ///
+/// With a [`FaultPlan`](SimConfig::faults) attached, crash-stopped
+/// nodes are detected and excised first (see
+/// [`lcs_core::degrade`]) and the relaxation runs on the surviving
+/// subgraph over its part *fragments*; excised nodes report
+/// [`W_UNREACHABLE`] and the outcome carries a [`DegradedOutcome`].
+///
 /// # Errors
 ///
-/// Propagates engine errors from the aggregation phases.
+/// Propagates engine errors from the aggregation phases;
+/// [`SimError::FaultConfig`] when the detection root (node 0) or the
+/// SSSP source crashes permanently.
 pub fn shortcut_sssp_simulated(
     wg: &WeightedGraph,
     partition: &Partition,
@@ -236,6 +250,17 @@ pub fn shortcut_sssp_simulated(
     max_iterations: u32,
     cfg: &SimConfig,
 ) -> Result<SimulatedSsspOutcome, SimError> {
+    if let Some(plan) = &cfg.faults {
+        return degraded_sssp(
+            wg,
+            partition,
+            shortcuts,
+            source,
+            max_iterations,
+            cfg,
+            &plan.clone(),
+        );
+    }
     let g = wg.graph();
     let n = g.n();
     let setup = AggregationSetup::build(g, partition, shortcuts);
@@ -328,6 +353,83 @@ pub fn shortcut_sssp_simulated(
         },
         messages: session.stats().messages,
         phase_rounds: session.phases().iter().map(|p| p.rounds).collect(),
+        degraded: None,
+    })
+}
+
+/// Fault-tolerant wrapper: detect crash-stops on the faulty network,
+/// excise the dead, and run the interleaved relaxation on the surviving
+/// subgraph. Parts are split into their surviving fragments and the
+/// shortcut set is restricted to surviving edges; detection rounds are
+/// charged on top (`extra_rounds`). Distances of excised nodes are
+/// [`W_UNREACHABLE`]; the stretch statistics compare against Dijkstra
+/// **on the survivors** — the honest reference once the dead are gone.
+#[allow(clippy::too_many_arguments)]
+fn degraded_sssp(
+    wg: &WeightedGraph,
+    partition: &Partition,
+    shortcuts: &ShortcutSet,
+    source: NodeId,
+    max_iterations: u32,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+) -> Result<SimulatedSsspOutcome, SimError> {
+    let g = wg.graph();
+    let exc = detect_and_excise(g, plan, cfg.seed, cfg.shards)?;
+    let inner_cfg = SimConfig {
+        faults: None,
+        ..cfg.clone()
+    };
+
+    if exc.is_trivial() {
+        // Drops, delays, corruption, and transient crashes were all
+        // absorbed by the reliable detection layer: relax on the whole
+        // graph, charging only the detection overhead.
+        let mut out =
+            shortcut_sssp_simulated(wg, partition, shortcuts, source, max_iterations, &inner_cfg)?;
+        out.outcome.total_rounds += exc.extra_rounds;
+        out.messages += exc.messages;
+        out.degraded = Some(exc.outcome());
+        return Ok(out);
+    }
+
+    if exc.new_id[source as usize] == u32::MAX {
+        return Err(SimError::FaultConfig {
+            reason: format!(
+                "SSSP source {source} was excised (crashed or disconnected from the \
+                 detection root) — every distance would be unreachable"
+            ),
+        });
+    }
+
+    let sub_wg = exc.induced_weighted(wg);
+    let (sub_partition, sub_to_orig) = exc.split_partition(sub_wg.graph(), partition);
+    let sub_shortcuts = exc.restrict_shortcuts(g, sub_wg.graph(), shortcuts, &sub_to_orig);
+    let sub_source = exc.new_id[source as usize];
+    let sub = shortcut_sssp_simulated(
+        &sub_wg,
+        &sub_partition,
+        &sub_shortcuts,
+        sub_source,
+        max_iterations,
+        &inner_cfg,
+    )?;
+
+    let mut dist = vec![W_UNREACHABLE; g.n()];
+    for (i, &v) in exc.survivors.iter().enumerate() {
+        dist[v as usize] = sub.outcome.dist[i];
+    }
+    Ok(SimulatedSsspOutcome {
+        outcome: SsspOutcome {
+            dist,
+            iterations: sub.outcome.iterations,
+            total_rounds: sub.outcome.total_rounds + exc.extra_rounds,
+            max_stretch: sub.outcome.max_stretch,
+            mean_stretch: sub.outcome.mean_stretch,
+        },
+        messages: sub.messages + exc.messages,
+        phase_rounds: sub.phase_rounds,
+        degraded: Some(exc.outcome()),
     })
 }
 
@@ -484,5 +586,152 @@ mod tests {
         let (wg, p, s) = fixture();
         let out = shortcut_sssp(&wg, &p, &s, 5, 32);
         assert_eq!(out.dist[5], 0);
+    }
+
+    #[test]
+    fn degraded_sssp_matches_dijkstra_on_survivors() {
+        use lcs_congest::Crash;
+        let (wg, p, s) = fixture();
+        // Byzantine-tier plan: lossy + corrupting links, one permanent
+        // crash in the middle of a path part (splitting it into two
+        // fragments), one transient crash that the rejoin handshake
+        // absorbs.
+        let plan = FaultPlan {
+            drop_rate: 0.08,
+            corrupt_rate: 0.04,
+            crashes: vec![
+                Crash {
+                    node: 20,
+                    at_round: 0,
+                    recover_at: None,
+                },
+                Crash {
+                    node: 57,
+                    at_round: 2,
+                    recover_at: Some(30),
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig {
+            faults: Some(plan),
+            ..SimConfig::default()
+        };
+        let out = shortcut_sssp_simulated(&wg, &p, &s, 0, 4096, &cfg).unwrap();
+        let deg = out
+            .degraded
+            .as_ref()
+            .expect("fault plan reports degradation");
+        assert!(deg.completed);
+        assert!(deg.excluded_nodes.contains(&20), "the crash is excised");
+        assert!(
+            !deg.excluded_nodes.contains(&57),
+            "transient crashes recover; the reliable layer absorbs them"
+        );
+        assert!(deg.extra_rounds > 0, "detection overhead is charged");
+
+        // Differential reference: Dijkstra on the survivors' induced
+        // subgraph, built independently here.
+        let g = wg.graph();
+        let excluded: std::collections::HashSet<NodeId> =
+            deg.excluded_nodes.iter().copied().collect();
+        let survivors: Vec<NodeId> = (0..g.n() as NodeId)
+            .filter(|v| !excluded.contains(v))
+            .collect();
+        let mut new_id = vec![u32::MAX; g.n()];
+        for (i, &v) in survivors.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let sub_edges: Vec<(NodeId, NodeId, u64)> = g
+            .edge_ids()
+            .filter_map(|e| {
+                let (a, b) = g.edge_endpoints(e);
+                (new_id[a as usize] != u32::MAX && new_id[b as usize] != u32::MAX)
+                    .then(|| (new_id[a as usize], new_id[b as usize], wg.weight(e)))
+            })
+            .collect();
+        let sub_wg = WeightedGraph::from_weighted_edges(survivors.len(), &sub_edges).unwrap();
+        let exact = dijkstra(&sub_wg, 0);
+        for (i, &v) in survivors.iter().enumerate() {
+            assert_eq!(out.outcome.dist[v as usize], exact[i], "survivor {v}");
+        }
+        for &v in &deg.excluded_nodes {
+            assert_eq!(out.outcome.dist[v as usize], W_UNREACHABLE, "excised {v}");
+        }
+        assert!(
+            (out.outcome.max_stretch - 1.0).abs() < 1e-9,
+            "converged run is exact on the survivors"
+        );
+        // Sharded execution of the whole degraded path is bit-identical.
+        let sharded = shortcut_sssp_simulated(
+            &wg,
+            &p,
+            &s,
+            0,
+            4096,
+            &SimConfig {
+                shards: 3,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(sharded.outcome.dist, out.outcome.dist);
+        assert_eq!(sharded.messages, out.messages);
+    }
+
+    #[test]
+    fn degraded_sssp_without_permanent_crashes_matches_fault_free() {
+        let (wg, p, s) = fixture();
+        let clean = shortcut_sssp_simulated(&wg, &p, &s, 0, 4096, &SimConfig::default()).unwrap();
+        let plan = FaultPlan {
+            drop_rate: 0.10,
+            delay_rate: 0.05,
+            max_delay: 3,
+            corrupt_rate: 0.05,
+            ..FaultPlan::default()
+        };
+        let out = shortcut_sssp_simulated(
+            &wg,
+            &p,
+            &s,
+            0,
+            4096,
+            &SimConfig {
+                faults: Some(plan),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.outcome.dist, clean.outcome.dist, "faults absorbed");
+        let deg = out.degraded.expect("plan reports degradation");
+        assert!(deg.excluded_nodes.is_empty());
+        assert!(out.messages > clean.messages, "detection overhead charged");
+    }
+
+    #[test]
+    fn degraded_sssp_rejects_excised_source() {
+        use lcs_congest::Crash;
+        let (wg, p, s) = fixture();
+        let plan = FaultPlan {
+            crashes: vec![Crash {
+                node: 5,
+                at_round: 0,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let err = shortcut_sssp_simulated(
+            &wg,
+            &p,
+            &s,
+            5,
+            32,
+            &SimConfig {
+                faults: Some(plan),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::FaultConfig { .. }));
     }
 }

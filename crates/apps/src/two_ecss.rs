@@ -14,7 +14,8 @@
 //! uncovered edges), charged accordingly.
 
 use crate::mst::{mst_via_shortcuts, MstConfig, MstError};
-use lcs_congest::ceil_log2;
+use lcs_congest::{ceil_log2, FaultPlan, SimError};
+use lcs_core::{detect_and_excise, DegradedOutcome};
 use lcs_graph::{is_two_edge_connected, EdgeId, Graph, NodeId, WeightedGraph};
 use std::collections::HashSet;
 use std::fmt;
@@ -26,6 +27,8 @@ pub enum TwoEcssError {
     NotTwoEdgeConnected,
     /// MST subroutine failure.
     Mst(MstError),
+    /// Fault-handling failure (detection phase).
+    Sim(SimError),
 }
 
 impl fmt::Display for TwoEcssError {
@@ -35,6 +38,7 @@ impl fmt::Display for TwoEcssError {
                 write!(f, "input graph is not two-edge-connected")
             }
             TwoEcssError::Mst(e) => write!(f, "mst subroutine failed: {e}"),
+            TwoEcssError::Sim(e) => write!(f, "fault handling failed: {e}"),
         }
     }
 }
@@ -62,6 +66,10 @@ pub struct TwoEcssOutcome {
     pub greedy_rounds: u32,
     /// Total distributed rounds charged.
     pub total_rounds: u64,
+    /// Present iff the run was configured with a
+    /// [`FaultPlan`](MstConfig::faults): what graceful degradation
+    /// excised and cost.
+    pub degraded: Option<DegradedOutcome>,
 }
 
 /// Tree edges on the tree path between `u` and `v` (indices into
@@ -109,10 +117,22 @@ fn tree_path_edges(n: usize, tree_edges: &[(NodeId, NodeId)], u: NodeId, v: Node
 /// [`Session`](lcs_congest::Session) (see
 /// [`mst_via_shortcuts`]), so `cfg.shards` sizes its worker pool.
 ///
+/// With a [`FaultPlan`](MstConfig::faults) attached, crash-stopped
+/// nodes are detected and excised first (see [`lcs_core::degrade`])
+/// and the 2-ECSS is built for the **surviving** subgraph — which must
+/// itself be two-edge-connected (it can be even when the full graph is
+/// not, e.g. after a pendant component crashes away). Returned edges
+/// carry original ids; the outcome carries a [`DegradedOutcome`].
+///
 /// # Errors
 ///
-/// [`TwoEcssError::NotTwoEdgeConnected`] when no 2-ECSS exists.
+/// [`TwoEcssError::NotTwoEdgeConnected`] when no 2-ECSS exists (for
+/// the survivors, under a fault plan); [`TwoEcssError::Sim`] when the
+/// detection phase fails.
 pub fn two_ecss(wg: &WeightedGraph, cfg: &MstConfig) -> Result<TwoEcssOutcome, TwoEcssError> {
+    if let Some(plan) = &cfg.faults {
+        return degraded_two_ecss(wg, cfg, &plan.clone());
+    }
     let g = wg.graph();
     let n = g.n();
     if !is_two_edge_connected(g) {
@@ -126,6 +146,7 @@ pub fn two_ecss(wg: &WeightedGraph, cfg: &MstConfig) -> Result<TwoEcssOutcome, T
             augmentation_weight: 0,
             greedy_rounds: 0,
             total_rounds: 0,
+            degraded: None,
         });
     }
     let mst = mst_via_shortcuts(wg, cfg)?;
@@ -191,6 +212,56 @@ pub fn two_ecss(wg: &WeightedGraph, cfg: &MstConfig) -> Result<TwoEcssOutcome, T
         edges,
         greedy_rounds,
         total_rounds,
+        degraded: None,
+    })
+}
+
+/// Fault-tolerant wrapper: detect crash-stops on the faulty network,
+/// excise the dead, and build the 2-ECSS of the surviving subgraph
+/// (MST + greedy augmentation both run on the survivors, so every
+/// surviving tree edge is covered by a surviving cycle). The inner MST
+/// re-derives the diameter because excision can lengthen shortest
+/// paths; detection rounds are charged on top.
+fn degraded_two_ecss(
+    wg: &WeightedGraph,
+    cfg: &MstConfig,
+    plan: &FaultPlan,
+) -> Result<TwoEcssOutcome, TwoEcssError> {
+    let g = wg.graph();
+    let exc = detect_and_excise(g, plan, cfg.seed, cfg.shards).map_err(TwoEcssError::Sim)?;
+
+    if exc.is_trivial() {
+        let inner = MstConfig {
+            faults: None,
+            ..cfg.clone()
+        };
+        let mut out = two_ecss(wg, &inner)?;
+        out.total_rounds += exc.extra_rounds;
+        out.degraded = Some(exc.outcome());
+        return Ok(out);
+    }
+
+    let inner = MstConfig {
+        faults: None,
+        diameter: None, // excision can stretch the diameter
+        ..cfg.clone()
+    };
+    let sub_wg = exc.induced_weighted(wg);
+    let sub = two_ecss(&sub_wg, &inner)?;
+    let mut edges: Vec<EdgeId> = sub
+        .edges
+        .iter()
+        .map(|&e| exc.original_edge(g, sub_wg.graph(), e))
+        .collect();
+    edges.sort_unstable();
+    Ok(TwoEcssOutcome {
+        edges,
+        weight: sub.weight,
+        mst_weight: sub.mst_weight,
+        augmentation_weight: sub.augmentation_weight,
+        greedy_rounds: sub.greedy_rounds,
+        total_rounds: sub.total_rounds + exc.extra_rounds,
+        degraded: Some(exc.outcome()),
     })
 }
 
@@ -251,6 +322,115 @@ mod tests {
             two_ecss(&wg, &MstConfig::default()).unwrap_err(),
             TwoEcssError::NotTwoEdgeConnected
         );
+    }
+
+    #[test]
+    fn degraded_two_ecss_matches_direct_run_on_survivors() {
+        use lcs_congest::{Crash, FaultPlan};
+        let g = complete(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let wg = WeightedGraph::with_random_weights(g, 60, &mut rng);
+        let plan = FaultPlan {
+            drop_rate: 0.05,
+            corrupt_rate: 0.05,
+            crashes: vec![Crash {
+                node: 5,
+                at_round: 0,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = MstConfig {
+            diameter: Some(3),
+            faults: Some(plan),
+            ..MstConfig::default()
+        };
+        let out = two_ecss(&wg, &cfg).unwrap();
+        let deg = out
+            .degraded
+            .as_ref()
+            .expect("fault plan reports degradation");
+        assert_eq!(deg.excluded_nodes, vec![5]);
+        assert!(deg.extra_rounds > 0);
+
+        // Independent reference: a direct run on the survivors'
+        // subgraph, built by hand (complete(8) minus node 5).
+        let g = wg.graph();
+        let survivors: Vec<NodeId> = (0u32..8).filter(|&v| v != 5).collect();
+        let mut new_id = [u32::MAX; 8];
+        for (i, &v) in survivors.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let sub_edges: Vec<(NodeId, NodeId, u64)> = g
+            .edge_ids()
+            .filter_map(|e| {
+                let (a, b) = g.edge_endpoints(e);
+                (a != 5 && b != 5).then(|| (new_id[a as usize], new_id[b as usize], wg.weight(e)))
+            })
+            .collect();
+        let sub_wg = WeightedGraph::from_weighted_edges(7, &sub_edges).unwrap();
+        let reference = two_ecss(
+            &sub_wg,
+            &MstConfig {
+                diameter: None,
+                ..MstConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.weight, reference.weight);
+        assert_eq!(out.mst_weight, reference.mst_weight);
+        let mut mapped: Vec<EdgeId> = out
+            .edges
+            .iter()
+            .map(|&e| {
+                let (a, b) = g.edge_endpoints(e);
+                sub_wg
+                    .graph()
+                    .edge_between(new_id[a as usize], new_id[b as usize])
+                    .expect("surviving edge")
+            })
+            .collect();
+        mapped.sort_unstable();
+        assert_eq!(mapped, reference.edges, "same subgraph, edge for edge");
+        assert!(verify_two_ecss(sub_wg.graph(), &reference.edges));
+    }
+
+    #[test]
+    fn degraded_two_ecss_succeeds_when_survivors_are_two_edge_connected() {
+        use lcs_congest::{Crash, FaultPlan};
+        // cycle(6) plus a pendant node 6: NOT two-edge-connected (the
+        // pendant edge is a bridge), so the plain run refuses.
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 6)])
+            .unwrap();
+        let wg = WeightedGraph::new(g, vec![1; 7]).unwrap();
+        let cfg_plain = MstConfig {
+            diameter: Some(4),
+            ..MstConfig::default()
+        };
+        assert_eq!(
+            two_ecss(&wg, &cfg_plain).unwrap_err(),
+            TwoEcssError::NotTwoEdgeConnected
+        );
+        // Crash the pendant: the survivors are exactly the cycle, which
+        // IS two-edge-connected — graceful degradation succeeds where
+        // the full graph could not.
+        let plan = FaultPlan {
+            crashes: vec![Crash {
+                node: 6,
+                at_round: 0,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = MstConfig {
+            faults: Some(plan),
+            ..cfg_plain.clone()
+        };
+        let out = two_ecss(&wg, &cfg).unwrap();
+        assert_eq!(out.edges.len(), 6, "keeps the whole surviving cycle");
+        assert_eq!(out.weight, 6);
+        let deg = out.degraded.expect("plan reports degradation");
+        assert_eq!(deg.excluded_nodes, vec![6]);
     }
 
     #[test]

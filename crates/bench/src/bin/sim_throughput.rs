@@ -319,6 +319,7 @@ fn bench_chaos(g: &Graph, side: usize, shards: usize) -> Measurement {
         drop_rate: 0.0,
         delay_rate: 0.20,
         max_delay: 2,
+        corrupt_rate: 0.0,
         crashes: vec![],
         fault_seed: 0xC0FFEE,
     };
@@ -326,6 +327,7 @@ fn bench_chaos(g: &Graph, side: usize, shards: usize) -> Measurement {
         drop_rate: 0.05,
         delay_rate: 0.10,
         max_delay: 3,
+        corrupt_rate: 0.0,
         crashes: vec![
             Crash {
                 node: (n / 3) as u32,

@@ -50,6 +50,18 @@ pub enum SimError {
         /// What is wrong and how to fix it.
         reason: String,
     },
+    /// A [`Reliable`](crate::Reliable) node observed inner-protocol
+    /// traffic after its quiet-wave stop: the bound passed to
+    /// [`Reliable::with_quiet_bound`](crate::Reliable::with_quiet_bound)
+    /// underestimates the network diameter, so the early termination it
+    /// licensed would have silently produced wrong output. Raise the
+    /// bound (or drop it and let the default full-quiescence rule run).
+    QuietBoundViolated {
+        /// The node that saw post-stop data.
+        node: NodeId,
+        /// Transport round of the detection.
+        round: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -75,6 +87,14 @@ impl fmt::Display for SimError {
             }
             SimError::FaultConfig { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            SimError::QuietBoundViolated { node, round } => {
+                write!(
+                    f,
+                    "round {round}: node {node} observed inner traffic after its quiet-wave \
+                     stop — the Reliable::with_quiet_bound bound underestimates the diameter; \
+                     raise it"
+                )
             }
         }
     }

@@ -21,10 +21,59 @@ pub const DEFAULT_BANDWIDTH_WORDS: u32 = 4;
 pub trait Message: Clone + std::fmt::Debug {
     /// Size of this message in `⌈log₂ n⌉`-bit words.
     fn size_words(&self) -> u32;
+
+    /// Return a corrupted copy of this message, deterministically derived
+    /// from `stream` (a splitmix64 draw). The Byzantine corruption tier of
+    /// [`FaultPlan`](crate::sim::FaultPlan) calls this on in-flight
+    /// messages; the same `(fault_seed, round, arc)` fate always yields the
+    /// same `stream`, so corrupted runs stay bit-identical at every shard
+    /// count.
+    ///
+    /// Implementations must flip at least one observable bit for every
+    /// `stream` value (the adversary never wastes a corruption), and must
+    /// not panic. The default keeps the message unchanged — protocols whose
+    /// payloads carry no overridable bits (e.g. `()`) are immune by
+    /// construction.
+    #[must_use]
+    fn corrupted(self, stream: u64) -> Self {
+        let _ = stream;
+        self
+    }
+
+    /// A deterministic 64-bit digest of the payload, used by integrity
+    /// tags (e.g. [`Reliable`](crate::reliable::Reliable) frames) to
+    /// detect corruption. The default hashes the `Debug` rendering with
+    /// FNV-1a — valid for any `Message` since `Debug` is a supertrait,
+    /// and stable because `Debug` output is deterministic for the plain
+    /// data types used as CONGEST payloads. Override with a cheaper
+    /// field-wise hash where throughput matters.
+    fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        use std::fmt::Write;
+        struct Fnv(u64);
+        impl Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for b in s.bytes() {
+                    self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+                }
+                Ok(())
+            }
+        }
+        let mut h = Fnv(OFFSET);
+        write!(h, "{self:?}").expect("Debug formatting never fails");
+        h.0
+    }
 }
 
 impl Message for () {
     fn size_words(&self) -> u32 {
+        0
+    }
+
+    // A unit payload has no bits to flip: immune to corruption.
+
+    fn digest(&self) -> u64 {
         0
     }
 }
@@ -33,6 +82,15 @@ impl Message for u32 {
     fn size_words(&self) -> u32 {
         1
     }
+
+    fn corrupted(self, stream: u64) -> Self {
+        // `| 1` guarantees at least one flipped bit for every stream.
+        self ^ ((stream as u32) | 1)
+    }
+
+    fn digest(&self) -> u64 {
+        u64::from(*self)
+    }
 }
 
 impl Message for u64 {
@@ -40,11 +98,38 @@ impl Message for u64 {
     fn size_words(&self) -> u32 {
         2
     }
+
+    fn corrupted(self, stream: u64) -> Self {
+        self ^ (stream | 1)
+    }
+
+    fn digest(&self) -> u64 {
+        *self
+    }
 }
 
 impl<A: Message, B: Message> Message for (A, B) {
     fn size_words(&self) -> u32 {
         self.0.size_words() + self.1.size_words()
+    }
+
+    fn corrupted(self, stream: u64) -> Self {
+        // Corrupt one component, chosen by the low bit; re-derive the
+        // component's stream so the flipped bits differ from the chooser.
+        let next = crate::sim::splitmix64(stream);
+        if stream & 1 == 0 {
+            (self.0.corrupted(next), self.1)
+        } else {
+            (self.0, self.1.corrupted(next))
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.0
+            .digest()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            ^ self.1.digest()
     }
 }
 

@@ -47,10 +47,45 @@
 //! (a perfect failure detector, the standard assumption): dead links are
 //! excised from the frame exchange and the inner protocol runs on the
 //! surviving subgraph.
+//!
+//! # Integrity tags (payload corruption)
+//!
+//! The engine's Byzantine tier
+//! ([`FaultPlan::corrupt_rate`](crate::FaultPlan::corrupt_rate)) flips
+//! bits of in-flight messages.
+//! Every wire frame therefore carries a deterministic 64-bit tag — a
+//! splitmix64 chain over the frame's header fields, the payload digest
+//! ([`Message::digest`]), and the link's `(from, to)` endpoints — which
+//! the receiver recomputes on arrival. A mismatch means the frame was
+//! forged in flight: it is ignored entirely (treated exactly like a
+//! drop) and the ARQ machinery re-sends the original intact, so the
+//! wrapped output stays byte-identical to the fault-free run under any
+//! drop × delay × corrupt plan. This is the authenticated-channels
+//! assumption, made concrete: the adversary can destroy or mutate
+//! traffic but cannot forge a frame that *verifies*.
+//!
+//! # Transient crashes: the rejoin handshake
+//!
+//! A transiently crashed node
+//! ([`Crash::recover_at`](crate::Crash::recover_at)) keeps its state
+//! but loses every in-flight
+//! inbound frame, and its neighbors' retransmission timers may have
+//! backed off to [`RTO_MAX`] by the time it returns — a stall of up to
+//! 64 rounds per link. A recovering node *knows* it was down (its hook
+//! skipped engine rounds, or never ran at phase start), so it announces
+//! itself with a tagged `Hello` on every live link; each neighbor
+//! responds by re-arming the link — retransmission due immediately,
+//! backoff reset, ack owed — and the link resyncs in ~1 round instead.
+//! The handshake is enabled by default; [`Reliable::with_rejoin`]
+//! disables it to measure the stall it removes. Without a crash plan
+//! the detection can never fire, so fault-free and drop/delay-only runs
+//! are untouched.
 
+use crate::error::SimError;
 use crate::message::Message;
 use crate::node::{RoundCtx, TxState, Wake};
 use crate::protocol::Protocol;
+use crate::sim::splitmix64;
 use crate::stats::RunStats;
 use lcs_graph::{Graph, NodeId};
 use std::collections::VecDeque;
@@ -59,6 +94,50 @@ use std::collections::VecDeque;
 pub const RTO_BASE: u64 = 4;
 /// Retransmission timeout cap (deterministic exponential backoff).
 pub const RTO_MAX: u64 = 64;
+
+/// Domain separators keeping the three frame kinds' tag spaces disjoint.
+const TAG_DATA: u64 = 0x7461_675F_6461_7461;
+const TAG_ACK: u64 = 0x0074_6167_5F61_636B;
+const TAG_HELLO: u64 = 0x7467_5F68_656C_6C6F;
+/// Folded into a data tag in place of an absent payload's digest.
+const NO_PAYLOAD: u64 = 0x6E6F_6E65;
+
+/// Mixes a link's directed endpoints into a tag chain's seed.
+#[inline]
+fn link_id(from: NodeId, to: NodeId) -> u64 {
+    (u64::from(from) << 32) | u64::from(to)
+}
+
+/// Integrity tag of a data frame: a splitmix64 chain over the link id,
+/// every header field, and the payload digest. Deterministic, so sender
+/// and receiver agree exactly; any in-flight mutation of a covered field
+/// (including the ack — an uncovered ack could falsely advance ARQ
+/// state) makes the recomputation mismatch.
+fn frame_tag<M: Message>(
+    from: NodeId,
+    to: NodeId,
+    seq: u64,
+    ack: u64,
+    quiet: u32,
+    payload: &Option<M>,
+) -> u64 {
+    let pd = payload.as_ref().map_or(NO_PAYLOAD, Message::digest);
+    let mut h = splitmix64(TAG_DATA ^ link_id(from, to));
+    h = splitmix64(h ^ seq);
+    h = splitmix64(h ^ ack);
+    h = splitmix64(h ^ u64::from(quiet));
+    splitmix64(h ^ pd)
+}
+
+/// Integrity tag of a standalone ack.
+fn ack_tag(from: NodeId, to: NodeId, ack: u64) -> u64 {
+    splitmix64(splitmix64(TAG_ACK ^ link_id(from, to)) ^ ack)
+}
+
+/// Integrity tag of a rejoin announcement.
+fn hello_tag(from: NodeId, to: NodeId) -> u64 {
+    splitmix64(TAG_HELLO ^ link_id(from, to))
+}
 
 /// Wire message of a [`Reliable`] run: a sequenced data frame with a
 /// piggybacked cumulative ack, or a standalone ack.
@@ -79,25 +158,119 @@ pub enum ReliableMsg<M> {
         /// if any — `None` frames are what lets the receiver distinguish
         /// "no message this round" from "message still in flight".
         payload: Option<M>,
+        /// Integrity tag over the link id, every header field, and the
+        /// payload digest (see the [module docs](self)); a mismatch on
+        /// arrival means the frame was corrupted in flight and it is
+        /// dropped.
+        tag: u64,
     },
     /// Standalone cumulative ack (sent when a frame arrives but no data
     /// frame travels back the same round).
     Ack {
         /// Cumulative ack, as in [`ReliableMsg::Data`].
         ack: u64,
+        /// Integrity tag over the link id and `ack`.
+        tag: u64,
+    },
+    /// Rejoin announcement of a transiently crashed node (see the
+    /// [module docs](self)): "my inbound in-flight frames are gone —
+    /// retransmit now instead of waiting out your backoff".
+    Hello {
+        /// Integrity tag over the link id.
+        tag: u64,
     },
 }
 
 impl<M: Message> Message for ReliableMsg<M> {
     fn size_words(&self) -> u32 {
-        // The seq/ack/quiet header is absorbed into the word count
+        // The seq/ack/quiet/tag header is absorbed into the word count
         // (like `JoinMsg`'s side tag): a frame costs what its payload
-        // costs, with a one-word floor for empty frames and acks.
+        // costs, with a one-word floor for empty frames, acks, and
+        // hellos — so the tags change no message/word statistic.
         match self {
             ReliableMsg::Data {
                 payload: Some(m), ..
             } => m.size_words().max(1),
-            ReliableMsg::Data { payload: None, .. } | ReliableMsg::Ack { .. } => 1,
+            ReliableMsg::Data { payload: None, .. }
+            | ReliableMsg::Ack { .. }
+            | ReliableMsg::Hello { .. } => 1,
+        }
+    }
+
+    fn corrupted(self, stream: u64) -> Self {
+        // Flip a tag-covered field (or the tag itself), chosen by the
+        // stream — every corruption is detectable by construction, and
+        // the payload case exercises the digest path through the inner
+        // message's own `corrupted`. (`| 1` guarantees a real flip.)
+        let flip = stream | 1;
+        match self {
+            ReliableMsg::Data {
+                seq,
+                ack,
+                quiet,
+                payload,
+                tag,
+            } => match (stream >> 1) % 4 {
+                0 => ReliableMsg::Data {
+                    seq: seq ^ flip,
+                    ack,
+                    quiet,
+                    payload,
+                    tag,
+                },
+                1 => ReliableMsg::Data {
+                    seq,
+                    ack: ack ^ flip,
+                    quiet,
+                    payload,
+                    tag,
+                },
+                2 if payload.is_some() => ReliableMsg::Data {
+                    seq,
+                    ack,
+                    quiet,
+                    payload: payload.map(|m| m.corrupted(splitmix64(stream))),
+                    tag,
+                },
+                _ => ReliableMsg::Data {
+                    seq,
+                    ack,
+                    quiet,
+                    payload,
+                    tag: tag ^ flip,
+                },
+            },
+            ReliableMsg::Ack { ack, tag } => {
+                if stream & 2 == 0 {
+                    ReliableMsg::Ack {
+                        ack: ack ^ flip,
+                        tag,
+                    }
+                } else {
+                    ReliableMsg::Ack {
+                        ack,
+                        tag: tag ^ flip,
+                    }
+                }
+            }
+            ReliableMsg::Hello { tag } => ReliableMsg::Hello { tag: tag ^ flip },
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        match self {
+            ReliableMsg::Data {
+                seq,
+                ack,
+                quiet,
+                payload,
+                tag,
+            } => {
+                let pd = payload.as_ref().map_or(NO_PAYLOAD, Message::digest);
+                splitmix64(splitmix64(*seq ^ *tag) ^ splitmix64(*ack ^ u64::from(*quiet)) ^ pd)
+            }
+            ReliableMsg::Ack { ack, tag } => splitmix64(*ack ^ tag.rotate_left(32)),
+            ReliableMsg::Hello { tag } => splitmix64(*tag ^ TAG_HELLO),
         }
     }
 }
@@ -221,6 +394,12 @@ pub struct ReliableState<P: Protocol> {
     occ: Vec<bool>,
     dirty: Vec<u32>,
     per_arc: Vec<u32>,
+    /// Last engine round this node's hook ran (rejoin detection: a
+    /// [`Wake::Stay`] node whose hook skipped a round was crashed —
+    /// nothing else removes a staying node from the active set).
+    last_round: u64,
+    /// Whether the last executed round ended in [`Wake::Stay`].
+    stay: bool,
 }
 
 /// Runs protocol `P` to its exact fault-free output over a lossy,
@@ -236,6 +415,11 @@ pub struct Reliable<P: Protocol> {
     /// Optional diameter upper bound capping the quiet wave (see
     /// [`Reliable::with_quiet_bound`]).
     quiet_bound: Option<u32>,
+    /// Whether recovering nodes announce themselves (see the
+    /// [module docs](self) on the rejoin handshake). On by default;
+    /// [`Reliable::with_rejoin`] turns it off to expose the RTO stall
+    /// the handshake removes.
+    rejoin: bool,
 }
 
 impl<P: Protocol> Reliable<P> {
@@ -248,7 +432,19 @@ impl<P: Protocol> Reliable<P> {
             label,
             crashed: Vec::new(),
             quiet_bound: None,
+            rejoin: true,
         }
+    }
+
+    /// Enables or disables the rejoin handshake for transient crashes
+    /// (default: enabled). With it off, a recovering node's links stall
+    /// until each neighbor's backed-off retransmission timer (up to
+    /// [`RTO_MAX`] rounds) fires — the output is still exact, just
+    /// late. Exists so the stall the handshake removes is measurable.
+    #[must_use]
+    pub fn with_rejoin(mut self, enabled: bool) -> Self {
+        self.rejoin = enabled;
+        self
     }
 
     /// Caps the termination quiet wave at `diameter_bound + 1` levels
@@ -318,6 +514,8 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
                 occ: Vec::new(),
                 dirty: Vec::new(),
                 per_arc: Vec::new(),
+                last_round: 0,
+                stay: false,
             })
             .collect()
     }
@@ -327,6 +525,12 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
             return; // crashed: the engine silences it; be inert anyway
         }
         let degree = ctx.degree();
+        let me = ctx.node();
+        let now = ctx.round();
+        // Rejoin detection, arm (a): the engine runs every node at round
+        // 0 (phase start), so a first execution later means this node
+        // was crashed through the start of the phase.
+        let missed_start = !st.initialized && now > 0;
         if !st.initialized {
             st.initialized = true;
             st.links = ctx
@@ -340,9 +544,10 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
             st.occ = vec![false; degree];
             st.per_arc = vec![0; degree];
         }
-        let now = ctx.round();
 
-        // 1. Process arrivals: advance acks, accept frames, and — when
+        // 1. Process arrivals: verify integrity tags (a mismatch means
+        //    the frame was corrupted in flight — ignore it; ARQ re-sends
+        //    the original), advance acks, accept frames, and — when
         //    stopped — manufacture the empty frames a still-advancing
         //    peer shows it needs (its seq `s` implies it will next need
         //    our frame `s`; the gap is at most one, since it needed our
@@ -358,7 +563,24 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
                     ack,
                     quiet,
                     payload,
+                    tag,
                 } => {
+                    if frame_tag(from, me, seq, ack, quiet, &payload) != tag {
+                        continue; // forged in flight: treat as dropped
+                    }
+                    if st.stopped && payload.is_some() && seq >= st.links[i].recv {
+                        // New inner data after this node's quiet-wave
+                        // stop (duplicates, seq < recv, were consumed
+                        // before it): the `with_quiet_bound` value
+                        // underestimated the diameter, and silent wrong
+                        // output is the alternative. Abort the run.
+                        if ctx.tx.violation.is_none() {
+                            *ctx.tx.violation = Some(SimError::QuietBoundViolated {
+                                node: me,
+                                round: now,
+                            });
+                        }
+                    }
                     let link = &mut st.links[i];
                     link.advance_ack(ack, now);
                     link.accept(seq, payload, quiet);
@@ -371,8 +593,58 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
                         }
                     }
                 }
-                ReliableMsg::Ack { ack } => st.links[i].advance_ack(ack, now),
+                ReliableMsg::Ack { ack, tag } => {
+                    if ack_tag(from, me, ack) != tag {
+                        continue; // forged in flight
+                    }
+                    st.links[i].advance_ack(ack, now);
+                }
+                ReliableMsg::Hello { tag } => {
+                    if hello_tag(from, me) != tag {
+                        continue; // forged in flight: peer falls back to RTO
+                    }
+                    // The peer transiently crashed and rejoined: its
+                    // inbound in-flight frames are gone. Re-arm the link
+                    // — retransmission due now instead of a backed-off
+                    // timer, and an ack owed so the peer re-syncs even
+                    // when nothing is pending our way.
+                    let link = &mut st.links[i];
+                    if !link.dead {
+                        link.timer = now;
+                        link.rto = RTO_BASE;
+                        link.ack_owed = true;
+                    }
+                }
             }
+        }
+
+        // Rejoin, arm (b): a `Wake::Stay` node runs every round —
+        // nothing but a crash window removes it from the active set —
+        // so a gap in `last_round` means this node was down and its
+        // in-flight inbound is gone. Announce on every live link (the
+        // round's one wire message per link), re-arm own retransmission
+        // clocks, and resume normal framing next round. Neither arm can
+        // fire without a crash plan, so drop/delay-only runs (and their
+        // committed fingerprints) are untouched.
+        if self.rejoin && (missed_start || (st.stay && now > st.last_round + 1)) {
+            for link in &mut st.links {
+                if !link.dead {
+                    link.timer = now + 1;
+                    link.rto = RTO_BASE;
+                }
+            }
+            for i in 0..degree {
+                if !st.links[i].dead {
+                    let peer = ctx.neighbors()[i];
+                    let hello = ReliableMsg::Hello {
+                        tag: hello_tag(me, peer),
+                    };
+                    ctx.send_nth(i, hello);
+                }
+            }
+            st.last_round = now;
+            st.stay = matches!(self.wake(st), Wake::Stay);
+            return;
         }
 
         // 2. Execute at most one inner (virtual) round, once every live
@@ -444,6 +716,21 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
             if st.quiet > lim {
                 st.quiet = lim + 1; // saturate: cone already covers the graph
                 st.stopped = true;
+                // Satellite check: inner payloads already received for
+                // virtual rounds this node will now never execute are
+                // proof the quiet bound lied (under a true bound, every
+                // node in the cone was provably inactive then). Surface
+                // it instead of silently losing the data.
+                let leftover = st.links.iter().any(|l| {
+                    l.pending_in.iter().any(|f| f.0.is_some())
+                        || l.ooo.iter().any(|f| f.1.is_some())
+                });
+                if leftover && ctx.tx.violation.is_none() {
+                    *ctx.tx.violation = Some(SimError::QuietBoundViolated {
+                        node: me,
+                        round: now,
+                    });
+                }
             }
             // Frame this round's (possibly absent) payload for every
             // live link.
@@ -470,6 +757,7 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
         //    a new frame first, else a due retransmission of the oldest
         //    unacked frame, else a standalone ack if one is owed.
         for i in 0..degree {
+            let peer = ctx.neighbors()[i];
             let link = &mut st.links[i];
             if link.dead {
                 continue;
@@ -481,6 +769,7 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
                     seq: link.next_tx,
                     ack: link.recv,
                     quiet,
+                    tag: frame_tag(me, peer, link.next_tx, link.recv, quiet, &payload),
                     payload,
                 };
                 link.next_tx += 1;
@@ -493,6 +782,7 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
                     seq: link.acked,
                     ack: link.recv,
                     quiet,
+                    tag: frame_tag(me, peer, link.acked, link.recv, quiet, &payload),
                     payload,
                 };
                 link.timer = now + link.rto;
@@ -501,9 +791,19 @@ impl<P: Protocol + Sync> Protocol for Reliable<P> {
                 ctx.send_nth(i, frame);
             } else if link.ack_owed {
                 link.ack_owed = false;
-                ctx.send_nth(i, ReliableMsg::Ack { ack: link.recv });
+                let ack = ReliableMsg::Ack {
+                    ack: link.recv,
+                    tag: ack_tag(me, peer, link.recv),
+                };
+                ctx.send_nth(i, ack);
             }
         }
+
+        // Bookkeeping for rejoin arm (b): remember that this round ran
+        // and whether it ended in `Stay` (a staying node's next hook is
+        // guaranteed for round `now + 1` — unless a crash intervenes).
+        st.last_round = now;
+        st.stay = matches!(self.wake(st), Wake::Stay);
     }
 
     fn halted(&self, st: &Self::State) -> bool {
@@ -613,6 +913,7 @@ mod tests {
                 drop_rate: 0.10,
                 delay_rate: 0.10,
                 max_delay: 2,
+                corrupt_rate: 0.05,
                 crashes: Vec::new(),
                 fault_seed,
             }),
@@ -639,6 +940,10 @@ mod tests {
             // Faults really fired, and reliability paid for them.
             assert!(out.stats.dropped > 0, "no drops at seed {fault_seed:#x}");
             assert!(out.stats.delayed > 0, "no delays at seed {fault_seed:#x}");
+            assert!(
+                out.stats.corrupted > 0,
+                "no corruptions at seed {fault_seed:#x}"
+            );
             assert!(
                 out.stats.messages > clean.stats.messages,
                 "reliability overhead must appear in message counts"
@@ -744,6 +1049,7 @@ mod tests {
                 drop_rate: 0.10,
                 delay_rate: 0.0,
                 max_delay: 1,
+                corrupt_rate: 0.05,
                 crashes: vec![Crash {
                     node: dead,
                     at_round: 0,
@@ -774,5 +1080,129 @@ mod tests {
             assert_eq!(out.dist[v], clean.dist[v], "node {v}");
         }
         assert_eq!(out.stats.crashed_nodes, 1);
+    }
+
+    /// A quiet bound that underestimates the diameter used to silently
+    /// lose in-flight inner messages; now the first node that observes
+    /// inner data after its stop aborts the run with a typed error. No
+    /// faults needed: the bound alone breaks the termination argument.
+    #[test]
+    fn underestimated_quiet_bound_is_detected_not_silent() {
+        let g = lcs_graph::generators::path(24); // diameter 23
+        let err = Session::new(&g, SimConfig::default())
+            .run(Reliable::new(Bfs::new(0)).with_quiet_bound(2))
+            .expect_err("a bound of 2 on a diameter-23 path must be caught");
+        assert!(
+            matches!(err, crate::SimError::QuietBoundViolated { .. }),
+            "wrong error: {err}"
+        );
+        // The same run with an honest bound completes exactly.
+        let clean = Session::new(&g, SimConfig::default())
+            .run(Bfs::new(0))
+            .unwrap();
+        let ok = Session::new(&g, SimConfig::default())
+            .run(Reliable::new(Bfs::new(0)).with_quiet_bound(23))
+            .unwrap();
+        assert_eq!(ok.dist, clean.dist);
+    }
+
+    /// Transient crash windows (state intact, in-flight mail lost) are
+    /// absorbed: with the rejoin handshake the output is byte-identical
+    /// to fault-free, and the resync is measurably faster than waiting
+    /// out the backed-off retransmission timers — the pinned stall
+    /// comparison the handshake exists for.
+    #[test]
+    fn rejoin_handshake_cuts_transient_crash_stall() {
+        let g = lcs_graph::generators::grid(6, 5);
+        let clean = Session::new(&g, SimConfig::default())
+            .run(Bfs::new(0))
+            .unwrap();
+        // Two outages: one node down from phase start (rejoin arm (a)),
+        // one knocked out mid-run (arm (b)). Recovery well past the
+        // point where neighbor RTOs have backed off.
+        let faulty_cfg = || SimConfig {
+            max_rounds: 100_000,
+            faults: Some(FaultPlan {
+                crashes: vec![
+                    Crash {
+                        node: 7,
+                        at_round: 0,
+                        recover_at: Some(40),
+                    },
+                    Crash {
+                        node: 22,
+                        at_round: 3,
+                        recover_at: Some(40),
+                    },
+                ],
+                ..FaultPlan::default()
+            }),
+            ..SimConfig::default()
+        };
+        let with = Session::new(&g, faulty_cfg())
+            .run(Reliable::new(Bfs::new(0)))
+            .unwrap();
+        let without = Session::new(&g, faulty_cfg())
+            .run(Reliable::new(Bfs::new(0)).with_rejoin(false))
+            .unwrap();
+        // Both are exact — the handshake buys latency, not correctness.
+        assert_eq!(with.dist, clean.dist);
+        assert_eq!(with.parent, clean.parent);
+        assert_eq!(without.dist, clean.dist);
+        // Pinned stall cut: without the handshake the recovered links
+        // wait out their backed-off timers (up to RTO_MAX past the
+        // recovery round); with it they resync in ~1 round.
+        assert!(
+            with.stats.rounds + 8 <= without.stats.rounds,
+            "rejoin must measurably cut the stall ({} vs {})",
+            with.stats.rounds,
+            without.stats.rounds
+        );
+        // And rejoin stays shard-invariant like everything else.
+        for shards in [2usize, 8] {
+            let cfg = SimConfig {
+                shards,
+                ..faulty_cfg()
+            };
+            let out = Session::new(&g, cfg)
+                .run(Reliable::new(Bfs::new(0)))
+                .unwrap();
+            assert_eq!(out.dist, with.dist, "shards={shards}");
+            assert_eq!(
+                out.stats.fingerprint(),
+                with.stats.fingerprint(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    /// The full Byzantine-tier plan — drops, delays, *and* payload
+    /// corruption — leaves `Reliable<Bfs>` byte-identical to fault-free
+    /// at shard counts {1, 2, 8}: corrupted frames fail their integrity
+    /// tags, are treated as drops, and ARQ re-sends them intact.
+    #[test]
+    fn reliable_bfs_is_exact_and_shard_invariant_under_corruption() {
+        let g = gnp(40, 0.15, 0xC0DE);
+        let clean = Session::new(&g, SimConfig::default())
+            .run(Bfs::new(0))
+            .unwrap();
+        let base = Session::new(&g, lossy_cfg(1, 0xFACE))
+            .run(Reliable::new(Bfs::new(0)))
+            .unwrap();
+        assert_eq!(base.dist, clean.dist);
+        assert_eq!(base.parent, clean.parent);
+        assert!(base.stats.corrupted > 0, "corruption tier must fire");
+        for shards in [2usize, 8] {
+            let out = Session::new(&g, lossy_cfg(shards, 0xFACE))
+                .run(Reliable::new(Bfs::new(0)))
+                .unwrap();
+            assert_eq!(out.dist, base.dist, "shards={shards}");
+            assert_eq!(out.stats, base.stats, "shards={shards}");
+            assert_eq!(
+                out.stats.fingerprint(),
+                base.stats.fingerprint(),
+                "shards={shards}"
+            );
+        }
     }
 }

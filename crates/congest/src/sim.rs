@@ -193,6 +193,15 @@ pub struct Crash {
 ///   which is precisely the reordering a reliability layer
 ///   ([`Reliable`](crate::Reliable)) must survive.
 /// * **Crash-stop** ([`FaultPlan::crashes`]): see [`Crash`].
+/// * **Corrupt** (probability [`FaultPlan::corrupt_rate`], evaluated on
+///   deliveries that survive the drop check — both on-time and delayed
+///   ones): the payload is replaced by
+///   [`Message::corrupted`] with a
+///   flip stream drawn from the same splitmix64 fate chain, so *which
+///   bits flip* is as deterministic and shard-invariant as the fate
+///   itself; [`RunStats::corrupted`] counts it. The raw engine delivers
+///   the lie verbatim — detecting it is the job of an integrity-tagged
+///   transport ([`Reliable`](crate::Reliable)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Probability a delivery is destroyed, in `[0, 1]`.
@@ -202,6 +211,9 @@ pub struct FaultPlan {
     /// Upper bound (inclusive) on the extra rounds a delayed message
     /// waits; must be ≥ 1 when `delay_rate > 0` and `< max_rounds`.
     pub max_delay: u64,
+    /// Probability a surviving delivery's payload is corrupted in
+    /// flight, in `[0, 1]`.
+    pub corrupt_rate: f64,
     /// Scheduled crash-stops, at most one per node.
     pub crashes: Vec<Crash>,
     /// Seed of the fate hash — independent of [`SimConfig::seed`], so
@@ -216,6 +228,7 @@ impl Default for FaultPlan {
             drop_rate: 0.0,
             delay_rate: 0.0,
             max_delay: 1,
+            corrupt_rate: 0.0,
             crashes: Vec::new(),
             fault_seed: 0xBAD_F00D,
         }
@@ -254,6 +267,14 @@ impl FaultPlan {
                 reason: format!(
                     "delay_rate {} is outside [0, 1]; pick a probability",
                     self.delay_rate
+                ),
+            });
+        }
+        if !rate_ok(self.corrupt_rate) {
+            return Err(SimError::FaultConfig {
+                reason: format!(
+                    "corrupt_rate {} is outside [0, 1]; pick a probability",
+                    self.corrupt_rate
                 ),
             });
         }
@@ -402,7 +423,7 @@ impl SimConfig {
 /// The splitmix64 finalizer: a high-quality pure 64-bit mix used to
 /// decide message fates without consuming any RNG stream.
 #[inline(always)]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -437,6 +458,7 @@ fn rate_bar(rate: f64) -> u64 {
 struct FaultState<M> {
     drop_bar: u64,
     delay_bar: u64,
+    corrupt_bar: u64,
     max_delay: u64,
     fault_seed: u64,
     /// Reorder buffer: bucket `r % ring.len()` holds the deliveries due
@@ -464,9 +486,10 @@ struct FaultState<M> {
     pending_recoveries: u64,
     dropped: u64,
     delayed: u64,
+    corrupted: u64,
 }
 
-impl<M> FaultState<M> {
+impl<M: Message> FaultState<M> {
     fn new(plan: &FaultPlan, node_lo: usize, node_hi: usize) -> Self {
         let delay_bar = rate_bar(plan.delay_rate);
         let buckets = if delay_bar > 0 {
@@ -489,6 +512,7 @@ impl<M> FaultState<M> {
         FaultState {
             drop_bar: rate_bar(plan.drop_rate),
             delay_bar,
+            corrupt_bar: rate_bar(plan.corrupt_rate),
             max_delay: plan.max_delay.max(1),
             fault_seed: plan.fault_seed,
             ring: (0..buckets).map(|_| Vec::new()).collect(),
@@ -504,6 +528,7 @@ impl<M> FaultState<M> {
             pending_recoveries,
             dropped: 0,
             delayed: 0,
+            corrupted: 0,
         }
     }
 
@@ -560,8 +585,18 @@ impl<M> FaultState<M> {
     }
 
     /// Applies the fate of one delivery on arc `arc` gathered at
-    /// `round` by node `to`: pushes it into `inbox` (delivered), parks
-    /// it in the reorder ring (delayed), or destroys it (dropped).
+    /// `round` by node `to`: pushes it into `inbox` (delivered, possibly
+    /// corrupted), parks it in the reorder ring (delayed, possibly
+    /// corrupted), or destroys it (dropped).
+    ///
+    /// Fate chain: `h` decides drop; `h2 = splitmix64(h)` decides delay
+    /// (and seeds the delay amount); `hc = splitmix64(h2 ^ CORRUPT_SALT)`
+    /// decides corruption (and seeds the flip stream). Every draw chains
+    /// from the previous one unconditionally, so a plan with
+    /// `corrupt_rate: 0.0` reproduces bit-for-bit the fates of a plan
+    /// without the field, and corruption never perturbs drop/delay
+    /// decisions. Corruption applies *before* the delay branch, so
+    /// delayed deliveries carry the lie too.
     #[inline]
     fn deliver(
         &mut self,
@@ -569,24 +604,32 @@ impl<M> FaultState<M> {
         arc: usize,
         to: u32,
         from: NodeId,
-        msg: M,
+        mut msg: M,
         inbox: &mut Vec<(NodeId, M)>,
     ) {
+        /// Decorrelates the corrupt draw from the delay-amount draw
+        /// (both chain from `h2`).
+        const CORRUPT_SALT: u64 = 0x05EE_DC0D_EBAD_CAFE;
         let h = fate_hash(self.fault_seed, round, arc as u64);
         if h < self.drop_bar {
             self.dropped += 1;
             return;
         }
-        if self.delay_bar > 0 {
-            let h2 = splitmix64(h);
-            if h2 < self.delay_bar {
-                let k = 1 + splitmix64(h2) % self.max_delay;
-                let bucket = ((round + k) % self.ring.len() as u64) as usize;
-                self.ring[bucket].push((to, from, round, msg));
-                self.pending += 1;
-                self.delayed += 1;
-                return;
+        let h2 = splitmix64(h);
+        if self.corrupt_bar > 0 {
+            let hc = splitmix64(h2 ^ CORRUPT_SALT);
+            if hc < self.corrupt_bar {
+                msg = msg.corrupted(splitmix64(hc));
+                self.corrupted += 1;
             }
+        }
+        if self.delay_bar > 0 && h2 < self.delay_bar {
+            let k = 1 + splitmix64(h2) % self.max_delay;
+            let bucket = ((round + k) % self.ring.len() as u64) as usize;
+            self.ring[bucket].push((to, from, round, msg));
+            self.pending += 1;
+            self.delayed += 1;
+            return;
         }
         inbox.push((from, msg));
     }
@@ -1735,6 +1778,7 @@ pub(crate) fn run_phase<D: Driver>(
             if let Some(fs) = &w.sh.faults {
                 stats.dropped += fs.dropped;
                 stats.delayed += fs.delayed;
+                stats.corrupted += fs.corrupted;
             }
             for (j, &x) in w.sh.core.per_arc.iter().enumerate() {
                 if x > 0 {
@@ -2418,6 +2462,20 @@ mod tests {
             ),
             (
                 FaultPlan {
+                    corrupt_rate: 1.5,
+                    ..FaultPlan::default()
+                },
+                "corrupt_rate",
+            ),
+            (
+                FaultPlan {
+                    corrupt_rate: f64::NEG_INFINITY,
+                    ..FaultPlan::default()
+                },
+                "corrupt_rate",
+            ),
+            (
+                FaultPlan {
                     delay_rate: 0.5,
                     max_delay: 0,
                     ..FaultPlan::default()
@@ -2503,6 +2561,7 @@ mod tests {
                 drop_rate: 0.25,
                 delay_rate: 0.25,
                 max_delay: 3,
+                corrupt_rate: 0.25,
                 crashes: Vec::new(),
                 fault_seed: 0xC0FFEE,
             };
@@ -2534,6 +2593,7 @@ mod tests {
             drop_rate: 0.0,
             delay_rate: 1.0, // every single message is late
             max_delay: 3,
+            corrupt_rate: 0.0,
             crashes: Vec::new(),
             fault_seed: 11,
         };
@@ -2671,6 +2731,7 @@ mod tests {
             drop_rate: 0.0,
             delay_rate: 0.0,
             max_delay: 1,
+            corrupt_rate: 0.0,
             crashes: Vec::new(),
             fault_seed: 42,
         };

@@ -38,6 +38,9 @@ pub struct RunStats {
     /// Messages the fault layer delivered late (each counted once, at
     /// the round its delay was decided).
     pub delayed: u64,
+    /// Messages whose payload the fault layer corrupted in flight (they
+    /// still count as delivered — the receiver got a lie).
+    pub corrupted: u64,
     /// Number of distinct nodes that crash-stopped during the run
     /// (crashes scheduled past the final round are not counted).
     pub crashed_nodes: u64,
@@ -56,6 +59,7 @@ impl RunStats {
             per_edge_messages: vec![0; g.m()],
             dropped: 0,
             delayed: 0,
+            corrupted: 0,
             crashed_nodes: 0,
         }
     }
@@ -115,6 +119,13 @@ impl RunStats {
             fold(self.delayed);
             fold(self.crashed_nodes);
         }
+        // Same backwards-compatibility rule for the corruption tier,
+        // under its own guard: every fingerprint recorded before
+        // `corrupt_rate` existed has `corrupted == 0` and is unchanged —
+        // including faulty (drop/delay/crash) ones.
+        if self.corrupted != 0 {
+            fold(self.corrupted);
+        }
         h
     }
 
@@ -140,6 +151,7 @@ impl RunStats {
         self.words += other.words;
         self.dropped += other.dropped;
         self.delayed += other.delayed;
+        self.corrupted += other.corrupted;
         self.crashed_nodes += other.crashed_nodes;
         for (a, b) in self
             .per_edge_messages

@@ -495,6 +495,7 @@ fn assert_dense_violation(violate_at: u64, flood_until: u64) {
         drop_rate: 0.20,
         delay_rate: 0.20,
         max_delay: 2,
+        corrupt_rate: 0.0,
         crashes: Vec::new(),
         fault_seed: 0xFA117,
     };

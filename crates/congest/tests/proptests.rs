@@ -172,12 +172,17 @@ proptest! {
     }
 
     /// [`Reliable<Bfs>`] under an **arbitrary** fault plan — drop rate
-    /// up to 30%, delays up to 3 rounds, up to 10% of non-root nodes
-    /// crashed from round 0 — computes exactly the fault-free BFS
-    /// distances on the surviving subgraph, for every surviving node.
+    /// up to 30%, delays up to 3 rounds, payload corruption up to 30%,
+    /// up to 10% of non-root nodes crashed from round 0, plus up to two
+    /// non-root nodes knocked out transiently (crash with a scheduled
+    /// recovery) — computes exactly the fault-free BFS distances on the
+    /// subgraph the *permanent* crashes leave, for every surviving
+    /// node: corrupted frames must be caught by the integrity tags and
+    /// re-sent, and transiently-down nodes must rejoin and catch up.
     /// Every fault knob is its own proptest strategy, so a failing case
     /// shrinks the *plan* along with the graph: rates shrink toward
-    /// 0.0, the crash list shrinks toward empty, delays toward 1.
+    /// 0.0, both crash lists shrink toward empty, delays toward 1,
+    /// outage windows toward round 1.
     #[cfg_attr(not(feature = "slow-tests"), ignore = "tier-2: run with --features slow-tests or -- --ignored")]
     #[test]
     fn reliable_bfs_survives_arbitrary_fault_plans(
@@ -186,8 +191,10 @@ proptest! {
         drop_rate in 0.0f64..0.30,
         delay_rate in 0.0f64..0.50,
         max_delay in 1u64..4,
+        corrupt_rate in 0.0f64..0.30,
         fault_seed in any::<u64>(),
         crash_picks in proptest::collection::vec(any::<u32>(), 0..4),
+        transient_picks in proptest::collection::vec((any::<u32>(), 1u64..40, 1u64..40), 0..3),
     ) {
         let g = random_graph(seed, n);
         // Distinct non-root casualties, capped at 10% of the graph.
@@ -198,14 +205,28 @@ proptest! {
         crashed.sort_unstable();
         crashed.dedup();
         crashed.truncate(n / 10);
+        let mut crashes: Vec<Crash> = crashed
+            .iter()
+            .map(|&node| Crash { node, at_round: 0, recover_at: None })
+            .collect();
+        // Transient outages: down for a bounded window, then recovered.
+        // Recovering nodes are *not* excised — the reliable layer must
+        // bring them back — so they are excluded from `with_crashed` and
+        // from the reference subgraph alike (at most one crash per node:
+        // skip picks colliding with a permanent casualty or each other).
+        for &(p, at, len) in &transient_picks {
+            let node = 1 + p % (n as u32 - 1);
+            if crashes.iter().any(|c| c.node == node) {
+                continue;
+            }
+            crashes.push(Crash { node, at_round: at, recover_at: Some(at + len) });
+        }
         let plan = FaultPlan {
             drop_rate,
             delay_rate,
             max_delay,
-            crashes: crashed
-                .iter()
-                .map(|&node| Crash { node, at_round: 0, recover_at: None })
-                .collect(),
+            corrupt_rate,
+            crashes,
             fault_seed,
         };
         let cfg = SimConfig {

@@ -467,6 +467,9 @@ fn chaos_runs_are_byte_equal_across_shard_counts() {
             drop_rate: 0.10,
             delay_rate: 0.15,
             max_delay: 3,
+            // Corruption rides along: the Reliable phase must shrug the
+            // lies off via its integrity tags, identically per shard.
+            corrupt_rate: 0.05,
             crashes: vec![
                 // Mid-run crash with recovery: state survives, inbox lost.
                 Crash {
@@ -510,6 +513,10 @@ fn chaos_runs_are_byte_equal_across_shard_counts() {
         let (base_raw, base_rel, base_phases, base_total) = run_one(1);
         assert!(base_total.dropped > 0, "seed {fault_seed:#x}: drops fired");
         assert!(base_total.delayed > 0, "seed {fault_seed:#x}: delays fired");
+        assert!(
+            base_total.corrupted > 0,
+            "seed {fault_seed:#x}: corruptions fired"
+        );
         // Both crash windows land inside the (long) reliable phase; the
         // raw phase may quiesce before the later one fires.
         assert!(

@@ -1,0 +1,420 @@
+//! Graceful degradation under crash faults: the shared
+//! detect-and-excise machinery behind every fault-tolerant pipeline.
+//!
+//! Any shortcut-backed computation ([`distributed`](crate::distributed)
+//! construction, MST, SSSP, min cut, 2-ECSS) degrades the same way when
+//! a [`FaultPlan`] contains permanent
+//! crash-stops:
+//!
+//! 1. **Detect** — a [`Reliable`]-wrapped BFS from node 0 runs on the
+//!    faulty network; its reach *is* the surviving component. A census
+//!    convergecast over the BFS tree tells the root how many nodes
+//!    survive (`count < n` is the detection signal). Both phases execute
+//!    over reliable links, so drops, delays, and payload corruption are
+//!    absorbed; only permanent crashes (and anything they disconnect)
+//!    leave the reach.
+//! 2. **Excise** — survivors are relabeled into a compact induced
+//!    subgraph; partition parts are split into their surviving connected
+//!    fragments (excising a node may cut a part in two); shortcut sets
+//!    are restricted to surviving edges.
+//! 3. **Complete** — the pipeline proper runs on the survivors. Since
+//!    [`Reliable`] makes protocol outputs byte-identical to fault-free
+//!    runs (a tier-1 property of `lcs-congest`), the remaining phases
+//!    are simulated fault-free and only the detection overhead is
+//!    charged, as [`DegradedOutcome::extra_rounds`].
+//!
+//! [`detect_and_excise`] performs step 1 and returns an [`Excision`]
+//! whose helpers implement step 2; callers own step 3 plus the mapping
+//! of results back to original ids ([`Excision::original_edge`],
+//! [`Excision::survivors`]).
+//!
+//! [`Reliable`]: lcs_congest::Reliable
+
+use lcs_congest::{
+    positions_from_tree, AggOp, Bfs, FaultPlan, Reliable, RunStats, Session, SimConfig, SimError,
+    TreeAggregate,
+};
+use lcs_graph::{EdgeId, Graph, NodeId, UnionFind, WeightedGraph};
+use lcs_shortcut::{Partition, ShortcutSet};
+use std::collections::HashMap;
+
+/// How a fault-tolerant run coped with crash-stops: what was cut away
+/// and what the tolerance cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedOutcome {
+    /// The pipeline completed on the surviving subgraph.
+    pub completed: bool,
+    /// Nodes excised before the main pipeline ran: permanently crashed
+    /// nodes plus any survivors they disconnected from the root.
+    pub excluded_nodes: Vec<NodeId>,
+    /// Rounds spent on fault handling — the detection BFS + census
+    /// convergecast executed over [`Reliable`]
+    /// links on the faulty network — on top of the ordinary pipeline
+    /// rounds.
+    pub extra_rounds: u64,
+}
+
+/// Result of the detection phase: who survived, how to relabel them,
+/// and what detection cost.
+///
+/// Produced by [`detect_and_excise`]; consumed by the fault-tolerant
+/// wrappers of each pipeline.
+#[derive(Debug, Clone)]
+pub struct Excision {
+    /// Surviving nodes in ascending original id; index = compact sub id.
+    pub survivors: Vec<NodeId>,
+    /// Original id → compact sub id (`u32::MAX` for excluded nodes).
+    pub new_id: Vec<u32>,
+    /// Excised nodes: permanent crashes plus whatever they disconnected
+    /// from node 0.
+    pub excluded: Vec<NodeId>,
+    /// Rounds consumed by the detection BFS + census.
+    pub extra_rounds: u64,
+    /// Messages exchanged by the detection phases.
+    pub messages: u64,
+    /// Per-phase engine statistics of the detection session
+    /// (`F.detect_bfs`, `F.detect_census`).
+    pub phase_stats: Vec<RunStats>,
+}
+
+/// Runs the detection phase on the faulty network and computes the
+/// excision.
+///
+/// `seed` and `shards` configure the detection [`Session`]; the
+/// remaining simulator knobs are defaults plus a 500 000-round cap
+/// (retransmission slack for the reliable layer).
+///
+/// # Errors
+///
+/// [`SimError::FaultConfig`] when node 0 — the detection root — is
+/// permanently crashed; any engine error from the detection phases.
+pub fn detect_and_excise(
+    graph: &Graph,
+    plan: &FaultPlan,
+    seed: u64,
+    shards: usize,
+) -> Result<Excision, SimError> {
+    let n = graph.n();
+    let crashed: Vec<NodeId> = plan
+        .crashes
+        .iter()
+        .filter(|c| c.recover_at.is_none())
+        .map(|c| c.node)
+        .collect();
+    if crashed.contains(&0) {
+        return Err(SimError::FaultConfig {
+            reason: "node 0 roots the detection convergecast; it may not crash permanently \
+                     — crash a different node or give node 0 a recovery round"
+                .to_string(),
+        });
+    }
+
+    let det_cfg = SimConfig {
+        seed,
+        shards,
+        max_rounds: 500_000, // retransmission slack
+        faults: Some(plan.clone()),
+        ..SimConfig::default()
+    };
+    let mut det = Session::new(graph, det_cfg);
+    let bfs = det.run_labeled(
+        "F.detect_bfs",
+        Reliable::with_crashed(Bfs::new(0), &crashed),
+    )?;
+    {
+        let positions = positions_from_tree(0, &bfs.parent, &bfs.children);
+        let ones = vec![1u64; n];
+        let (census, _) = det.run_labeled(
+            "F.detect_census",
+            Reliable::with_crashed(
+                TreeAggregate::new(positions, &ones, AggOp::Sum, true),
+                &crashed,
+            ),
+        )?;
+        debug_assert_eq!(
+            census[0].unwrap_or(0),
+            bfs.dist.iter().flatten().count() as u64,
+            "census must count exactly the BFS-reached survivors"
+        );
+    }
+
+    let mut new_id: Vec<u32> = vec![u32::MAX; n];
+    let mut survivors: Vec<NodeId> = Vec::new();
+    let mut excluded: Vec<NodeId> = Vec::new();
+    for v in 0..n as NodeId {
+        if bfs.dist[v as usize].is_some() {
+            new_id[v as usize] = survivors.len() as u32;
+            survivors.push(v);
+        } else {
+            excluded.push(v);
+        }
+    }
+    Ok(Excision {
+        survivors,
+        new_id,
+        excluded,
+        extra_rounds: det.rounds_used(),
+        messages: det.stats().messages,
+        phase_stats: det.phases().to_vec(),
+    })
+}
+
+impl Excision {
+    /// `true` when nothing was excised: drops, delays, corruption, and
+    /// transient crashes were absorbed by the reliable layer, so the
+    /// pipeline may run on the whole graph.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.excluded.is_empty()
+    }
+
+    /// The [`DegradedOutcome`] this excision reports.
+    #[must_use]
+    pub fn outcome(&self) -> DegradedOutcome {
+        DegradedOutcome {
+            completed: true,
+            excluded_nodes: self.excluded.clone(),
+            extra_rounds: self.extra_rounds,
+        }
+    }
+
+    /// Surviving edges of `graph` with endpoints relabeled to sub ids,
+    /// in original edge order.
+    fn sub_edge_list(&self, graph: &Graph) -> Vec<(NodeId, NodeId)> {
+        graph
+            .edges()
+            .iter()
+            .filter(|&&(a, b)| {
+                self.new_id[a as usize] != u32::MAX && self.new_id[b as usize] != u32::MAX
+            })
+            .map(|&(a, b)| (self.new_id[a as usize], self.new_id[b as usize]))
+            .collect()
+    }
+
+    /// The induced subgraph on the survivors, relabeled to compact ids.
+    ///
+    /// # Panics
+    ///
+    /// Never on graphs the excision was computed from (relabeling
+    /// preserves simplicity).
+    #[must_use]
+    pub fn induced_graph(&self, graph: &Graph) -> Graph {
+        Graph::from_edges(self.survivors.len(), &self.sub_edge_list(graph))
+            .expect("relabeled survivor edges are simple")
+    }
+
+    /// The induced **weighted** subgraph on the survivors: same edge
+    /// set as [`Excision::induced_graph`], each edge carrying its
+    /// original weight.
+    ///
+    /// # Panics
+    ///
+    /// Never on graphs the excision was computed from.
+    #[must_use]
+    pub fn induced_weighted(&self, wg: &WeightedGraph) -> WeightedGraph {
+        let g = wg.graph();
+        let sub_edges: Vec<(NodeId, NodeId, u64)> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(a, b))| {
+                self.new_id[a as usize] != u32::MAX && self.new_id[b as usize] != u32::MAX
+            })
+            .map(|(e, &(a, b))| {
+                (
+                    self.new_id[a as usize],
+                    self.new_id[b as usize],
+                    wg.weight(EdgeId(e as u32)),
+                )
+            })
+            .collect();
+        WeightedGraph::from_weighted_edges(self.survivors.len(), &sub_edges)
+            .expect("relabeled survivor edges are simple")
+    }
+
+    /// Splits each part of `partition` into its surviving connected
+    /// fragments on the excised subgraph `sub_g` (excising a node may
+    /// cut a part in two), returning the fragment partition plus, per
+    /// fragment, the index of the original part it came from.
+    ///
+    /// # Panics
+    ///
+    /// Never when `sub_g` is [`Excision::induced_graph`] of the graph
+    /// `partition` lives on: fragments are connected by construction.
+    #[must_use]
+    pub fn split_partition(&self, sub_g: &Graph, partition: &Partition) -> (Partition, Vec<usize>) {
+        let mut sub_part_label: Vec<Option<usize>> = vec![None; self.survivors.len()];
+        for (i, part) in partition.parts().iter().enumerate() {
+            for &v in part {
+                let nv = self.new_id[v as usize];
+                if nv != u32::MAX {
+                    sub_part_label[nv as usize] = Some(i);
+                }
+            }
+        }
+        let mut uf = UnionFind::new(self.survivors.len());
+        for &(a, b) in sub_g.edges() {
+            if sub_part_label[a as usize].is_some()
+                && sub_part_label[a as usize] == sub_part_label[b as usize]
+            {
+                uf.union(a, b);
+            }
+        }
+        let mut groups: HashMap<(usize, u32), Vec<NodeId>> = HashMap::new();
+        for v in 0..self.survivors.len() as u32 {
+            if let Some(p) = sub_part_label[v as usize] {
+                groups.entry((p, uf.find(v))).or_default().push(v);
+            }
+        }
+        let mut keys: Vec<(usize, u32)> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        let mut sub_parts: Vec<Vec<NodeId>> = Vec::with_capacity(keys.len());
+        let mut sub_to_orig_part: Vec<usize> = Vec::with_capacity(keys.len());
+        for k in &keys {
+            sub_parts.push(groups.remove(k).expect("key enumerated from map"));
+            sub_to_orig_part.push(k.0);
+        }
+        let sub_partition =
+            Partition::new(sub_g, sub_parts).expect("fragments are connected by construction");
+        (sub_partition, sub_to_orig_part)
+    }
+
+    /// Restricts a shortcut set to the survivors: every fragment
+    /// inherits the surviving shortcut edges of the original part it
+    /// came from (`sub_to_orig_part` as returned by
+    /// [`Excision::split_partition`]), relabeled to `sub_g` edge ids.
+    /// Shortcut edges with an excised endpoint are dropped.
+    #[must_use]
+    pub fn restrict_shortcuts(
+        &self,
+        graph: &Graph,
+        sub_g: &Graph,
+        shortcuts: &ShortcutSet,
+        sub_to_orig_part: &[usize],
+    ) -> ShortcutSet {
+        let surviving_of = |orig_part: usize| -> Vec<EdgeId> {
+            shortcuts
+                .edges(orig_part)
+                .iter()
+                .filter_map(|&e| {
+                    let (a, b) = graph.edge_endpoints(e);
+                    let (na, nb) = (self.new_id[a as usize], self.new_id[b as usize]);
+                    if na == u32::MAX || nb == u32::MAX {
+                        return None;
+                    }
+                    Some(
+                        sub_g
+                            .edge_between(na, nb)
+                            .expect("surviving edge exists in the excised subgraph"),
+                    )
+                })
+                .collect()
+        };
+        ShortcutSet::from_edge_lists(
+            sub_to_orig_part
+                .iter()
+                .map(|&oi| surviving_of(oi))
+                .collect(),
+        )
+    }
+
+    /// Maps an edge of the excised subgraph back to the corresponding
+    /// edge of the original graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` does not come from `sub_g` =
+    /// [`Excision::induced_graph`] of `graph`.
+    #[must_use]
+    pub fn original_edge(&self, graph: &Graph, sub_g: &Graph, e: EdgeId) -> EdgeId {
+        let (a, b) = sub_g.edge_endpoints(e);
+        graph
+            .edge_between(self.survivors[a as usize], self.survivors[b as usize])
+            .expect("surviving edge exists in the original graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_congest::Crash;
+
+    /// Path 0-1-2-3-4-5 with a chord (1,4); crashing 2 keeps everything
+    /// reachable via the chord, crashing 4 *and* the chord's absence
+    /// would cut the tail.
+    fn chord_path() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)]).unwrap()
+    }
+
+    fn crash_plan(nodes: &[NodeId]) -> FaultPlan {
+        FaultPlan {
+            crashes: nodes
+                .iter()
+                .map(|&v| Crash {
+                    node: v,
+                    at_round: 0,
+                    recover_at: None,
+                })
+                .collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn root_crash_is_rejected_eagerly() {
+        let g = chord_path();
+        let err = detect_and_excise(&g, &crash_plan(&[0]), 1, 1).unwrap_err();
+        assert!(matches!(err, SimError::FaultConfig { .. }));
+    }
+
+    #[test]
+    fn excision_takes_disconnected_survivors_too() {
+        // Crashing 1 cuts 2..=5 off from the root: everything but 0 goes.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let exc = detect_and_excise(&g, &crash_plan(&[1]), 7, 1).unwrap();
+        assert_eq!(exc.survivors, vec![0]);
+        assert_eq!(exc.excluded, vec![1, 2, 3, 4, 5]);
+        assert!(!exc.is_trivial());
+        assert!(exc.extra_rounds > 0);
+        assert_eq!(exc.phase_stats.len(), 2);
+    }
+
+    #[test]
+    fn split_partition_fragments_cut_parts() {
+        // One part = the whole path; excising 2 splits it in two
+        // fragments, both mapping back to part 0.
+        let g = chord_path();
+        let exc = detect_and_excise(&g, &crash_plan(&[2]), 3, 1).unwrap();
+        assert_eq!(exc.excluded, vec![2]);
+        let sub_g = exc.induced_graph(&g);
+        assert_eq!(sub_g.n(), 5);
+        let partition = Partition::new(&g, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let (sub_p, back) = exc.split_partition(&sub_g, &partition);
+        // Part {0,1,2} loses node 2 → fragment {0,1}; part {3,4,5}
+        // stays whole (3-4-5 connected in the subgraph).
+        assert_eq!(sub_p.num_parts(), 2);
+        assert_eq!(back, vec![0, 1]);
+        let mut sizes: Vec<usize> = sub_p.parts().iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn weighted_excision_preserves_weights_and_edge_mapping() {
+        let g = chord_path();
+        let weights: Vec<u64> = (0..g.m() as u64).map(|i| 10 + i).collect();
+        let wg = WeightedGraph::new(g.clone(), weights).unwrap();
+        let exc = detect_and_excise(&g, &crash_plan(&[2]), 3, 1).unwrap();
+        let sub_wg = exc.induced_weighted(&wg);
+        let sub_g = exc.induced_graph(&g);
+        assert_eq!(sub_wg.graph().edges(), sub_g.edges());
+        for e in sub_g.edge_ids() {
+            let orig = exc.original_edge(&g, &sub_g, e);
+            assert_eq!(
+                sub_wg.weight(e),
+                wg.weight(orig),
+                "weight survives relabeling"
+            );
+        }
+    }
+}

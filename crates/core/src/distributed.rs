@@ -34,15 +34,16 @@
 //! `i` — the truncated BFS tree of `G[S_i] ∪ H_i`, which is exactly the
 //! knowledge the real protocol leaves at the nodes.
 
+use crate::degrade::detect_and_excise;
 use crate::odd::shared_delay;
 use crate::params::{guess_ladder, KpParams, ParamError};
 use crate::sampling::SampleOracle;
 use lcs_congest::{
     ceil_log2, positions_from_tree, AggOp, Bfs, FaultPlan, MultiAggregate, MultiBfs,
-    MultiBfsInstance, MultiBfsSpec, Participation, PrefixNumber, Reliable, RunStats, Session,
-    SimConfig, SimError, TreeAggregate, TreePosition,
+    MultiBfsInstance, MultiBfsSpec, Participation, PrefixNumber, RunStats, Session, SimConfig,
+    SimError, TreeAggregate, TreePosition,
 };
-use lcs_graph::{is_connected, EdgeId, Graph, NodeId, UnionFind};
+use lcs_graph::{is_connected, EdgeId, Graph, NodeId};
 use lcs_shortcut::{Partition, ShortcutSet};
 use std::collections::HashMap;
 use std::fmt;
@@ -68,7 +69,7 @@ pub struct DistributedConfig {
     pub shards: usize,
     /// Fault plan for the network ([`SimConfig::faults`]). With a plan
     /// attached, the pipeline first runs a **detection** phase on the
-    /// faulty network — a [`Reliable`]-wrapped BFS + census convergecast
+    /// faulty network — a [`Reliable`](lcs_congest::Reliable)-wrapped BFS + census convergecast
     /// — excises permanently crashed nodes (and anything they
     /// disconnect), and completes on the survivors, reporting a
     /// [`DegradedOutcome`].
@@ -150,20 +151,7 @@ pub struct GuessReport {
     pub max_queue: usize,
 }
 
-/// How a fault-tolerant run ([`DistributedConfig::faults`]) coped with
-/// crash-stops: what was cut away and what the tolerance cost.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DegradedOutcome {
-    /// The pipeline completed on the surviving subgraph.
-    pub completed: bool,
-    /// Nodes excised before the main pipeline ran: permanently crashed
-    /// nodes plus any survivors they disconnected from the root.
-    pub excluded_nodes: Vec<NodeId>,
-    /// Rounds spent on fault handling — the detection BFS + census
-    /// convergecast executed over [`Reliable`] links on the faulty
-    /// network — on top of the ordinary pipeline rounds.
-    pub extra_rounds: u64,
-}
+pub use crate::degrade::DegradedOutcome;
 
 /// Result of the distributed construction.
 #[derive(Debug)]
@@ -489,12 +477,12 @@ fn run_pipeline(
 /// Fault-tolerant wrapper: detect crash-stops on the faulty network,
 /// excise the dead, and run the pipeline on the survivors.
 ///
-/// Detection executes over [`Reliable`] links under the plan — a BFS
+/// Detection executes over [`Reliable`](lcs_congest::Reliable) links under the plan — a BFS
 /// from node 0 (its reach IS the surviving component) followed by a
 /// census convergecast over the BFS tree (the root learns the survivor
 /// count; `count < n` is the detection signal). The remaining phases
 /// then run on the excised subgraph over the same reliable transport;
-/// since [`Reliable`] makes their outputs byte-identical to fault-free
+/// since [`Reliable`](lcs_congest::Reliable) makes their outputs byte-identical to fault-free
 /// runs (a tier-1 property of `lcs-congest`), they are simulated
 /// fault-free, and only the detection overhead is charged as
 /// [`DegradedOutcome::extra_rounds`].
@@ -504,136 +492,28 @@ fn degraded_shortcuts(
     cfg: &DistributedConfig,
     plan: &FaultPlan,
 ) -> Result<DistributedOutcome, DistributedError> {
-    let n = graph.n();
-    let crashed: Vec<NodeId> = plan
-        .crashes
-        .iter()
-        .filter(|c| c.recover_at.is_none())
-        .map(|c| c.node)
-        .collect();
-    if crashed.contains(&0) {
-        return Err(DistributedError::Sim(SimError::FaultConfig {
-            reason: "node 0 roots the detection convergecast; it may not crash permanently \
-                     — crash a different node or give node 0 a recovery round"
-                .to_string(),
-        }));
-    }
-
-    // ---- Detection, on the faulty network over reliable links. -------
-    let det_cfg = SimConfig {
-        seed: cfg.seed,
-        shards: cfg.shards,
-        max_rounds: 500_000, // retransmission slack
-        faults: Some(plan.clone()),
-        ..SimConfig::default()
-    };
-    let mut det = Session::new(graph, det_cfg);
-    let bfs = det.run_labeled(
-        "F.detect_bfs",
-        Reliable::with_crashed(Bfs::new(0), &crashed),
-    )?;
-    {
-        let positions = positions_from_tree(0, &bfs.parent, &bfs.children);
-        let ones = vec![1u64; n];
-        let (census, _) = det.run_labeled(
-            "F.detect_census",
-            Reliable::with_crashed(
-                TreeAggregate::new(positions, &ones, AggOp::Sum, true),
-                &crashed,
-            ),
-        )?;
-        let alive = census[0].unwrap_or(0);
-        debug_assert_eq!(
-            alive,
-            bfs.dist.iter().flatten().count() as u64,
-            "census must count exactly the BFS-reached survivors"
-        );
-    }
-    let extra_rounds = det.rounds_used();
-    let excluded: Vec<NodeId> = (0..n as NodeId)
-        .filter(|&v| bfs.dist[v as usize].is_none())
-        .collect();
-
-    if excluded.is_empty() {
-        // Nothing crash-stopped: drops/delays were absorbed by the
-        // reliable layer; the pipeline runs on the whole graph.
-        let sub_cfg = DistributedConfig {
-            faults: None,
-            ..cfg.clone()
-        };
-        let mut out = run_pipeline(graph, partition, &sub_cfg)?;
-        out.total_rounds += extra_rounds;
-        out.total_messages += det.stats().messages;
-        let mut phases = det.phases().to_vec();
-        phases.extend(out.phase_stats);
-        out.phase_stats = phases;
-        out.degraded = Some(DegradedOutcome {
-            completed: true,
-            excluded_nodes: Vec::new(),
-            extra_rounds,
-        });
-        return Ok(out);
-    }
-
-    // ---- Excision: relabel the survivors into an induced subgraph. ---
-    let mut new_id: Vec<u32> = vec![u32::MAX; n];
-    let survivors: Vec<NodeId> = (0..n as NodeId)
-        .filter(|&v| bfs.dist[v as usize].is_some())
-        .collect();
-    for (i, &v) in survivors.iter().enumerate() {
-        new_id[v as usize] = i as u32;
-    }
-    let sub_edges: Vec<(NodeId, NodeId)> = graph
-        .edges()
-        .iter()
-        .filter(|&&(a, b)| new_id[a as usize] != u32::MAX && new_id[b as usize] != u32::MAX)
-        .map(|&(a, b)| (new_id[a as usize], new_id[b as usize]))
-        .collect();
-    let sub_g = Graph::from_edges(survivors.len(), &sub_edges)
-        .expect("relabeled survivor edges are simple");
-
-    // Surviving part fragments, split into connected pieces (excising a
-    // node may cut a part in two); each piece maps back to its original
-    // part index.
-    let mut sub_part_label: Vec<Option<usize>> = vec![None; survivors.len()];
-    for (i, part) in partition.parts().iter().enumerate() {
-        for &v in part {
-            let nv = new_id[v as usize];
-            if nv != u32::MAX {
-                sub_part_label[nv as usize] = Some(i);
-            }
-        }
-    }
-    let mut uf = UnionFind::new(survivors.len());
-    for &(a, b) in sub_g.edges() {
-        if sub_part_label[a as usize].is_some()
-            && sub_part_label[a as usize] == sub_part_label[b as usize]
-        {
-            uf.union(a, b);
-        }
-    }
-    let mut groups: HashMap<(usize, u32), Vec<NodeId>> = HashMap::new();
-    for v in 0..survivors.len() as u32 {
-        if let Some(p) = sub_part_label[v as usize] {
-            groups.entry((p, uf.find(v))).or_default().push(v);
-        }
-    }
-    let mut keys: Vec<(usize, u32)> = groups.keys().copied().collect();
-    keys.sort_unstable();
-    let mut sub_parts: Vec<Vec<NodeId>> = Vec::with_capacity(keys.len());
-    let mut sub_to_orig_part: Vec<usize> = Vec::with_capacity(keys.len());
-    for k in &keys {
-        sub_parts.push(groups.remove(k).expect("key enumerated from map"));
-        sub_to_orig_part.push(k.0);
-    }
-    let sub_partition =
-        Partition::new(&sub_g, sub_parts).expect("fragments are connected by construction");
-
-    // ---- The pipeline proper, on the survivors. ----------------------
+    let exc = detect_and_excise(graph, plan, cfg.seed, cfg.shards)?;
     let sub_cfg = DistributedConfig {
         faults: None,
         ..cfg.clone()
     };
+
+    if exc.is_trivial() {
+        // Nothing crash-stopped: drops/delays were absorbed by the
+        // reliable layer; the pipeline runs on the whole graph.
+        let mut out = run_pipeline(graph, partition, &sub_cfg)?;
+        out.total_rounds += exc.extra_rounds;
+        out.total_messages += exc.messages;
+        let mut phases = exc.phase_stats.clone();
+        phases.extend(out.phase_stats);
+        out.phase_stats = phases;
+        out.degraded = Some(exc.outcome());
+        return Ok(out);
+    }
+
+    // ---- Excision, then the pipeline proper on the survivors. --------
+    let sub_g = exc.induced_graph(graph);
+    let (sub_partition, sub_to_orig_part) = exc.split_partition(&sub_g, partition);
     let sub = run_pipeline(&sub_g, &sub_partition, &sub_cfg)?;
 
     // Map the result back to the original graph's ids.
@@ -642,33 +522,23 @@ fn degraded_shortcuts(
     for (si, &oi) in sub_to_orig_part.iter().enumerate() {
         is_large[oi] |= sub.is_large[si];
         for &e in sub.shortcuts.edges(si) {
-            let (a, b) = sub_g.edge_endpoints(e);
-            let (oa, ob) = (survivors[a as usize], survivors[b as usize]);
-            per_part[oi].push(
-                graph
-                    .edge_between(oa, ob)
-                    .expect("surviving edge exists in the original graph"),
-            );
+            per_part[oi].push(exc.original_edge(graph, &sub_g, e));
         }
     }
     let sub_phase_stats = sub.phase_stats;
-    let mut phase_stats = det.phases().to_vec();
+    let mut phase_stats = exc.phase_stats.clone();
     phase_stats.extend(sub_phase_stats);
     Ok(DistributedOutcome {
         shortcuts: ShortcutSet::from_edge_lists(per_part),
         is_large,
         accepted_guess: sub.accepted_guess,
         params: sub.params,
-        total_rounds: sub.total_rounds + extra_rounds,
-        total_messages: sub.total_messages + det.stats().messages,
+        total_rounds: sub.total_rounds + exc.extra_rounds,
+        total_messages: sub.total_messages + exc.messages,
         guesses: sub.guesses,
         stats: sub.stats,
         phase_stats,
-        degraded: Some(DegradedOutcome {
-            completed: true,
-            excluded_nodes: excluded,
-            extra_rounds,
-        }),
+        degraded: Some(exc.outcome()),
     })
 }
 
@@ -919,6 +789,7 @@ mod tests {
                         recover_at: None,
                     })
                     .collect(),
+                corrupt_rate: 0.0,
                 fault_seed: 0xDEAD,
             }),
             ..DistributedConfig::default()
@@ -967,6 +838,7 @@ mod tests {
                 drop_rate: 0.10,
                 delay_rate: 0.10,
                 max_delay: 2,
+                corrupt_rate: 0.05,
                 crashes: vec![],
                 fault_seed: 21,
             }),

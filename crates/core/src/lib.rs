@@ -7,6 +7,8 @@
 //!   their BFS-tree prunings);
 //! * [`distributed`] — the full CONGEST protocol on the `lcs-congest`
 //!   simulator, including the unknown-diameter guess ladder;
+//! * [`degrade`] — the detect-and-excise machinery shared by every
+//!   fault-tolerant pipeline (here and in `lcs-apps`);
 //! * [`odd`] — the §3.2 odd-diameter reduction by edge subdivision;
 //! * [`shortcut_tree`] — the §3.1 analysis machinery (auxiliary layered
 //!   graphs, sampled forests, (i,k) walks), made executable;
@@ -38,6 +40,7 @@
 pub mod backend;
 pub mod builder;
 pub mod centralized;
+pub mod degrade;
 pub mod dilation;
 pub mod distributed;
 pub mod index_build;
@@ -53,10 +56,10 @@ pub use centralized::{
     centralized_shortcuts, classify_large, large_part_leaders, prune_to_trees,
     CentralizedShortcuts, LargenessRule, OracleMode, PrunedShortcuts,
 };
+pub use degrade::{detect_and_excise, DegradedOutcome, Excision};
 pub use dilation::{certify_part, dilation_trace, DilationTrace, Trichotomy};
 pub use distributed::{
-    distributed_shortcuts, DegradedOutcome, DistributedConfig, DistributedError,
-    DistributedOutcome, GuessReport,
+    distributed_shortcuts, DistributedConfig, DistributedError, DistributedOutcome, GuessReport,
 };
 pub use index_build::{build_index, build_index_distributed, IndexBuildConfig};
 pub use odd::{odd_shortcuts_subdivision, shared_delay, subdivide, OddStrategy};
